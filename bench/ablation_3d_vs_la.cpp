@@ -1,0 +1,69 @@
+// Extension experiment: monolithic direct 3-D routing vs the paper's
+// decomposition (2-D routing -> layer assignment -> CPLA). The 3-D router
+// sees layers during search; the decomposition routes in 2-D and then
+// optimizes layers with the SDP flow. Reported per benchmark:
+//   * Avg/Max critical-path delay over the same released-net ids,
+//   * design-wide wirelength and via count,
+//   * runtime of each flow.
+
+#include "bench/harness.hpp"
+#include "src/route/router3d.hpp"
+
+int main() {
+  using namespace cpla;
+  set_log_level(LogLevel::kWarn);
+  std::printf("=== Extension: direct 3-D routing vs 2-D + CPLA layer assignment ===\n\n");
+
+  Table table({"bench", "flow", "Avg(Tcp)", "Max(Tcp)", "wirelen", "via#", "CPU(s)"});
+  for (const char* name : {"adaptec1", "newblue1"}) {
+    // --- Flow A: 2-D + layer assignment + CPLA --------------------------
+    WallTimer t_a;
+    bench::BenchRun run = bench::make_run(name, 0.005);
+    core::run_cpla(run.prepared.state.get(), *run.prepared.rc, run.critical, {});
+    const double secs_a = t_a.seconds();
+    const core::LaMetrics m_a =
+        core::compute_metrics(*run.prepared.state, *run.prepared.rc, run.critical);
+    long wirelen_a = 0;
+    for (int n = 0; n < run.prepared.state->num_nets(); ++n) {
+      for (const auto& seg : run.prepared.state->tree(n).segs) wirelen_a += seg.length();
+    }
+
+    // --- Flow B: direct 3-D routing -------------------------------------
+    WallTimer t_b;
+    const grid::Design design = gen::generate_suite(name);
+    const route::Routing3DResult routed = route::route_all_3d(design);
+    std::vector<route::SegTree> trees;
+    std::vector<std::vector<int>> layers;
+    for (std::size_t n = 0; n < design.nets.size(); ++n) {
+      route::Tree3D t = route::extract_tree_3d(design.grid, design.nets[n], routed.routes[n]);
+      trees.push_back(std::move(t.tree));
+      layers.push_back(std::move(t.layers));
+    }
+    assign::AssignState state(&design, std::move(trees));
+    for (std::size_t n = 0; n < layers.size(); ++n) {
+      if (state.tree(static_cast<int>(n)).segs.empty()) continue;
+      state.set_layers(static_cast<int>(n), layers[n]);
+    }
+    const double secs_b = t_b.seconds();
+
+    // Same released ids as flow A for a like-for-like critical comparison.
+    const core::LaMetrics m_b =
+        core::compute_metrics(state, *run.prepared.rc, run.critical);
+    long wirelen_b = 0;
+    for (int n = 0; n < state.num_nets(); ++n) {
+      for (const auto& seg : state.tree(n).segs) wirelen_b += seg.length();
+    }
+
+    table.add_row({name, "2D+CPLA", fmt_num(m_a.avg_tcp / 1e3, 2),
+                   fmt_num(m_a.max_tcp / 1e3, 2), std::to_string(wirelen_a),
+                   std::to_string(m_a.via_count), fmt_num(secs_a, 2)});
+    table.add_row({name, "3D-direct", fmt_num(m_b.avg_tcp / 1e3, 2),
+                   fmt_num(m_b.max_tcp / 1e3, 2), std::to_string(wirelen_b),
+                   std::to_string(m_b.via_count), fmt_num(secs_b, 2)});
+  }
+  table.print();
+  std::printf("\n(3-D search is layer-aware but congestion-blind across layers per step and\n"
+              " far slower per net; the decomposition plus timing-driven incremental\n"
+              " assignment is how production flows close timing)\n");
+  return 0;
+}

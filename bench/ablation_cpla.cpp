@@ -1,0 +1,85 @@
+// Ablation study of the CPLA design choices DESIGN.md documents beyond the
+// paper's text. Each row disables exactly one mechanism relative to the
+// default configuration and reports Avg(Tcp) / Max(Tcp) / runtime on two
+// benchmarks (lower is better; the "default" row is the reference).
+//
+//   default           full flow
+//   jacobi            snapshot-solve-commit-all partitions (no Gauss-Seidel)
+//   no-polish         skip the coordinate-descent polish after rounding
+//   no-guard          commit the rounded pick even if it regresses the model
+//   no-rlt            drop the RLT product rows from the SDP relaxation
+//   no-max-focus      gamma = 0: no global worst-net weighting
+//   flat-weights      branch floor = 1.0: plain formulation (4a) weights
+//   no-displace       no victim displacement (non-critical nets frozen)
+//   no-refine         no max-shaving refinement rounds
+
+#include "bench/harness.hpp"
+
+int main() {
+  using namespace cpla;
+  set_log_level(LogLevel::kWarn);
+  std::printf("=== Ablation: CPLA design choices ===\n\n");
+
+  struct Config {
+    const char* name;
+    core::CplaOptions opt;
+  };
+  std::vector<Config> configs;
+  {
+    Config c{"default", {}};
+    configs.push_back(c);
+  }
+  {
+    Config c{"jacobi", {}};
+    c.opt.jacobi_commits = true;
+    configs.push_back(c);
+  }
+  {
+    Config c{"no-polish", {}};
+    c.opt.model.polish = false;
+    configs.push_back(c);
+  }
+  {
+    Config c{"no-guard", {}};
+    c.opt.model.incumbent_guard = false;
+    configs.push_back(c);
+  }
+  {
+    Config c{"no-rlt", {}};
+    c.opt.model.rlt_rows = false;
+    configs.push_back(c);
+  }
+  {
+    Config c{"no-max-focus", {}};
+    c.opt.model.max_focus_gamma = 0.0;
+    configs.push_back(c);
+  }
+  {
+    Config c{"flat-weights", {}};
+    c.opt.model.branch_weight = 1.0;
+    c.opt.model.max_focus_gamma = 0.0;
+    configs.push_back(c);
+  }
+  {
+    Config c{"no-displace", {}};
+    c.opt.displace_victims = false;
+    configs.push_back(c);
+  }
+  {
+    Config c{"no-refine", {}};
+    c.opt.max_refine_rounds = 0;
+    configs.push_back(c);
+  }
+
+  Table table({"bench", "config", "Avg(Tcp)", "Max(Tcp)", "CPU(s)"});
+  for (const char* name : {"adaptec1", "bigblue1"}) {
+    bench::BenchRun run = bench::make_run(name, 0.005);
+    for (const Config& config : configs) {
+      const bench::FlowOutcome out = bench::run_cpla_flow(&run, config.opt);
+      table.add_row({name, config.name, fmt_num(out.metrics.avg_tcp / 1e3, 2),
+                     fmt_num(out.metrics.max_tcp / 1e3, 2), fmt_num(out.seconds, 2)});
+    }
+  }
+  table.print();
+  return 0;
+}

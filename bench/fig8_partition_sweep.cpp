@@ -1,0 +1,39 @@
+// Fig. 8: impact of the self-adaptive partition size cap (max segments per
+// partition) on adaptec1, adaptec2, bigblue1.
+//
+// Paper shape: (a) Avg(Tcp) and (b) Max(Tcp) are nearly flat across
+// partition sizes; (c) runtime grows sharply with partition size, with the
+// sweet spot near 10 segments per partition (the default).
+
+#include "bench/harness.hpp"
+
+int main() {
+  using namespace cpla;
+  set_log_level(LogLevel::kWarn);
+  std::printf("=== Fig 8: partition-size impact (SDP engine) ===\n\n");
+
+  const int sizes[] = {5, 10, 20, 40};
+  const char* benches[] = {"adaptec1", "adaptec2", "bigblue1"};
+
+  Table table({"bench", "segs/part", "Avg(Tcp)", "Max(Tcp)", "CPU(s)", "partitions"});
+  for (const char* name : benches) {
+    bench::BenchRun run = bench::make_run(name, 0.005);
+    for (int size : sizes) {
+      core::CplaOptions opt;
+      opt.partition.max_segments = size;
+      opt.max_rounds = 2;  // fixed round budget so CPU reflects partition size
+      run.restore();
+      WallTimer timer;
+      const core::CplaResult r =
+          core::run_cpla(run.prepared.state.get(), *run.prepared.rc, run.critical, opt);
+      const double secs = timer.seconds();
+      table.add_row({name, std::to_string(size), fmt_num(r.metrics.avg_tcp / 1e3, 2),
+                     fmt_num(r.metrics.max_tcp / 1e3, 2), fmt_num(secs, 2),
+                     std::to_string(r.partitions_solved / std::max(1, r.rounds))});
+    }
+  }
+  table.print();
+  std::printf("\n(paper: quality flat across partition sizes; runtime rises steeply —\n"
+              " the default cap of 10 sits at the runtime sweet spot)\n");
+  return 0;
+}

@@ -1,0 +1,74 @@
+#pragma once
+
+// Shared helpers for the paper-reproduction harnesses (Table 2, Figs 1,
+// 7, 8, 9). Each harness is a standalone binary that prints the same rows
+// or series the paper reports.
+
+#include <cstdio>
+#include <string>
+
+#include "src/core/critical.hpp"
+#include "src/core/flow.hpp"
+#include "src/core/pipeline.hpp"
+#include "src/core/tila.hpp"
+#include "src/gen/synth.hpp"
+#include "src/util/table.hpp"
+#include "src/util/logging.hpp"
+#include "src/util/timer.hpp"
+
+namespace cpla::bench {
+
+struct FlowOutcome {
+  core::LaMetrics metrics;
+  double seconds = 0.0;
+};
+
+struct BenchRun {
+  core::Prepared prepared;
+  core::CriticalSet critical;
+
+  /// Baseline copy of the initial assignment (so TILA and CPLA start from
+  /// identical states).
+  std::vector<std::vector<int>> initial_layers;
+
+  void snapshot() {
+    initial_layers.clear();
+    for (int n = 0; n < prepared.state->num_nets(); ++n) {
+      initial_layers.push_back(prepared.state->layers(n));
+    }
+  }
+  void restore() {
+    for (int n = 0; n < prepared.state->num_nets(); ++n) {
+      prepared.state->set_layers(n, initial_layers[n]);
+    }
+  }
+};
+
+inline BenchRun make_run(const std::string& bench_name, double critical_ratio) {
+  BenchRun run{core::prepare(gen::generate_suite(bench_name)), {}, {}};
+  run.critical = core::select_critical(*run.prepared.state, *run.prepared.rc, critical_ratio);
+  run.snapshot();
+  return run;
+}
+
+inline FlowOutcome run_tila_flow(BenchRun* run, const core::TilaOptions& opt = {}) {
+  run->restore();
+  WallTimer timer;
+  core::run_tila(run->prepared.state.get(), *run->prepared.rc, run->critical, opt);
+  FlowOutcome out;
+  out.seconds = timer.seconds();
+  out.metrics = core::compute_metrics(*run->prepared.state, *run->prepared.rc, run->critical);
+  return out;
+}
+
+inline FlowOutcome run_cpla_flow(BenchRun* run, const core::CplaOptions& opt = {}) {
+  run->restore();
+  WallTimer timer;
+  core::run_cpla(run->prepared.state.get(), *run->prepared.rc, run->critical, opt);
+  FlowOutcome out;
+  out.seconds = timer.seconds();
+  out.metrics = core::compute_metrics(*run->prepared.state, *run->prepared.rc, run->critical);
+  return out;
+}
+
+}  // namespace cpla::bench

@@ -1,0 +1,95 @@
+// Component micro-benchmarks (google-benchmark): the EDA substrates —
+// global routing, segment-tree extraction, Elmore timing, partitioning,
+// and one full partition SDP solve.
+
+#include <benchmark/benchmark.h>
+
+#include "src/core/critical.hpp"
+#include "src/core/pipeline.hpp"
+#include "src/core/sdp_engine.hpp"
+#include "src/gen/synth.hpp"
+#include "src/route/router.hpp"
+#include "src/route/seg_tree.hpp"
+#include "src/timing/elmore.hpp"
+
+namespace {
+
+using namespace cpla;
+
+gen::SynthSpec small_spec() {
+  gen::SynthSpec spec;
+  spec.xsize = spec.ysize = 24;
+  spec.num_nets = 400;
+  spec.num_layers = 6;
+  spec.seed = 77;
+  return spec;
+}
+
+void BM_GlobalRoute(benchmark::State& state) {
+  const grid::Design d = gen::generate(small_spec());
+  for (auto _ : state) {
+    auto r = route::route_all(d);
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_GlobalRoute)->Unit(benchmark::kMillisecond);
+
+void BM_ExtractTrees(benchmark::State& state) {
+  const grid::Design d = gen::generate(small_spec());
+  const route::RoutingResult routed = route::route_all(d);
+  for (auto _ : state) {
+    for (std::size_t n = 0; n < d.nets.size(); ++n) {
+      route::NetRoute copy = routed.routes[n];
+      auto tree = route::extract_tree(d.grid, d.nets[n], &copy);
+      benchmark::DoNotOptimize(tree);
+    }
+  }
+}
+BENCHMARK(BM_ExtractTrees)->Unit(benchmark::kMillisecond);
+
+void BM_ElmoreWholeDesign(benchmark::State& state) {
+  core::Prepared prep = core::prepare(gen::generate(small_spec()));
+  for (auto _ : state) {
+    double sum = 0.0;
+    for (int n = 0; n < prep.state->num_nets(); ++n) {
+      if (prep.state->tree(n).segs.empty()) continue;
+      sum += timing::critical_delay(prep.state->tree(n), prep.state->layers(n), *prep.rc);
+    }
+    benchmark::DoNotOptimize(sum);
+  }
+}
+BENCHMARK(BM_ElmoreWholeDesign)->Unit(benchmark::kMillisecond);
+
+void BM_PartitionSdpSolve(benchmark::State& state) {
+  core::Prepared prep = core::prepare(gen::generate(small_spec()));
+  const core::CriticalSet cs = core::select_critical(*prep.state, *prep.rc, 0.01);
+  std::unordered_map<int, timing::NetTiming> timings;
+  std::vector<core::SegRef> refs;
+  for (int net : cs.nets) {
+    timings.emplace(net,
+                    timing::compute_timing(prep.state->tree(net), prep.state->layers(net),
+                                           *prep.rc));
+    for (const auto& seg : prep.state->tree(net).segs) {
+      refs.push_back(core::SegRef{net, seg.id,
+                                  {(seg.a.x + seg.b.x) / 2, (seg.a.y + seg.b.y) / 2}});
+    }
+  }
+  const auto parts = core::partition(24, 24, refs, {});
+  // Pick the largest partition as a representative solve.
+  std::size_t best = 0;
+  for (std::size_t i = 0; i < parts.leaves.size(); ++i) {
+    if (parts.leaves[i].segments.size() > parts.leaves[best].segments.size()) best = i;
+  }
+  const core::PartitionProblem problem =
+      core::build_partition_problem(*prep.state, *prep.rc, timings, parts.leaves[best], {});
+  state.counters["segments"] = static_cast<double>(problem.vars.size());
+  for (auto _ : state) {
+    auto r = core::solve_partition_sdp(problem, *prep.state);
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_PartitionSdpSolve)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

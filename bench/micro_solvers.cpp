@@ -1,0 +1,104 @@
+// Component micro-benchmarks (google-benchmark): the math substrates —
+// dense linear algebra, simplex LP, branch-and-bound ILP, interior-point
+// SDP — at the sizes the CPLA partitions produce.
+
+#include <benchmark/benchmark.h>
+
+#include "src/ilp/branch_bound.hpp"
+#include "src/la/cholesky.hpp"
+#include "src/la/eigen.hpp"
+#include "src/lp/simplex.hpp"
+#include "src/sdp/solver.hpp"
+#include "src/util/rng.hpp"
+
+namespace {
+
+using namespace cpla;
+
+la::Matrix random_spd(std::size_t n, Rng* rng) {
+  la::Matrix g(n, n);
+  for (std::size_t r = 0; r < n; ++r)
+    for (std::size_t c = 0; c < n; ++c) g(r, c) = rng->normal();
+  la::Matrix a = g * g.transposed();
+  for (std::size_t i = 0; i < n; ++i) a(i, i) += static_cast<double>(n);
+  return a;
+}
+
+void BM_Cholesky(benchmark::State& state) {
+  Rng rng(1);
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const la::Matrix a = random_spd(n, &rng);
+  for (auto _ : state) {
+    auto chol = la::Cholesky::factor(a);
+    benchmark::DoNotOptimize(chol);
+  }
+}
+BENCHMARK(BM_Cholesky)->Arg(16)->Arg(64)->Arg(128);
+
+void BM_EigenSym(benchmark::State& state) {
+  Rng rng(2);
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const la::Matrix a = random_spd(n, &rng);
+  for (auto _ : state) {
+    auto e = la::eigen_sym(a);
+    benchmark::DoNotOptimize(e);
+  }
+}
+BENCHMARK(BM_EigenSym)->Arg(16)->Arg(48);
+
+void BM_SimplexLp(benchmark::State& state) {
+  Rng rng(3);
+  const int n = static_cast<int>(state.range(0));
+  lp::LpProblem p;
+  for (int j = 0; j < n; ++j) p.add_var(0.0, 1.0, rng.uniform(-1.0, 1.0));
+  for (int i = 0; i < n / 2; ++i) {
+    std::vector<std::pair<int, double>> row;
+    for (int j = 0; j < n; ++j) {
+      if (rng.chance(0.5)) row.push_back({j, rng.uniform(0.1, 1.0)});
+    }
+    if (row.empty()) row.push_back({0, 1.0});
+    p.add_row(lp::Sense::kLe, rng.uniform(1.0, 4.0), row);
+  }
+  for (auto _ : state) {
+    auto r = lp::solve(p);
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_SimplexLp)->Arg(20)->Arg(60);
+
+void BM_BranchBoundKnapsack(benchmark::State& state) {
+  Rng rng(4);
+  const int n = static_cast<int>(state.range(0));
+  ilp::MipModel m;
+  std::vector<std::pair<int, double>> row;
+  for (int j = 0; j < n; ++j) {
+    m.add_binary(-rng.uniform(1.0, 10.0));
+    row.push_back({j, rng.uniform(1.0, 5.0)});
+  }
+  m.add_row(lp::Sense::kLe, n * 0.8, row);
+  for (auto _ : state) {
+    auto r = solve_mip(m);
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_BranchBoundKnapsack)->Arg(10)->Arg(16);
+
+void BM_SdpMinEigenvalue(benchmark::State& state) {
+  Rng rng(5);
+  const int n = static_cast<int>(state.range(0));
+  sdp::SdpProblem p({sdp::BlockSpec{sdp::BlockSpec::Kind::kDense, n}});
+  for (int i = 0; i < n; ++i) {
+    for (int j = i; j < n; ++j) p.add_objective_entry(0, i, j, rng.uniform(-1.0, 1.0));
+  }
+  const int tr = p.add_constraint(1.0);
+  for (int i = 0; i < n; ++i) p.add_entry(tr, 0, i, i, 1.0);
+  for (auto _ : state) {
+    auto r = sdp::solve(p);
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_SdpMinEigenvalue)->Arg(8)->Arg(24)->Arg(48);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,142 @@
+// Command-line driver: the downstream-integration entry point. Runs the
+// full pipeline on a generated suite benchmark or a real ISPD'08 file and
+// emits the Table-2 metric row for the chosen flow.
+//
+//   cpla_cli [options]
+//     --bench <name>      suite benchmark to generate (default adaptec1)
+//     --file <path>       parse an ISPD'08 .gr file instead of generating
+//     --ratio <r>         critical-net ratio (default 0.005)
+//     --engine <sdp|ilp|tila>  optimizer (default sdp)
+//     --rounds <n>        max CPLA rounds (default 8)
+//     --max-segs <n>      partition cap (default 10)
+//     --write-gr <path>   dump the (generated) benchmark in ISPD'08 syntax
+//     --write-routes <p>  dump the routed solution (contest output format)
+//     --validate          audit the solution with the independent checker
+//     --antenna           antenna-ratio report
+//     --quiet             warnings only
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <optional>
+#include <sstream>
+#include <string>
+
+#include "bench/harness.hpp"
+#include "src/assign/antenna.hpp"
+#include "src/assign/route_io.hpp"
+#include "src/assign/validate.hpp"
+#include "src/parser/ispd08.hpp"
+
+namespace {
+
+const char* arg_value(int argc, char** argv, const char* flag) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], flag) == 0) return argv[i + 1];
+  }
+  return nullptr;
+}
+
+bool has_flag(int argc, char** argv, const char* flag) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], flag) == 0) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace cpla;
+
+  if (has_flag(argc, argv, "--help") || has_flag(argc, argv, "-h")) {
+    std::printf(
+        "usage: cpla_cli [--bench NAME | --file PATH] [--ratio R]\n"
+        "                [--engine sdp|ilp|tila] [--rounds N] [--max-segs N]\n"
+        "                [--write-gr PATH] [--quiet]\n");
+    return 0;
+  }
+  if (has_flag(argc, argv, "--quiet")) set_log_level(LogLevel::kWarn);
+
+  const char* file = arg_value(argc, argv, "--file");
+  const std::string bench = arg_value(argc, argv, "--bench")
+                                ? arg_value(argc, argv, "--bench")
+                                : "adaptec1";
+  const double ratio =
+      arg_value(argc, argv, "--ratio") ? std::atof(arg_value(argc, argv, "--ratio")) : 0.005;
+  const std::string engine =
+      arg_value(argc, argv, "--engine") ? arg_value(argc, argv, "--engine") : "sdp";
+
+  std::optional<grid::Design> design;
+  if (file != nullptr) {
+    design = parser::read_ispd08_file(file);
+    if (!design) {
+      std::fprintf(stderr, "error: cannot parse %s\n", file);
+      return 1;
+    }
+  } else {
+    design = gen::generate_suite(bench);
+  }
+  if (const char* out = arg_value(argc, argv, "--write-gr")) {
+    if (!parser::write_ispd08_file(*design, out)) return 1;
+    std::printf("wrote %s\n", out);
+  }
+
+  core::Prepared prep = core::prepare(std::move(*design));
+  const core::CriticalSet critical = core::select_critical(*prep.state, *prep.rc, ratio);
+  const core::LaMetrics before = core::compute_metrics(*prep.state, *prep.rc, critical);
+
+  WallTimer timer;
+  if (engine == "tila") {
+    core::run_tila(prep.state.get(), *prep.rc, critical);
+  } else {
+    core::CplaOptions opt;
+    opt.engine = (engine == "ilp") ? core::Engine::kIlp : core::Engine::kSdp;
+    if (const char* rounds = arg_value(argc, argv, "--rounds")) {
+      opt.max_rounds = std::atoi(rounds);
+    }
+    if (const char* cap = arg_value(argc, argv, "--max-segs")) {
+      opt.partition.max_segments = std::atoi(cap);
+    }
+    core::run_cpla(prep.state.get(), *prep.rc, critical, opt);
+  }
+  const double seconds = timer.seconds();
+  const core::LaMetrics after = core::compute_metrics(*prep.state, *prep.rc, critical);
+
+  Table table({"stage", "Avg(Tcp)", "Max(Tcp)", "OV#", "via#", "wire_ov", "CPU(s)"});
+  auto row = [&](const char* name, const core::LaMetrics& m, double secs) {
+    table.add_row({name, fmt_num(m.avg_tcp, 1), fmt_num(m.max_tcp, 1),
+                   std::to_string(m.via_overflow), std::to_string(m.via_count),
+                   std::to_string(m.wire_overflow), fmt_num(secs, 2)});
+  };
+  row("initial", before, 0.0);
+  row(engine.c_str(), after, seconds);
+  table.print();
+
+  if (const char* out = arg_value(argc, argv, "--write-routes")) {
+    if (!assign::write_routes_file(*prep.state, out)) return 1;
+    std::printf("wrote routed solution to %s\n", out);
+  }
+  if (has_flag(argc, argv, "--validate")) {
+    std::stringstream buf;
+    assign::write_routes(*prep.state, buf);
+    const auto parsed = assign::read_routes(buf, prep.design->grid);
+    if (!parsed) {
+      std::fprintf(stderr, "validate: solution unparsable\n");
+      return 1;
+    }
+    const assign::ValidationReport report =
+        assign::validate_solution(*prep.design, *parsed);
+    std::printf("validate: %s — wirelength %ld, vias %ld, wire_ov %ld, via_ov %ld\n",
+                report.ok ? "OK" : "FAILED", report.total_wirelength, report.total_vias,
+                report.wire_overflow, report.via_overflow);
+    for (const auto& err : report.errors) std::printf("  error: %s\n", err.c_str());
+    if (!report.ok) return 1;
+  }
+  if (has_flag(argc, argv, "--antenna")) {
+    const assign::AntennaReport report = assign::check_antennas(*prep.state);
+    std::printf("antenna: %ld sinks checked, worst ratio %.1f, %zu violations\n",
+                report.sinks_checked, report.worst_ratio, report.violations.size());
+  }
+  return 0;
+}

@@ -1,0 +1,93 @@
+// Density-map example (cf. Fig 3(b) of the paper: "routing density for
+// benchmark adaptec1"): routes a benchmark and writes SVG heatmaps of
+//   * 2-D routing density (usage / projected capacity per GCell), and
+//   * the released critical nets overlaid on the density map,
+// which is exactly the picture motivating the self-adaptive partitioning.
+//
+//   ./density_map [benchmark-name] [output-prefix]
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+
+#include "src/core/critical.hpp"
+#include "src/core/pipeline.hpp"
+#include "src/gen/synth.hpp"
+#include "src/util/svg.hpp"
+
+int main(int argc, char** argv) {
+  using namespace cpla;
+
+  const std::string bench = (argc > 1) ? argv[1] : "adaptec1";
+  const std::string prefix = (argc > 2) ? argv[2] : "/tmp/cpla_" + bench;
+
+  core::Prepared prep = core::prepare(gen::generate_suite(bench));
+  const auto& g = prep.design->grid;
+  const auto& state = *prep.state;
+
+  // Per-cell density: mean utilization of the four incident 2-D edges.
+  const int xs = g.xsize(), ys = g.ysize();
+  std::vector<double> density(static_cast<std::size_t>(xs * ys), 0.0);
+  auto edge_util = [&](bool horizontal, int e) {
+    int usage = 0, cap = 0;
+    for (int l = 0; l < g.num_layers(); ++l) {
+      if (g.is_horizontal(l) != horizontal) continue;
+      usage += state.wire_usage(l, e);
+      cap += g.edge_capacity(l, e);
+    }
+    return cap > 0 ? static_cast<double>(usage) / cap : 0.0;
+  };
+  for (int y = 0; y < ys; ++y) {
+    for (int x = 0; x < xs; ++x) {
+      double sum = 0.0;
+      int cnt = 0;
+      if (x > 0) { sum += edge_util(true, g.h_edge_id(x - 1, y)); ++cnt; }
+      if (x < xs - 1) { sum += edge_util(true, g.h_edge_id(x, y)); ++cnt; }
+      if (y > 0) { sum += edge_util(false, g.v_edge_id(x, y - 1)); ++cnt; }
+      if (y < ys - 1) { sum += edge_util(false, g.v_edge_id(x, y)); ++cnt; }
+      density[y * xs + x] = cnt ? sum / cnt : 0.0;
+    }
+  }
+
+  const double cell = 8.0;
+  SvgCanvas heat(xs * cell, ys * cell + 20);
+  for (int y = 0; y < ys; ++y) {
+    for (int x = 0; x < xs; ++x) {
+      // SVG y axis points down; flip so (0,0) is bottom-left like the paper.
+      heat.rect(x * cell, (ys - 1 - y) * cell, cell, cell,
+                SvgCanvas::heat_color(density[y * xs + x]));
+    }
+  }
+  heat.text(4, ys * cell + 14, bench + ": 2-D routing density (blue=idle, red=full)", 11);
+  const std::string density_path = prefix + "_density.svg";
+  if (!heat.write(density_path)) return 1;
+
+  // Critical nets overlay.
+  const core::CriticalSet critical = core::select_critical(state, *prep.rc, 0.005);
+  SvgCanvas overlay(xs * cell, ys * cell + 20);
+  for (int y = 0; y < ys; ++y) {
+    for (int x = 0; x < xs; ++x) {
+      overlay.rect(x * cell, (ys - 1 - y) * cell, cell, cell,
+                   SvgCanvas::heat_color(density[y * xs + x]), 0.35);
+    }
+  }
+  auto sx = [&](int x) { return (x + 0.5) * cell; };
+  auto sy = [&](int y) { return (ys - 1 - y + 0.5) * cell; };
+  for (int net : critical.nets) {
+    for (const auto& seg : state.tree(net).segs) {
+      overlay.line(sx(seg.a.x), sy(seg.a.y), sx(seg.b.x), sy(seg.b.y), "#7b1fa2", 1.6);
+    }
+    const auto& root = state.tree(net).root;
+    overlay.circle(sx(root.x), sy(root.y), 2.2, "#d32f2f");
+  }
+  overlay.text(4, ys * cell + 14,
+               bench + ": " + std::to_string(critical.nets.size()) + " critical nets (0.5%)",
+               11);
+  const std::string overlay_path = prefix + "_critical.svg";
+  if (!overlay.write(overlay_path)) return 1;
+
+  const double worst = *std::max_element(density.begin(), density.end());
+  std::printf("wrote %s and %s (peak density %.0f%%)\n", density_path.c_str(),
+              overlay_path.c_str(), 100.0 * worst);
+  return 0;
+}

@@ -1,0 +1,68 @@
+// Quickstart: generate a benchmark, route it, assign layers, then improve
+// the critical nets with the paper's SDP-based CPLA flow and compare
+// against the TILA baseline.
+//
+//   ./quickstart [benchmark-name] [critical-ratio]
+//
+// Defaults: adaptec1 at 0.5% (the paper's headline configuration, scaled).
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "src/core/flow.hpp"
+#include "src/core/pipeline.hpp"
+#include "src/core/tila.hpp"
+#include "src/gen/synth.hpp"
+#include "src/util/table.hpp"
+#include "src/util/timer.hpp"
+
+int main(int argc, char** argv) {
+  using namespace cpla;
+
+  const std::string bench = (argc > 1) ? argv[1] : "adaptec1";
+  const double ratio = (argc > 2) ? std::atof(argv[2]) : 0.005;
+
+  // 1. Generate (or parse — see parser::read_ispd08_file) a design.
+  grid::Design design = gen::generate_suite(bench);
+  std::printf("benchmark %s: %dx%d grid, %d layers, %zu nets\n", design.name.c_str(),
+              design.grid.xsize(), design.grid.ysize(), design.grid.num_layers(),
+              design.nets.size());
+
+  // 2. Route + initial layer assignment (the CPLA problem's inputs).
+  core::Prepared tila_run = core::prepare(design);
+  core::Prepared cpla_run = core::prepare(std::move(design));
+
+  // 3. Release the same critical nets for both engines.
+  const core::CriticalSet critical = core::select_critical(*cpla_run.state, *cpla_run.rc, ratio);
+  std::printf("released %zu critical nets (%.2f%%)\n", critical.nets.size(), 100.0 * ratio);
+
+  const core::LaMetrics before = core::compute_metrics(*cpla_run.state, *cpla_run.rc, critical);
+
+  // 4. TILA baseline.
+  WallTimer tila_timer;
+  core::run_tila(tila_run.state.get(), *tila_run.rc, critical);
+  const double tila_s = tila_timer.seconds();
+  const core::LaMetrics tila = core::compute_metrics(*tila_run.state, *tila_run.rc, critical);
+
+  // 5. CPLA (SDP engine).
+  WallTimer cpla_timer;
+  const core::CplaResult result = core::run_cpla(cpla_run.state.get(), *cpla_run.rc, critical);
+  const double cpla_s = cpla_timer.seconds();
+
+  // 6. Report.
+  Table table({"flow", "Avg(Tcp)", "Max(Tcp)", "OV#", "via#", "CPU(s)"});
+  auto row = [&](const char* name, const core::LaMetrics& m, double secs) {
+    table.add_row({name, fmt_num(m.avg_tcp, 1), fmt_num(m.max_tcp, 1),
+                   std::to_string(m.via_overflow), std::to_string(m.via_count),
+                   fmt_num(secs, 2)});
+  };
+  row("initial", before, 0.0);
+  row("TILA", tila, tila_s);
+  row("CPLA-SDP", result.metrics, cpla_s);
+  table.print();
+
+  std::printf("\nCPLA: %d rounds, %d partitions, quadtree depth %d\n", result.rounds,
+              result.partitions_solved, result.max_partition_depth);
+  return 0;
+}

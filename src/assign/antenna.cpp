@@ -1,0 +1,75 @@
+#include "src/assign/antenna.hpp"
+
+#include <algorithm>
+#include <queue>
+
+#include "src/util/check.hpp"
+
+namespace cpla::assign {
+
+double sink_antenna_ratio(const AssignState& state, int net, int sink_index,
+                          const AntennaOptions& options) {
+  const route::SegTree& tree = state.tree(net);
+  CPLA_ASSERT(sink_index >= 0 && sink_index < static_cast<int>(tree.sinks.size()));
+  const route::SinkAttach& sink = tree.sinks[sink_index];
+  if (sink.seg_id < 0) return 0.0;  // pin sits in the driver cell: no wire antenna
+  const std::vector<int>& layers = state.layers(net);
+  const int num_layers = state.design().grid.num_layers();
+
+  double worst = 0.0;
+  for (int step = 0; step < num_layers; ++step) {
+    // The sink is conductively attached once its segment's metal exists.
+    if (std::max(layers[sink.seg_id], sink.pin_layer) > step) continue;
+
+    // Component of segments with metal at this fabrication step, reachable
+    // from the sink's segment through built vias (both endpoints <= step).
+    std::vector<char> in_component(tree.segs.size(), 0);
+    std::queue<int> queue;
+    queue.push(sink.seg_id);
+    in_component[sink.seg_id] = 1;
+    bool driver_connected = false;
+    double length = 0.0;
+    while (!queue.empty()) {
+      const int s = queue.front();
+      queue.pop();
+      length += static_cast<double>(tree.segs[s].length());
+      // The driver's diffusion discharges the antenna once a root segment
+      // joins the component (its pin via is built from metal1 upward).
+      if (tree.segs[s].parent < 0 && tree.root_pin_layer <= step) driver_connected = true;
+
+      auto visit = [&](int other) {
+        if (other < 0 || in_component[other] || layers[other] > step) return;
+        in_component[other] = 1;
+        queue.push(other);
+      };
+      visit(tree.segs[s].parent);
+      for (int c : tree.segs[s].children) visit(c);
+    }
+    if (driver_connected) continue;
+    worst = std::max(worst, length / options.gate_size);
+  }
+  return worst;
+}
+
+AntennaReport check_antennas(const AssignState& state, const AntennaOptions& options) {
+  AntennaReport report;
+  for (int net = 0; net < state.num_nets(); ++net) {
+    if (!state.assigned(net) || state.tree(net).segs.empty()) continue;
+    const auto& sinks = state.tree(net).sinks;
+    for (int k = 0; k < static_cast<int>(sinks.size()); ++k) {
+      const double ratio = sink_antenna_ratio(state, net, k, options);
+      report.sinks_checked += 1;
+      report.worst_ratio = std::max(report.worst_ratio, ratio);
+      if (ratio > options.max_ratio) {
+        AntennaReport::Violation v;
+        v.net = net;
+        v.sink = k;
+        v.ratio = ratio;
+        report.violations.push_back(v);
+      }
+    }
+  }
+  return report;
+}
+
+}  // namespace cpla::assign

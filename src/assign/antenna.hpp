@@ -1,0 +1,48 @@
+#pragma once
+
+// Antenna-effect checking at layer-assignment granularity. During
+// fabrication, metal on layer l is patterned before layers above it exist;
+// any wire on layers <= l conductively connected to a gate (sink pin)
+// without an intervening jumper to a higher layer collects charge into the
+// gate. The antenna ratio of a sink at fabrication step l is
+//
+//     (connected wire length on layers <= l reachable from the pin
+//      without crossing a via to a layer > l)  /  gate_size
+//
+// and a sink violates if the ratio exceeds the threshold at any step.
+// This is the model used by antenna-aware layer assignment [Lee & Wang,
+// ICCAD'10], reproduced here as an analysis/audit pass: timing-driven
+// re-assignment can accidentally create long low-layer antennas, and this
+// checker quantifies that.
+
+#include <vector>
+
+#include "src/assign/state.hpp"
+
+namespace cpla::assign {
+
+struct AntennaOptions {
+  double gate_size = 1.0;
+  double max_ratio = 50.0;  // threshold in wirelength-per-gate units
+};
+
+struct AntennaReport {
+  struct Violation {
+    int net = -1;
+    int sink = -1;        // index into SegTree::sinks
+    int layer = -1;       // fabrication step at which the ratio peaks
+    double ratio = 0.0;
+  };
+  std::vector<Violation> violations;
+  double worst_ratio = 0.0;
+  long sinks_checked = 0;
+};
+
+/// Worst antenna ratio of one sink across all fabrication steps.
+double sink_antenna_ratio(const AssignState& state, int net, int sink_index,
+                          const AntennaOptions& options = {});
+
+/// Checks every sink of every assigned net.
+AntennaReport check_antennas(const AssignState& state, const AntennaOptions& options = {});
+
+}  // namespace cpla::assign

@@ -1,0 +1,115 @@
+#include "src/assign/initial_assign.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <numeric>
+
+#include "src/assign/net_dp.hpp"
+#include "src/util/logging.hpp"
+
+namespace cpla::assign {
+
+namespace {
+
+/// DP costs for one net under the current usage state (the net itself must
+/// not be in the usage maps while its costs are evaluated).
+NetDpCosts make_costs(const AssignState& state, int net, const InitialAssignOptions& opt) {
+  NetDpCosts costs;
+  const auto& g = state.design().grid;
+
+  // Length-tier layer preference is driven by the net's total wirelength:
+  // long (timing-relevant) nets ride the high, low-resistance pairs, short
+  // local nets stay low — mirroring production layer-assignment tiers.
+  long net_len = 0;
+  for (const auto& seg : state.tree(net).segs) net_len += seg.length();
+  const int num_pairs = (g.num_layers() + 1) / 2;
+  const int preferred =
+      std::min(num_pairs - 1, static_cast<int>(net_len / opt.tier_length));
+
+  const int num_layers = g.num_layers();
+  costs.seg_cost = [&state, net, opt, preferred, num_layers](int s, int l) {
+    double cost = 0.0;
+    const int len = state.tree(net).segs[s].length();
+    cost += opt.tier_bias * len * std::abs(preferred - l / 2);
+    // Reserve headroom on the upper pairs for the incremental timing pass.
+    const int pair = l / 2;
+    const int top_pair = (num_layers - 1) / 2;
+    double reserve = 0.0;
+    if (pair == top_pair) {
+      reserve = opt.top_reserve;
+    } else if (pair == top_pair - 1) {
+      reserve = opt.mid_reserve;
+    }
+    state.for_each_edge(net, s, [&](int e) {
+      const int usage = state.wire_usage(l, e);
+      const int cap = state.wire_cap(l, e);
+      const int eff_cap = std::max(1, static_cast<int>(cap * (1.0 - reserve)));
+      // Real capacity is hard (heavy penalty); the reserve band is soft —
+      // it bends when the lower layers are exhausted.
+      if (usage + 1 > cap) {
+        cost += opt.overflow_penalty * static_cast<double>(usage + 1 - cap);
+      }
+      if (usage + 1 > eff_cap) {
+        cost += 0.5 * opt.overflow_penalty * static_cast<double>(usage + 1 - eff_cap);
+      } else {
+        cost += static_cast<double>(usage) / static_cast<double>(std::max(1, eff_cap));
+      }
+    });
+    // Sink vias attached to this segment (depend only on this layer).
+    const auto& tree = state.tree(net);
+    for (const route::SinkAttach& sink : tree.sinks) {
+      if (sink.seg_id == s) cost += opt.via_weight * std::abs(l - sink.pin_layer);
+    }
+    return cost;
+  };
+
+  costs.root_via_cost = [&state, opt, net](int s, int l) {
+    const auto& tree = state.tree(net);
+    (void)s;
+    return opt.via_weight * std::abs(l - tree.root_pin_layer);
+  };
+
+  costs.via_cost = [&state, &g, opt, net](int c, int lp, int lc) {
+    double cost = opt.via_weight * std::abs(lp - lc);
+    // Via-site congestion on intermediate layers at the junction.
+    const route::Segment& seg = state.tree(net).segs[c];
+    const int cell = g.cell_id(seg.a.x, seg.a.y);
+    for (int l = std::min(lp, lc) + 1; l < std::max(lp, lc); ++l) {
+      if (state.via_load(l, cell) + 1 > state.via_cap(l, cell)) {
+        cost += opt.via_overflow_penalty;
+      }
+    }
+    return cost;
+  };
+
+  return costs;
+}
+
+}  // namespace
+
+void initial_assign(AssignState* state, const InitialAssignOptions& options) {
+  // Longest nets first: they need the most layer freedom.
+  std::vector<int> order(static_cast<std::size_t>(state->num_nets()));
+  std::iota(order.begin(), order.end(), 0);
+  std::vector<long> wl(order.size(), 0);
+  for (int n = 0; n < state->num_nets(); ++n) {
+    for (const auto& seg : state->tree(n).segs) wl[n] += seg.length();
+  }
+  std::sort(order.begin(), order.end(), [&](int a, int b) { return wl[a] > wl[b]; });
+
+  for (int net : order) {
+    const route::SegTree& tree = state->tree(net);
+    if (tree.segs.empty()) continue;
+    state->clear_net(net);
+    const NetDpCosts costs = make_costs(*state, net, options);
+    auto allowed = [state, &tree](int s) -> const std::vector<int>& {
+      return state->allowed_layers(tree.segs[s].horizontal);
+    };
+    state->set_layers(net, solve_net_dp(tree, allowed, costs));
+  }
+
+  LOG_INFO("initial assign: wire_ov=%ld via_ov=%ld vias=%ld", state->wire_overflow(),
+           state->via_overflow(), state->via_count());
+}
+
+}  // namespace cpla::assign

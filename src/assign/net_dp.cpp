@@ -1,0 +1,77 @@
+#include "src/assign/net_dp.hpp"
+
+#include <limits>
+
+#include "src/util/check.hpp"
+
+namespace cpla::assign {
+
+std::vector<int> solve_net_dp(const route::SegTree& tree,
+                              const std::function<const std::vector<int>&(int s)>& allowed,
+                              const NetDpCosts& costs) {
+  const std::size_t n = tree.segs.size();
+  std::vector<int> result(n, 0);
+  if (n == 0) return result;
+
+  // best[s][k]: cost of the subtree rooted at s with s on allowed(s)[k];
+  // choice[s][k][ci]: index into allowed(child) chosen for child ci.
+  std::vector<std::vector<double>> best(n);
+  std::vector<std::vector<std::vector<int>>> choice(n);
+
+  for (std::size_t i = n; i-- > 0;) {
+    const route::Segment& seg = tree.segs[i];
+    const std::vector<int>& opts = allowed(static_cast<int>(i));
+    CPLA_ASSERT_MSG(!opts.empty(), "segment has no allowed layers");
+    best[i].assign(opts.size(), 0.0);
+    choice[i].assign(opts.size(), std::vector<int>(seg.children.size(), 0));
+
+    for (std::size_t k = 0; k < opts.size(); ++k) {
+      const int l = opts[k];
+      double total = costs.seg_cost(static_cast<int>(i), l);
+      for (std::size_t ci = 0; ci < seg.children.size(); ++ci) {
+        const int c = seg.children[ci];
+        const std::vector<int>& copts = allowed(c);
+        double child_best = std::numeric_limits<double>::infinity();
+        int child_pick = 0;
+        for (std::size_t ck = 0; ck < copts.size(); ++ck) {
+          const double v = best[c][ck] + costs.via_cost(c, l, copts[ck]);
+          if (v < child_best) {
+            child_best = v;
+            child_pick = static_cast<int>(ck);
+          }
+        }
+        total += child_best;
+        choice[i][k][ci] = child_pick;
+      }
+      best[i][k] = total;
+    }
+  }
+
+  // Pick roots and back-track.
+  std::vector<int> pick(n, -1);
+  for (std::size_t i = 0; i < n; ++i) {
+    const route::Segment& seg = tree.segs[i];
+    if (seg.parent >= 0) continue;
+    const std::vector<int>& opts = allowed(static_cast<int>(i));
+    double root_best = std::numeric_limits<double>::infinity();
+    for (std::size_t k = 0; k < opts.size(); ++k) {
+      const double v = best[i][k] + costs.root_via_cost(static_cast<int>(i), opts[k]);
+      if (v < root_best) {
+        root_best = v;
+        pick[i] = static_cast<int>(k);
+      }
+    }
+  }
+  // Parents precede children, so a single forward pass resolves all picks.
+  for (std::size_t i = 0; i < n; ++i) {
+    CPLA_ASSERT(pick[i] >= 0);
+    const route::Segment& seg = tree.segs[i];
+    result[i] = allowed(static_cast<int>(i))[pick[i]];
+    for (std::size_t ci = 0; ci < seg.children.size(); ++ci) {
+      pick[seg.children[ci]] = choice[i][pick[i]][ci];
+    }
+  }
+  return result;
+}
+
+}  // namespace cpla::assign

@@ -1,0 +1,37 @@
+#pragma once
+
+// Per-net layer-assignment dynamic program over the segment tree, the
+// workhorse shared by the initial assigner and the TILA baseline. Both
+// express their objectives through cost callbacks:
+//
+//   total = sum_s seg_cost(s, l_s)
+//         + sum_{root segs} root_via_cost(s, l_s)
+//         + sum_{child c}  via_cost(c, l_parent(c), l_c)
+//
+// The optimum over all combinations is found exactly by bottom-up DP with
+// one state per (segment, allowed layer).
+
+#include <functional>
+#include <vector>
+
+#include "src/route/seg_tree.hpp"
+
+namespace cpla::assign {
+
+struct NetDpCosts {
+  /// Cost of placing segment s on layer l (wire + congestion + sink vias).
+  std::function<double(int s, int l)> seg_cost;
+  /// Cost of the via stack between a root segment and the source pin.
+  std::function<double(int s, int l)> root_via_cost;
+  /// Cost of the via stack between child segment c (on lc) and its parent
+  /// (on lp).
+  std::function<double(int c, int lp, int lc)> via_cost;
+};
+
+/// Exact tree DP; returns the per-segment layer choice. `allowed(s)` must be
+/// nonempty for every segment.
+std::vector<int> solve_net_dp(const route::SegTree& tree,
+                              const std::function<const std::vector<int>&(int s)>& allowed,
+                              const NetDpCosts& costs);
+
+}  // namespace cpla::assign

@@ -1,0 +1,124 @@
+#include "src/assign/route_io.hpp"
+
+#include <fstream>
+#include <istream>
+#include <ostream>
+
+#include "src/util/logging.hpp"
+#include "src/util/str.hpp"
+
+namespace cpla::assign {
+
+std::vector<Wire3D> net_wires(const AssignState& state, int net) {
+  std::vector<Wire3D> wires;
+  const route::SegTree& tree = state.tree(net);
+  if (tree.segs.empty()) return wires;
+  const std::vector<int>& layers = state.layers(net);
+
+  for (const route::Segment& seg : tree.segs) {
+    const int l = layers[seg.id];
+    wires.push_back(Wire3D{seg.a.x, seg.a.y, l, seg.b.x, seg.b.y, l});
+  }
+  state.for_each_via(net, layers, [&](int x, int y, int lo, int hi) {
+    wires.push_back(Wire3D{x, y, lo, x, y, hi});
+  });
+  return wires;
+}
+
+namespace {
+
+/// GCell center in absolute coordinates (the contest format uses absolute
+/// positions; tile origin is 0).
+double center(int cell, double tile) { return (cell + 0.5) * tile; }
+
+}  // namespace
+
+void write_routes(const AssignState& state, std::ostream& out) {
+  const auto& design = state.design();
+  const double tile = design.grid.geom().tile_width;
+  for (int net = 0; net < state.num_nets(); ++net) {
+    if (!state.assigned(net)) continue;
+    out << design.nets[net].name << " " << design.nets[net].id << "\n";
+    for (const Wire3D& w : net_wires(state, net)) {
+      out << "(" << center(w.x1, tile) << "," << center(w.y1, tile) << "," << w.l1 + 1
+          << ")-(" << center(w.x2, tile) << "," << center(w.y2, tile) << "," << w.l2 + 1
+          << ")\n";
+    }
+    out << "!\n";
+  }
+}
+
+bool write_routes_file(const AssignState& state, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    LOG_ERROR("route_io: cannot write %s", path.c_str());
+    return false;
+  }
+  write_routes(state, out);
+  return static_cast<bool>(out);
+}
+
+std::optional<std::vector<RoutedNet>> read_routes(std::istream& in,
+                                                  const grid::GridGraph& grid) {
+  const double tile = grid.geom().tile_width;
+  std::vector<RoutedNet> nets;
+  std::string line;
+  RoutedNet current;
+  bool in_net = false;
+
+  auto to_cell = [&](double v) {
+    return std::clamp(static_cast<int>(v / tile), 0, std::max(grid.xsize(), grid.ysize()) - 1);
+  };
+
+  while (std::getline(in, line)) {
+    const auto trimmed = cpla::trim(line);
+    if (trimmed.empty()) continue;
+    if (trimmed == "!") {
+      if (!in_net) {
+        LOG_ERROR("route_io: '!' outside a net block");
+        return std::nullopt;
+      }
+      nets.push_back(std::move(current));
+      current = RoutedNet{};
+      in_net = false;
+      continue;
+    }
+    if (trimmed.front() == '(') {
+      if (!in_net) {
+        LOG_ERROR("route_io: wire outside a net block");
+        return std::nullopt;
+      }
+      double x1, y1, x2, y2;
+      int l1, l2;
+      const std::string text(trimmed);
+      if (std::sscanf(text.c_str(), "(%lf,%lf,%d)-(%lf,%lf,%d)", &x1, &y1, &l1, &x2, &y2,
+                      &l2) != 6) {
+        LOG_ERROR("route_io: malformed wire '%s'", text.c_str());
+        return std::nullopt;
+      }
+      current.wires.push_back(Wire3D{to_cell(x1), to_cell(y1), l1 - 1, to_cell(x2),
+                                     to_cell(y2), l2 - 1});
+      continue;
+    }
+    // Net header: "<name> <id>".
+    const auto toks = cpla::split_ws(trimmed);
+    if (toks.size() < 2) {
+      LOG_ERROR("route_io: malformed net header '%s'", std::string(trimmed).c_str());
+      return std::nullopt;
+    }
+    if (in_net) {
+      LOG_ERROR("route_io: net header inside a net block");
+      return std::nullopt;
+    }
+    current.name = toks[0];
+    current.id = std::atoi(toks[1].c_str());
+    in_net = true;
+  }
+  if (in_net) {
+    LOG_ERROR("route_io: unterminated net block");
+    return std::nullopt;
+  }
+  return nets;
+}
+
+}  // namespace cpla::assign

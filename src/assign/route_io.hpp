@@ -1,0 +1,48 @@
+#pragma once
+
+// ISPD'08 routed-solution output: the contest's answer format, one block
+// per net listing 3-D wire segments in absolute coordinates with 1-based
+// layers:
+//
+//   <net name> <net id>
+//   (x1,y1,l1)-(x2,y2,l2)
+//   ...
+//   !
+//
+// Horizontal/vertical entries are wires on one layer; entries with equal
+// x/y and different layers are via stacks. A reader is provided so tests
+// (and downstream consumers) can round-trip and validate solutions.
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/assign/state.hpp"
+
+namespace cpla::assign {
+
+struct Wire3D {
+  int x1 = 0, y1 = 0, l1 = 0;  // GCell coordinates, 0-based layers
+  int x2 = 0, y2 = 0, l2 = 0;
+  friend bool operator==(const Wire3D&, const Wire3D&) = default;
+};
+
+struct RoutedNet {
+  std::string name;
+  int id = -1;
+  std::vector<Wire3D> wires;
+};
+
+/// Emits the full routed solution of `state` (every assigned net).
+void write_routes(const AssignState& state, std::ostream& out);
+bool write_routes_file(const AssignState& state, const std::string& path);
+
+/// Collects one net's 3-D wires (segments + via stacks including pin vias).
+std::vector<Wire3D> net_wires(const AssignState& state, int net);
+
+/// Parses a solution stream; nullopt on malformed input.
+std::optional<std::vector<RoutedNet>> read_routes(std::istream& in,
+                                                  const grid::GridGraph& grid);
+
+}  // namespace cpla::assign

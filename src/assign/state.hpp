@@ -1,0 +1,87 @@
+#pragma once
+
+// Mutable layer-assignment state for a whole design: per-net per-segment
+// layer choices plus incrementally-maintained resource usage
+//   * wire usage per (layer, directional edge)        -> constraint (4c)
+//   * via usage per (layer, cell), intermediate layers -> constraint (4d)
+//   * track usage per (layer, cell): wires crossing the cell, which consume
+//     nv via sites each (the nv*(x_ij+x_pq) term of (4d))
+// and the paper's reported metrics (wire overflow, via overflow OV#, via
+// count).
+
+#include <functional>
+#include <vector>
+
+#include "src/grid/design.hpp"
+#include "src/route/seg_tree.hpp"
+
+namespace cpla::assign {
+
+class AssignState {
+ public:
+  AssignState(const grid::Design* design, std::vector<route::SegTree> trees);
+
+  const grid::Design& design() const { return *design_; }
+  int num_nets() const { return static_cast<int>(trees_.size()); }
+  const route::SegTree& tree(int net) const { return trees_[net]; }
+
+  bool assigned(int net) const { return !layers_[net].empty() || trees_[net].segs.empty(); }
+  const std::vector<int>& layers(int net) const { return layers_[net]; }
+
+  /// Replaces a net's assignment (empty = unassigned); usage is updated
+  /// incrementally. Layer directions must match segment directions.
+  void set_layers(int net, std::vector<int> layers);
+
+  /// Removes a net from the usage maps (leaves it unassigned).
+  void clear_net(int net);
+
+  // --- Usage queries --------------------------------------------------
+  int wire_usage(int layer, int edge) const { return wire_usage_[layer][edge]; }
+  int wire_cap(int layer, int edge) const { return design_->grid.edge_capacity(layer, edge); }
+  int via_usage(int layer, int cell) const { return via_usage_[layer][cell]; }
+  int track_usage(int layer, int cell) const { return track_usage_[layer][cell]; }
+  int via_cap(int layer, int cell) const { return via_cap_[layer][cell]; }
+  int nv() const { return nv_; }
+
+  /// Via-site load of constraint (4d): via_usage + nv * track_usage.
+  int via_load(int layer, int cell) const {
+    return via_usage_[layer][cell] + nv_ * track_usage_[layer][cell];
+  }
+
+  // --- Metrics (Table 2 columns) ---------------------------------------
+  long wire_overflow() const;
+  long via_overflow() const;  // OV#
+  long via_count() const { return via_count_; }
+
+  /// Allowed layers for a segment (matching preferred direction).
+  const std::vector<int>& allowed_layers(bool horizontal) const {
+    return horizontal ? h_layers_ : v_layers_;
+  }
+
+  /// Enumerates the directional edge ids covered by segment `s` of `net`.
+  void for_each_edge(int net, int seg, const std::function<void(int edge)>& fn) const;
+
+  /// Enumerates the cells covered by the segment (inclusive of endpoints).
+  void for_each_cell(int net, int seg, const std::function<void(int cell)>& fn) const;
+
+  /// Enumerates every via stack of a net under an assignment: fn(x, y,
+  /// lower_layer, upper_layer). Includes source and sink pin vias.
+  void for_each_via(int net, const std::vector<int>& layers,
+                    const std::function<void(int x, int y, int lo, int hi)>& fn) const;
+
+ private:
+  void apply_net(int net, int delta);
+
+  const grid::Design* design_;
+  std::vector<route::SegTree> trees_;
+  std::vector<std::vector<int>> layers_;       // [net][seg]
+  std::vector<std::vector<int>> wire_usage_;   // [layer][edge]
+  std::vector<std::vector<int>> via_usage_;    // [layer][cell]
+  std::vector<std::vector<int>> track_usage_;  // [layer][cell]
+  std::vector<std::vector<int>> via_cap_;      // [layer][cell], static
+  std::vector<int> h_layers_, v_layers_;
+  long via_count_ = 0;
+  int nv_ = 1;
+};
+
+}  // namespace cpla::assign

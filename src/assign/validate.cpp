@@ -1,0 +1,172 @@
+#include "src/assign/validate.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "src/util/str.hpp"
+
+namespace cpla::assign {
+
+namespace {
+
+long long node_key(int x, int y, int l) {
+  return (static_cast<long long>(l) << 40) | (static_cast<long long>(y) << 20) | x;
+}
+
+/// Union-find over sparse node keys.
+class UnionFind {
+ public:
+  void add(long long key) { parent_.emplace(key, key); }
+  bool contains(long long key) const { return parent_.count(key) > 0; }
+  long long find(long long key) {
+    long long root = key;
+    while (parent_[root] != root) root = parent_[root];
+    while (parent_[key] != root) {
+      const long long next = parent_[key];
+      parent_[key] = root;
+      key = next;
+    }
+    return root;
+  }
+  void unite(long long a, long long b) { parent_[find(a)] = find(b); }
+
+ private:
+  std::unordered_map<long long, long long> parent_;
+};
+
+}  // namespace
+
+ValidationReport validate_solution(const grid::Design& design,
+                                   const std::vector<RoutedNet>& nets) {
+  ValidationReport report;
+  const auto& g = design.grid;
+
+  std::unordered_map<long long, int> h_usage, v_usage;   // (layer, edge) -> wires
+  std::unordered_map<long long, int> via_usage, tracks;  // (layer, cell) -> count
+  auto lkey = [](int l, int idx) { return (static_cast<long long>(l) << 32) | idx; };
+
+  for (const RoutedNet& net : nets) {
+    if (net.id < 0 || net.id >= static_cast<int>(design.nets.size())) {
+      report.fail(cpla::str_format("net '%s': id %d out of range", net.name.c_str(), net.id));
+      continue;
+    }
+    const grid::Net& ref = design.nets[net.id];
+    UnionFind uf;
+    auto touch = [&](int x, int y, int l) {
+      const long long key = node_key(x, y, l);
+      if (!uf.contains(key)) uf.add(key);
+      return key;
+    };
+
+    bool geometry_ok = true;
+    for (const Wire3D& w : net.wires) {
+      const bool in_grid = w.x1 >= 0 && w.x1 < g.xsize() && w.x2 >= 0 && w.x2 < g.xsize() &&
+                           w.y1 >= 0 && w.y1 < g.ysize() && w.y2 >= 0 && w.y2 < g.ysize() &&
+                           w.l1 >= 0 && w.l1 < g.num_layers() && w.l2 >= 0 &&
+                           w.l2 < g.num_layers();
+      if (!in_grid) {
+        report.fail(cpla::str_format("net '%s': wire outside grid", net.name.c_str()));
+        geometry_ok = false;
+        continue;
+      }
+      if (w.l1 != w.l2) {
+        // Via stack.
+        if (w.x1 != w.x2 || w.y1 != w.y2) {
+          report.fail(cpla::str_format("net '%s': diagonal via", net.name.c_str()));
+          geometry_ok = false;
+          continue;
+        }
+        const int lo = std::min(w.l1, w.l2), hi = std::max(w.l1, w.l2);
+        report.total_vias += hi - lo;
+        for (int l = lo; l < hi; ++l) {
+          uf.unite(touch(w.x1, w.y1, l), touch(w.x1, w.y1, l + 1));
+        }
+        for (int l = lo + 1; l < hi; ++l) via_usage[lkey(l, g.cell_id(w.x1, w.y1))] += 1;
+      } else if (w.y1 == w.y2 && w.x1 != w.x2) {
+        // Horizontal wire.
+        if (!g.is_horizontal(w.l1)) {
+          report.fail(cpla::str_format("net '%s': horizontal wire on vertical layer %d",
+                                       net.name.c_str(), w.l1 + 1));
+          geometry_ok = false;
+          continue;
+        }
+        const int xa = std::min(w.x1, w.x2), xb = std::max(w.x1, w.x2);
+        report.total_wirelength += xb - xa;
+        for (int x = xa; x < xb; ++x) {
+          uf.unite(touch(x, w.y1, w.l1), touch(x + 1, w.y1, w.l1));
+          h_usage[lkey(w.l1, g.h_edge_id(x, w.y1))] += 1;
+        }
+        for (int x = xa; x <= xb; ++x) tracks[lkey(w.l1, g.cell_id(x, w.y1))] += 1;
+      } else if (w.x1 == w.x2 && w.y1 != w.y2) {
+        // Vertical wire.
+        if (g.is_horizontal(w.l1)) {
+          report.fail(cpla::str_format("net '%s': vertical wire on horizontal layer %d",
+                                       net.name.c_str(), w.l1 + 1));
+          geometry_ok = false;
+          continue;
+        }
+        const int ya = std::min(w.y1, w.y2), yb = std::max(w.y1, w.y2);
+        report.total_wirelength += yb - ya;
+        for (int y = ya; y < yb; ++y) {
+          uf.unite(touch(w.x1, y, w.l1), touch(w.x1, y + 1, w.l1));
+          v_usage[lkey(w.l1, g.v_edge_id(w.x1, y))] += 1;
+        }
+        for (int y = ya; y <= yb; ++y) tracks[lkey(w.l1, g.cell_id(w.x1, y))] += 1;
+      } else {
+        report.fail(cpla::str_format("net '%s': zero-length or diagonal wire",
+                                     net.name.c_str()));
+        geometry_ok = false;
+      }
+    }
+    if (!geometry_ok) continue;
+
+    // Connectivity: all pins reach one component.
+    const auto cells = ref.distinct_cells();
+    if (cells.size() >= 2 || !net.wires.empty()) {
+      long long anchor = -1;
+      for (const auto& pin : cells) {
+        const long long key = node_key(pin.x, pin.y, pin.layer);
+        if (!uf.contains(key)) {
+          report.fail(cpla::str_format("net '%s': no metal at pin (%d,%d,M%d)",
+                                       net.name.c_str(), pin.x, pin.y, pin.layer + 1));
+          anchor = -2;
+          break;
+        }
+        if (anchor == -1) {
+          anchor = uf.find(key);
+        } else if (uf.find(key) != anchor) {
+          report.fail(cpla::str_format("net '%s': open — pin (%d,%d) disconnected",
+                                       net.name.c_str(), pin.x, pin.y));
+          break;
+        }
+      }
+    }
+  }
+
+  // Capacity audits.
+  const int nv = std::max(1, g.geom().vias_per_track());
+  for (const auto& [key, usage] : h_usage) {
+    const int l = static_cast<int>(key >> 32);
+    const int e = static_cast<int>(key & 0xffffffff);
+    report.wire_overflow += std::max(0, usage - g.edge_capacity(l, e));
+  }
+  for (const auto& [key, usage] : v_usage) {
+    const int l = static_cast<int>(key >> 32);
+    const int e = static_cast<int>(key & 0xffffffff);
+    report.wire_overflow += std::max(0, usage - g.edge_capacity(l, e));
+  }
+  // Via load per (layer, cell): explicit vias plus nv-weighted track usage.
+  std::unordered_map<long long, int> load = via_usage;
+  for (const auto& [key, count] : tracks) load[key] += nv * count;
+  for (const auto& [key, value] : load) {
+    const int l = static_cast<int>(key >> 32);
+    const int cell = static_cast<int>(key & 0xffffffff);
+    report.via_overflow +=
+        std::max(0, value - g.via_capacity(l, cell % g.xsize(), cell / g.xsize()));
+  }
+
+  report.ok = report.errors.empty();
+  return report;
+}
+
+}  // namespace cpla::assign

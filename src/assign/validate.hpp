@@ -1,0 +1,37 @@
+#pragma once
+
+// Independent solution checker, in the spirit of the ISPD contest
+// evaluators: validates a routed solution (as written by route_io, or from
+// any external tool) against the design *from scratch* — no internal
+// AssignState bookkeeping is trusted. Checks per net:
+//   * every wire is axis-aligned, inside the grid, on a direction-legal
+//     layer (or a vertical via stack),
+//   * the wires form one connected component that reaches every pin,
+// and globally:
+//   * per-(layer, edge) wire usage within capacity,
+//   * via usage within the Eqn-(1) via capacity (with track occupancy).
+
+#include <string>
+#include <vector>
+
+#include "src/assign/route_io.hpp"
+#include "src/grid/design.hpp"
+
+namespace cpla::assign {
+
+struct ValidationReport {
+  bool ok = false;
+  std::vector<std::string> errors;    // hard failures (illegal geometry, opens)
+  long wire_overflow = 0;             // capacity violations (reported, not fatal)
+  long via_overflow = 0;
+  long total_wirelength = 0;
+  long total_vias = 0;
+
+  void fail(std::string message) { errors.push_back(std::move(message)); }
+};
+
+/// Validates `nets` (ids must index into design.nets) against `design`.
+ValidationReport validate_solution(const grid::Design& design,
+                                   const std::vector<RoutedNet>& nets);
+
+}  // namespace cpla::assign

@@ -1,0 +1,147 @@
+#include "src/core/displace.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "src/assign/net_dp.hpp"
+#include "src/timing/elmore.hpp"
+#include "src/util/logging.hpp"
+
+namespace cpla::core {
+
+namespace {
+
+long long slot_key(int layer, int edge) {
+  return (static_cast<long long>(layer) << 32) | static_cast<unsigned>(edge);
+}
+
+}  // namespace
+
+int make_headroom(assign::AssignState* state, const timing::RcTable& rc,
+                  const CriticalSet& critical, const DisplaceOptions& options) {
+  const auto& g = state->design().grid;
+
+  // 1. Wanted slots: for each nearly-critical released segment, the layers
+  //    above its current one (same direction) on every edge it crosses,
+  //    where remaining capacity is below the headroom target.
+  std::unordered_set<long long> wanted;
+  for (int net : critical.nets) {
+    const route::SegTree& tree = state->tree(net);
+    if (tree.segs.empty()) continue;
+    const timing::NetTiming t = timing::compute_timing(tree, state->layers(net), rc);
+    for (const route::Segment& seg : tree.segs) {
+      if (t.criticality[seg.id] < options.min_criticality) continue;
+      const int current = state->layers(net)[seg.id];
+      for (int l : state->allowed_layers(seg.horizontal)) {
+        if (l <= current) continue;  // headroom is only needed above
+        state->for_each_edge(net, seg.id, [&](int e) {
+          if (state->wire_cap(l, e) - state->wire_usage(l, e) < options.headroom) {
+            wanted.insert(slot_key(l, e));
+          }
+        });
+      }
+    }
+  }
+  if (wanted.empty()) return 0;
+
+  // 2. Victim candidates: non-released nets occupying wanted slots, ranked
+  //    by how many wanted slots they block (clear the biggest blockers
+  //    first). Only short/medium nets are displaced — demoting a long net
+  //    would create a new timing problem.
+  std::unordered_map<int, int> blocked_by;  // net -> #wanted slots occupied
+  for (int net = 0; net < state->num_nets(); ++net) {
+    if (critical.released[net] || !state->assigned(net)) continue;
+    const auto& layers = state->layers(net);
+    long wl = 0;
+    for (const auto& seg : state->tree(net).segs) wl += seg.length();
+    if (wl > 40) continue;
+    for (const route::Segment& seg : state->tree(net).segs) {
+      const int l = layers[seg.id];
+      state->for_each_edge(net, seg.id, [&](int e) {
+        if (wanted.count(slot_key(l, e))) blocked_by[net] += 1;
+      });
+    }
+  }
+  std::vector<std::pair<int, int>> victims(blocked_by.begin(), blocked_by.end());
+  std::sort(victims.begin(), victims.end(),
+            [](const auto& a, const auto& b) { return a.second > b.second; });
+
+  // 3. Re-assign victims with the wanted slots priced as forbidden. A move
+  //    that worsens global wire or via overflow is reverted outright — the
+  //    pass trades *placement*, never legality.
+  int moved = 0;
+  const long wire_ov_before = state->wire_overflow();
+  const long via_ov_before = state->via_overflow();
+  long wire_ov = wire_ov_before;
+  long via_ov = via_ov_before;
+  for (const auto& [net, blocks] : victims) {
+    (void)blocks;
+    if (moved >= options.max_victims_per_round) break;
+    const route::SegTree& tree = state->tree(net);
+    const std::vector<int> old_layers = state->layers(net);
+    state->clear_net(net);
+
+    const int nv = state->nv();
+    assign::NetDpCosts costs;
+    costs.seg_cost = [&, nv](int s, int l) {
+      double cost = 0.0;
+      state->for_each_edge(net, s, [&](int e) {
+        if (wanted.count(slot_key(l, e))) {
+          cost += 1e7;  // stay out of the corridor being cleared
+        }
+        const int usage = state->wire_usage(l, e);
+        const int cap = state->wire_cap(l, e);
+        if (usage + 1 > cap) {
+          cost += 1e5 * (usage + 1 - cap);  // never trade into wire overflow
+        } else {
+          cost += static_cast<double>(usage) / std::max(1, cap);
+        }
+      });
+      // Track occupancy consumes nv via sites per crossed cell (4d); a
+      // displacement must not trade wire headroom for via overflow.
+      state->for_each_cell(net, s, [&](int cell) {
+        if (state->via_load(l, cell) + nv > state->via_cap(l, cell)) cost += 1e4;
+      });
+      for (const route::SinkAttach& sink : tree.sinks) {
+        if (sink.seg_id == s) cost += std::abs(l - sink.pin_layer);
+      }
+      return cost;
+    };
+    costs.root_via_cost = [&](int, int l) {
+      return static_cast<double>(std::abs(l - tree.root_pin_layer));
+    };
+    costs.via_cost = [&, net](int c, int lp, int lc) {
+      double cost = std::abs(lp - lc);
+      const route::Segment& seg = state->tree(net).segs[c];
+      const int cell = g.cell_id(seg.a.x, seg.a.y);
+      for (int l = std::min(lp, lc) + 1; l < std::max(lp, lc); ++l) {
+        if (state->via_load(l, cell) + 1 > state->via_cap(l, cell)) cost += 1e4;
+      }
+      return cost;
+    };
+    auto allowed = [&](int s) -> const std::vector<int>& {
+      return state->allowed_layers(tree.segs[s].horizontal);
+    };
+    std::vector<int> fresh = assign::solve_net_dp(tree, allowed, costs);
+    if (fresh == old_layers) {
+      state->set_layers(net, old_layers);  // nowhere better to go
+      continue;
+    }
+    state->set_layers(net, std::move(fresh));
+    const long wire_now = state->wire_overflow();
+    const long via_now = state->via_overflow();
+    if (wire_now > wire_ov || via_now > via_ov) {
+      state->set_layers(net, old_layers);  // legality first
+      continue;
+    }
+    wire_ov = wire_now;
+    via_ov = via_now;
+    ++moved;
+  }
+  LOG_DEBUG("displace: %zu wanted slots, %d victims moved", wanted.size(), moved);
+  return moved;
+}
+
+}  // namespace cpla::core

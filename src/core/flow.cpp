@@ -1,0 +1,198 @@
+#include "src/core/flow.hpp"
+
+#include <algorithm>
+
+#include "src/core/ilp_engine.hpp"
+#include "src/core/sdp_engine.hpp"
+#include "src/timing/elmore.hpp"
+#include "src/util/logging.hpp"
+
+#ifdef _OPENMP
+#include <omp.h>
+#endif
+
+namespace cpla::core {
+
+LaMetrics compute_metrics(const assign::AssignState& state, const timing::RcTable& rc,
+                          const CriticalSet& critical) {
+  LaMetrics m;
+  double sum = 0.0;
+  for (int net : critical.nets) {
+    const double tcp =
+        timing::critical_delay(state.tree(net), state.layers(net), rc);
+    sum += tcp;
+    m.max_tcp = std::max(m.max_tcp, tcp);
+  }
+  m.avg_tcp = critical.nets.empty() ? 0.0 : sum / static_cast<double>(critical.nets.size());
+  m.via_overflow = state.via_overflow();
+  m.via_count = state.via_count();
+  m.wire_overflow = state.wire_overflow();
+  return m;
+}
+
+CplaResult run_cpla(assign::AssignState* state, const timing::RcTable& rc,
+                    const CriticalSet& critical, const CplaOptions& options) {
+  CplaResult result;
+  const auto& g = state->design().grid;
+
+  // Best-state tracking: rounds optimize the weighted-sum model, which can
+  // trade the worst path against the average; the flow returns the best
+  // state seen under an equal-weight (Avg, Max) score, so neither metric
+  // regresses past the initial assignment.
+  auto score_of = [&](double avg, double max, double avg0, double max0) {
+    return 0.5 * avg / std::max(1e-12, avg0) + 0.5 * max / std::max(1e-12, max0);
+  };
+  auto timing_now = [&]() {
+    double sum = 0.0, worst = 0.0;
+    for (int net : critical.nets) {
+      const double d = timing::critical_delay(state->tree(net), state->layers(net), rc);
+      sum += d;
+      worst = std::max(worst, d);
+    }
+    return std::pair<double, double>(
+        critical.nets.empty() ? 0.0 : sum / static_cast<double>(critical.nets.size()), worst);
+  };
+  const auto [avg0, max0] = timing_now();
+  double best_score = 1.0;
+  std::unordered_map<int, std::vector<int>> best_state;
+  for (int net : critical.nets) best_state.emplace(net, state->layers(net));
+
+  // One full partition-solve-commit sweep under the given model options;
+  // returns false if there was nothing to do.
+  auto run_round = [&](const ModelOptions& model_options) {
+    // Timing snapshot of every released net (downstream caps and critical
+    // paths are frozen for this round's solves).
+    std::unordered_map<int, timing::NetTiming> timings;
+    for (int net : critical.nets) {
+      timings.emplace(net, timing::compute_timing(state->tree(net), state->layers(net), rc));
+    }
+
+    // All released segments with midpoints.
+    std::vector<SegRef> refs;
+    for (int net : critical.nets) {
+      const route::SegTree& tree = state->tree(net);
+      for (const route::Segment& seg : tree.segs) {
+        SegRef ref;
+        ref.net = net;
+        ref.seg = seg.id;
+        ref.mid = grid::XY{(seg.a.x + seg.b.x) / 2, (seg.a.y + seg.b.y) / 2};
+        refs.push_back(ref);
+      }
+    }
+    if (refs.empty()) return false;
+
+    const PartitionResult parts = partition(g.xsize(), g.ysize(), refs, options.partition);
+    result.max_partition_depth = std::max(result.max_partition_depth, parts.max_depth);
+    const int num_parts = static_cast<int>(parts.leaves.size());
+
+    // Gauss-Seidel sweep: each partition is built against the *latest*
+    // state and committed immediately, so neighboring partitions see the
+    // newly updated layers (the paper's [12] iteration). With OpenMP,
+    // batches of `threads` partitions are solved Jacobi-style in parallel
+    // and committed between batches.
+#ifdef _OPENMP
+    int batch = options.parallel ? std::max(1, omp_get_max_threads()) : 1;
+#else
+    int batch = 1;
+#endif
+    if (options.jacobi_commits) batch = num_parts;
+    for (int base = 0; base < num_parts; base += batch) {
+      const int count = std::min(batch, num_parts - base);
+      std::vector<PartitionProblem> problems(static_cast<std::size_t>(count));
+      std::vector<EngineResult> solutions(static_cast<std::size_t>(count));
+#ifdef _OPENMP
+#pragma omp parallel for schedule(dynamic) if (options.parallel && count > 1)
+#endif
+      for (int i = 0; i < count; ++i) {
+        problems[i] = build_partition_problem(*state, rc, timings, parts.leaves[base + i],
+                                              model_options);
+        solutions[i] = (options.engine == Engine::kSdp)
+                           ? solve_partition_sdp(problems[i], *state, options.sdp)
+                           : solve_partition_ilp(problems[i], *state, options.ilp);
+      }
+      // Commit the batch.
+      std::unordered_map<int, std::vector<int>> updates;
+      for (int i = 0; i < count; ++i) {
+        const PartitionProblem& p = problems[i];
+        for (std::size_t vi = 0; vi < p.vars.size(); ++vi) {
+          const VarGroup& var = p.vars[vi];
+          auto it = updates.find(var.net);
+          if (it == updates.end()) it = updates.emplace(var.net, state->layers(var.net)).first;
+          it->second[var.seg] = var.layers[solutions[i].pick[vi]];
+        }
+      }
+      for (auto& [net, layers] : updates) state->set_layers(net, std::move(layers));
+    }
+    result.partitions_solved += num_parts;
+    return true;
+  };
+
+  double prev_avg = 1e300;
+  for (int round = 0; round < options.max_rounds; ++round) {
+    result.rounds = round + 1;
+
+    if (options.displace_victims) {
+      make_headroom(state, rc, critical, options.displace);
+    }
+
+    // Snapshot the released nets so a regressing round can be rolled back
+    // (the chaotic Gauss-Seidel sweep is not monotone).
+    std::unordered_map<int, std::vector<int>> snapshot;
+    for (int net : critical.nets) snapshot.emplace(net, state->layers(net));
+
+    if (!run_round(options.model)) break;
+
+    // Convergence check on Avg(Tcp); roll back a regressing round. The
+    // best (Avg, Max)-scored state is tracked independently.
+    const auto [avg, worst] = timing_now();
+    const double score = score_of(avg, worst, avg0, max0);
+    if (score < best_score) {
+      best_score = score;
+      for (int net : critical.nets) best_state[net] = state->layers(net);
+    }
+    LOG_DEBUG("cpla: round %d avg(Tcp)=%.1f max(Tcp)=%.1f", round + 1, avg, worst);
+    if (avg > prev_avg) {
+      for (auto& [net, layers] : snapshot) state->set_layers(net, std::move(layers));
+      break;
+    }
+    if (avg > prev_avg * (1.0 - options.min_improvement)) {
+      prev_avg = avg;
+      break;
+    }
+    prev_avg = avg;
+  }
+
+  // Max-shaving refinement: restart from the best state with the weights
+  // collapsed onto the globally-worst nets, keeping only score improvements.
+  for (auto& [net, layers] : best_state) state->set_layers(net, layers);
+  if (options.max_refine_rounds > 0 && options.model.max_focus_gamma > 0.0) {
+    ModelOptions refine = options.model;
+    refine.max_focus_gamma = options.refine_gamma;
+    for (int round = 0; round < options.max_refine_rounds; ++round) {
+      if (!run_round(refine)) break;
+      const auto [avg, worst] = timing_now();
+      const double score = score_of(avg, worst, avg0, max0);
+      LOG_DEBUG("cpla: refine %d avg(Tcp)=%.1f max(Tcp)=%.1f", round + 1, avg, worst);
+      if (score < best_score) {
+        best_score = score;
+        for (int net : critical.nets) best_state[net] = state->layers(net);
+      } else {
+        break;
+      }
+    }
+  }
+
+  // Land on the best state seen.
+  for (auto& [net, layers] : best_state) state->set_layers(net, std::move(layers));
+
+  result.metrics = compute_metrics(*state, rc, critical);
+  return result;
+}
+
+CplaResult run_cpla(assign::AssignState* state, const timing::RcTable& rc,
+                    const CplaOptions& options) {
+  const CriticalSet critical = select_critical(*state, rc, options.critical_ratio);
+  return run_cpla(state, rc, critical, options);
+}
+
+}  // namespace cpla::core

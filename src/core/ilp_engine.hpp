@@ -1,0 +1,20 @@
+#pragma once
+
+// Exact ILP formulation (4) for one partition, solved with the in-tree
+// branch-and-bound (GUROBI's role in the paper). Binary x_ij pick a layer
+// per segment; binary y_ijpq linearize via products through constraints
+// (4e)-(4g); edge capacities (4c) are hard; via capacities (4d) at pair
+// junctions are softened by the shared overflow variable Vo with weight
+// alpha (Section 3.1's relaxation).
+
+#include "src/core/model.hpp"
+#include "src/core/sdp_engine.hpp"  // EngineResult
+#include "src/ilp/branch_bound.hpp"
+
+namespace cpla::core {
+
+EngineResult solve_partition_ilp(const PartitionProblem& problem,
+                                 const assign::AssignState& state,
+                                 const ilp::MipOptions& options = {});
+
+}  // namespace cpla::core

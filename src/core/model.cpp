@@ -1,0 +1,297 @@
+#include "src/core/model.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+
+#include "src/util/check.hpp"
+
+namespace cpla::core {
+
+double PartitionProblem::pair_cost(const VarPair& pair, int lp, int lc) const {
+  if (lp == lc) return 0.0;
+  double cost = rc->via_stack_res(lp, lc) * pair.scale;
+  for (int l = std::min(lp, lc) + 1; l < std::max(lp, lc); ++l) {
+    cost += options.via_penalty_scale * pair.load_ratio[l];
+  }
+  return cost;
+}
+
+double PartitionProblem::evaluate(const std::vector<int>& pick) const {
+  CPLA_ASSERT(pick.size() == vars.size());
+  double total = 0.0;
+  for (std::size_t i = 0; i < vars.size(); ++i) total += vars[i].cost[pick[i]];
+  for (const VarPair& pair : pairs) {
+    total += pair_cost(pair, vars[pair.parent].layers[pick[pair.parent]],
+                       vars[pair.child].layers[pick[pair.child]]);
+  }
+  return total;
+}
+
+namespace {
+
+/// Penalty for a via stack against fixed via-site congestion.
+double stack_penalty(const assign::AssignState& state, const ModelOptions& opt, int cell,
+                     int la, int lb) {
+  double cost = 0.0;
+  for (int l = std::min(la, lb) + 1; l < std::max(la, lb); ++l) {
+    const double cap = std::max(1, state.via_cap(l, cell));
+    cost += opt.via_penalty_scale * static_cast<double>(state.via_load(l, cell)) / cap;
+  }
+  return cost;
+}
+
+}  // namespace
+
+PartitionProblem build_partition_problem(
+    const assign::AssignState& state, const timing::RcTable& rc,
+    const std::unordered_map<int, timing::NetTiming>& timings, const PartitionRegion& region,
+    const ModelOptions& options) {
+  PartitionProblem p;
+  p.rc = &rc;
+  p.options = options;
+  const auto& g = state.design().grid;
+
+  // Global criticality: the worst released net anchors the weighting
+  // (Problem 1 minimizes the maximum path timing).
+  double global_max = 0.0;
+  for (const auto& [net, t] : timings) {
+    (void)net;
+    global_max = std::max(global_max, t.max_sink_delay);
+  }
+  auto net_factor = [&](const timing::NetTiming& t) {
+    if (options.max_focus_gamma <= 0.0 || global_max <= 0.0) return 1.0;
+    return std::pow(t.max_sink_delay / global_max, options.max_focus_gamma);
+  };
+
+  // Pass 1: create variables and the (net, seg) -> var index map.
+  std::unordered_map<long long, int> var_of;
+  auto key = [](int net, int seg) { return (static_cast<long long>(net) << 24) | seg; };
+  for (const SegRef& ref : region.segments) {
+    const route::SegTree& tree = state.tree(ref.net);
+    const timing::NetTiming& t = timings.at(ref.net);
+    VarGroup var;
+    var.net = ref.net;
+    var.seg = ref.seg;
+    var.current_layer = state.layers(ref.net)[ref.seg];
+    // Smooth criticality weighting: segments feeding near-critical sinks
+    // keep nearly full weight, so a branch one round away from becoming
+    // the critical path is not traded off (branch_weight is the floor);
+    // the whole net is further scaled by its global criticality.
+    var.weight =
+        std::max(options.branch_weight, t.criticality[ref.seg] * net_factor(t));
+
+    // Allowed layers: every direction-matching layer. Feasibility is the
+    // job of the capacity rows (4c) and the post-mapping step; pruning
+    // merely-full layers here would freeze segments below congested upper
+    // layers that other released segments are about to vacate.
+    const route::Segment& seg = tree.segs[ref.seg];
+    for (int l : state.allowed_layers(seg.horizontal)) var.layers.push_back(l);
+    CPLA_ASSERT(!var.layers.empty());
+    var_of[key(ref.net, ref.seg)] = static_cast<int>(p.vars.size());
+    p.vars.push_back(std::move(var));
+  }
+
+  // Pass 2: linear costs and quadratic pairs.
+  for (std::size_t vi = 0; vi < p.vars.size(); ++vi) {
+    VarGroup& var = p.vars[vi];
+    const route::SegTree& tree = state.tree(var.net);
+    const timing::NetTiming& t = timings.at(var.net);
+    const route::Segment& seg = tree.segs[var.seg];
+    const double len = static_cast<double>(seg.length());
+    const double cd = t.downstream_cap[var.seg];
+    const std::vector<int>& fixed_layers = state.layers(var.net);
+
+    var.cost.resize(var.layers.size());
+    for (std::size_t k = 0; k < var.layers.size(); ++k) {
+      const int l = var.layers[k];
+      // Segment Elmore cost (Eqn 2), criticality-weighted.
+      double cost = var.weight * rc.res(l) * len * (rc.cap(l) * len / 2.0 + cd);
+
+      // Sink pin vias on this segment.
+      for (const route::SinkAttach& sink : tree.sinks) {
+        if (sink.seg_id != var.seg) continue;
+        cost += var.weight * rc.via_stack_res(l, sink.pin_layer) * rc.sink_cap();
+        cost += stack_penalty(state, options, g.cell_id(seg.b.x, seg.b.y), l, sink.pin_layer);
+      }
+
+      if (seg.parent < 0) {
+        // Source via drives the whole subtree.
+        const double subtree = rc.cap(l) * len + cd;
+        cost += var.weight * rc.via_stack_res(tree.root_pin_layer, l) * subtree;
+        cost += stack_penalty(state, options, g.cell_id(seg.a.x, seg.a.y), l,
+                              tree.root_pin_layer);
+      } else if (!var_of.count(key(var.net, seg.parent))) {
+        // Parent is outside the partition: a fixed-layer via (Eqn 3).
+        const int lp = fixed_layers[seg.parent];
+        const double load = std::min(cd, t.downstream_cap[seg.parent]);
+        cost += var.weight * rc.via_stack_res(lp, l) * load;
+        cost += stack_penalty(state, options, g.cell_id(seg.a.x, seg.a.y), l, lp);
+      }
+      // Fixed children.
+      for (int c : seg.children) {
+        if (var_of.count(key(var.net, c))) continue;
+        const int lc = fixed_layers[c];
+        const double w = std::max(options.branch_weight, t.criticality[c] * net_factor(t));
+        const double load = std::min(cd, t.downstream_cap[c]);
+        const route::Segment& cseg = tree.segs[c];
+        cost += w * rc.via_stack_res(l, lc) * load;
+        cost += stack_penalty(state, options, g.cell_id(cseg.a.x, cseg.a.y), l, lc);
+      }
+      var.cost[k] = cost;
+    }
+
+    // Quadratic pair with an in-partition parent.
+    if (seg.parent >= 0) {
+      auto it = var_of.find(key(var.net, seg.parent));
+      if (it != var_of.end()) {
+        VarPair pair;
+        pair.child = static_cast<int>(vi);
+        pair.parent = it->second;
+        pair.junction = seg.a;
+        pair.scale = var.weight * std::min(cd, t.downstream_cap[seg.parent]);
+        pair.load_ratio.resize(static_cast<std::size_t>(g.num_layers()), 0.0);
+        const int cell = g.cell_id(seg.a.x, seg.a.y);
+        for (int l = 0; l < g.num_layers(); ++l) {
+          const double cap = std::max(1, state.via_cap(l, cell));
+          pair.load_ratio[l] = static_cast<double>(state.via_load(l, cell)) / cap;
+        }
+        p.pairs.push_back(std::move(pair));
+      }
+    }
+  }
+
+  // Pass 3: capacity rows, pruned to edges where the partition could
+  // actually overflow. "Remaining" capacity excludes everything except the
+  // in-partition segments themselves.
+  struct Bucket {
+    std::vector<int> members;
+    int self_usage = 0;  // in-partition members currently assigned to this layer
+  };
+  std::unordered_map<long long, Bucket> buckets;  // (layer, edge) -> bucket
+  auto ekey = [](int l, int e) { return (static_cast<long long>(l) << 32) | e; };
+  for (std::size_t vi = 0; vi < p.vars.size(); ++vi) {
+    const VarGroup& var = p.vars[vi];
+    for (int l : var.layers) {
+      state.for_each_edge(var.net, var.seg, [&](int e) {
+        Bucket& b = buckets[ekey(l, e)];
+        b.members.push_back(static_cast<int>(vi));
+        if (l == var.current_layer) b.self_usage += 1;
+      });
+    }
+  }
+  for (auto& [ke, bucket] : buckets) {
+    const int l = static_cast<int>(ke >> 32);
+    const int e = static_cast<int>(ke & 0xffffffff);
+    const int others = state.wire_usage(l, e) - bucket.self_usage;
+    const int remaining = std::max(0, state.wire_cap(l, e) - others);
+    if (static_cast<int>(bucket.members.size()) > remaining) {
+      p.cap_rows.push_back(CapRow{l, e, remaining, std::move(bucket.members)});
+    }
+  }
+
+  return p;
+}
+
+/// True if `pick` keeps every capacity row within its remaining budget.
+bool rows_feasible(const PartitionProblem& p, const std::vector<int>& pick) {
+  for (const CapRow& row : p.cap_rows) {
+    int used = 0;
+    for (int m : row.members) {
+      if (p.vars[m].layers[pick[m]] == row.layer) ++used;
+    }
+    if (used > row.cap_remaining) return false;
+  }
+  return true;
+}
+
+/// Coordinate-descent polish of the rounded solution on the exact model
+/// objective, staying inside the capacity rows. The SDP seeds the basin;
+/// this removes residual rounding noise (part of the post-mapping stage).
+void polish_pick(const PartitionProblem& p, std::vector<int>* pick) {
+  // Row usage under the current pick.
+  std::vector<int> row_used(p.cap_rows.size(), 0);
+  for (std::size_t r = 0; r < p.cap_rows.size(); ++r) {
+    for (int m : p.cap_rows[r].members) {
+      if (p.vars[m].layers[(*pick)[m]] == p.cap_rows[r].layer) ++row_used[r];
+    }
+  }
+  // Row membership per var.
+  std::vector<std::vector<int>> rows_of(p.vars.size());
+  for (std::size_t r = 0; r < p.cap_rows.size(); ++r) {
+    for (int m : p.cap_rows[r].members) rows_of[m].push_back(static_cast<int>(r));
+  }
+  // Pair adjacency per var.
+  std::vector<std::vector<int>> pairs_of(p.vars.size());
+  for (std::size_t q = 0; q < p.pairs.size(); ++q) {
+    pairs_of[p.pairs[q].child].push_back(static_cast<int>(q));
+    pairs_of[p.pairs[q].parent].push_back(static_cast<int>(q));
+  }
+
+  auto delta_cost = [&](std::size_t i, int new_k) {
+    const VarGroup& var = p.vars[i];
+    double delta = var.cost[new_k] - var.cost[(*pick)[i]];
+    for (int q : pairs_of[i]) {
+      const VarPair& pair = p.pairs[q];
+      const bool is_child = (pair.child == static_cast<int>(i));
+      const int other = is_child ? pair.parent : pair.child;
+      const int other_layer = p.vars[other].layers[(*pick)[other]];
+      const int old_layer = var.layers[(*pick)[i]];
+      const int new_layer = var.layers[new_k];
+      if (is_child) {
+        delta += p.pair_cost(pair, other_layer, new_layer) -
+                 p.pair_cost(pair, other_layer, old_layer);
+      } else {
+        delta += p.pair_cost(pair, new_layer, other_layer) -
+                 p.pair_cost(pair, old_layer, other_layer);
+      }
+    }
+    return delta;
+  };
+
+  auto move_feasible = [&](std::size_t i, int new_k) {
+    const int old_layer = p.vars[i].layers[(*pick)[i]];
+    const int new_layer = p.vars[i].layers[new_k];
+    for (int r : rows_of[i]) {
+      const CapRow& row = p.cap_rows[r];
+      if (row.layer == new_layer && row.layer != old_layer &&
+          row_used[r] + 1 > row.cap_remaining) {
+        return false;
+      }
+    }
+    return true;
+  };
+
+  for (int sweep = 0; sweep < 16; ++sweep) {
+    bool moved = false;
+    for (std::size_t i = 0; i < p.vars.size(); ++i) {
+      int best_k = (*pick)[i];
+      double best_delta = -1e-9;
+      for (std::size_t k = 0; k < p.vars[i].layers.size(); ++k) {
+        if (static_cast<int>(k) == (*pick)[i] || !move_feasible(i, static_cast<int>(k))) {
+          continue;
+        }
+        const double d = delta_cost(i, static_cast<int>(k));
+        if (d < best_delta) {
+          best_delta = d;
+          best_k = static_cast<int>(k);
+        }
+      }
+      if (best_k != (*pick)[i]) {
+        const int old_layer = p.vars[i].layers[(*pick)[i]];
+        const int new_layer = p.vars[i].layers[best_k];
+        for (int r : rows_of[i]) {
+          if (p.cap_rows[r].layer == old_layer) --row_used[r];
+          if (p.cap_rows[r].layer == new_layer) ++row_used[r];
+        }
+        (*pick)[i] = best_k;
+        moved = true;
+      }
+    }
+    if (!moved) break;
+  }
+}
+
+
+}  // namespace cpla::core
+

@@ -1,0 +1,73 @@
+#include "src/core/partition.hpp"
+
+#include <algorithm>
+
+#include "src/util/check.hpp"
+
+namespace cpla::core {
+
+namespace {
+
+void refine(PartitionRegion region, const PartitionOptions& opt, PartitionResult* out) {
+  out->total_regions += 1;
+  out->max_depth = std::max(out->max_depth, region.depth);
+  if (region.segments.empty()) return;
+
+  const int w = region.x1 - region.x0;
+  const int h = region.y1 - region.y0;
+  const bool small_enough = static_cast<int>(region.segments.size()) <= opt.max_segments;
+  // Stop when within budget, or when the region cannot be cut further
+  // (single-tile regions would recurse forever on co-located segments).
+  if (small_enough || (w <= 1 && h <= 1)) {
+    out->leaves.push_back(std::move(region));
+    return;
+  }
+
+  const int xm = (w > 1) ? region.x0 + w / 2 : region.x1;
+  const int ym = (h > 1) ? region.y0 + h / 2 : region.y1;
+
+  PartitionRegion quad[4];
+  quad[0] = {region.x0, region.y0, xm, ym, {}, region.depth + 1};
+  quad[1] = {xm, region.y0, region.x1, ym, {}, region.depth + 1};
+  quad[2] = {region.x0, ym, xm, region.y1, {}, region.depth + 1};
+  quad[3] = {xm, ym, region.x1, region.y1, {}, region.depth + 1};
+
+  for (const SegRef& ref : region.segments) {
+    const int qx = (ref.mid.x >= xm) ? 1 : 0;
+    const int qy = (ref.mid.y >= ym) ? 1 : 0;
+    quad[qy * 2 + qx].segments.push_back(ref);
+  }
+  for (auto& q : quad) {
+    if (q.x1 > q.x0 && q.y1 > q.y0) refine(std::move(q), opt, out);
+  }
+}
+
+}  // namespace
+
+PartitionResult partition(int xsize, int ysize, const std::vector<SegRef>& segments,
+                          const PartitionOptions& options) {
+  CPLA_ASSERT(options.k >= 1 && options.max_segments >= 1);
+  PartitionResult out;
+
+  const int k = std::min({options.k, xsize, ysize});
+  for (int ky = 0; ky < k; ++ky) {
+    for (int kx = 0; kx < k; ++kx) {
+      PartitionRegion region;
+      region.x0 = kx * xsize / k;
+      region.x1 = (kx + 1) * xsize / k;
+      region.y0 = ky * ysize / k;
+      region.y1 = (ky + 1) * ysize / k;
+      region.depth = 0;
+      for (const SegRef& ref : segments) {
+        if (ref.mid.x >= region.x0 && ref.mid.x < region.x1 && ref.mid.y >= region.y0 &&
+            ref.mid.y < region.y1) {
+          region.segments.push_back(ref);
+        }
+      }
+      refine(std::move(region), options, &out);
+    }
+  }
+  return out;
+}
+
+}  // namespace cpla::core

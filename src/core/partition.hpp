@@ -1,0 +1,42 @@
+#pragma once
+
+// Self-adaptive quadruple partitioning (Section 3.2). The grid is first cut
+// into K x K regions; any region holding more released segments than the
+// cap is recursively quartered (a quadtree) until every leaf holds at most
+// `max_segments` — or the leaf shrinks to a single tile, which stops
+// refinement to avoid the deadlock the paper warns about. Leaves balance
+// the per-thread workload of the parallel SDP solves.
+
+#include <vector>
+
+#include "src/grid/grid_graph.hpp"
+
+namespace cpla::core {
+
+struct SegRef {
+  int net = -1;
+  int seg = -1;
+  grid::XY mid;  // segment midpoint, used for partition membership
+};
+
+struct PartitionRegion {
+  int x0 = 0, y0 = 0, x1 = 0, y1 = 0;  // half-open [x0,x1) x [y0,y1)
+  std::vector<SegRef> segments;
+  int depth = 0;  // 0 = one of the initial K x K cells
+};
+
+struct PartitionOptions {
+  int k = 4;              // initial K x K division
+  int max_segments = 10;  // paper default: 10 per partition
+};
+
+struct PartitionResult {
+  std::vector<PartitionRegion> leaves;  // only non-empty leaves
+  int max_depth = 0;
+  int total_regions = 0;  // including empty leaves, for diagnostics
+};
+
+PartitionResult partition(int xsize, int ysize, const std::vector<SegRef>& segments,
+                          const PartitionOptions& options);
+
+}  // namespace cpla::core

@@ -1,0 +1,32 @@
+#include "src/core/pipeline.hpp"
+
+#include "src/route/seg_tree.hpp"
+#include "src/util/logging.hpp"
+#include "src/util/timer.hpp"
+
+namespace cpla::core {
+
+Prepared prepare(grid::Design design, const PipelineOptions& options) {
+  Prepared out;
+  out.design = std::make_unique<grid::Design>(std::move(design));
+
+  WallTimer timer;
+  route::RoutingResult routed = route_all(*out.design, options.router);
+  out.route_overflow_2d = routed.overflow;
+
+  std::vector<route::SegTree> trees;
+  trees.reserve(out.design->nets.size());
+  for (std::size_t n = 0; n < out.design->nets.size(); ++n) {
+    trees.push_back(
+        route::extract_tree(out.design->grid, out.design->nets[n], &routed.routes[n]));
+  }
+
+  out.state = std::make_unique<assign::AssignState>(out.design.get(), std::move(trees));
+  assign::initial_assign(out.state.get(), options.initial);
+  out.rc = std::make_unique<timing::RcTable>(out.design->grid);
+
+  LOG_INFO("pipeline: %s prepared in %.2fs", out.design->name.c_str(), timer.seconds());
+  return out;
+}
+
+}  // namespace cpla::core

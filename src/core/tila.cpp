@@ -1,0 +1,156 @@
+#include "src/core/tila.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "src/timing/elmore.hpp"
+#include "src/util/logging.hpp"
+
+namespace cpla::core {
+
+namespace {
+
+/// Number of sinks in the subtree hanging below each segment — the TILA
+/// weighted-sum-delay weights.
+std::vector<int> downstream_sinks(const route::SegTree& tree) {
+  std::vector<int> w(tree.segs.size(), 0);
+  for (const route::SinkAttach& sink : tree.sinks) {
+    if (sink.seg_id >= 0) w[sink.seg_id] += 1;
+  }
+  for (std::size_t i = tree.segs.size(); i-- > 0;) {
+    for (int c : tree.segs[i].children) w[i] += w[c];
+  }
+  return w;
+}
+
+}  // namespace
+
+TilaResult run_tila(assign::AssignState* state, const timing::RcTable& rc,
+                    const CriticalSet& critical, const TilaOptions& options) {
+  const auto& g = state->design().grid;
+  TilaResult result;
+
+  // Lagrange multipliers on wire-edge and via-cell capacities.
+  std::vector<std::vector<double>> lambda(g.num_layers());
+  std::vector<std::vector<double>> mu(g.num_layers());
+  for (int l = 0; l < g.num_layers(); ++l) {
+    lambda[l].assign(static_cast<std::size_t>(g.num_edges_on_layer(l)), 0.0);
+    mu[l].assign(static_cast<std::size_t>(g.num_cells()), 0.0);
+  }
+
+  // Delay scale for the subgradient step: mean segment delay over the
+  // released nets at the current assignment.
+  double scale = 0.0;
+  long scale_n = 0;
+  for (int net : critical.nets) {
+    const auto t = timing::compute_timing(state->tree(net), state->layers(net), rc);
+    for (std::size_t s = 0; s < state->tree(net).segs.size(); ++s) {
+      const int l = state->layers(net)[s];
+      scale += rc.res(l) * state->tree(net).segs[s].length() *
+               (rc.cap(l) * state->tree(net).segs[s].length() / 2.0 + t.downstream_cap[s]);
+      ++scale_n;
+    }
+  }
+  scale = (scale_n > 0) ? scale / static_cast<double>(scale_n) : 1.0;
+  const double lambda_step = options.lambda_step * scale;
+  const double mu_step = options.mu_step * scale;
+
+  double prev_obj = 1e300;
+  for (int iter = 0; iter < options.iterations; ++iter) {
+    result.iterations_run = iter + 1;
+    double obj = 0.0;
+
+    // The Lagrangian decomposition of TILA prices each segment
+    // independently: via terms are *linearized* against the neighbors'
+    // current layers ("TILA artificially approximates some quadratic terms
+    // to [a] linear model" — the approximation this paper criticizes).
+    // Segments are visited per net in topological order and committed one
+    // at a time.
+    for (int net : critical.nets) {
+      const route::SegTree& tree = state->tree(net);
+      if (tree.segs.empty()) continue;
+      const timing::NetTiming t = timing::compute_timing(tree, state->layers(net), rc);
+      const std::vector<int> w = downstream_sinks(tree);
+      std::vector<int> layers = state->layers(net);
+
+      for (const route::Segment& seg : tree.segs) {
+        const int s = seg.id;
+        const std::vector<int>& allowed = state->allowed_layers(seg.horizontal);
+        double best_cost = 1e300;
+        int best_layer = layers[s];
+        for (int l : allowed) {
+          const double len = seg.length();
+          double cost = w[s] * rc.res(l) * len * (rc.cap(l) * len / 2.0 + t.downstream_cap[s]);
+
+          // Wire congestion: multipliers, with edge capacity (4c) hard —
+          // a layer whose edges are full is not a legal destination
+          // (staying on the current layer is always permitted). The
+          // segment's own current usage is discounted.
+          bool over = false;
+          state->for_each_edge(net, s, [&](int e) {
+            cost += lambda[l][e];
+            const int self = (layers[s] == l) ? 1 : 0;
+            if (state->wire_usage(l, e) - self + 1 > state->wire_cap(l, e)) over = true;
+          });
+          if (over && l != layers[s]) continue;
+
+          // Linearized via terms against the neighbors' current layers.
+          auto via_term = [&](int cell_x, int cell_y, int other_layer, double load,
+                              int weight) {
+            double c = weight * rc.via_stack_res(other_layer, l) * load;
+            const int cell = g.cell_id(cell_x, cell_y);
+            for (int ll = std::min(other_layer, l) + 1; ll < std::max(other_layer, l); ++ll) {
+              c += mu[ll][cell];
+            }
+            return c;
+          };
+          if (seg.parent < 0) {
+            const double subtree = rc.cap(l) * len + t.downstream_cap[s];
+            cost += via_term(seg.a.x, seg.a.y, tree.root_pin_layer, subtree, w[s]);
+          } else {
+            const double load = std::min(t.downstream_cap[s], t.downstream_cap[seg.parent]);
+            cost += via_term(seg.a.x, seg.a.y, layers[seg.parent], load, w[s]);
+          }
+          for (int c : seg.children) {
+            const double load = std::min(t.downstream_cap[s], t.downstream_cap[c]);
+            cost += via_term(tree.segs[c].a.x, tree.segs[c].a.y, layers[c], load, w[c]);
+          }
+          for (const route::SinkAttach& sink : tree.sinks) {
+            if (sink.seg_id != s) continue;
+            cost += via_term(seg.b.x, seg.b.y, sink.pin_layer, rc.sink_cap(), 1);
+          }
+
+          if (cost < best_cost) {
+            best_cost = cost;
+            best_layer = l;
+          }
+        }
+        layers[s] = best_layer;
+      }
+      state->set_layers(net, std::move(layers));
+      obj += timing::compute_timing(tree, state->layers(net), rc).max_sink_delay;
+    }
+
+    // Projected subgradient update on capacity violations.
+    for (int l = 0; l < g.num_layers(); ++l) {
+      for (int e = 0; e < g.num_edges_on_layer(l); ++e) {
+        const int over = state->wire_usage(l, e) - state->wire_cap(l, e);
+        lambda[l][e] = std::max(0.0, lambda[l][e] + lambda_step * over);
+      }
+      for (int c = 0; c < g.num_cells(); ++c) {
+        const int over = state->via_load(l, c) - state->via_cap(l, c);
+        mu[l][c] = std::max(0.0, mu[l][c] + mu_step * over);
+      }
+    }
+
+    result.weighted_delay = obj;
+    if (obj > prev_obj * 0.999) break;  // converged / oscillating
+    prev_obj = obj;
+  }
+
+  LOG_DEBUG("tila: %d iterations, objective %.1f", result.iterations_run,
+            result.weighted_delay);
+  return result;
+}
+
+}  // namespace cpla::core

@@ -1,0 +1,191 @@
+#include "src/gen/synth.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/grid/layer_stack.hpp"
+#include "src/util/check.hpp"
+#include "src/util/rng.hpp"
+#include "src/util/str.hpp"
+
+namespace cpla::gen {
+
+const std::vector<std::string>& suite_names() {
+  static const std::vector<std::string> kNames = {
+      "adaptec1", "adaptec2", "adaptec3", "adaptec4", "adaptec5",
+      "bigblue1", "bigblue2", "bigblue3", "bigblue4",
+      "newblue1", "newblue2", "newblue4", "newblue5", "newblue6", "newblue7",
+  };
+  return kNames;
+}
+
+const std::vector<std::string>& small_case_names() {
+  static const std::vector<std::string> kNames = {
+      "adaptec1", "adaptec2", "bigblue1", "newblue1", "newblue2", "newblue4",
+  };
+  return kNames;
+}
+
+SynthSpec suite_spec(const std::string& name) {
+  // Scaled-down silhouettes of the real suite: relative ordering of grid
+  // sizes, net counts, and layer counts mirrors ISPD'08 (bigblue4/newblue7
+  // largest, adaptec1/newblue1 smallest).
+  struct Row {
+    const char* name;
+    int grid;
+    int layers;
+    int nets;
+    int tracks;
+  };
+  // Track counts sized so the 2-D router closes with ~zero overflow, like
+  // the real suite under a production router; congestion shows up as local
+  // pressure (blockages, clustered cores), not global infeasibility.
+  static const Row kRows[] = {
+      {"adaptec1", 48, 6, 1700, 12},  {"adaptec2", 52, 6, 1900, 12},
+      {"adaptec3", 64, 6, 2900, 12}, {"adaptec4", 64, 6, 2700, 13},
+      {"adaptec5", 72, 6, 3700, 12}, {"bigblue1", 48, 6, 2000, 12},
+      {"bigblue2", 64, 6, 3000, 12},  {"bigblue3", 72, 8, 3400, 12},
+      {"bigblue4", 88, 8, 5200, 12}, {"newblue1", 44, 6, 1500, 12},
+      {"newblue2", 56, 6, 2400, 13}, {"newblue4", 64, 6, 3100, 12},
+      {"newblue5", 84, 6, 4800, 12}, {"newblue6", 76, 6, 4300, 12},
+      {"newblue7", 92, 8, 5600, 13},
+  };
+  for (std::size_t i = 0; i < std::size(kRows); ++i) {
+    const Row& r = kRows[i];
+    if (name == r.name) {
+      SynthSpec spec;
+      spec.name = r.name;
+      spec.xsize = r.grid;
+      spec.ysize = r.grid;
+      spec.num_layers = r.layers;
+      spec.num_nets = r.nets;
+      spec.tracks_per_layer = r.tracks;
+      spec.num_blockages = 2 + static_cast<int>(i % 4);
+      spec.seed = 1000 + i * 7919;  // distinct, deterministic
+      return spec;
+    }
+  }
+  CPLA_ASSERT_MSG(false, "unknown suite benchmark name");
+}
+
+namespace {
+
+struct Cluster {
+  double cx, cy, sigma;
+};
+
+int clamp_coord(double v, int lo, int hi) {
+  return std::clamp(static_cast<int>(std::lround(v)), lo, hi);
+}
+
+/// Net pin-count distribution: heavy 2-4 pin body, multi-pin tail.
+int sample_pin_count(cpla::Rng* rng) {
+  const double u = rng->uniform();
+  if (u < 0.45) return 2;
+  if (u < 0.70) return 3;
+  if (u < 0.85) return static_cast<int>(rng->uniform_int(4, 6));
+  if (u < 0.97) return static_cast<int>(rng->uniform_int(7, 14));
+  return static_cast<int>(rng->uniform_int(15, 32));
+}
+
+}  // namespace
+
+grid::Design generate(const SynthSpec& spec) {
+  cpla::Rng rng(spec.seed);
+
+  std::vector<grid::Layer> layers = grid::make_layer_stack(spec.num_layers);
+  grid::GridGraph g(spec.xsize, spec.ysize, layers, grid::default_geom());
+  for (int l = 0; l < spec.num_layers; ++l) {
+    // Lower layer pair keeps some capacity for pin access; all layers get
+    // the nominal track count.
+    g.fill_layer_capacity(l, spec.tracks_per_layer);
+  }
+
+  // Blockages: rectangles where lower-layer capacity is sharply reduced
+  // (macros). These create the uneven density the self-adaptive partitioner
+  // responds to.
+  for (int b = 0; b < spec.num_blockages; ++b) {
+    const int w = static_cast<int>(rng.uniform_int(spec.xsize / 8, spec.xsize / 4));
+    const int h = static_cast<int>(rng.uniform_int(spec.ysize / 8, spec.ysize / 4));
+    const int x0 = static_cast<int>(rng.uniform_int(0, spec.xsize - w - 1));
+    const int y0 = static_cast<int>(rng.uniform_int(0, spec.ysize - h - 1));
+    const int depth = std::min(spec.num_layers - 2, 2 + b % 2);  // lowest 2-3 layers
+    for (int l = 0; l < depth; ++l) {
+      const int reduced = std::max(1, spec.tracks_per_layer / 4);
+      if (g.is_horizontal(l)) {
+        for (int y = y0; y < y0 + h; ++y)
+          for (int x = x0; x < std::min(x0 + w, spec.xsize - 1); ++x)
+            g.set_edge_capacity(l, g.h_edge_id(x, y), reduced);
+      } else {
+        for (int x = x0; x < x0 + w; ++x)
+          for (int y = y0; y < std::min(y0 + h, spec.ysize - 1); ++y)
+            g.set_edge_capacity(l, g.v_edge_id(x, y), reduced);
+      }
+    }
+  }
+
+  grid::Design design(spec.name, std::move(g));
+
+  // Placement clusters (standard-cell neighborhoods).
+  const int num_clusters = std::max(4, spec.num_nets / 400);
+  std::vector<Cluster> clusters;
+  clusters.reserve(static_cast<std::size_t>(num_clusters));
+  for (int c = 0; c < num_clusters; ++c) {
+    clusters.push_back(Cluster{
+        rng.uniform(0.1 * spec.xsize, 0.9 * spec.xsize),
+        rng.uniform(0.1 * spec.ysize, 0.9 * spec.ysize),
+        rng.uniform(2.0, 0.12 * spec.xsize),
+    });
+  }
+
+  auto cluster_pin = [&](const Cluster& cl) {
+    grid::Pin p;
+    p.x = clamp_coord(cl.cx + rng.normal() * cl.sigma, 0, spec.xsize - 1);
+    p.y = clamp_coord(cl.cy + rng.normal() * cl.sigma, 0, spec.ysize - 1);
+    p.layer = 0;
+    return p;
+  };
+  auto uniform_pin = [&]() {
+    grid::Pin p;
+    p.x = static_cast<int>(rng.uniform_int(0, spec.xsize - 1));
+    p.y = static_cast<int>(rng.uniform_int(0, spec.ysize - 1));
+    p.layer = 0;
+    return p;
+  };
+
+  design.nets.reserve(static_cast<std::size_t>(spec.num_nets));
+  for (int n = 0; n < spec.num_nets; ++n) {
+    grid::Net net;
+    net.name = cpla::str_format("n%d", n);
+    net.id = n;
+    const int pins = sample_pin_count(&rng);
+
+    const double kind = rng.uniform();
+    if (kind < spec.global_fraction) {
+      // Global net: pins drawn from several distinct clusters — long,
+      // timing-critical.
+      for (int k = 0; k < pins; ++k) {
+        const auto& cl = clusters[static_cast<std::size_t>(
+            rng.uniform_int(0, num_clusters - 1))];
+        net.pins.push_back(cluster_pin(cl));
+      }
+    } else if (kind < spec.global_fraction + spec.cluster_fraction) {
+      // Local net inside one cluster.
+      const auto& cl = clusters[static_cast<std::size_t>(rng.uniform_int(0, num_clusters - 1))];
+      for (int k = 0; k < pins; ++k) net.pins.push_back(cluster_pin(cl));
+    } else {
+      for (int k = 0; k < pins; ++k) net.pins.push_back(uniform_pin());
+    }
+
+    // A net whose pins all collapsed into one GCell carries no routing; keep
+    // it (the flow must tolerate such nets) but ensure at least the source
+    // exists.
+    design.nets.push_back(std::move(net));
+  }
+
+  return design;
+}
+
+grid::Design generate_suite(const std::string& name) { return generate(suite_spec(name)); }
+
+}  // namespace cpla::gen

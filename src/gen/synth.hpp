@@ -1,0 +1,52 @@
+#pragma once
+
+// Synthetic ISPD'08-shaped benchmark generator.
+//
+// The real ISPD'08 suite is hundreds of MB of placement data; this project
+// substitutes generated instances that preserve the statistical structure
+// the layer-assignment algorithms respond to (see DESIGN.md):
+//   * multi-layer grid with alternating preferred directions,
+//   * per-layer track capacities with blockage-depressed regions,
+//   * net-size distribution heavy on 2-4 pin nets with a multi-pin tail,
+//   * clustered pins producing a congested core (cf. Fig 3(b)) plus a
+//     population of long cross-chip nets that dominate critical timing.
+//
+// Each of the 15 suite names maps to a deterministic spec (grid size, net
+// count, capacity), scaled so the full suite runs on one machine.
+
+#include <string>
+#include <vector>
+
+#include "src/grid/design.hpp"
+
+namespace cpla::gen {
+
+struct SynthSpec {
+  std::string name = "synthetic";
+  int xsize = 48;
+  int ysize = 48;
+  int num_layers = 6;
+  int num_nets = 1500;
+  int tracks_per_layer = 10;  // per directional edge
+  double cluster_fraction = 0.8;   // nets drawn inside a placement cluster
+  double global_fraction = 0.10;   // long cross-chip nets
+  int num_blockages = 3;           // capacity-depressed rectangles
+  std::uint64_t seed = 1;
+};
+
+/// All 15 suite names (adaptec1..5, bigblue1..4, newblue1..7).
+const std::vector<std::string>& suite_names();
+
+/// The six "small" cases used for the paper's Fig 7 ILP-vs-SDP comparison.
+const std::vector<std::string>& small_case_names();
+
+/// Spec for one of the suite names; aborts on an unknown name.
+SynthSpec suite_spec(const std::string& name);
+
+/// Generates a design from a spec (deterministic in spec.seed).
+grid::Design generate(const SynthSpec& spec);
+
+/// Convenience: generate a named suite benchmark.
+grid::Design generate_suite(const std::string& name);
+
+}  // namespace cpla::gen

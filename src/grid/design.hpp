@@ -1,0 +1,68 @@
+#pragma once
+
+// A routing problem instance: grid + netlist (ISPD'08 shape).
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/grid/grid_graph.hpp"
+
+namespace cpla::grid {
+
+struct Pin {
+  int x = 0;      // GCell coordinates
+  int y = 0;
+  int layer = 0;  // 0-based metal layer
+  friend bool operator==(const Pin&, const Pin&) = default;
+};
+
+struct Net {
+  std::string name;
+  int id = -1;
+  std::vector<Pin> pins;  // pins[0] is the driver/source
+
+  /// Pins deduplicated to distinct GCells (pins in the same cell are
+  /// electrically merged at global-routing granularity).
+  std::vector<Pin> distinct_cells() const;
+
+  /// Half-perimeter wirelength of the pin bounding box, in tiles.
+  int hpwl() const;
+};
+
+struct Design {
+  std::string name;
+  GridGraph grid;
+  std::vector<Net> nets;
+
+  Design(std::string name_, GridGraph grid_) : name(std::move(name_)), grid(std::move(grid_)) {}
+};
+
+inline std::vector<Pin> Net::distinct_cells() const {
+  std::vector<Pin> out;
+  for (const Pin& p : pins) {
+    bool seen = false;
+    for (const Pin& q : out) {
+      if (q.x == p.x && q.y == p.y) {
+        seen = true;
+        break;
+      }
+    }
+    if (!seen) out.push_back(p);
+  }
+  return out;
+}
+
+inline int Net::hpwl() const {
+  if (pins.empty()) return 0;
+  int xmin = pins[0].x, xmax = pins[0].x, ymin = pins[0].y, ymax = pins[0].y;
+  for (const Pin& p : pins) {
+    xmin = std::min(xmin, p.x);
+    xmax = std::max(xmax, p.x);
+    ymin = std::min(ymin, p.y);
+    ymax = std::max(ymax, p.y);
+  }
+  return (xmax - xmin) + (ymax - ymin);
+}
+
+}  // namespace cpla::grid

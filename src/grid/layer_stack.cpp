@@ -1,0 +1,34 @@
+#include "src/grid/layer_stack.hpp"
+
+#include <cmath>
+
+#include "src/util/str.hpp"
+
+namespace cpla::grid {
+
+std::vector<Layer> make_layer_stack(int num_layers) {
+  CPLA_ASSERT(num_layers >= 2);
+  std::vector<Layer> layers(static_cast<std::size_t>(num_layers));
+  for (int l = 0; l < num_layers; ++l) {
+    Layer& layer = layers[static_cast<std::size_t>(l)];
+    layer.name = cpla::str_format("metal%d", l + 1);
+    layer.horizontal = (l % 2 == 0);
+    // Industrial shape: each layer pair up roughly halves resistance.
+    layer.unit_res = 80.0 * std::pow(0.58, l);
+    layer.unit_cap = 1.0 * std::pow(0.94, l);
+    layer.via_res_up = 16.0 * std::pow(0.85, l);
+  }
+  return layers;
+}
+
+GeomParams default_geom() {
+  GeomParams g;
+  g.wire_width = 1.0;
+  g.wire_spacing = 1.0;
+  g.via_width = 1.0;
+  g.via_spacing = 1.0;
+  g.tile_width = 10.0;
+  return g;
+}
+
+}  // namespace cpla::grid

@@ -1,0 +1,23 @@
+#pragma once
+
+// Canonical metal stacks. The ISPD'08 files carry no electrical data, so
+// (like the paper, which plugs in "industrial settings") we annotate layers
+// with a synthetic but industry-shaped RC profile: resistance drops steeply
+// with layer height (wider/thicker wires), capacitance drops mildly, via
+// resistance drops slowly. Values are in normalized units chosen so typical
+// critical-path delays land in the 1e5-1e6 range like the paper's plots.
+
+#include <vector>
+
+#include "src/grid/grid_graph.hpp"
+
+namespace cpla::grid {
+
+/// Alternating-direction stack: layer 0 horizontal, layer 1 vertical, ...
+/// `num_layers` must be >= 2.
+std::vector<Layer> make_layer_stack(int num_layers);
+
+/// Default geometry matching the stack above.
+GeomParams default_geom();
+
+}  // namespace cpla::grid

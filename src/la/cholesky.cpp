@@ -1,0 +1,77 @@
+#include "src/la/cholesky.hpp"
+
+#include <cmath>
+
+namespace cpla::la {
+
+std::optional<Cholesky> Cholesky::factor(const Matrix& a) {
+  CPLA_ASSERT(a.rows() == a.cols());
+  const std::size_t n = a.rows();
+  Matrix l(n, n);
+  for (std::size_t j = 0; j < n; ++j) {
+    double diag = a(j, j);
+    for (std::size_t k = 0; k < j; ++k) diag -= l(j, k) * l(j, k);
+    if (!(diag > 0.0) || !std::isfinite(diag)) return std::nullopt;
+    const double ljj = std::sqrt(diag);
+    l(j, j) = ljj;
+    for (std::size_t i = j + 1; i < n; ++i) {
+      double sum = a(i, j);
+      const double* li = l.row_ptr(i);
+      const double* lj = l.row_ptr(j);
+      for (std::size_t k = 0; k < j; ++k) sum -= li[k] * lj[k];
+      l(i, j) = sum / ljj;
+    }
+  }
+  return Cholesky(std::move(l));
+}
+
+Vector Cholesky::solve(const Vector& b) const {
+  const std::size_t n = dim();
+  CPLA_ASSERT(b.size() == n);
+  Vector y(n);
+  // Forward substitution L y = b.
+  for (std::size_t i = 0; i < n; ++i) {
+    double sum = b[i];
+    const double* li = l_.row_ptr(i);
+    for (std::size_t k = 0; k < i; ++k) sum -= li[k] * y[k];
+    y[i] = sum / li[i];
+  }
+  // Back substitution L^T x = y.
+  Vector x(n);
+  for (std::size_t ii = n; ii-- > 0;) {
+    double sum = y[ii];
+    for (std::size_t k = ii + 1; k < n; ++k) sum -= l_(k, ii) * x[k];
+    x[ii] = sum / l_(ii, ii);
+  }
+  return x;
+}
+
+Matrix Cholesky::solve(const Matrix& b) const {
+  CPLA_ASSERT(b.rows() == dim());
+  Matrix x(b.rows(), b.cols());
+  Vector col(b.rows());
+  for (std::size_t c = 0; c < b.cols(); ++c) {
+    for (std::size_t r = 0; r < b.rows(); ++r) col[r] = b(r, c);
+    Vector sol = solve(col);
+    for (std::size_t r = 0; r < b.rows(); ++r) x(r, c) = sol[r];
+  }
+  return x;
+}
+
+Matrix Cholesky::inverse() const { return solve(Matrix::identity(dim())); }
+
+double Cholesky::log_det() const {
+  double sum = 0.0;
+  for (std::size_t i = 0; i < dim(); ++i) sum += std::log(l_(i, i));
+  return 2.0 * sum;
+}
+
+bool is_positive_definite(const Matrix& a, double shift) {
+  Matrix shifted = a;
+  if (shift != 0.0) {
+    for (std::size_t i = 0; i < a.rows(); ++i) shifted(i, i) += shift;
+  }
+  return Cholesky::factor(shifted).has_value();
+}
+
+}  // namespace cpla::la

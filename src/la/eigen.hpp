@@ -1,0 +1,22 @@
+#pragma once
+
+// Cyclic Jacobi eigendecomposition for symmetric matrices. Used by the SDP
+// solver's initialization/diagnostics and by tests that verify PSD-ness of
+// relaxation solutions. O(n^3) per sweep — fine at partition scale.
+
+#include "src/la/matrix.hpp"
+
+namespace cpla::la {
+
+struct EigenSym {
+  Vector values;   // ascending
+  Matrix vectors;  // columns are eigenvectors, same order as values
+};
+
+/// Full eigendecomposition of a symmetric matrix.
+EigenSym eigen_sym(const Matrix& a, int max_sweeps = 64, double tol = 1e-12);
+
+/// Smallest eigenvalue of a symmetric matrix.
+double min_eigenvalue(const Matrix& a);
+
+}  // namespace cpla::la

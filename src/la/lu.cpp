@@ -1,0 +1,85 @@
+#include "src/la/lu.hpp"
+
+#include <cmath>
+#include <numeric>
+
+namespace cpla::la {
+
+std::optional<Lu> Lu::factor(const Matrix& a) {
+  CPLA_ASSERT(a.rows() == a.cols());
+  const std::size_t n = a.rows();
+  Matrix lu = a;
+  std::vector<std::size_t> perm(n);
+  std::iota(perm.begin(), perm.end(), std::size_t{0});
+
+  for (std::size_t k = 0; k < n; ++k) {
+    // Partial pivot: largest magnitude in column k at/below the diagonal.
+    std::size_t piv = k;
+    double best = std::fabs(lu(k, k));
+    for (std::size_t i = k + 1; i < n; ++i) {
+      const double v = std::fabs(lu(i, k));
+      if (v > best) {
+        best = v;
+        piv = i;
+      }
+    }
+    if (best < 1e-13) return std::nullopt;
+    if (piv != k) {
+      for (std::size_t c = 0; c < n; ++c) std::swap(lu(k, c), lu(piv, c));
+      std::swap(perm[k], perm[piv]);
+    }
+    const double pivval = lu(k, k);
+    for (std::size_t i = k + 1; i < n; ++i) {
+      const double mult = lu(i, k) / pivval;
+      lu(i, k) = mult;
+      if (mult == 0.0) continue;
+      double* ri = lu.row_ptr(i);
+      const double* rk = lu.row_ptr(k);
+      for (std::size_t c = k + 1; c < n; ++c) ri[c] -= mult * rk[c];
+    }
+  }
+  return Lu(std::move(lu), std::move(perm));
+}
+
+Vector Lu::solve(const Vector& b) const {
+  const std::size_t n = dim();
+  CPLA_ASSERT(b.size() == n);
+  Vector y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    double sum = b[perm_[i]];
+    const double* row = lu_.row_ptr(i);
+    for (std::size_t k = 0; k < i; ++k) sum -= row[k] * y[k];
+    y[i] = sum;
+  }
+  Vector x(n);
+  for (std::size_t ii = n; ii-- > 0;) {
+    double sum = y[ii];
+    const double* row = lu_.row_ptr(ii);
+    for (std::size_t k = ii + 1; k < n; ++k) sum -= row[k] * x[k];
+    x[ii] = sum / row[ii];
+  }
+  return x;
+}
+
+Vector Lu::solve_transposed(const Vector& b) const {
+  // A^T = (P^T L U)^T = U^T L^T P. Solve U^T z = b, L^T w = z, x = P^T w.
+  const std::size_t n = dim();
+  CPLA_ASSERT(b.size() == n);
+  Vector z(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    double sum = b[i];
+    for (std::size_t k = 0; k < i; ++k) sum -= lu_(k, i) * z[k];
+    z[i] = sum / lu_(i, i);
+  }
+  Vector w(n);
+  for (std::size_t ii = n; ii-- > 0;) {
+    double sum = z[ii];
+    for (std::size_t k = ii + 1; k < n; ++k) sum -= lu_(k, ii) * w[k];
+    w[ii] = sum;
+  }
+  Vector x(n);
+  for (std::size_t i = 0; i < n; ++i) x[perm_[i]] = w[i];
+  return x;
+}
+
+}  // namespace cpla::la

@@ -1,0 +1,32 @@
+#pragma once
+
+// LU factorization with partial pivoting, for general square systems
+// (simplex basis solves and miscellaneous dense solves).
+
+#include <optional>
+
+#include "src/la/matrix.hpp"
+
+namespace cpla::la {
+
+class Lu {
+ public:
+  /// Factorizes PA = LU; returns std::nullopt if singular to working
+  /// precision.
+  static std::optional<Lu> factor(const Matrix& a);
+
+  /// Solves A x = b.
+  Vector solve(const Vector& b) const;
+
+  /// Solves A^T x = b.
+  Vector solve_transposed(const Vector& b) const;
+
+  std::size_t dim() const { return lu_.rows(); }
+
+ private:
+  Lu(Matrix lu, std::vector<std::size_t> perm) : lu_(std::move(lu)), perm_(std::move(perm)) {}
+  Matrix lu_;                      // packed L (unit diag implied) and U
+  std::vector<std::size_t> perm_;  // row permutation
+};
+
+}  // namespace cpla::la

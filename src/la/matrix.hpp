@@ -1,0 +1,84 @@
+#pragma once
+
+// Dense row-major matrix and vector helpers. Sized for the partition-scale
+// problems this project solves (dimensions in the tens to low hundreds), so
+// the implementation favors clarity over blocking/vectorization tricks.
+
+#include <cstddef>
+#include <vector>
+
+#include "src/util/check.hpp"
+
+namespace cpla::la {
+
+using Vector = std::vector<double>;
+
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, double fill = 0.0)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  static Matrix identity(std::size_t n);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  bool empty() const { return data_.empty(); }
+
+  double& operator()(std::size_t r, std::size_t c) {
+    CPLA_ASSERT(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+  double operator()(std::size_t r, std::size_t c) const {
+    CPLA_ASSERT(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+
+  double* row_ptr(std::size_t r) { return data_.data() + r * cols_; }
+  const double* row_ptr(std::size_t r) const { return data_.data() + r * cols_; }
+
+  Matrix transposed() const;
+
+  /// this += alpha * other (same shape).
+  void axpy(double alpha, const Matrix& other);
+
+  /// Scales all entries.
+  void scale(double alpha);
+
+  /// Symmetrizes in place: A = (A + A^T)/2. Square matrices only.
+  void symmetrize();
+
+  /// Largest |a_ij|.
+  double max_abs() const;
+
+  bool is_symmetric(double tol = 1e-12) const;
+
+  friend Matrix operator*(const Matrix& a, const Matrix& b);
+  friend Matrix operator+(const Matrix& a, const Matrix& b);
+  friend Matrix operator-(const Matrix& a, const Matrix& b);
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// y = A x.
+Vector mat_vec(const Matrix& a, const Vector& x);
+
+/// A^T x.
+Vector mat_tvec(const Matrix& a, const Vector& x);
+
+/// Inner (Frobenius) product trace(A^T B).
+double dot(const Matrix& a, const Matrix& b);
+
+/// Vector dot product.
+double dot(const Vector& a, const Vector& b);
+
+/// Euclidean norm.
+double norm2(const Vector& v);
+
+/// Frobenius norm.
+double frob_norm(const Matrix& a);
+
+}  // namespace cpla::la

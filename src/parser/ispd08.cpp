@@ -1,0 +1,262 @@
+#include "src/parser/ispd08.hpp"
+
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <algorithm>
+#include <sstream>
+
+#include "src/grid/layer_stack.hpp"
+#include "src/util/logging.hpp"
+#include "src/util/str.hpp"
+
+namespace cpla::parser {
+
+namespace {
+
+/// Pulls the next non-empty line's tokens.
+bool next_tokens(std::istream& in, std::vector<std::string>* out) {
+  std::string line;
+  while (std::getline(in, line)) {
+    auto toks = cpla::split_ws(line);
+    if (!toks.empty()) {
+      *out = std::move(toks);
+      return true;
+    }
+  }
+  return false;
+}
+
+/// Reads the numeric tail of a header line like "vertical capacity 0 10 ...".
+std::vector<int> numeric_tail(const std::vector<std::string>& toks) {
+  std::vector<int> vals;
+  for (const auto& t : toks) {
+    char* end = nullptr;
+    const long v = std::strtol(t.c_str(), &end, 10);
+    if (end != t.c_str() && *end == '\0') vals.push_back(static_cast<int>(v));
+  }
+  return vals;
+}
+
+}  // namespace
+
+std::optional<grid::Design> read_ispd08(std::istream& in, const std::string& design_name) {
+  std::vector<std::string> toks;
+
+  // grid X Y L
+  if (!next_tokens(in, &toks) || toks.size() < 4 || toks[0] != "grid") {
+    LOG_ERROR("ispd08: missing 'grid' header");
+    return std::nullopt;
+  }
+  const int xsize = std::stoi(toks[1]);
+  const int ysize = std::stoi(toks[2]);
+  const int num_layers = std::stoi(toks[3]);
+  if (xsize < 2 || ysize < 2 || num_layers < 2) {
+    LOG_ERROR("ispd08: degenerate grid %dx%dx%d", xsize, ysize, num_layers);
+    return std::nullopt;
+  }
+
+  auto read_layer_vals = [&](const char* what) -> std::optional<std::vector<int>> {
+    if (!next_tokens(in, &toks)) {
+      LOG_ERROR("ispd08: missing '%s' line", what);
+      return std::nullopt;
+    }
+    auto vals = numeric_tail(toks);
+    if (static_cast<int>(vals.size()) != num_layers) {
+      LOG_ERROR("ispd08: '%s' expects %d values, got %zu", what, num_layers, vals.size());
+      return std::nullopt;
+    }
+    return vals;
+  };
+
+  const auto vcap = read_layer_vals("vertical capacity");
+  const auto hcap = read_layer_vals("horizontal capacity");
+  const auto min_width = read_layer_vals("minimum width");
+  const auto min_spacing = read_layer_vals("minimum spacing");
+  const auto via_spacing = read_layer_vals("via spacing");
+  if (!vcap || !hcap || !min_width || !min_spacing || !via_spacing) return std::nullopt;
+
+  // llx lly tile_w tile_h
+  if (!next_tokens(in, &toks) || toks.size() < 4) {
+    LOG_ERROR("ispd08: missing origin/tile line");
+    return std::nullopt;
+  }
+  const double llx = std::stod(toks[0]);
+  const double lly = std::stod(toks[1]);
+  const double tile_w = std::stod(toks[2]);
+  const double tile_h = std::stod(toks[3]);
+
+  // Direction per layer from which capacity is nonzero; RC profile from the
+  // canonical stack (the file format carries no electrical data).
+  std::vector<grid::Layer> layers = grid::make_layer_stack(num_layers);
+  for (int l = 0; l < num_layers; ++l) {
+    layers[l].horizontal = (*hcap)[l] >= (*vcap)[l];
+  }
+  grid::GeomParams geom = grid::default_geom();
+  geom.tile_width = tile_w;
+  geom.wire_width = std::max(1, (*min_width)[0]);
+  geom.wire_spacing = std::max(0, (*min_spacing)[0]);
+  geom.via_spacing = std::max(0, (*via_spacing)[0]);
+
+  grid::GridGraph g(xsize, ysize, layers, geom);
+  for (int l = 0; l < num_layers; ++l) {
+    const int raw = layers[l].horizontal ? (*hcap)[l] : (*vcap)[l];
+    const int pitch = std::max(1, (*min_width)[l] + (*min_spacing)[l]);
+    g.fill_layer_capacity(l, raw / pitch);  // tracks per edge
+  }
+
+  grid::Design design(design_name, std::move(g));
+
+  // num net N
+  if (!next_tokens(in, &toks) || toks.size() < 3 || toks[0] != "num" || toks[1] != "net") {
+    LOG_ERROR("ispd08: missing 'num net' line");
+    return std::nullopt;
+  }
+  const int num_nets = std::stoi(toks[2]);
+
+  auto to_cell = [&](double px, double py) -> grid::Pin {
+    grid::Pin pin;
+    pin.x = std::clamp(static_cast<int>((px - llx) / tile_w), 0, xsize - 1);
+    pin.y = std::clamp(static_cast<int>((py - lly) / tile_h), 0, ysize - 1);
+    return pin;
+  };
+
+  design.nets.reserve(static_cast<std::size_t>(num_nets));
+  for (int n = 0; n < num_nets; ++n) {
+    if (!next_tokens(in, &toks) || toks.size() < 3) {
+      LOG_ERROR("ispd08: truncated net header (net %d)", n);
+      return std::nullopt;
+    }
+    grid::Net net;
+    net.name = toks[0];
+    net.id = n;
+    const int num_pins = std::stoi(toks[2]);
+    net.pins.reserve(static_cast<std::size_t>(num_pins));
+    for (int k = 0; k < num_pins; ++k) {
+      if (!next_tokens(in, &toks) || toks.size() < 3) {
+        LOG_ERROR("ispd08: truncated pin list for net %s", net.name.c_str());
+        return std::nullopt;
+      }
+      grid::Pin pin = to_cell(std::stod(toks[0]), std::stod(toks[1]));
+      pin.layer = std::clamp(std::stoi(toks[2]) - 1, 0, num_layers - 1);
+      net.pins.push_back(pin);
+    }
+    design.nets.push_back(std::move(net));
+  }
+
+  // Optional capacity adjustments.
+  if (next_tokens(in, &toks)) {
+    const int num_adjust = std::stoi(toks[0]);
+    for (int a = 0; a < num_adjust; ++a) {
+      if (!next_tokens(in, &toks) || toks.size() < 7) {
+        LOG_ERROR("ispd08: truncated adjustment %d", a);
+        return std::nullopt;
+      }
+      const int x1 = std::stoi(toks[0]), y1 = std::stoi(toks[1]), l1 = std::stoi(toks[2]) - 1;
+      const int x2 = std::stoi(toks[3]), y2 = std::stoi(toks[4]), l2 = std::stoi(toks[5]) - 1;
+      const int cap = std::stoi(toks[6]);
+      if (l1 != l2 || l1 < 0 || l1 >= num_layers) continue;
+      const int pitch = 1;  // adjustments are given in tracks already
+      (void)pitch;
+      auto& gg = design.grid;
+      if (y1 == y2 && std::abs(x1 - x2) == 1 && gg.is_horizontal(l1)) {
+        gg.set_edge_capacity(l1, gg.h_edge_id(std::min(x1, x2), y1), cap);
+      } else if (x1 == x2 && std::abs(y1 - y2) == 1 && !gg.is_horizontal(l1)) {
+        gg.set_edge_capacity(l1, gg.v_edge_id(x1, std::min(y1, y2)), cap);
+      }
+    }
+  }
+
+  return design;
+}
+
+std::optional<grid::Design> read_ispd08_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    LOG_ERROR("ispd08: cannot open %s", path.c_str());
+    return std::nullopt;
+  }
+  // Design name = basename without extension.
+  std::string name = path;
+  if (const auto slash = name.find_last_of('/'); slash != std::string::npos) {
+    name = name.substr(slash + 1);
+  }
+  if (const auto dot = name.find_last_of('.'); dot != std::string::npos) {
+    name = name.substr(0, dot);
+  }
+  return read_ispd08(in, name);
+}
+
+void write_ispd08(const grid::Design& design, std::ostream& out) {
+  const auto& g = design.grid;
+  const int nl = g.num_layers();
+  out << "grid " << g.xsize() << " " << g.ysize() << " " << nl << "\n";
+
+  // Layer default capacity = the most common per-edge value.
+  std::vector<int> def(nl, 0);
+  for (int l = 0; l < nl; ++l) {
+    // Use edge 0 as the default; deviations become adjustments below.
+    def[l] = g.num_edges_on_layer(l) > 0 ? g.edge_capacity(l, 0) : 0;
+  }
+
+  out << "vertical capacity";
+  for (int l = 0; l < nl; ++l) out << " " << (g.is_horizontal(l) ? 0 : def[l]);
+  out << "\nhorizontal capacity";
+  for (int l = 0; l < nl; ++l) out << " " << (g.is_horizontal(l) ? def[l] : 0);
+  out << "\nminimum width";
+  for (int l = 0; l < nl; ++l) out << " " << 1;
+  out << "\nminimum spacing";
+  for (int l = 0; l < nl; ++l) out << " " << 0;
+  out << "\nvia spacing";
+  for (int l = 0; l < nl; ++l) out << " " << 0;
+  const double tile = g.geom().tile_width;
+  out << "\n0 0 " << tile << " " << tile << "\n\n";
+
+  out << "num net " << design.nets.size() << "\n";
+  for (const auto& net : design.nets) {
+    out << net.name << " " << net.id << " " << net.pins.size() << " 1\n";
+    for (const auto& pin : net.pins) {
+      out << (pin.x + 0.5) * tile << " " << (pin.y + 0.5) * tile << " " << pin.layer + 1 << "\n";
+    }
+  }
+
+  // Adjustments for edges that deviate from the layer default.
+  struct Adj {
+    int x1, y1, x2, y2, l, cap;
+  };
+  std::vector<Adj> adjustments;
+  for (int l = 0; l < nl; ++l) {
+    if (g.is_horizontal(l)) {
+      for (int y = 0; y < g.ysize(); ++y) {
+        for (int x = 0; x < g.xsize() - 1; ++x) {
+          const int cap = g.edge_capacity(l, g.h_edge_id(x, y));
+          if (cap != def[l]) adjustments.push_back({x, y, x + 1, y, l, cap});
+        }
+      }
+    } else {
+      for (int x = 0; x < g.xsize(); ++x) {
+        for (int y = 0; y < g.ysize() - 1; ++y) {
+          const int cap = g.edge_capacity(l, g.v_edge_id(x, y));
+          if (cap != def[l]) adjustments.push_back({x, y, x, y + 1, l, cap});
+        }
+      }
+    }
+  }
+  out << adjustments.size() << "\n";
+  for (const auto& a : adjustments) {
+    out << a.x1 << " " << a.y1 << " " << a.l + 1 << "   " << a.x2 << " " << a.y2 << " "
+        << a.l + 1 << "   " << a.cap << "\n";
+  }
+}
+
+bool write_ispd08_file(const grid::Design& design, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    LOG_ERROR("ispd08: cannot write %s", path.c_str());
+    return false;
+  }
+  write_ispd08(design, out);
+  return true;
+}
+
+}  // namespace cpla::parser

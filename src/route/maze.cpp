@@ -1,0 +1,94 @@
+#include "src/route/maze.hpp"
+
+#include <limits>
+#include <queue>
+
+#include "src/util/check.hpp"
+
+namespace cpla::route {
+
+// Dijkstra over (cell, incoming direction) states. The bend penalty keeps
+// rerouted paths straight — matching the mostly-monotone routes production
+// global routers emit, and keeping the downstream segment trees short.
+namespace {
+constexpr double kBendPenalty = 1.5;
+constexpr int kDirH = 0;
+constexpr int kDirV = 1;
+constexpr int kDirNone = 2;  // start state
+}  // namespace
+
+bool maze_route(const grid::GridGraph& g, const Usage2D& usage,
+                const std::vector<int>& sources, const std::vector<int>& targets,
+                NetRoute* out) {
+  CPLA_ASSERT(!sources.empty() && !targets.empty());
+  const int xs = g.xsize();
+  const int ys = g.ysize();
+  const int num_states = xs * ys * 3;
+
+  std::vector<double> dist(static_cast<std::size_t>(num_states),
+                           std::numeric_limits<double>::infinity());
+  std::vector<int> prev(static_cast<std::size_t>(num_states), -1);
+  std::vector<char> is_target(static_cast<std::size_t>(xs * ys), 0);
+  for (int t : targets) is_target[t] = 1;
+
+  auto state_id = [&](int cell, int dir) { return cell * 3 + dir; };
+
+  using Item = std::pair<double, int>;  // (dist, state)
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> heap;
+  for (int s : sources) {
+    const int st = state_id(s, kDirNone);
+    dist[st] = 0.0;
+    heap.push({0.0, st});
+  }
+
+  int goal_state = -1;
+  while (!heap.empty()) {
+    const auto [d, st] = heap.top();
+    heap.pop();
+    if (d > dist[st]) continue;
+    const int cell = st / 3;
+    const int dir = st % 3;
+    if (is_target[cell]) {
+      goal_state = st;
+      break;
+    }
+    const int x = cell % xs;
+    const int y = cell / xs;
+
+    auto relax = [&](int nx, int ny, int ndir, double edge_cost) {
+      const double bend = (dir != kDirNone && dir != ndir) ? kBendPenalty : 0.0;
+      const int ncell = ny * xs + nx;
+      const int nst = state_id(ncell, ndir);
+      const double nd = d + edge_cost + bend;
+      if (nd < dist[nst]) {
+        dist[nst] = nd;
+        prev[nst] = st;
+        heap.push({nd, nst});
+      }
+    };
+    if (x > 0) relax(x - 1, y, kDirH, usage.h_cost(g.h_edge_id(x - 1, y)));
+    if (x < xs - 1) relax(x + 1, y, kDirH, usage.h_cost(g.h_edge_id(x, y)));
+    if (y > 0) relax(x, y - 1, kDirV, usage.v_cost(g.v_edge_id(x, y - 1)));
+    if (y < ys - 1) relax(x, y + 1, kDirV, usage.v_cost(g.v_edge_id(x, y)));
+  }
+  if (goal_state < 0) return false;
+
+  // Walk back, emitting unit edges.
+  int st = goal_state;
+  while (prev[st] >= 0) {
+    const int p = prev[st];
+    const int cell = st / 3;
+    const int pcell = p / 3;
+    const int cx = cell % xs, cy = cell / xs;
+    const int px = pcell % xs, py = pcell / xs;
+    if (cy == py) {
+      out->add_h(g.h_edge_id(std::min(cx, px), cy));
+    } else {
+      out->add_v(g.v_edge_id(cx, std::min(cy, py)));
+    }
+    st = p;
+  }
+  return true;
+}
+
+}  // namespace cpla::route

@@ -1,0 +1,21 @@
+#pragma once
+
+// Congestion-aware maze routing: Dijkstra over the 2-D grid from a source
+// set to a target set, using Usage2D edge costs. Used both for rip-up
+// rerouting and for connecting pins into a grown net component.
+
+#include <vector>
+
+#include "src/route/route2d.hpp"
+
+namespace cpla::route {
+
+/// Finds the cheapest path from any cell in `sources` to any cell in
+/// `targets`; appends its unit edges to `out`. Returns false if no path
+/// exists (cannot happen on a connected grid). Cells are cell ids
+/// (GridGraph::cell_id).
+bool maze_route(const grid::GridGraph& g, const Usage2D& usage,
+                const std::vector<int>& sources, const std::vector<int>& targets,
+                NetRoute* out);
+
+}  // namespace cpla::route

@@ -1,0 +1,193 @@
+#include "src/route/seg_tree.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "src/util/check.hpp"
+
+namespace cpla::route {
+
+std::vector<int> SegTree::path_to_root(int seg) const {
+  std::vector<int> path;
+  while (seg >= 0) {
+    path.push_back(seg);
+    seg = segs[seg].parent;
+  }
+  return path;
+}
+
+namespace {
+
+struct Adjacency {
+  // cell id -> neighbor cell ids (tree edges after pruning)
+  std::unordered_map<int, std::vector<int>> nbr;
+
+  void add(int a, int b) {
+    nbr[a].push_back(b);
+    nbr[b].push_back(a);
+  }
+};
+
+}  // namespace
+
+SegTree extract_tree(const grid::GridGraph& g, const grid::Net& net, NetRoute* route) {
+  SegTree tree;
+  tree.net_id = net.id;
+  CPLA_ASSERT(!net.pins.empty());
+  tree.root = grid::XY{net.pins[0].x, net.pins[0].y};
+  tree.root_pin_layer = net.pins[0].layer;
+  const int root_cell = g.cell_id(tree.root.x, tree.root.y);
+  const int xs = g.xsize();
+  const int xs1 = g.xsize() - 1;
+  const int ys1 = g.ysize() - 1;
+
+  // Sink pins that live in the driver cell attach directly at the root.
+  std::vector<int> pending_sink_cells;
+  for (std::size_t k = 1; k < net.pins.size(); ++k) {
+    const int cell = g.cell_id(net.pins[k].x, net.pins[k].y);
+    if (cell == root_cell) {
+      tree.sinks.push_back(SinkAttach{static_cast<int>(k), -1, net.pins[k].layer});
+    } else {
+      pending_sink_cells.push_back(cell);
+    }
+  }
+  if (route->empty()) {
+    CPLA_ASSERT_MSG(pending_sink_cells.empty(), "pins outside driver cell but empty route");
+    return tree;
+  }
+
+  // Build raw adjacency from unit edges.
+  Adjacency adj;
+  for (int id : route->h_edges) {
+    const int y = id / xs1;
+    const int x = id % xs1;
+    adj.add(g.cell_id(x, y), g.cell_id(x + 1, y));
+  }
+  for (int id : route->v_edges) {
+    const int x = id / ys1;
+    const int y = id % ys1;
+    adj.add(g.cell_id(x, y), g.cell_id(x, y + 1));
+  }
+
+  // BFS tree from the root (drops cycle edges deterministically).
+  std::unordered_map<int, int> bfs_parent;
+  bfs_parent[root_cell] = root_cell;
+  std::queue<int> queue;
+  queue.push(root_cell);
+  while (!queue.empty()) {
+    const int cell = queue.front();
+    queue.pop();
+    auto it = adj.nbr.find(cell);
+    if (it == adj.nbr.end()) continue;
+    for (int next : it->second) {
+      if (bfs_parent.count(next)) continue;
+      bfs_parent[next] = cell;
+      queue.push(next);
+    }
+  }
+
+  // Keep only edges on root->sink paths.
+  std::unordered_set<int> kept_cells;
+  kept_cells.insert(root_cell);
+  for (int sink : pending_sink_cells) {
+    CPLA_ASSERT_MSG(bfs_parent.count(sink), "route does not reach a sink pin");
+    int cell = sink;
+    while (!kept_cells.count(cell)) {
+      kept_cells.insert(cell);
+      cell = bfs_parent[cell];
+    }
+  }
+
+  // Pruned tree adjacency (child lists), and the pruned edge set written
+  // back into the NetRoute.
+  std::unordered_map<int, std::vector<int>> children;
+  NetRoute pruned;
+  for (int cell : kept_cells) {
+    if (cell == root_cell) continue;
+    const int par = bfs_parent[cell];
+    children[par].push_back(cell);
+    const int cx = cell % xs, cy = cell / xs;
+    const int px = par % xs, py = par / xs;
+    if (cy == py) {
+      pruned.add_h(g.h_edge_id(std::min(cx, px), cy));
+    } else {
+      pruned.add_v(g.v_edge_id(cx, std::min(cy, py)));
+    }
+  }
+  pruned.normalize();
+  *route = std::move(pruned);
+
+  // Breakpoints: root, sinks, branch cells, turns. Sink cells break
+  // segments so every pin lands on a segment endpoint.
+  std::unordered_set<int> sink_cells(pending_sink_cells.begin(), pending_sink_cells.end());
+
+  // Walk maximal straight runs. Work item: (start cell, first child cell,
+  // parent segment id).
+  struct Walk {
+    int start;
+    int next;
+    int parent_seg;
+  };
+  std::vector<Walk> stack;
+  auto push_children = [&](int cell, int parent_seg) {
+    auto it = children.find(cell);
+    if (it == children.end()) return;
+    for (int ch : it->second) stack.push_back(Walk{cell, ch, parent_seg});
+  };
+  push_children(root_cell, -1);
+
+  auto xy_of = [&](int cell) { return grid::XY{cell % xs, cell / xs}; };
+
+  while (!stack.empty()) {
+    const Walk w = stack.back();
+    stack.pop_back();
+
+    const grid::XY start = xy_of(w.start);
+    grid::XY cur = xy_of(w.next);
+    const bool horizontal = (cur.y == start.y);
+    int cur_cell = w.next;
+
+    // Extend while: exactly one child, same direction, not a sink cell.
+    while (true) {
+      if (sink_cells.count(cur_cell)) break;
+      auto it = children.find(cur_cell);
+      if (it == children.end() || it->second.size() != 1) break;
+      const int nxt = it->second[0];
+      const grid::XY nxy = xy_of(nxt);
+      const bool same_dir = horizontal ? (nxy.y == cur.y) : (nxy.x == cur.x);
+      if (!same_dir) break;
+      cur = nxy;
+      cur_cell = nxt;
+    }
+
+    Segment seg;
+    seg.id = static_cast<int>(tree.segs.size());
+    seg.a = start;
+    seg.b = cur;
+    seg.horizontal = horizontal;
+    seg.parent = w.parent_seg;
+    if (w.parent_seg >= 0) tree.segs[w.parent_seg].children.push_back(seg.id);
+    tree.segs.push_back(seg);
+
+    push_children(cur_cell, seg.id);
+  }
+
+  // Attach sinks: map far-end points to segments.
+  std::unordered_map<long long, int> end_to_seg;
+  for (const Segment& s : tree.segs) {
+    end_to_seg[static_cast<long long>(s.b.y) * xs + s.b.x] = s.id;
+  }
+  for (std::size_t k = 1; k < net.pins.size(); ++k) {
+    const int cell = g.cell_id(net.pins[k].x, net.pins[k].y);
+    if (cell == root_cell) continue;  // already attached at root
+    auto it = end_to_seg.find(static_cast<long long>(net.pins[k].y) * xs + net.pins[k].x);
+    CPLA_ASSERT_MSG(it != end_to_seg.end(), "sink pin not at any segment endpoint");
+    tree.sinks.push_back(SinkAttach{static_cast<int>(k), it->second, net.pins[k].layer});
+  }
+
+  return tree;
+}
+
+}  // namespace cpla::route

@@ -1,0 +1,49 @@
+#pragma once
+
+// Segment-tree extraction: converts a net's 2-D route (set of unit edges)
+// into the tree of maximal straight segments that layer assignment operates
+// on. Segments break at turns, branch points, and pins, so every sink and
+// every via candidate sits at a segment endpoint. Redundant wires (cycles,
+// dangling stubs from overlapped pattern routes) are pruned.
+
+#include <vector>
+
+#include "src/route/route2d.hpp"
+
+namespace cpla::route {
+
+struct Segment {
+  int id = -1;
+  grid::XY a;  // endpoint shared with the parent (or the net root)
+  grid::XY b;  // far endpoint
+  bool horizontal = true;
+  int parent = -1;  // segment id, -1 for segments hanging off the root
+  std::vector<int> children;
+
+  int length() const { return std::abs(b.x - a.x) + std::abs(b.y - a.y); }
+};
+
+struct SinkAttach {
+  int pin_index = -1;  // index into net.pins (>= 1; pin 0 is the driver)
+  int seg_id = -1;     // segment whose far end carries the pin; -1 = at root
+  int pin_layer = 0;   // metal layer of the pin itself
+};
+
+struct SegTree {
+  int net_id = -1;
+  grid::XY root;           // driver cell
+  int root_pin_layer = 0;  // metal layer of the driver pin
+  std::vector<Segment> segs;      // topological order: parent before child
+  std::vector<SinkAttach> sinks;  // one entry per non-driver pin
+
+  /// Segment ids on the path from `seg` up to the root (inclusive).
+  std::vector<int> path_to_root(int seg) const;
+};
+
+/// Builds the segment tree for `net` from its route; prunes edges not on
+/// any root-to-pin path and writes the pruned edge set back into `route`.
+/// Aborts if the route does not connect all pins (the router guarantees
+/// connectivity).
+SegTree extract_tree(const grid::GridGraph& g, const grid::Net& net, NetRoute* route);
+
+}  // namespace cpla::route

@@ -1,0 +1,150 @@
+#include "src/route/topology.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <limits>
+
+#include "src/util/check.hpp"
+
+namespace cpla::route {
+
+namespace {
+
+int dist(const grid::XY& a, const grid::XY& b) {
+  return std::abs(a.x - b.x) + std::abs(a.y - b.y);
+}
+
+int median3(int a, int b, int c) { return std::max(std::min(a, b), std::min(std::max(a, b), c)); }
+
+}  // namespace
+
+std::vector<TwoPin> mst_topology(const grid::Net& net) {
+  const std::vector<grid::Pin> cells = net.distinct_cells();
+  std::vector<TwoPin> out;
+  if (cells.size() < 2) return out;
+
+  const std::size_t n = cells.size();
+  std::vector<bool> in_tree(n, false);
+  std::vector<int> best_dist(n, std::numeric_limits<int>::max());
+  std::vector<std::size_t> best_from(n, 0);
+
+  in_tree[0] = true;  // grow from the driver
+  for (std::size_t j = 1; j < n; ++j) {
+    best_dist[j] = std::abs(cells[j].x - cells[0].x) + std::abs(cells[j].y - cells[0].y);
+  }
+
+  for (std::size_t added = 1; added < n; ++added) {
+    std::size_t pick = 0;
+    int dist = std::numeric_limits<int>::max();
+    for (std::size_t j = 0; j < n; ++j) {
+      if (!in_tree[j] && best_dist[j] < dist) {
+        dist = best_dist[j];
+        pick = j;
+      }
+    }
+    in_tree[pick] = true;
+    out.push_back(TwoPin{{cells[best_from[pick]].x, cells[best_from[pick]].y},
+                         {cells[pick].x, cells[pick].y}});
+    for (std::size_t j = 0; j < n; ++j) {
+      if (in_tree[j]) continue;
+      const int d = std::abs(cells[j].x - cells[pick].x) + std::abs(cells[j].y - cells[pick].y);
+      if (d < best_dist[j]) {
+        best_dist[j] = d;
+        best_from[j] = pick;
+      }
+    }
+  }
+  return out;
+}
+
+long topology_wirelength(const std::vector<TwoPin>& connections) {
+  long total = 0;
+  for (const TwoPin& c : connections) total += dist(c.from, c.to);
+  return total;
+}
+
+std::vector<TwoPin> steiner_topology(const grid::Net& net) {
+  std::vector<TwoPin> edges = mst_topology(net);
+  if (edges.size() < 2) return edges;
+
+  // Work on a mutable node/edge graph; nodes beyond the original pins are
+  // Steiner points.
+  std::vector<grid::XY> nodes;
+  auto node_of = [&](const grid::XY& p) {
+    for (std::size_t i = 0; i < nodes.size(); ++i) {
+      if (nodes[i] == p) return static_cast<int>(i);
+    }
+    nodes.push_back(p);
+    return static_cast<int>(nodes.size()) - 1;
+  };
+  struct Edge {
+    int a, b;
+    bool alive = true;
+  };
+  std::vector<Edge> graph;
+  for (const TwoPin& c : edges) graph.push_back({node_of(c.from), node_of(c.to), true});
+
+  // Greedy median-point insertion until no positive-gain move remains.
+  // Each pass scans every node with >= 2 incident edges and tries to merge
+  // its two longest incident connections through the 3-point median.
+  for (int pass = 0; pass < 8; ++pass) {
+    bool improved = false;
+    for (std::size_t u = 0; u < nodes.size(); ++u) {
+      // Collect live incident edges of u.
+      std::vector<std::size_t> incident;
+      for (std::size_t e = 0; e < graph.size(); ++e) {
+        if (graph[e].alive && (graph[e].a == static_cast<int>(u) ||
+                               graph[e].b == static_cast<int>(u))) {
+          incident.push_back(e);
+        }
+      }
+      if (incident.size() < 2) continue;
+
+      // Best pair of incident edges by median gain.
+      double best_gain = 0.0;
+      std::size_t best_e1 = 0, best_e2 = 0;
+      grid::XY best_s{};
+      for (std::size_t i = 0; i < incident.size(); ++i) {
+        for (std::size_t j = i + 1; j < incident.size(); ++j) {
+          const Edge& e1 = graph[incident[i]];
+          const Edge& e2 = graph[incident[j]];
+          const int v1 = (e1.a == static_cast<int>(u)) ? e1.b : e1.a;
+          const int v2 = (e2.a == static_cast<int>(u)) ? e2.b : e2.a;
+          const grid::XY s{median3(nodes[u].x, nodes[v1].x, nodes[v2].x),
+                           median3(nodes[u].y, nodes[v1].y, nodes[v2].y)};
+          const int before = dist(nodes[u], nodes[v1]) + dist(nodes[u], nodes[v2]);
+          const int after = dist(nodes[u], s) + dist(s, nodes[v1]) + dist(s, nodes[v2]);
+          const int gain = before - after;
+          if (gain > best_gain) {
+            best_gain = gain;
+            best_e1 = incident[i];
+            best_e2 = incident[j];
+            best_s = s;
+          }
+        }
+      }
+      if (best_gain <= 0.0) continue;
+
+      const Edge& e1 = graph[best_e1];
+      const Edge& e2 = graph[best_e2];
+      const int v1 = (e1.a == static_cast<int>(u)) ? e1.b : e1.a;
+      const int v2 = (e2.a == static_cast<int>(u)) ? e2.b : e2.a;
+      graph[best_e1].alive = false;
+      graph[best_e2].alive = false;
+      const int s = node_of(best_s);
+      if (s != static_cast<int>(u)) graph.push_back({static_cast<int>(u), s, true});
+      if (s != v1) graph.push_back({s, v1, true});
+      if (s != v2) graph.push_back({s, v2, true});
+      improved = true;
+    }
+    if (!improved) break;
+  }
+
+  std::vector<TwoPin> out;
+  for (const Edge& e : graph) {
+    if (e.alive && e.a != e.b) out.push_back(TwoPin{nodes[e.a], nodes[e.b]});
+  }
+  return out;
+}
+
+}  // namespace cpla::route

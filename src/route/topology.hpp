@@ -1,0 +1,33 @@
+#pragma once
+
+// Net topology: rectilinear minimum spanning tree over the net's distinct
+// pin cells (Prim). Each MST edge becomes a 2-pin connection for pattern /
+// maze routing. (The paper assumes initial routing from NCTU-GR; an
+// MST-based topology exercises the same layer-assignment code path.)
+
+#include <vector>
+
+#include "src/grid/design.hpp"
+
+namespace cpla::route {
+
+struct TwoPin {
+  grid::XY from;
+  grid::XY to;
+};
+
+/// MST edges over the net's distinct pin cells, in a deterministic order
+/// (each connection attaches one new pin to the grown component).
+std::vector<TwoPin> mst_topology(const grid::Net& net);
+
+/// Rectilinear Steiner tree approximation: the MST refined by iterative
+/// median-point insertion — for a node with two tree neighbors, the
+/// component-wise median of the three points becomes a Steiner point when
+/// that shortens the tree. Classic RMST -> RSMT refinement; wirelength is
+/// never worse than the MST and up to ~10% shorter on multi-pin nets.
+std::vector<TwoPin> steiner_topology(const grid::Net& net);
+
+/// Total rectilinear length of a connection list.
+long topology_wirelength(const std::vector<TwoPin>& connections);
+
+}  // namespace cpla::route

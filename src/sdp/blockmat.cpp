@@ -1,0 +1,199 @@
+#include "src/sdp/blockmat.hpp"
+
+#include <cmath>
+
+#include "src/util/check.hpp"
+
+namespace cpla::sdp {
+
+int total_dim(const BlockStructure& structure) {
+  int n = 0;
+  for (const auto& b : structure) n += b.dim;
+  return n;
+}
+
+BlockMatrix::BlockMatrix(const BlockStructure& structure) : structure_(structure) {
+  dense_.resize(structure_.size());
+  diag_.resize(structure_.size());
+  for (std::size_t k = 0; k < structure_.size(); ++k) {
+    const auto dim = static_cast<std::size_t>(structure_[k].dim);
+    if (structure_[k].kind == BlockSpec::Kind::kDense) {
+      dense_[k] = la::Matrix(dim, dim);
+    } else {
+      diag_[k].assign(dim, 0.0);
+    }
+  }
+}
+
+BlockMatrix BlockMatrix::scaled_identity(const BlockStructure& structure, double alpha) {
+  BlockMatrix m(structure);
+  for (std::size_t k = 0; k < structure.size(); ++k) {
+    if (m.is_dense(k)) {
+      for (std::size_t i = 0; i < m.dense(k).rows(); ++i) m.dense(k)(i, i) = alpha;
+    } else {
+      for (double& v : m.diag(k)) v = alpha;
+    }
+  }
+  return m;
+}
+
+la::Matrix& BlockMatrix::dense(std::size_t block) {
+  CPLA_ASSERT(is_dense(block));
+  return dense_[block];
+}
+const la::Matrix& BlockMatrix::dense(std::size_t block) const {
+  CPLA_ASSERT(is_dense(block));
+  return dense_[block];
+}
+la::Vector& BlockMatrix::diag(std::size_t block) {
+  CPLA_ASSERT(!is_dense(block));
+  return diag_[block];
+}
+const la::Vector& BlockMatrix::diag(std::size_t block) const {
+  CPLA_ASSERT(!is_dense(block));
+  return diag_[block];
+}
+
+void BlockMatrix::set_zero() {
+  for (std::size_t k = 0; k < structure_.size(); ++k) {
+    if (is_dense(k)) {
+      dense_[k].scale(0.0);
+    } else {
+      for (double& v : diag_[k]) v = 0.0;
+    }
+  }
+}
+
+void BlockMatrix::scale(double alpha) {
+  for (std::size_t k = 0; k < structure_.size(); ++k) {
+    if (is_dense(k)) {
+      dense_[k].scale(alpha);
+    } else {
+      for (double& v : diag_[k]) v *= alpha;
+    }
+  }
+}
+
+void BlockMatrix::axpy(double alpha, const BlockMatrix& other) {
+  CPLA_ASSERT(structure_.size() == other.structure_.size());
+  for (std::size_t k = 0; k < structure_.size(); ++k) {
+    if (is_dense(k)) {
+      dense_[k].axpy(alpha, other.dense_[k]);
+    } else {
+      for (std::size_t i = 0; i < diag_[k].size(); ++i) diag_[k][i] += alpha * other.diag_[k][i];
+    }
+  }
+}
+
+void BlockMatrix::symmetrize() {
+  for (std::size_t k = 0; k < structure_.size(); ++k) {
+    if (is_dense(k)) dense_[k].symmetrize();
+  }
+}
+
+double BlockMatrix::inner(const BlockMatrix& other) const {
+  double sum = 0.0;
+  for (std::size_t k = 0; k < structure_.size(); ++k) {
+    if (is_dense(k)) {
+      sum += la::dot(dense_[k], other.dense_[k]);
+    } else {
+      sum += la::dot(diag_[k], other.diag_[k]);
+    }
+  }
+  return sum;
+}
+
+double BlockMatrix::trace() const {
+  double sum = 0.0;
+  for (std::size_t k = 0; k < structure_.size(); ++k) {
+    if (is_dense(k)) {
+      for (std::size_t i = 0; i < dense_[k].rows(); ++i) sum += dense_[k](i, i);
+    } else {
+      for (double v : diag_[k]) sum += v;
+    }
+  }
+  return sum;
+}
+
+double BlockMatrix::frob_norm() const { return std::sqrt(inner(*this)); }
+
+double BlockMatrix::max_abs() const {
+  double best = 0.0;
+  for (std::size_t k = 0; k < structure_.size(); ++k) {
+    if (is_dense(k)) {
+      best = std::max(best, dense_[k].max_abs());
+    } else {
+      for (double v : diag_[k]) best = std::max(best, std::fabs(v));
+    }
+  }
+  return best;
+}
+
+BlockMatrix multiply(const BlockMatrix& a, const BlockMatrix& b) {
+  CPLA_ASSERT(a.structure().size() == b.structure().size());
+  BlockMatrix out(a.structure());
+  for (std::size_t k = 0; k < a.num_blocks(); ++k) {
+    if (a.is_dense(k)) {
+      out.dense(k) = a.dense(k) * b.dense(k);
+    } else {
+      for (std::size_t i = 0; i < a.diag(k).size(); ++i) {
+        out.diag(k)[i] = a.diag(k)[i] * b.diag(k)[i];
+      }
+    }
+  }
+  return out;
+}
+
+std::optional<BlockCholesky> BlockCholesky::factor(const BlockMatrix& a) {
+  BlockCholesky out;
+  out.structure_ = a.structure();
+  out.chol_.resize(a.num_blocks());
+  out.diag_.resize(a.num_blocks());
+  for (std::size_t k = 0; k < a.num_blocks(); ++k) {
+    if (a.is_dense(k)) {
+      auto c = la::Cholesky::factor(a.dense(k));
+      if (!c) return std::nullopt;
+      out.chol_[k] = std::move(c);
+    } else {
+      for (double v : a.diag(k)) {
+        if (!(v > 0.0) || !std::isfinite(v)) return std::nullopt;
+      }
+      out.diag_[k] = a.diag(k);
+    }
+  }
+  return out;
+}
+
+BlockMatrix BlockCholesky::inverse() const {
+  BlockMatrix out(structure_);
+  for (std::size_t k = 0; k < structure_.size(); ++k) {
+    if (structure_[k].kind == BlockSpec::Kind::kDense) {
+      out.dense(k) = chol_[k]->inverse();
+      out.dense(k).symmetrize();
+    } else {
+      for (std::size_t i = 0; i < diag_[k].size(); ++i) out.diag(k)[i] = 1.0 / diag_[k][i];
+    }
+  }
+  return out;
+}
+
+double BlockCholesky::log_det() const {
+  double sum = 0.0;
+  for (std::size_t k = 0; k < structure_.size(); ++k) {
+    if (structure_[k].kind == BlockSpec::Kind::kDense) {
+      sum += chol_[k]->log_det();
+    } else {
+      for (double v : diag_[k]) sum += std::log(v);
+    }
+  }
+  return sum;
+}
+
+bool is_positive_definite(const BlockMatrix& a, double shift) {
+  if (shift == 0.0) return BlockCholesky::factor(a).has_value();
+  BlockMatrix shifted = a;
+  shifted.axpy(shift, BlockMatrix::scaled_identity(a.structure(), 1.0));
+  return BlockCholesky::factor(shifted).has_value();
+}
+
+}  // namespace cpla::sdp

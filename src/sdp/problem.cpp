@@ -1,0 +1,86 @@
+#include "src/sdp/problem.hpp"
+
+#include "src/util/check.hpp"
+
+namespace cpla::sdp {
+
+namespace {
+
+void check_entry(const BlockStructure& structure, int block, int row, int col) {
+  CPLA_ASSERT(block >= 0 && block < static_cast<int>(structure.size()));
+  CPLA_ASSERT(row >= 0 && col >= 0 && row <= col && col < structure[block].dim);
+  if (structure[block].kind == BlockSpec::Kind::kDiag) {
+    CPLA_ASSERT_MSG(row == col, "diag blocks only have diagonal entries");
+  }
+}
+
+void add_into(const ConstraintEntry& e, double scale, BlockMatrix* out) {
+  if (out->is_dense(e.block)) {
+    out->dense(e.block)(e.row, e.col) += scale * e.value;
+    if (e.row != e.col) out->dense(e.block)(e.col, e.row) += scale * e.value;
+  } else {
+    out->diag(e.block)[e.row] += scale * e.value;
+  }
+}
+
+double entry_dot(const ConstraintEntry& e, const BlockMatrix& x) {
+  if (x.is_dense(e.block)) {
+    const double xv = x.dense(e.block)(e.row, e.col);
+    return (e.row == e.col) ? e.value * xv : 2.0 * e.value * xv;
+  }
+  return e.value * x.diag(e.block)[e.row];
+}
+
+}  // namespace
+
+void SdpProblem::add_objective_entry(int block, int row, int col, double value) {
+  check_entry(structure_, block, row, col);
+  objective_.push_back(ConstraintEntry{block, row, col, value});
+}
+
+int SdpProblem::add_constraint(double rhs) {
+  constraints_.push_back(Constraint{{}, rhs});
+  return static_cast<int>(constraints_.size()) - 1;
+}
+
+void SdpProblem::add_entry(int constraint, int block, int row, int col, double value) {
+  CPLA_ASSERT(constraint >= 0 && constraint < num_constraints());
+  check_entry(structure_, block, row, col);
+  constraints_[constraint].entries.push_back(ConstraintEntry{block, row, col, value});
+}
+
+BlockMatrix SdpProblem::objective_matrix() const {
+  BlockMatrix c(structure_);
+  for (const auto& e : objective_) add_into(e, 1.0, &c);
+  return c;
+}
+
+double SdpProblem::apply(int constraint, const BlockMatrix& x) const {
+  double sum = 0.0;
+  for (const auto& e : constraints_[constraint].entries) sum += entry_dot(e, x);
+  return sum;
+}
+
+la::Vector SdpProblem::apply_all(const BlockMatrix& x) const {
+  la::Vector out(constraints_.size());
+  for (std::size_t i = 0; i < constraints_.size(); ++i) {
+    out[i] = apply(static_cast<int>(i), x);
+  }
+  return out;
+}
+
+void SdpProblem::accumulate_adjoint(const la::Vector& y, BlockMatrix* out) const {
+  CPLA_ASSERT(y.size() == constraints_.size());
+  for (std::size_t i = 0; i < constraints_.size(); ++i) {
+    if (y[i] == 0.0) continue;
+    for (const auto& e : constraints_[i].entries) add_into(e, y[i], out);
+  }
+}
+
+la::Vector SdpProblem::rhs_vector() const {
+  la::Vector b(constraints_.size());
+  for (std::size_t i = 0; i < constraints_.size(); ++i) b[i] = constraints_[i].rhs;
+  return b;
+}
+
+}  // namespace cpla::sdp

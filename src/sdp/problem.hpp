@@ -1,0 +1,67 @@
+#pragma once
+
+// SDP in CSDP standard form:
+//
+//   min  C . X
+//   s.t. A_i . X = b_i   (i = 1..m)
+//        X >= 0          (block-diagonal PSD; diag blocks = LP variables)
+//
+// Constraint matrices are stored sparsely as upper-triangular entries; an
+// off-diagonal entry (r,c,v) means A[r][c] = A[c][r] = v, contributing
+// 2*v*X[r][c] to A . X.
+
+#include <vector>
+
+#include "src/sdp/blockmat.hpp"
+
+namespace cpla::sdp {
+
+struct ConstraintEntry {
+  int block = 0;
+  int row = 0;  // row <= col required
+  int col = 0;
+  double value = 0.0;
+};
+
+struct Constraint {
+  std::vector<ConstraintEntry> entries;
+  double rhs = 0.0;
+};
+
+class SdpProblem {
+ public:
+  explicit SdpProblem(BlockStructure structure) : structure_(std::move(structure)) {}
+
+  const BlockStructure& structure() const { return structure_; }
+  int num_constraints() const { return static_cast<int>(constraints_.size()); }
+  const Constraint& constraint(int i) const { return constraints_[i]; }
+
+  /// Sets an objective entry (upper triangular; symmetric counterpart
+  /// implied). Accumulates if called twice on the same entry.
+  void add_objective_entry(int block, int row, int col, double value);
+
+  /// Starts a new constraint; returns its index. Add entries, then set rhs.
+  int add_constraint(double rhs);
+  void add_entry(int constraint, int block, int row, int col, double value);
+
+  /// Materializes C as a BlockMatrix.
+  BlockMatrix objective_matrix() const;
+
+  /// A_i . X for one constraint.
+  double apply(int constraint, const BlockMatrix& x) const;
+
+  /// All A_i . X.
+  la::Vector apply_all(const BlockMatrix& x) const;
+
+  /// Adds sum_i y_i A_i into `out` (must already have the right structure).
+  void accumulate_adjoint(const la::Vector& y, BlockMatrix* out) const;
+
+  la::Vector rhs_vector() const;
+
+ private:
+  BlockStructure structure_;
+  std::vector<ConstraintEntry> objective_;
+  std::vector<Constraint> constraints_;
+};
+
+}  // namespace cpla::sdp

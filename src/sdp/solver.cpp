@@ -1,0 +1,244 @@
+#include "src/sdp/solver.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "src/la/lu.hpp"
+#include "src/util/check.hpp"
+#include "src/util/logging.hpp"
+
+namespace cpla::sdp {
+
+const char* to_string(SdpStatus status) {
+  switch (status) {
+    case SdpStatus::kOptimal: return "optimal";
+    case SdpStatus::kStalled: return "stalled";
+    case SdpStatus::kIterLimit: return "iteration-limit";
+    case SdpStatus::kNumerical: return "numerical-failure";
+  }
+  return "?";
+}
+
+namespace {
+
+/// A_j * X as a (generally nonsymmetric) block matrix, computed sparsely
+/// from the constraint entries.
+BlockMatrix constraint_times(const SdpProblem& p, int j, const BlockMatrix& x) {
+  BlockMatrix out(p.structure());
+  for (const auto& e : p.constraint(j).entries) {
+    if (out.is_dense(e.block)) {
+      const auto& xb = x.dense(e.block);
+      auto& ob = out.dense(e.block);
+      const std::size_t n = xb.cols();
+      // row e.row of A has value at column e.col (and vice versa).
+      {
+        const double* xrow = xb.row_ptr(e.col);
+        double* orow = ob.row_ptr(e.row);
+        for (std::size_t c = 0; c < n; ++c) orow[c] += e.value * xrow[c];
+      }
+      if (e.row != e.col) {
+        const double* xrow = xb.row_ptr(e.row);
+        double* orow = ob.row_ptr(e.col);
+        for (std::size_t c = 0; c < n; ++c) orow[c] += e.value * xrow[c];
+      }
+    } else {
+      out.diag(e.block)[e.row] += e.value * x.diag(e.block)[e.row];
+    }
+  }
+  return out;
+}
+
+/// tr(A_i W) for a general (possibly nonsymmetric) W.
+double constraint_trace(const SdpProblem& p, int i, const BlockMatrix& w) {
+  double sum = 0.0;
+  for (const auto& e : p.constraint(i).entries) {
+    if (w.is_dense(e.block)) {
+      const auto& wb = w.dense(e.block);
+      sum += (e.row == e.col) ? e.value * wb(e.row, e.row)
+                              : e.value * (wb(e.row, e.col) + wb(e.col, e.row));
+    } else {
+      sum += e.value * w.diag(e.block)[e.row];
+    }
+  }
+  return sum;
+}
+
+/// Largest alpha in (0, 1] with base + alpha*dir positive definite, times
+/// `fraction`. Backtracking on the Cholesky test.
+double max_step(const BlockMatrix& base, const BlockMatrix& dir, double fraction) {
+  double alpha = 1.0;
+  for (int tries = 0; tries < 60; ++tries) {
+    BlockMatrix trial = base;
+    trial.axpy(fraction * alpha, dir);
+    if (BlockCholesky::factor(trial).has_value()) return fraction * alpha;
+    alpha *= 0.7;
+  }
+  return 0.0;
+}
+
+}  // namespace
+
+SdpResult solve(const SdpProblem& p, const SdpOptions& opt) {
+  const int m = p.num_constraints();
+  const int n_total = total_dim(p.structure());
+  const BlockMatrix c = p.objective_matrix();
+  const la::Vector b = p.rhs_vector();
+  const double b_norm = la::norm2(b);
+  const double c_norm = std::max(1.0, c.frob_norm());
+
+  // Infeasible start: scaled identities sized to the data magnitudes.
+  double max_b = 1.0;
+  for (double v : b) max_b = std::max(max_b, std::fabs(v));
+  const double tau_p = std::max({10.0, std::sqrt(static_cast<double>(n_total)), 2.0 * max_b});
+  const double tau_d = std::max({10.0, std::sqrt(static_cast<double>(n_total)),
+                                 2.0 * c.max_abs()});
+
+  SdpResult res;
+  res.x = BlockMatrix::scaled_identity(p.structure(), tau_p);
+  res.z = BlockMatrix::scaled_identity(p.structure(), tau_d);
+  res.y.assign(static_cast<std::size_t>(m), 0.0);
+
+  double prev_gap = std::numeric_limits<double>::infinity();
+  int stall_count = 0;
+
+  for (int iter = 0; iter < opt.max_iterations; ++iter) {
+    res.iterations = iter;
+
+    // Residuals.
+    la::Vector ax = p.apply_all(res.x);
+    la::Vector rp(b.size());
+    for (std::size_t i = 0; i < b.size(); ++i) rp[i] = b[i] - ax[i];
+    BlockMatrix rd = c;  // Rd = C - A'(y) - Z
+    la::Vector neg_y = res.y;
+    for (double& v : neg_y) v = -v;
+    p.accumulate_adjoint(neg_y, &rd);
+    rd.axpy(-1.0, res.z);
+
+    const double gap = res.x.inner(res.z);
+    res.primal_obj = c.inner(res.x);
+    res.dual_obj = la::dot(b, res.y);
+    res.primal_infeas = la::norm2(rp) / (1.0 + b_norm);
+    res.dual_infeas = rd.frob_norm() / c_norm;
+    res.rel_gap = std::fabs(gap) / (1.0 + std::fabs(res.primal_obj) + std::fabs(res.dual_obj));
+
+    if (res.primal_infeas < opt.tol && res.dual_infeas < opt.tol && res.rel_gap < opt.tol) {
+      res.status = SdpStatus::kOptimal;
+      return res;
+    }
+    if (gap > prev_gap * 0.9999 && res.rel_gap < 1e-4) {
+      if (++stall_count >= 8) {
+        res.status = SdpStatus::kStalled;
+        return res;
+      }
+    } else {
+      stall_count = 0;
+    }
+    prev_gap = gap;
+
+    auto zchol = BlockCholesky::factor(res.z);
+    if (!zchol) {
+      res.status = SdpStatus::kNumerical;
+      return res;
+    }
+    const BlockMatrix zinv = zchol->inverse();
+
+    // Schur complement M_ij = tr(A_i Z^{-1} A_j X), built column by column.
+    la::Matrix schur(static_cast<std::size_t>(m), static_cast<std::size_t>(m));
+    for (int j = 0; j < m; ++j) {
+      const BlockMatrix w = multiply(zinv, constraint_times(p, j, res.x));
+      for (int i = 0; i < m; ++i) schur(i, j) = constraint_trace(p, i, w);
+    }
+    schur.symmetrize();
+
+    std::optional<la::Cholesky> mchol;
+    double ridge = 0.0;
+    double max_diag = 1e-12;
+    for (int i = 0; i < m; ++i) max_diag = std::max(max_diag, schur(i, i));
+    for (int tries = 0; tries < 12 && !mchol; ++tries) {
+      la::Matrix reg = schur;
+      if (ridge > 0.0) {
+        for (int i = 0; i < m; ++i) reg(i, i) += ridge;
+      }
+      mchol = la::Cholesky::factor(reg);
+      ridge = (ridge == 0.0) ? 1e-12 * max_diag : ridge * 100.0;
+    }
+    if (!mchol) {
+      res.status = SdpStatus::kNumerical;
+      return res;
+    }
+
+    // Shared pieces of the Schur rhs.
+    const BlockMatrix u = multiply(zinv, multiply(rd, res.x));  // Z^{-1} Rd X
+    la::Vector a_zinv(static_cast<std::size_t>(m));
+    la::Vector a_u(static_cast<std::size_t>(m));
+    for (int i = 0; i < m; ++i) {
+      a_zinv[i] = constraint_trace(p, i, zinv);
+      a_u[i] = constraint_trace(p, i, u);
+    }
+
+    const double mu = gap / static_cast<double>(n_total);
+
+    auto solve_direction = [&](double sigma_mu, const BlockMatrix* second_order,
+                               la::Vector* dy, BlockMatrix* dz, BlockMatrix* dx) {
+      la::Vector rhs(static_cast<std::size_t>(m));
+      for (int i = 0; i < m; ++i) {
+        rhs[i] = b[i] - sigma_mu * a_zinv[i] + a_u[i];
+        if (second_order != nullptr) rhs[i] += constraint_trace(p, i, *second_order);
+      }
+      *dy = mchol->solve(rhs);
+
+      *dz = rd;  // dZ = Rd - A'(dy)
+      la::Vector neg_dy = *dy;
+      for (double& v : neg_dy) v = -v;
+      p.accumulate_adjoint(neg_dy, dz);
+
+      // dX = sigma*mu*Z^{-1} - X - Z^{-1} dZ X (- Z^{-1} dZaff dXaff).
+      *dx = zinv;
+      dx->scale(sigma_mu);
+      dx->axpy(-1.0, res.x);
+      dx->axpy(-1.0, multiply(zinv, multiply(*dz, res.x)));
+      if (second_order != nullptr) dx->axpy(-1.0, *second_order);
+      dx->symmetrize();
+    };
+
+    // Predictor (affine scaling, sigma = 0).
+    la::Vector dy_aff;
+    BlockMatrix dz_aff, dx_aff;
+    solve_direction(0.0, nullptr, &dy_aff, &dz_aff, &dx_aff);
+
+    const double ap_aff = max_step(res.x, dx_aff, 1.0);
+    const double ad_aff = max_step(res.z, dz_aff, 1.0);
+    BlockMatrix x_aff = res.x;
+    x_aff.axpy(ap_aff, dx_aff);
+    BlockMatrix z_aff = res.z;
+    z_aff.axpy(ad_aff, dz_aff);
+    const double gap_aff = std::max(0.0, x_aff.inner(z_aff));
+    double sigma = (gap > 1e-300) ? std::pow(gap_aff / gap, 3.0) : 0.1;
+    sigma = std::clamp(sigma, 1e-4, 0.9);
+
+    // Corrector with Mehrotra second-order term Z^{-1} dZaff dXaff.
+    const BlockMatrix second = multiply(zinv, multiply(dz_aff, dx_aff));
+    la::Vector dy;
+    BlockMatrix dz, dx;
+    solve_direction(sigma * mu, &second, &dy, &dz, &dx);
+
+    double ap = max_step(res.x, dx, opt.step_fraction);
+    double ad = max_step(res.z, dz, opt.step_fraction);
+    ap = std::min(ap, 1.0);
+    ad = std::min(ad, 1.0);
+    if (ap <= 1e-10 && ad <= 1e-10) {
+      res.status = SdpStatus::kStalled;
+      return res;
+    }
+
+    res.x.axpy(ap, dx);
+    res.z.axpy(ad, dz);
+    for (int i = 0; i < m; ++i) res.y[i] += ad * dy[i];
+  }
+
+  res.status = SdpStatus::kIterLimit;
+  return res;
+}
+
+}  // namespace cpla::sdp

@@ -1,0 +1,48 @@
+#pragma once
+
+// Primal-dual interior-point SDP solver (HKM search direction, Mehrotra
+// predictor-corrector), in the style of CSDP [Borchers 1999], which the
+// paper uses. Solves
+//
+//   min  C . X   s.t.  A_i . X = b_i,  X >= 0 (block PSD)
+//
+// with dual  max b'y  s.t.  Z = C - sum_i y_i A_i >= 0.
+//
+// Infeasible start from scaled identities; each iteration solves the Schur
+// system M dy = r with M_ij = tr(A_i Z^{-1} A_j X).
+
+#include "src/sdp/problem.hpp"
+
+namespace cpla::sdp {
+
+enum class SdpStatus {
+  kOptimal,    // primal/dual feasible within tolerance, gap closed
+  kStalled,    // progress stopped before tolerance; solution still returned
+  kIterLimit,  // iteration cap reached
+  kNumerical,  // Schur factorization failed beyond recovery
+};
+
+const char* to_string(SdpStatus status);
+
+struct SdpOptions {
+  int max_iterations = 100;
+  double tol = 1e-7;         // relative feasibility + gap tolerance
+  double step_fraction = 0.98;
+};
+
+struct SdpResult {
+  SdpStatus status = SdpStatus::kIterLimit;
+  BlockMatrix x;       // primal solution
+  la::Vector y;        // dual multipliers
+  BlockMatrix z;       // dual slack
+  double primal_obj = 0.0;
+  double dual_obj = 0.0;
+  double rel_gap = 0.0;
+  double primal_infeas = 0.0;
+  double dual_infeas = 0.0;
+  int iterations = 0;
+};
+
+SdpResult solve(const SdpProblem& problem, const SdpOptions& options = {});
+
+}  // namespace cpla::sdp

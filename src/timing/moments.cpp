@@ -1,0 +1,98 @@
+#include "src/timing/moments.hpp"
+
+#include <cmath>
+
+#include "src/util/check.hpp"
+
+namespace cpla::timing {
+
+// Lumped RC model for the moment passes: each segment is one edge
+// (upstream via resistance + wire resistance) into one node (wire cap +
+// attached sink pin caps at the far end). The driver resistance feeds the
+// whole tree. This is the standard path-formula evaluation:
+//   m1(t) = sum_{e on path} R_e * C_below(e)
+//   m2(t) = sum_{e on path} R_e * S2_below(e),  S2_i = C_i*m1_i + sum S2_child
+NetMoments compute_moments(const route::SegTree& tree, const std::vector<int>& layers,
+                           const RcTable& rc) {
+  const std::size_t n = tree.segs.size();
+  CPLA_ASSERT(layers.size() == n);
+  NetMoments out;
+  out.m1.assign(tree.sinks.size(), 0.0);
+  out.m2.assign(tree.sinks.size(), 0.0);
+  out.d2m.assign(tree.sinks.size(), 0.0);
+  if (tree.sinks.empty()) return out;
+
+  // Node caps and edge resistances.
+  std::vector<double> node_cap(n, 0.0);
+  std::vector<double> edge_res(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto& seg = tree.segs[i];
+    const int l = layers[i];
+    node_cap[i] = rc.cap(l) * seg.length();
+    edge_res[i] = rc.res(l) * seg.length();
+    if (seg.parent < 0) {
+      edge_res[i] += rc.via_stack_res(tree.root_pin_layer, l);
+    } else {
+      edge_res[i] += rc.via_stack_res(layers[seg.parent], l);
+    }
+  }
+  for (const auto& sink : tree.sinks) {
+    if (sink.seg_id >= 0) node_cap[sink.seg_id] += rc.sink_cap();
+  }
+  double root_cap = 0.0;  // pins sitting in the driver cell
+  for (const auto& sink : tree.sinks) {
+    if (sink.seg_id < 0) root_cap += rc.sink_cap();
+  }
+
+  // Pass 1 (bottom-up): subtree capacitance.
+  std::vector<double> csub(n, 0.0);
+  for (std::size_t i = n; i-- > 0;) {
+    csub[i] = node_cap[i];
+    for (int c : tree.segs[i].children) csub[i] += csub[c];
+  }
+  double total_cap = root_cap;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (tree.segs[i].parent < 0) total_cap += csub[i];
+  }
+
+  // Pass 2 (top-down): first moment at every node.
+  const double driver_m1 = rc.driver_res() * total_cap;
+  std::vector<double> m1(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double base = (tree.segs[i].parent < 0) ? driver_m1 : m1[tree.segs[i].parent];
+    m1[i] = base + edge_res[i] * csub[i];
+  }
+
+  // Pass 3 (bottom-up): S2 = sum of C_k * m1_k over the subtree.
+  std::vector<double> s2(n, 0.0);
+  for (std::size_t i = n; i-- > 0;) {
+    s2[i] = node_cap[i] * m1[i];
+    for (int c : tree.segs[i].children) s2[i] += s2[c];
+  }
+  double s2_total = root_cap * driver_m1;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (tree.segs[i].parent < 0) s2_total += s2[i];
+  }
+
+  // Pass 4 (top-down): second moment (positive convention).
+  const double driver_m2 = rc.driver_res() * s2_total;
+  std::vector<double> m2(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double base = (tree.segs[i].parent < 0) ? driver_m2 : m2[tree.segs[i].parent];
+    m2[i] = base + edge_res[i] * s2[i];
+  }
+
+  // Per-sink metrics.
+  for (std::size_t k = 0; k < tree.sinks.size(); ++k) {
+    const int s = tree.sinks[k].seg_id;
+    out.m1[k] = (s < 0) ? driver_m1 : m1[s];
+    out.m2[k] = (s < 0) ? driver_m2 : m2[s];
+    out.d2m[k] = (out.m2[k] > 0.0)
+                     ? std::log(2.0) * out.m1[k] * out.m1[k] / std::sqrt(out.m2[k])
+                     : 0.0;
+    out.max_d2m = std::max(out.max_d2m, out.d2m[k]);
+  }
+  return out;
+}
+
+}  // namespace cpla::timing

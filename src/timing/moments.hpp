@@ -1,0 +1,32 @@
+#pragma once
+
+// Second-order RC-tree moments and the D2M delay metric.
+//
+// Elmore (the paper's model, and this library's default) is the first
+// moment m1 of the impulse response and is known to overestimate delay on
+// far sinks. D2M [Alpert et al., ISPD'00] uses the first two moments:
+//
+//     D2M(sink) = ln(2) * m1^2 / sqrt(m2)
+//
+// m2 is computed with the same bottom-up/top-down two-pass structure as
+// Elmore, using the m1-weighted downstream capacitances. This module is an
+// optional higher-fidelity reporting layer; the optimization engines keep
+// the paper's Elmore objective.
+
+#include "src/timing/elmore.hpp"
+
+namespace cpla::timing {
+
+struct NetMoments {
+  // Per-sink, parallel to SegTree::sinks.
+  std::vector<double> m1;   // Elmore delay
+  std::vector<double> m2;   // second moment (positive convention)
+  std::vector<double> d2m;  // D2M metric, <= m1 * ln(2) scaling semantics
+  double max_d2m = 0.0;
+};
+
+/// Computes m1/m2/D2M for every sink of a net under a layer assignment.
+NetMoments compute_moments(const route::SegTree& tree, const std::vector<int>& layers,
+                           const RcTable& rc);
+
+}  // namespace cpla::timing

@@ -1,0 +1,33 @@
+#include "src/timing/rc_table.hpp"
+
+#include <algorithm>
+
+namespace cpla::timing {
+
+RcTable::RcTable(const grid::GridGraph& g) {
+  const int nl = g.num_layers();
+  res_.resize(nl);
+  cap_.resize(nl);
+  via_res_.resize(nl);
+  for (int l = 0; l < nl; ++l) {
+    res_[l] = g.layer(l).unit_res;
+    cap_[l] = g.layer(l).unit_cap;
+    via_res_[l] = g.layer(l).via_res_up;
+  }
+}
+
+void RcTable::scale_resistance(double factor) {
+  for (double& r : res_) r *= factor;
+  for (double& r : via_res_) r *= factor;
+}
+
+double RcTable::via_stack_res(int from, int to) const {
+  const int lo = std::min(from, to);
+  const int hi = std::max(from, to);
+  CPLA_ASSERT(lo >= 0 && hi < num_layers());
+  double sum = 0.0;
+  for (int l = lo; l < hi; ++l) sum += via_res_[l];
+  return sum;
+}
+
+}  // namespace cpla::timing

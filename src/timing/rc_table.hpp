@@ -1,0 +1,46 @@
+#pragma once
+
+// Per-layer RC data consumed by the Elmore engine. Derived from the grid's
+// layer stack; pin capacitance and driver resistance are the "industrial
+// settings" knobs the paper mentions (Section 4).
+
+#include <vector>
+
+#include "src/grid/grid_graph.hpp"
+
+namespace cpla::timing {
+
+class RcTable {
+ public:
+  /// Builds from a grid's layer stack.
+  explicit RcTable(const grid::GridGraph& g);
+
+  int num_layers() const { return static_cast<int>(res_.size()); }
+
+  /// Wire resistance of one tile of wire on layer l.
+  double res(int l) const { return res_[l]; }
+
+  /// Wire capacitance of one tile of wire on layer l.
+  double cap(int l) const { return cap_[l]; }
+
+  /// Resistance of a single via between layers l and l+1.
+  double via_res(int l) const { return via_res_[l]; }
+
+  /// Total resistance of a via stack between layers `from` and `to`.
+  double via_stack_res(int from, int to) const;
+
+  /// Scales every wire and via resistance (testing and what-if analysis).
+  void scale_resistance(double factor);
+
+  double sink_cap() const { return sink_cap_; }
+  double driver_res() const { return driver_res_; }
+  void set_sink_cap(double c) { sink_cap_ = c; }
+  void set_driver_res(double r) { driver_res_ = r; }
+
+ private:
+  std::vector<double> res_, cap_, via_res_;
+  double sink_cap_ = 3.0;
+  double driver_res_ = 12.0;
+};
+
+}  // namespace cpla::timing

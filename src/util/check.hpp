@@ -1,0 +1,30 @@
+#pragma once
+
+// Lightweight contract checking. CPLA_ASSERT is active in all build types:
+// the solvers in this project rely on invariants (PSD-ness, basis validity,
+// tree shape) whose silent violation produces garbage numbers, which is far
+// more expensive to debug than the cost of the checks.
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace cpla {
+
+[[noreturn]] inline void assert_fail(const char* expr, const char* file, int line,
+                                     const char* msg) {
+  std::fprintf(stderr, "CPLA_ASSERT failed: %s\n  at %s:%d\n  %s\n", expr, file, line,
+               msg ? msg : "");
+  std::abort();
+}
+
+}  // namespace cpla
+
+#define CPLA_ASSERT(expr)                                       \
+  do {                                                          \
+    if (!(expr)) ::cpla::assert_fail(#expr, __FILE__, __LINE__, nullptr); \
+  } while (0)
+
+#define CPLA_ASSERT_MSG(expr, msg)                              \
+  do {                                                          \
+    if (!(expr)) ::cpla::assert_fail(#expr, __FILE__, __LINE__, (msg)); \
+  } while (0)

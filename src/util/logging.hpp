@@ -1,0 +1,24 @@
+#pragma once
+
+// Minimal leveled logger. Thread-safe line output; level gating is global.
+// Usage: LOG_INFO("routed %zu nets, overflow=%d", n, ov);
+
+#include <cstdarg>
+
+namespace cpla {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kSilent = 4 };
+
+/// Sets the global minimum level that is emitted.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// printf-style emission; prefixed with level tag and elapsed wall time.
+void log_msg(LogLevel level, const char* fmt, ...) __attribute__((format(printf, 2, 3)));
+
+}  // namespace cpla
+
+#define LOG_DEBUG(...) ::cpla::log_msg(::cpla::LogLevel::kDebug, __VA_ARGS__)
+#define LOG_INFO(...) ::cpla::log_msg(::cpla::LogLevel::kInfo, __VA_ARGS__)
+#define LOG_WARN(...) ::cpla::log_msg(::cpla::LogLevel::kWarn, __VA_ARGS__)
+#define LOG_ERROR(...) ::cpla::log_msg(::cpla::LogLevel::kError, __VA_ARGS__)

@@ -1,0 +1,21 @@
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cpla {
+
+/// Splits on any run of the given delimiter characters; empty tokens dropped.
+std::vector<std::string> split_ws(std::string_view text, std::string_view delims = " \t\r\n");
+
+/// Removes leading and trailing whitespace.
+std::string_view trim(std::string_view text);
+
+/// True if `text` starts with `prefix`.
+bool starts_with(std::string_view text, std::string_view prefix);
+
+/// printf-style std::string formatting.
+std::string str_format(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+}  // namespace cpla

@@ -1,0 +1,88 @@
+#include "src/util/svg.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+
+#include "src/util/str.hpp"
+
+namespace cpla {
+
+SvgCanvas::SvgCanvas(double width, double height) : width_(width), height_(height) {}
+
+void SvgCanvas::rect(double x, double y, double w, double h, const std::string& fill,
+                     double opacity, const std::string& stroke) {
+  std::string el = str_format(
+      "<rect x=\"%.2f\" y=\"%.2f\" width=\"%.2f\" height=\"%.2f\" fill=\"%s\" "
+      "fill-opacity=\"%.3f\"",
+      x, y, w, h, fill.c_str(), opacity);
+  if (!stroke.empty()) el += str_format(" stroke=\"%s\" stroke-width=\"0.5\"", stroke.c_str());
+  el += "/>";
+  elements_.push_back(std::move(el));
+}
+
+void SvgCanvas::line(double x1, double y1, double x2, double y2, const std::string& stroke,
+                     double width) {
+  elements_.push_back(str_format(
+      "<line x1=\"%.2f\" y1=\"%.2f\" x2=\"%.2f\" y2=\"%.2f\" stroke=\"%s\" "
+      "stroke-width=\"%.2f\" stroke-linecap=\"round\"/>",
+      x1, y1, x2, y2, stroke.c_str(), width));
+}
+
+void SvgCanvas::circle(double cx, double cy, double r, const std::string& fill) {
+  elements_.push_back(str_format("<circle cx=\"%.2f\" cy=\"%.2f\" r=\"%.2f\" fill=\"%s\"/>", cx,
+                                 cy, r, fill.c_str()));
+}
+
+void SvgCanvas::text(double x, double y, const std::string& content, double size,
+                     const std::string& fill) {
+  elements_.push_back(str_format(
+      "<text x=\"%.2f\" y=\"%.2f\" font-size=\"%.1f\" font-family=\"sans-serif\" "
+      "fill=\"%s\">%s</text>",
+      x, y, size, fill.c_str(), content.c_str()));
+}
+
+std::string SvgCanvas::render() const {
+  std::string out = str_format(
+      "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"%.0f\" height=\"%.0f\" "
+      "viewBox=\"0 0 %.0f %.0f\">\n",
+      width_, height_, width_, height_);
+  for (const auto& el : elements_) {
+    out += el;
+    out += '\n';
+  }
+  out += "</svg>\n";
+  return out;
+}
+
+bool SvgCanvas::write(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << render();
+  return static_cast<bool>(out);
+}
+
+std::string SvgCanvas::heat_color(double value) {
+  const double v = std::clamp(value, 0.0, 1.0);
+  // Piecewise blue (cold) -> green -> yellow -> red (hot).
+  int r, g, b;
+  if (v < 1.0 / 3.0) {
+    const double t = v * 3.0;
+    r = 0;
+    g = static_cast<int>(200 * t);
+    b = static_cast<int>(200 * (1.0 - t) + 55);
+  } else if (v < 2.0 / 3.0) {
+    const double t = (v - 1.0 / 3.0) * 3.0;
+    r = static_cast<int>(255 * t);
+    g = 200;
+    b = 0;
+  } else {
+    const double t = (v - 2.0 / 3.0) * 3.0;
+    r = 255;
+    g = static_cast<int>(200 * (1.0 - t));
+    b = 0;
+  }
+  return str_format("#%02x%02x%02x", r, g, b);
+}
+
+}  // namespace cpla

@@ -1,0 +1,38 @@
+#pragma once
+
+// Minimal SVG canvas for visual diagnostics: routing-density heatmaps
+// (Fig 3(b) of the paper), net overlays, partition outlines. Header-light,
+// no dependencies; output is a standalone .svg file.
+
+#include <string>
+#include <vector>
+
+namespace cpla {
+
+class SvgCanvas {
+ public:
+  SvgCanvas(double width, double height);
+
+  void rect(double x, double y, double w, double h, const std::string& fill,
+            double opacity = 1.0, const std::string& stroke = "");
+  void line(double x1, double y1, double x2, double y2, const std::string& stroke,
+            double width = 1.0);
+  void circle(double cx, double cy, double r, const std::string& fill);
+  void text(double x, double y, const std::string& content, double size = 12.0,
+            const std::string& fill = "#222222");
+
+  /// Renders the complete SVG document.
+  std::string render() const;
+
+  /// Writes to a file; returns false on I/O failure.
+  bool write(const std::string& path) const;
+
+  /// Maps a value in [0,1] to a blue->green->yellow->red heat color.
+  static std::string heat_color(double value);
+
+ private:
+  double width_, height_;
+  std::vector<std::string> elements_;
+};
+
+}  // namespace cpla

@@ -1,0 +1,57 @@
+#include "src/util/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "src/util/check.hpp"
+#include "src/util/str.hpp"
+
+namespace cpla {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {}
+
+void Table::add_row(std::vector<std::string> cells) {
+  CPLA_ASSERT_MSG(cells.size() == header_.size(), "row arity mismatch");
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::render() const {
+  std::vector<std::size_t> width(header_.size(), 0);
+  for (std::size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) width[c] = std::max(width[c], row[c].size());
+  }
+
+  auto render_row = [&](const std::vector<std::string>& row) {
+    std::string line;
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      const std::size_t pad = width[c] - row[c].size();
+      if (c == 0) {
+        line += row[c] + std::string(pad, ' ');
+      } else {
+        line += std::string(pad, ' ') + row[c];
+      }
+      line += (c + 1 == row.size()) ? "\n" : "  ";
+    }
+    return line;
+  };
+
+  std::string out = render_row(header_);
+  std::size_t total = 0;
+  for (std::size_t c = 0; c < width.size(); ++c) total += width[c] + (c ? 2 : 0);
+  out += std::string(total, '-') + "\n";
+  for (const auto& row : rows_) out += render_row(row);
+  return out;
+}
+
+void Table::print() const {
+  const std::string text = render();
+  std::fwrite(text.data(), 1, text.size(), stdout);
+  std::fflush(stdout);
+}
+
+std::string fmt_num(double value, int precision) {
+  return str_format("%.*f", precision, value);
+}
+
+}  // namespace cpla

@@ -1,0 +1,34 @@
+#pragma once
+
+// Console table renderer used by the benchmark harnesses to print
+// paper-style result tables (Table 2, Fig 7/8/9 series) with aligned columns.
+
+#include <string>
+#include <vector>
+
+namespace cpla {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Appends a row; must have the same arity as the header.
+  void add_row(std::vector<std::string> cells);
+
+  /// Renders with column alignment (first column left, rest right).
+  std::string render() const;
+
+  /// Renders and writes to stdout.
+  void print() const;
+
+  std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with the given precision, trimming to a compact width.
+std::string fmt_num(double value, int precision = 2);
+
+}  // namespace cpla

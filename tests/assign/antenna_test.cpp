@@ -1,0 +1,109 @@
+#include "src/assign/antenna.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/assign/initial_assign.hpp"
+#include "src/gen/synth.hpp"
+#include "src/grid/layer_stack.hpp"
+#include "src/route/router.hpp"
+
+namespace cpla::assign {
+namespace {
+
+struct Fixture {
+  grid::Design design;
+  Fixture() : design("t", make_grid()) {}
+  static grid::GridGraph make_grid() {
+    grid::GridGraph g(16, 16, grid::make_layer_stack(4), grid::default_geom());
+    for (int l = 0; l < 4; ++l) g.fill_layer_capacity(l, 8);
+    return g;
+  }
+
+  /// L-net (1,1)->(9,1)->(9,6): H segment length 8, V segment length 5.
+  AssignState l_state(std::vector<int> layers) {
+    grid::Net net;
+    net.id = 0;
+    net.pins = {grid::Pin{1, 1, 0}, grid::Pin{9, 6, 0}};
+    route::NetRoute r;
+    for (int x = 1; x < 9; ++x) r.add_h(design.grid.h_edge_id(x, 1));
+    for (int y = 1; y < 6; ++y) r.add_v(design.grid.v_edge_id(9, y));
+    AssignState state(&design, {route::extract_tree(design.grid, net, &r)});
+    state.set_layers(0, std::move(layers));
+    return state;
+  }
+};
+
+TEST(Antenna, SameLayerChainDischargesThroughDriver) {
+  // Both segments on the lowest pair: at every step where the sink is
+  // attached, the driver is also reachable -> no antenna.
+  Fixture f;
+  const AssignState state = f.l_state({0, 1});
+  EXPECT_DOUBLE_EQ(sink_antenna_ratio(state, 0, 0), 0.0);
+}
+
+TEST(Antenna, LowSinkSegmentBelowHighParentCollectsCharge) {
+  // Parent H segment on layer 2, sink V segment on layer 1: at fabrication
+  // step 1 the V metal (length 5) exists and connects to the sink, but the
+  // parent (layer 2) does not exist yet -> antenna of length 5 / gate 1.
+  Fixture f;
+  const AssignState state = f.l_state({2, 1});
+  AntennaOptions opt;
+  opt.gate_size = 1.0;
+  EXPECT_DOUBLE_EQ(sink_antenna_ratio(state, 0, 0, opt), 5.0);
+}
+
+TEST(Antenna, GateSizeScalesRatio) {
+  Fixture f;
+  const AssignState state = f.l_state({2, 1});
+  AntennaOptions opt;
+  opt.gate_size = 2.5;
+  EXPECT_DOUBLE_EQ(sink_antenna_ratio(state, 0, 0, opt), 2.0);
+}
+
+TEST(Antenna, ReportFlagsViolationsAboveThreshold) {
+  Fixture f;
+  const AssignState state = f.l_state({2, 1});
+  AntennaOptions opt;
+  opt.gate_size = 1.0;
+  opt.max_ratio = 4.0;  // ratio 5.0 violates
+  const AntennaReport report = check_antennas(state, opt);
+  ASSERT_EQ(report.violations.size(), 1u);
+  EXPECT_EQ(report.violations[0].net, 0);
+  EXPECT_DOUBLE_EQ(report.violations[0].ratio, 5.0);
+  EXPECT_DOUBLE_EQ(report.worst_ratio, 5.0);
+  EXPECT_EQ(report.sinks_checked, 1);
+
+  opt.max_ratio = 6.0;  // now it passes
+  EXPECT_TRUE(check_antennas(state, opt).violations.empty());
+}
+
+TEST(Antenna, BenchmarkAuditRunsCleanly) {
+  gen::SynthSpec spec;
+  spec.xsize = spec.ysize = 20;
+  spec.num_nets = 150;
+  spec.num_layers = 6;
+  spec.seed = 91;
+  const grid::Design d = gen::generate(spec);
+  route::RoutingResult rr = route::route_all(d);
+  std::vector<route::SegTree> trees;
+  for (std::size_t n = 0; n < d.nets.size(); ++n) {
+    trees.push_back(route::extract_tree(d.grid, d.nets[n], &rr.routes[n]));
+  }
+  AssignState state(&d, std::move(trees));
+  initial_assign(&state);
+
+  const AntennaReport report = check_antennas(state);
+  EXPECT_GT(report.sinks_checked, 0);
+  EXPECT_GE(report.worst_ratio, 0.0);
+  // Ratios are bounded by total net wirelength / gate size.
+  long max_wl = 0;
+  for (int n = 0; n < state.num_nets(); ++n) {
+    long wl = 0;
+    for (const auto& seg : state.tree(n).segs) wl += seg.length();
+    max_wl = std::max(max_wl, wl);
+  }
+  EXPECT_LE(report.worst_ratio, static_cast<double>(max_wl));
+}
+
+}  // namespace
+}  // namespace cpla::assign

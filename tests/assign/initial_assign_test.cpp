@@ -1,0 +1,93 @@
+#include "src/assign/initial_assign.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/gen/synth.hpp"
+#include "src/route/router.hpp"
+#include "src/route/seg_tree.hpp"
+
+namespace cpla::assign {
+namespace {
+
+AssignState routed_state(const grid::Design& design) {
+  route::RoutingResult rr = route::route_all(design);
+  std::vector<route::SegTree> trees;
+  for (std::size_t n = 0; n < design.nets.size(); ++n) {
+    trees.push_back(route::extract_tree(design.grid, design.nets[n], &rr.routes[n]));
+  }
+  return AssignState(&design, std::move(trees));
+}
+
+TEST(InitialAssign, AssignsEveryNetLegally) {
+  gen::SynthSpec spec;
+  spec.xsize = spec.ysize = 24;
+  spec.num_nets = 300;
+  spec.num_layers = 4;
+  spec.seed = 31;
+  const grid::Design d = gen::generate(spec);
+  AssignState state = routed_state(d);
+  initial_assign(&state);
+
+  for (int n = 0; n < state.num_nets(); ++n) {
+    EXPECT_TRUE(state.assigned(n));
+    const auto& layers = state.layers(n);
+    for (const auto& seg : state.tree(n).segs) {
+      EXPECT_EQ(d.grid.is_horizontal(layers[seg.id]), seg.horizontal);
+    }
+  }
+}
+
+TEST(InitialAssign, RespectsWireCapacityWhenFeasible) {
+  // Lightly loaded design: zero wire overflow should be achievable.
+  gen::SynthSpec spec;
+  spec.xsize = spec.ysize = 24;
+  spec.num_nets = 120;
+  spec.num_layers = 6;
+  spec.tracks_per_layer = 12;
+  spec.num_blockages = 0;
+  spec.seed = 33;
+  const grid::Design d = gen::generate(spec);
+  AssignState state = routed_state(d);
+  initial_assign(&state);
+  EXPECT_EQ(state.wire_overflow(), 0);
+}
+
+TEST(InitialAssign, ViaCountIsReasonable) {
+  // Each net needs at least (#segments - 1)-ish direction switches; the
+  // assigner should not explode vias far beyond a small multiple of that.
+  gen::SynthSpec spec;
+  spec.xsize = spec.ysize = 20;
+  spec.num_nets = 150;
+  spec.num_layers = 4;
+  spec.seed = 35;
+  const grid::Design d = gen::generate(spec);
+  AssignState state = routed_state(d);
+  initial_assign(&state);
+
+  long total_segs = 0;
+  for (int n = 0; n < state.num_nets(); ++n) {
+    total_segs += static_cast<long>(state.tree(n).segs.size());
+  }
+  EXPECT_GT(state.via_count(), 0);
+  // Loose sanity band: < 4 layer-crossings per segment on a 4-layer stack.
+  EXPECT_LT(state.via_count(), 4 * total_segs + 1);
+}
+
+TEST(InitialAssign, Idempotent) {
+  gen::SynthSpec spec;
+  spec.xsize = spec.ysize = 16;
+  spec.num_nets = 80;
+  spec.num_layers = 4;
+  spec.seed = 37;
+  const grid::Design d = gen::generate(spec);
+  AssignState state = routed_state(d);
+  initial_assign(&state);
+  const long ov1 = state.wire_overflow();
+  const long vias1 = state.via_count();
+  initial_assign(&state);  // re-running from the produced state
+  EXPECT_LE(state.wire_overflow(), ov1);
+  EXPECT_LE(std::labs(state.via_count() - vias1), vias1);  // same ballpark
+}
+
+}  // namespace
+}  // namespace cpla::assign

@@ -1,0 +1,156 @@
+#include "src/assign/net_dp.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/grid/layer_stack.hpp"
+#include "src/util/rng.hpp"
+
+namespace cpla::assign {
+namespace {
+
+/// Builds a random segment tree (synthetic shapes, not geometric) to
+/// exercise the DP; directions alternate from the parent.
+route::SegTree random_tree(cpla::Rng* rng, int num_segs) {
+  route::SegTree tree;
+  tree.net_id = 0;
+  tree.root = {1, 1};
+  for (int i = 0; i < num_segs; ++i) {
+    route::Segment seg;
+    seg.id = i;
+    seg.parent = (i == 0) ? -1 : static_cast<int>(rng->uniform_int(0, i - 1));
+    seg.horizontal = (i == 0) ? true : !tree.segs[seg.parent].horizontal;
+    seg.a = {1, 1};
+    seg.b = seg.horizontal ? grid::XY{1 + static_cast<int>(rng->uniform_int(1, 5)), 1}
+                           : grid::XY{1, 1 + static_cast<int>(rng->uniform_int(1, 5))};
+    if (seg.parent >= 0) tree.segs[seg.parent].children.push_back(i);
+    tree.segs.push_back(seg);
+  }
+  return tree;
+}
+
+TEST(NetDp, SingleSegmentPicksCheapestLayer) {
+  route::SegTree tree;
+  tree.root = {0, 0};
+  route::Segment seg;
+  seg.id = 0;
+  seg.horizontal = true;
+  seg.a = {0, 0};
+  seg.b = {3, 0};
+  tree.segs.push_back(seg);
+
+  const std::vector<int> layers = {0, 2};
+  NetDpCosts costs;
+  costs.seg_cost = [](int, int l) { return l == 0 ? 7.0 : 3.0; };
+  costs.root_via_cost = [](int, int) { return 0.0; };
+  costs.via_cost = [](int, int, int) { return 0.0; };
+  auto allowed = [&](int) -> const std::vector<int>& { return layers; };
+  EXPECT_EQ(solve_net_dp(tree, allowed, costs), (std::vector<int>{2}));
+}
+
+TEST(NetDp, RootViaTiltsChoice) {
+  route::SegTree tree;
+  tree.root = {0, 0};
+  route::Segment seg;
+  seg.id = 0;
+  seg.horizontal = true;
+  seg.a = {0, 0};
+  seg.b = {3, 0};
+  tree.segs.push_back(seg);
+
+  const std::vector<int> layers = {0, 2};
+  NetDpCosts costs;
+  costs.seg_cost = [](int, int l) { return l == 0 ? 7.0 : 3.0; };
+  costs.root_via_cost = [](int, int l) { return l == 2 ? 10.0 : 0.0; };
+  costs.via_cost = [](int, int, int) { return 0.0; };
+  auto allowed = [&](int) -> const std::vector<int>& { return layers; };
+  EXPECT_EQ(solve_net_dp(tree, allowed, costs), (std::vector<int>{0}));
+}
+
+TEST(NetDp, ViaCouplingPropagates) {
+  // Chain of two segments; child strongly prefers layer 3, but via cost
+  // from parent layer 0 to 3 is huge, so optimum is (0 -> 1).
+  cpla::Rng rng(1);
+  route::SegTree tree = random_tree(&rng, 1);
+  route::Segment child;
+  child.id = 1;
+  child.parent = 0;
+  child.horizontal = false;
+  child.a = child.b = {1, 1};
+  child.b.y = 3;
+  tree.segs[0].children.push_back(1);
+  tree.segs.push_back(child);
+
+  const std::vector<int> h_layers = {0, 2};
+  const std::vector<int> v_layers = {1, 3};
+  NetDpCosts costs;
+  costs.seg_cost = [](int s, int l) {
+    if (s == 1) return l == 3 ? 1.0 : 2.0;  // slightly prefers 3
+    return l == 0 ? 1.0 : 50.0;             // parent pinned to 0
+  };
+  costs.root_via_cost = [](int, int) { return 0.0; };
+  costs.via_cost = [](int, int lp, int lc) { return 10.0 * std::abs(lp - lc); };
+  auto allowed = [&](int s) -> const std::vector<int>& {
+    return tree.segs[s].horizontal ? h_layers : v_layers;
+  };
+  EXPECT_EQ(solve_net_dp(tree, allowed, costs), (std::vector<int>{0, 1}));
+}
+
+// Property: DP result matches brute-force enumeration on random trees.
+class NetDpSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(NetDpSweep, MatchesBruteForce) {
+  cpla::Rng rng(700 + static_cast<std::uint64_t>(GetParam()));
+  const int num_segs = 1 + GetParam() % 8;
+  const route::SegTree tree = random_tree(&rng, num_segs);
+
+  const std::vector<int> h_layers = {0, 2};
+  const std::vector<int> v_layers = {1, 3};
+  auto allowed = [&](int s) -> const std::vector<int>& {
+    return tree.segs[s].horizontal ? h_layers : v_layers;
+  };
+
+  // Random but deterministic cost tables.
+  std::vector<std::array<double, 4>> seg_cost(num_segs);
+  for (auto& row : seg_cost)
+    for (auto& v : row) v = rng.uniform(0.0, 10.0);
+  std::vector<std::array<double, 16>> via_cost(num_segs);
+  for (auto& row : via_cost)
+    for (auto& v : row) v = rng.uniform(0.0, 5.0);
+
+  NetDpCosts costs;
+  costs.seg_cost = [&](int s, int l) { return seg_cost[s][l]; };
+  costs.root_via_cost = [&](int s, int l) { return 0.1 * l + 0.01 * s; };
+  costs.via_cost = [&](int c, int lp, int lc) { return via_cost[c][lp * 4 + lc]; };
+
+  auto total_of = [&](const std::vector<int>& pick) {
+    double total = 0.0;
+    for (int s = 0; s < num_segs; ++s) {
+      total += costs.seg_cost(s, pick[s]);
+      const int parent = tree.segs[s].parent;
+      if (parent < 0) {
+        total += costs.root_via_cost(s, pick[s]);
+      } else {
+        total += costs.via_cost(s, pick[parent], pick[s]);
+      }
+    }
+    return total;
+  };
+
+  // Brute force over 2^num_segs combos (each segment has 2 options).
+  double best = 1e300;
+  std::vector<int> pick(num_segs);
+  for (int mask = 0; mask < (1 << num_segs); ++mask) {
+    for (int s = 0; s < num_segs; ++s) {
+      pick[s] = allowed(s)[(mask >> s) & 1];
+    }
+    best = std::min(best, total_of(pick));
+  }
+
+  const std::vector<int> dp = solve_net_dp(tree, allowed, costs);
+  EXPECT_NEAR(total_of(dp), best, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Random, NetDpSweep, ::testing::Range(0, 24));
+
+}  // namespace
+}  // namespace cpla::assign

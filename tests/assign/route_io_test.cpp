@@ -1,0 +1,122 @@
+#include "src/assign/route_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "src/assign/initial_assign.hpp"
+#include "src/gen/synth.hpp"
+#include "src/grid/layer_stack.hpp"
+#include "src/route/router.hpp"
+#include "src/util/logging.hpp"
+
+namespace cpla::assign {
+namespace {
+
+struct Fixture {
+  grid::Design design;
+  Fixture() : design("t", make_grid()) {}
+  static grid::GridGraph make_grid() {
+    grid::GridGraph g(12, 12, grid::make_layer_stack(4), grid::default_geom());
+    for (int l = 0; l < 4; ++l) g.fill_layer_capacity(l, 8);
+    return g;
+  }
+};
+
+TEST(RouteIo, NetWiresCoverSegmentsAndVias) {
+  Fixture f;
+  grid::Net net;
+  net.id = 0;
+  net.name = "n0";
+  net.pins = {grid::Pin{1, 1, 0}, grid::Pin{5, 4, 0}};
+  f.design.nets.push_back(net);
+  route::NetRoute r;
+  for (int x = 1; x < 5; ++x) r.add_h(f.design.grid.h_edge_id(x, 1));
+  for (int y = 1; y < 4; ++y) r.add_v(f.design.grid.v_edge_id(5, y));
+  AssignState state(&f.design, {route::extract_tree(f.design.grid, net, &r)});
+  state.set_layers(0, {2, 3});
+
+  const auto wires = net_wires(state, 0);
+  // 2 segments + source via (0->2) + junction via (2->3) + sink via (3->0).
+  ASSERT_EQ(wires.size(), 5u);
+  int segs = 0, vias = 0;
+  for (const auto& w : wires) {
+    if (w.l1 == w.l2) {
+      ++segs;
+    } else {
+      ++vias;
+      EXPECT_EQ(w.x1, w.x2);
+      EXPECT_EQ(w.y1, w.y2);
+    }
+  }
+  EXPECT_EQ(segs, 2);
+  EXPECT_EQ(vias, 3);
+}
+
+TEST(RouteIo, RoundTripOnBenchmark) {
+  gen::SynthSpec spec;
+  spec.xsize = spec.ysize = 20;
+  spec.num_nets = 120;
+  spec.num_layers = 4;
+  spec.seed = 81;
+  const grid::Design d = gen::generate(spec);
+  route::RoutingResult rr = route::route_all(d);
+  std::vector<route::SegTree> trees;
+  for (std::size_t n = 0; n < d.nets.size(); ++n) {
+    trees.push_back(route::extract_tree(d.grid, d.nets[n], &rr.routes[n]));
+  }
+  AssignState state(&d, std::move(trees));
+  initial_assign(&state);
+
+  std::stringstream buf;
+  write_routes(state, buf);
+  const auto parsed = read_routes(buf, d.grid);
+  ASSERT_TRUE(parsed.has_value());
+  ASSERT_EQ(parsed->size(), d.nets.size());
+
+  for (std::size_t n = 0; n < parsed->size(); ++n) {
+    EXPECT_EQ((*parsed)[n].name, d.nets[n].name);
+    EXPECT_EQ((*parsed)[n].id, d.nets[n].id);
+    const auto expected = net_wires(state, static_cast<int>(n));
+    ASSERT_EQ((*parsed)[n].wires.size(), expected.size()) << d.nets[n].name;
+    for (std::size_t w = 0; w < expected.size(); ++w) {
+      EXPECT_EQ((*parsed)[n].wires[w], expected[w]);
+    }
+  }
+}
+
+TEST(RouteIo, ReaderRejectsMalformedInput) {
+  set_log_level(LogLevel::kSilent);
+  Fixture f;
+  {
+    std::istringstream in("(1,2,3)-(4,5,6)\n");  // wire before a header
+    EXPECT_FALSE(read_routes(in, f.design.grid).has_value());
+  }
+  {
+    std::istringstream in("n0 0\n(1,2\n!\n");  // truncated wire
+    EXPECT_FALSE(read_routes(in, f.design.grid).has_value());
+  }
+  {
+    std::istringstream in("n0 0\n(5,5,1)-(15,5,1)\n");  // missing '!'
+    EXPECT_FALSE(read_routes(in, f.design.grid).has_value());
+  }
+  {
+    std::istringstream in("!\n");  // stray terminator
+    EXPECT_FALSE(read_routes(in, f.design.grid).has_value());
+  }
+  set_log_level(LogLevel::kInfo);
+}
+
+TEST(RouteIo, EmptyStateWritesNothing) {
+  Fixture f;
+  AssignState state(&f.design, {});
+  std::stringstream buf;
+  write_routes(state, buf);
+  EXPECT_TRUE(buf.str().empty());
+  const auto parsed = read_routes(buf, f.design.grid);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_TRUE(parsed->empty());
+}
+
+}  // namespace
+}  // namespace cpla::assign

@@ -1,0 +1,89 @@
+#include "src/core/critical.hpp"
+
+#include "src/core/flow.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/core/pipeline.hpp"
+#include "src/gen/synth.hpp"
+
+namespace cpla::core {
+namespace {
+
+Prepared bench() {
+  gen::SynthSpec spec;
+  spec.xsize = spec.ysize = 24;
+  spec.num_nets = 300;
+  spec.num_layers = 6;
+  spec.seed = 111;
+  return prepare(gen::generate(spec));
+}
+
+TEST(SelectByBudget, ReleasesExactlyTheViolators) {
+  Prepared run = bench();
+  const auto& state = *run.state;
+  const auto& rc = *run.rc;
+
+  // Pick a budget at the delay of the ~20th worst net.
+  std::vector<double> delays;
+  for (int n = 0; n < state.num_nets(); ++n) {
+    if (state.tree(n).segs.empty()) continue;
+    delays.push_back(timing::critical_delay(state.tree(n), state.layers(n), rc));
+  }
+  std::sort(delays.rbegin(), delays.rend());
+  ASSERT_GT(delays.size(), 25u);
+  const double budget = delays[20];
+
+  const CriticalSet cs = select_by_budget(state, rc, budget);
+  EXPECT_EQ(cs.nets.size(), 20u);  // strictly-above-budget nets
+  // Every released net really violates; every unreleased net meets budget.
+  for (int n = 0; n < state.num_nets(); ++n) {
+    if (state.tree(n).segs.empty()) continue;
+    const double d = timing::critical_delay(state.tree(n), state.layers(n), rc);
+    EXPECT_EQ(static_cast<bool>(cs.released[n]), d > budget) << n;
+  }
+  // Sorted worst-first.
+  for (std::size_t i = 1; i < cs.nets.size(); ++i) {
+    const double a =
+        timing::critical_delay(state.tree(cs.nets[i - 1]), state.layers(cs.nets[i - 1]), rc);
+    const double b =
+        timing::critical_delay(state.tree(cs.nets[i]), state.layers(cs.nets[i]), rc);
+    EXPECT_GE(a, b);
+  }
+}
+
+TEST(SelectByBudget, LooseBudgetReleasesNothing) {
+  Prepared run = bench();
+  const CriticalSet cs = select_by_budget(*run.state, *run.rc, 1e18);
+  EXPECT_TRUE(cs.nets.empty());
+}
+
+TEST(SelectByBudget, ZeroBudgetReleasesEverythingRoutable) {
+  Prepared run = bench();
+  const CriticalSet cs = select_by_budget(*run.state, *run.rc, 0.0);
+  int routable = 0;
+  for (int n = 0; n < run.state->num_nets(); ++n) {
+    if (!run.state->tree(n).segs.empty()) ++routable;
+  }
+  EXPECT_EQ(static_cast<int>(cs.nets.size()), routable);
+}
+
+TEST(SelectByBudget, FeedsCplaFlow) {
+  Prepared run = bench();
+  std::vector<double> delays;
+  for (int n = 0; n < run.state->num_nets(); ++n) {
+    if (run.state->tree(n).segs.empty()) continue;
+    delays.push_back(
+        timing::critical_delay(run.state->tree(n), run.state->layers(n), *run.rc));
+  }
+  std::sort(delays.rbegin(), delays.rend());
+  const double budget = delays[10];
+  const CriticalSet cs = select_by_budget(*run.state, *run.rc, budget);
+  CplaOptions opt;
+  opt.max_rounds = 2;
+  const CplaResult r = run_cpla(run.state.get(), *run.rc, cs, opt);
+  EXPECT_LE(r.metrics.max_tcp, delays[0] * 1.0001);  // never regresses the worst
+}
+
+}  // namespace
+}  // namespace cpla::core

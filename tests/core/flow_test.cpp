@@ -1,0 +1,107 @@
+#include "src/core/flow.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/core/pipeline.hpp"
+#include "src/core/tila.hpp"
+#include "src/gen/synth.hpp"
+
+namespace cpla::core {
+namespace {
+
+Prepared small_bench(std::uint64_t seed = 61) {
+  gen::SynthSpec spec;
+  spec.xsize = spec.ysize = 24;
+  spec.num_nets = 300;
+  spec.num_layers = 6;
+  spec.seed = seed;
+  return prepare(gen::generate(spec));
+}
+
+TEST(Flow, CplaImprovesCriticalTiming) {
+  Prepared bench = small_bench();
+  const CriticalSet critical = select_critical(*bench.state, *bench.rc, 0.03);
+  const LaMetrics before = compute_metrics(*bench.state, *bench.rc, critical);
+
+  CplaOptions opt;
+  const CplaResult result = run_cpla(bench.state.get(), *bench.rc, critical, opt);
+
+  EXPECT_GT(result.partitions_solved, 0);
+  EXPECT_LE(result.metrics.avg_tcp, before.avg_tcp * 1.0001);
+  EXPECT_LE(result.metrics.max_tcp, before.max_tcp * 1.0001);
+  EXPECT_GT(result.metrics.avg_tcp, 0.0);
+  // Wire capacity must not regress into new overflow.
+  EXPECT_LE(result.metrics.wire_overflow, before.wire_overflow);
+}
+
+TEST(Flow, TilaImprovesWeightedDelay) {
+  Prepared bench = small_bench(62);
+  const CriticalSet critical = select_critical(*bench.state, *bench.rc, 0.03);
+  const LaMetrics before = compute_metrics(*bench.state, *bench.rc, critical);
+
+  const TilaResult result = run_tila(bench.state.get(), *bench.rc, critical);
+  EXPECT_GE(result.iterations_run, 1);
+
+  const LaMetrics after = compute_metrics(*bench.state, *bench.rc, critical);
+  EXPECT_LE(after.avg_tcp, before.avg_tcp * 1.02);  // weighted-sum objective, mild guarantee
+  EXPECT_GT(after.avg_tcp, 0.0);
+}
+
+TEST(Flow, CplaBeatsOrMatchesTilaOnMaxTiming) {
+  // The paper's headline: on the same released set, the SDP flow controls
+  // Max(Tcp) at least as well as TILA. Run both from identical states.
+  Prepared for_tila = small_bench(63);
+  Prepared for_cpla = small_bench(63);
+  const CriticalSet critical = select_critical(*for_tila.state, *for_tila.rc, 0.03);
+
+  run_tila(for_tila.state.get(), *for_tila.rc, critical);
+  const LaMetrics tila = compute_metrics(*for_tila.state, *for_tila.rc, critical);
+
+  run_cpla(for_cpla.state.get(), *for_cpla.rc, critical);
+  const LaMetrics cpla = compute_metrics(*for_cpla.state, *for_cpla.rc, critical);
+
+  EXPECT_LE(cpla.max_tcp, tila.max_tcp * 1.05);
+  EXPECT_LE(cpla.avg_tcp, tila.avg_tcp * 1.05);
+}
+
+TEST(Flow, IlpEngineRunsOnTinyBenchmark) {
+  gen::SynthSpec spec;
+  spec.xsize = spec.ysize = 16;
+  spec.num_nets = 120;
+  spec.num_layers = 4;
+  spec.seed = 64;
+  Prepared bench = prepare(gen::generate(spec));
+  const CriticalSet critical = select_critical(*bench.state, *bench.rc, 0.03);
+  const LaMetrics before = compute_metrics(*bench.state, *bench.rc, critical);
+
+  CplaOptions opt;
+  opt.engine = Engine::kIlp;
+  opt.partition.max_segments = 6;
+  opt.max_rounds = 1;
+  opt.ilp.time_limit_s = 10.0;
+  const CplaResult result = run_cpla(bench.state.get(), *bench.rc, critical, opt);
+  EXPECT_LE(result.metrics.avg_tcp, before.avg_tcp * 1.0001);
+}
+
+TEST(Flow, MetricsOverEmptyCriticalSet) {
+  Prepared bench = small_bench(65);
+  CriticalSet empty;
+  empty.released.assign(bench.state->num_nets(), 0);
+  const LaMetrics m = compute_metrics(*bench.state, *bench.rc, empty);
+  EXPECT_EQ(m.avg_tcp, 0.0);
+  EXPECT_EQ(m.max_tcp, 0.0);
+  const CplaResult r = run_cpla(bench.state.get(), *bench.rc, empty, {});
+  EXPECT_EQ(r.partitions_solved, 0);
+}
+
+TEST(Flow, CriticalRatioScalesReleasedCount) {
+  Prepared bench = small_bench(66);
+  const CriticalSet small = select_critical(*bench.state, *bench.rc, 0.01);
+  const CriticalSet large = select_critical(*bench.state, *bench.rc, 0.05);
+  EXPECT_LT(small.nets.size(), large.nets.size());
+  EXPECT_EQ(small.nets.size(), 3u);   // ceil(0.01 * 300)
+  EXPECT_EQ(large.nets.size(), 15u);  // ceil(0.05 * 300)
+}
+
+}  // namespace
+}  // namespace cpla::core

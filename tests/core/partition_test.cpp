@@ -1,0 +1,127 @@
+#include "src/core/partition.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/util/rng.hpp"
+
+namespace cpla::core {
+namespace {
+
+std::vector<SegRef> uniform_refs(int count, int xs, int ys, std::uint64_t seed) {
+  cpla::Rng rng(seed);
+  std::vector<SegRef> refs;
+  for (int i = 0; i < count; ++i) {
+    SegRef ref;
+    ref.net = i;
+    ref.seg = 0;
+    ref.mid = {static_cast<int>(rng.uniform_int(0, xs - 1)),
+               static_cast<int>(rng.uniform_int(0, ys - 1))};
+    refs.push_back(ref);
+  }
+  return refs;
+}
+
+TEST(Partition, EmptyInputProducesNoLeaves) {
+  const PartitionResult r = partition(32, 32, {}, {});
+  EXPECT_TRUE(r.leaves.empty());
+  EXPECT_EQ(r.max_depth, 0);
+}
+
+TEST(Partition, EveryLeafWithinBudget) {
+  PartitionOptions opt;
+  opt.k = 3;
+  opt.max_segments = 10;
+  const auto refs = uniform_refs(500, 64, 64, 1);
+  const PartitionResult r = partition(64, 64, refs, opt);
+  for (const auto& leaf : r.leaves) {
+    // Single-tile leaves are the only allowed exception (deadlock guard).
+    if (leaf.x1 - leaf.x0 > 1 || leaf.y1 - leaf.y0 > 1) {
+      EXPECT_LE(leaf.segments.size(), 10u);
+    }
+  }
+}
+
+TEST(Partition, NoSegmentLostOrDuplicated) {
+  const auto refs = uniform_refs(300, 48, 48, 2);
+  const PartitionResult r = partition(48, 48, refs, {});
+  std::size_t total = 0;
+  std::set<int> seen;
+  for (const auto& leaf : r.leaves) {
+    total += leaf.segments.size();
+    for (const auto& ref : leaf.segments) {
+      EXPECT_TRUE(seen.insert(ref.net).second) << "duplicated segment";
+      // Membership: midpoint inside leaf bounds.
+      EXPECT_GE(ref.mid.x, leaf.x0);
+      EXPECT_LT(ref.mid.x, leaf.x1);
+      EXPECT_GE(ref.mid.y, leaf.y0);
+      EXPECT_LT(ref.mid.y, leaf.y1);
+    }
+  }
+  EXPECT_EQ(total, refs.size());
+}
+
+TEST(Partition, HotspotRefinesDeeper) {
+  // All segments in one corner cell cluster; elsewhere empty.
+  std::vector<SegRef> refs;
+  cpla::Rng rng(3);
+  for (int i = 0; i < 200; ++i) {
+    SegRef ref;
+    ref.net = i;
+    ref.seg = 0;
+    ref.mid = {static_cast<int>(rng.uniform_int(0, 7)), static_cast<int>(rng.uniform_int(0, 7))};
+    refs.push_back(ref);
+  }
+  PartitionOptions opt;
+  opt.k = 2;
+  opt.max_segments = 10;
+  const PartitionResult r = partition(64, 64, refs, opt);
+  EXPECT_GT(r.max_depth, 1);  // had to refine
+  // The leaves holding segments are all small regions near the corner.
+  for (const auto& leaf : r.leaves) {
+    EXPECT_LT(leaf.x0, 8);
+    EXPECT_LT(leaf.y0, 8);
+  }
+}
+
+TEST(Partition, SingleTileStopsRefinement) {
+  // 50 segments all at the exact same tile: cannot split further; the
+  // deadlock guard must fire instead of recursing forever.
+  std::vector<SegRef> refs;
+  for (int i = 0; i < 50; ++i) refs.push_back(SegRef{i, 0, {5, 5}});
+  PartitionOptions opt;
+  opt.k = 1;
+  opt.max_segments = 4;
+  const PartitionResult r = partition(32, 32, refs, opt);
+  ASSERT_EQ(r.leaves.size(), 1u);
+  EXPECT_EQ(r.leaves[0].segments.size(), 50u);
+  EXPECT_LE(r.leaves[0].x1 - r.leaves[0].x0, 1);
+}
+
+TEST(Partition, BalancedLoadAcrossLeaves) {
+  // The quadtree should even out a skewed distribution: no leaf should hold
+  // more than max_segments (except single tiles), and with 400 segments and
+  // a budget of 10 there must be >= 40 leaves.
+  const auto refs = uniform_refs(400, 64, 64, 4);
+  PartitionOptions opt;
+  opt.k = 4;
+  opt.max_segments = 10;
+  const PartitionResult r = partition(64, 64, refs, opt);
+  EXPECT_GE(r.leaves.size(), 40u);
+}
+
+class PartitionBudgetSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(PartitionBudgetSweep, LeafCountShrinksWithBudget) {
+  const auto refs = uniform_refs(600, 64, 64, 5);
+  PartitionOptions small_budget, large_budget;
+  small_budget.max_segments = GetParam();
+  large_budget.max_segments = GetParam() * 4;
+  const auto small = partition(64, 64, refs, small_budget);
+  const auto large = partition(64, 64, refs, large_budget);
+  EXPECT_GE(small.leaves.size(), large.leaves.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Budgets, PartitionBudgetSweep, ::testing::Values(5, 10, 20, 40));
+
+}  // namespace
+}  // namespace cpla::core

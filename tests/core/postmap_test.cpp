@@ -1,0 +1,205 @@
+// Hand-crafted scenarios for the post-mapping algorithm (Alg 1) and the
+// shared coordinate-descent polish, using a grid small enough that every
+// capacity interaction is enumerable by eye.
+
+#include <gtest/gtest.h>
+
+#include "src/core/sdp_engine.hpp"
+#include "src/util/rng.hpp"
+#include "src/grid/layer_stack.hpp"
+
+namespace cpla::core {
+namespace {
+
+// Fixture: 4-layer 12x12 grid, capacity 2 everywhere, and N parallel
+// two-segment L-nets stacked on the same corridor so they compete for
+// tracks.
+class PostMapTest : public ::testing::Test {
+ protected:
+  PostMapTest() : design_("pm", make_grid()) {}
+
+  static grid::GridGraph make_grid() {
+    grid::GridGraph g(12, 12, grid::make_layer_stack(4), grid::default_geom());
+    for (int l = 0; l < 4; ++l) g.fill_layer_capacity(l, 2);
+    return g;
+  }
+
+  /// Straight horizontal 2-pin net along y=1, x in [1, 5].
+  route::SegTree straight_net(int id) {
+    grid::Net net;
+    net.id = id;
+    net.pins = {grid::Pin{1, 1, 0}, grid::Pin{5, 1, 0}};
+    route::NetRoute r;
+    for (int x = 1; x < 5; ++x) r.add_h(design_.grid.h_edge_id(x, 1));
+    return route::extract_tree(design_.grid, net, &r);
+  }
+
+  /// Builds a state with `count` identical straight nets, all on layer 0.
+  assign::AssignState make_state(int count) {
+    std::vector<route::SegTree> trees;
+    for (int i = 0; i < count; ++i) trees.push_back(straight_net(i));
+    assign::AssignState state(&design_, std::move(trees));
+    for (int i = 0; i < count; ++i) state.set_layers(i, {0});
+    return state;
+  }
+
+  /// One-variable-per-net problem over layers {0, 2}, uniform costs.
+  PartitionProblem make_problem(const assign::AssignState& state, int count) {
+    PartitionProblem p;
+    rc_ = std::make_unique<timing::RcTable>(design_.grid);
+    p.rc = rc_.get();
+    for (int i = 0; i < count; ++i) {
+      VarGroup var;
+      var.net = i;
+      var.seg = 0;
+      var.current_layer = 0;
+      var.layers = {0, 2};
+      var.cost = {10.0, 5.0};  // everyone prefers layer 2
+      p.vars.push_back(var);
+    }
+    // One capacity row per (layer, edge) the nets share; remaining = 2 for
+    // layer 2 (empty) and 2 for layer 0 (all current usage is ours).
+    for (int l : {0, 2}) {
+      for (int x = 1; x < 5; ++x) {
+        CapRow row;
+        row.layer = l;
+        row.edge = design_.grid.h_edge_id(x, 1);
+        row.cap_remaining = 2;
+        for (int i = 0; i < count; ++i) row.members.push_back(i);
+        if (static_cast<int>(row.members.size()) > row.cap_remaining) {
+          p.cap_rows.push_back(row);
+        }
+      }
+    }
+    return p;
+  }
+
+  grid::Design design_;
+  std::unique_ptr<timing::RcTable> rc_;
+};
+
+TEST_F(PostMapTest, CapacityRaceLosersCascade) {
+  // 3 nets, everyone's x prefers layer 2, but only 2 fit: the loser must
+  // land on layer 0, not be dropped.
+  const auto state = make_state(3);
+  const PartitionProblem p = make_problem(state, 3);
+
+  std::vector<std::vector<double>> x = {{0.1, 0.9}, {0.2, 0.8}, {0.3, 0.7}};
+  const std::vector<int> pick = post_map(p, state, x);
+  int on2 = 0, on0 = 0;
+  for (std::size_t i = 0; i < 3; ++i) {
+    (p.vars[i].layers[pick[i]] == 2 ? on2 : on0) += 1;
+  }
+  EXPECT_EQ(on2, 2);
+  EXPECT_EQ(on0, 1);
+  // The strongest x values win the race.
+  EXPECT_EQ(p.vars[0].layers[pick[0]], 2);
+  EXPECT_EQ(p.vars[1].layers[pick[1]], 2);
+  EXPECT_EQ(p.vars[2].layers[pick[2]], 0);
+}
+
+TEST_F(PostMapTest, AllFitWhenCapacityAllows) {
+  const auto state = make_state(2);
+  const PartitionProblem p = make_problem(state, 2);
+  std::vector<std::vector<double>> x = {{0.4, 0.6}, {0.4, 0.6}};
+  const std::vector<int> pick = post_map(p, state, x);
+  for (std::size_t i = 0; i < 2; ++i) EXPECT_EQ(p.vars[i].layers[pick[i]], 2);
+}
+
+TEST_F(PostMapTest, RowsFeasibleDetectsViolation) {
+  const auto state = make_state(3);
+  const PartitionProblem p = make_problem(state, 3);
+  EXPECT_TRUE(rows_feasible(p, {0, 0, 1}));   // 2 on layer 0, 1 on layer 2
+  EXPECT_FALSE(rows_feasible(p, {1, 1, 1}));  // 3 on layer 2 > cap 2
+}
+
+TEST_F(PostMapTest, PolishImprovesWithinCapacity) {
+  const auto state = make_state(3);
+  const PartitionProblem p = make_problem(state, 3);
+  // Start everyone on layer 0 (cost 10 each); polish should move exactly
+  // two to layer 2 (cost 5) and stop at the capacity row.
+  std::vector<int> pick = {0, 0, 0};
+  polish_pick(p, &pick);
+  int on2 = 0;
+  for (std::size_t i = 0; i < 3; ++i) {
+    if (p.vars[i].layers[pick[i]] == 2) ++on2;
+  }
+  EXPECT_EQ(on2, 2);
+  EXPECT_TRUE(rows_feasible(p, pick));
+  EXPECT_NEAR(p.evaluate(pick), 5.0 + 5.0 + 10.0, 1e-12);
+}
+
+TEST_F(PostMapTest, PolishRespectsPairCoupling) {
+  // Two vars of the same net chained by a pair whose via cost outweighs the
+  // per-var preference: polish must move them together or not at all.
+  const auto state = make_state(2);
+  PartitionProblem p = make_problem(state, 2);
+  p.cap_rows.clear();  // capacity out of the way
+  VarPair pair;
+  pair.child = 1;
+  pair.parent = 0;
+  pair.junction = {1, 1};
+  pair.scale = 100.0;  // huge via cost for any layer mismatch
+  pair.load_ratio.assign(4, 0.0);
+  p.pairs.push_back(pair);
+
+  std::vector<int> pick = {0, 0};
+  polish_pick(p, &pick);
+  // Either both moved to layer 2 or both stayed: never split.
+  EXPECT_EQ(p.vars[0].layers[pick[0]], p.vars[1].layers[pick[1]]);
+}
+
+// Property: on enumerable problems the SDP engine's pick is within a whisker
+// of the exhaustive optimum over all capacity-feasible picks.
+class EngineOptimality : public PostMapTest, public ::testing::WithParamInterface<int> {};
+
+TEST_P(EngineOptimality, NearExhaustiveOptimum) {
+  cpla::Rng rng(1500 + static_cast<std::uint64_t>(GetParam()));
+  const int count = 2 + GetParam() % 3;  // 2..4 vars
+  const auto state = make_state(count);
+  PartitionProblem p = make_problem(state, count);
+  // Random costs and a random chain of pairs.
+  for (auto& var : p.vars) {
+    for (auto& c : var.cost) c = rng.uniform(1.0, 20.0);
+  }
+  for (int i = 1; i < count; ++i) {
+    if (!rng.chance(0.6)) continue;
+    VarPair pair;
+    pair.child = i;
+    pair.parent = i - 1;
+    pair.junction = {1, 1};
+    pair.scale = rng.uniform(0.0, 3.0);
+    pair.load_ratio.assign(4, 0.0);
+    p.pairs.push_back(pair);
+  }
+
+  // Exhaustive optimum over capacity-feasible picks.
+  double best = 1e300;
+  std::vector<int> pick(count, 0);
+  const int combos = 1 << count;  // 2 options per var
+  for (int mask = 0; mask < combos; ++mask) {
+    for (int i = 0; i < count; ++i) pick[i] = (mask >> i) & 1;
+    if (!rows_feasible(p, pick)) continue;
+    best = std::min(best, p.evaluate(pick));
+  }
+  ASSERT_LT(best, 1e300);
+
+  const EngineResult r = solve_partition_sdp(p, state);
+  ASSERT_EQ(r.pick.size(), static_cast<std::size_t>(count));
+  // The incumbent (everyone on their current layer 0) may itself be
+  // capacity-infeasible in this crafted setup — the incremental guard is
+  // then allowed to return it. Otherwise the pick must be feasible and
+  // optimal.
+  std::vector<int> incumbent(count, 0);
+  if (rows_feasible(p, r.pick)) {
+    EXPECT_LE(r.objective, best * 1.001 + 1e-9) << "engine missed the optimum";
+  } else {
+    EXPECT_EQ(r.pick, incumbent) << "infeasible pick that is not the incumbent";
+    EXPECT_LE(r.objective, p.evaluate(incumbent) + 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Random, EngineOptimality, ::testing::Range(0, 16));
+
+}  // namespace
+}  // namespace cpla::core

@@ -1,0 +1,107 @@
+#include "src/core/tila.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/core/flow.hpp"
+#include "src/core/pipeline.hpp"
+#include "src/gen/synth.hpp"
+
+namespace cpla::core {
+namespace {
+
+Prepared bench(std::uint64_t seed) {
+  gen::SynthSpec spec;
+  spec.xsize = spec.ysize = 24;
+  spec.num_nets = 300;
+  spec.num_layers = 6;
+  spec.seed = seed;
+  return prepare(gen::generate(spec));
+}
+
+TEST(Tila, ImprovesCriticalTiming) {
+  Prepared run = bench(101);
+  const CriticalSet cs = select_critical(*run.state, *run.rc, 0.03);
+  const LaMetrics before = compute_metrics(*run.state, *run.rc, cs);
+  const TilaResult r = run_tila(run.state.get(), *run.rc, cs);
+  const LaMetrics after = compute_metrics(*run.state, *run.rc, cs);
+  EXPECT_GE(r.iterations_run, 1);
+  EXPECT_LT(after.avg_tcp, before.avg_tcp);
+}
+
+TEST(Tila, HardCapacityNeverAddsWireOverflow) {
+  Prepared run = bench(102);
+  const CriticalSet cs = select_critical(*run.state, *run.rc, 0.05);
+  const long before = run.state->wire_overflow();
+  run_tila(run.state.get(), *run.rc, cs);
+  EXPECT_LE(run.state->wire_overflow(), before);
+}
+
+TEST(Tila, Deterministic) {
+  Prepared a = bench(103);
+  Prepared b = bench(103);
+  const CriticalSet cs = select_critical(*a.state, *a.rc, 0.03);
+  run_tila(a.state.get(), *a.rc, cs);
+  run_tila(b.state.get(), *b.rc, cs);
+  for (int n = 0; n < a.state->num_nets(); ++n) {
+    EXPECT_EQ(a.state->layers(n), b.state->layers(n)) << n;
+  }
+}
+
+TEST(Tila, UntouchedNetsKeepTheirAssignment) {
+  Prepared run = bench(104);
+  const CriticalSet cs = select_critical(*run.state, *run.rc, 0.02);
+  std::vector<std::vector<int>> before;
+  for (int n = 0; n < run.state->num_nets(); ++n) before.push_back(run.state->layers(n));
+  run_tila(run.state.get(), *run.rc, cs);
+  for (int n = 0; n < run.state->num_nets(); ++n) {
+    if (!cs.released[n]) {
+      EXPECT_EQ(run.state->layers(n), before[n]) << "non-released net moved";
+    }
+  }
+}
+
+TEST(Tila, MoreIterationsNeverWorseThanOne) {
+  Prepared a = bench(105);
+  Prepared b = bench(105);
+  const CriticalSet cs = select_critical(*a.state, *a.rc, 0.03);
+  TilaOptions one;
+  one.iterations = 1;
+  run_tila(a.state.get(), *a.rc, cs, one);
+  TilaOptions many;
+  many.iterations = 8;
+  run_tila(b.state.get(), *b.rc, cs, many);
+  const double avg_one = compute_metrics(*a.state, *a.rc, cs).avg_tcp;
+  const double avg_many = compute_metrics(*b.state, *b.rc, cs).avg_tcp;
+  EXPECT_LE(avg_many, avg_one * 1.02);  // small tolerance: LR can oscillate
+}
+
+TEST(Flow, CplaDeterministic) {
+  Prepared a = bench(106);
+  Prepared b = bench(106);
+  const CriticalSet cs = select_critical(*a.state, *a.rc, 0.03);
+  CplaOptions opt;
+  opt.max_rounds = 2;
+  run_cpla(a.state.get(), *a.rc, cs, opt);
+  run_cpla(b.state.get(), *b.rc, cs, opt);
+  for (int n = 0; n < a.state->num_nets(); ++n) {
+    EXPECT_EQ(a.state->layers(n), b.state->layers(n)) << n;
+  }
+}
+
+TEST(Flow, CplaUntouchedNetsKeepTheirAssignment) {
+  Prepared run = bench(107);
+  const CriticalSet cs = select_critical(*run.state, *run.rc, 0.02);
+  std::vector<std::vector<int>> before;
+  for (int n = 0; n < run.state->num_nets(); ++n) before.push_back(run.state->layers(n));
+  CplaOptions opt;
+  opt.max_rounds = 2;
+  run_cpla(run.state.get(), *run.rc, cs, opt);
+  for (int n = 0; n < run.state->num_nets(); ++n) {
+    if (!cs.released[n]) {
+      EXPECT_EQ(run.state->layers(n), before[n]) << "non-released net moved";
+    }
+  }
+}
+
+}  // namespace
+}  // namespace cpla::core

@@ -1,0 +1,109 @@
+#include "src/gen/synth.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cpla::gen {
+namespace {
+
+TEST(SuiteNames, FifteenBenchmarks) {
+  EXPECT_EQ(suite_names().size(), 15u);
+  EXPECT_EQ(small_case_names().size(), 6u);
+  for (const auto& name : small_case_names()) {
+    EXPECT_NE(std::find(suite_names().begin(), suite_names().end(), name),
+              suite_names().end())
+        << name;
+  }
+}
+
+TEST(SuiteSpec, KnownNameHasSaneParameters) {
+  const SynthSpec spec = suite_spec("adaptec1");
+  EXPECT_EQ(spec.name, "adaptec1");
+  EXPECT_GE(spec.num_layers, 6);
+  EXPECT_GT(spec.num_nets, 100);
+  EXPECT_GE(spec.xsize, 16);
+}
+
+TEST(SuiteSpec, UnknownNameAborts) { EXPECT_DEATH(suite_spec("nosuchbench"), "unknown"); }
+
+TEST(SuiteSpec, BigBlue4IsLargerThanAdaptec1) {
+  const SynthSpec a = suite_spec("adaptec1");
+  const SynthSpec b = suite_spec("bigblue4");
+  EXPECT_GT(b.num_nets, a.num_nets);
+  EXPECT_GT(b.xsize, a.xsize);
+  EXPECT_GT(b.num_layers, a.num_layers - 1);
+}
+
+TEST(Generate, Deterministic) {
+  SynthSpec spec;
+  spec.num_nets = 50;
+  spec.xsize = spec.ysize = 20;
+  spec.seed = 7;
+  const grid::Design a = generate(spec);
+  const grid::Design b = generate(spec);
+  ASSERT_EQ(a.nets.size(), b.nets.size());
+  for (std::size_t n = 0; n < a.nets.size(); ++n) {
+    ASSERT_EQ(a.nets[n].pins.size(), b.nets[n].pins.size());
+    for (std::size_t k = 0; k < a.nets[n].pins.size(); ++k) {
+      EXPECT_EQ(a.nets[n].pins[k], b.nets[n].pins[k]);
+    }
+  }
+}
+
+TEST(Generate, PinsInsideGrid) {
+  SynthSpec spec;
+  spec.num_nets = 300;
+  spec.xsize = 24;
+  spec.ysize = 32;
+  const grid::Design d = generate(spec);
+  EXPECT_EQ(d.nets.size(), 300u);
+  for (const auto& net : d.nets) {
+    ASSERT_GE(net.pins.size(), 2u);
+    for (const auto& pin : net.pins) {
+      EXPECT_GE(pin.x, 0);
+      EXPECT_LT(pin.x, 24);
+      EXPECT_GE(pin.y, 0);
+      EXPECT_LT(pin.y, 32);
+      EXPECT_EQ(pin.layer, 0);
+    }
+  }
+}
+
+TEST(Generate, PinDistributionHasMultiPinTail) {
+  SynthSpec spec;
+  spec.num_nets = 2000;
+  spec.xsize = spec.ysize = 32;
+  const grid::Design d = generate(spec);
+  int two_pin = 0, big = 0;
+  for (const auto& net : d.nets) {
+    if (net.pins.size() == 2) ++two_pin;
+    if (net.pins.size() >= 10) ++big;
+  }
+  // ~45% 2-pin, a real multi-pin tail.
+  EXPECT_GT(two_pin, 700);
+  EXPECT_GT(big, 20);
+}
+
+TEST(Generate, BlockagesDepressLowLayerCapacity) {
+  SynthSpec spec;
+  spec.num_nets = 10;
+  spec.xsize = spec.ysize = 32;
+  spec.num_blockages = 4;
+  spec.tracks_per_layer = 12;
+  const grid::Design d = generate(spec);
+  int depressed = 0;
+  for (int e = 0; e < d.grid.num_edges_on_layer(0); ++e) {
+    if (d.grid.edge_capacity(0, e) < 12) ++depressed;
+  }
+  EXPECT_GT(depressed, 0);
+}
+
+TEST(Generate, AllSuiteBenchmarksGenerate) {
+  for (const auto& name : suite_names()) {
+    const grid::Design d = generate_suite(name);
+    EXPECT_EQ(d.name, name);
+    EXPECT_GT(d.nets.size(), 100u) << name;
+  }
+}
+
+}  // namespace
+}  // namespace cpla::gen

@@ -1,0 +1,52 @@
+#include "src/grid/design.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cpla::grid {
+namespace {
+
+Net make_net(std::vector<Pin> pins) {
+  Net net;
+  net.id = 0;
+  net.pins = std::move(pins);
+  return net;
+}
+
+TEST(Net, HpwlOfBoundingBox) {
+  EXPECT_EQ(make_net({{0, 0, 0}, {3, 4, 0}}).hpwl(), 7);
+  EXPECT_EQ(make_net({{2, 2, 0}}).hpwl(), 0);
+  EXPECT_EQ(make_net({}).hpwl(), 0);
+  // Interior pins don't change the bounding box.
+  EXPECT_EQ(make_net({{0, 0, 0}, {5, 5, 0}, {2, 3, 0}}).hpwl(), 10);
+}
+
+TEST(Net, DistinctCellsDeduplicates) {
+  const Net net = make_net({{1, 1, 0}, {1, 1, 2}, {2, 2, 0}, {1, 1, 0}});
+  const auto cells = net.distinct_cells();
+  ASSERT_EQ(cells.size(), 2u);  // (1,1) twice at different layers still one cell
+  EXPECT_EQ(cells[0].x, 1);
+  EXPECT_EQ(cells[1].x, 2);
+}
+
+TEST(Net, DistinctCellsPreservesDriverFirst) {
+  const Net net = make_net({{5, 5, 0}, {1, 1, 0}, {5, 5, 0}});
+  const auto cells = net.distinct_cells();
+  ASSERT_EQ(cells.size(), 2u);
+  EXPECT_EQ(cells[0].x, 5);  // driver's cell stays first
+}
+
+TEST(GeomParams, ViasPerTrackScalesWithGeometry) {
+  GeomParams g;
+  g.wire_width = 2.0;
+  g.wire_spacing = 2.0;
+  g.via_width = 1.0;
+  g.via_spacing = 1.0;
+  g.tile_width = 8.0;
+  // (2+2)*8 / (1+1)^2 = 8.
+  EXPECT_EQ(g.vias_per_track(), 8);
+  g.via_spacing = 3.0;  // (2+2)*8 / 16 = 2
+  EXPECT_EQ(g.vias_per_track(), 2);
+}
+
+}  // namespace
+}  // namespace cpla::grid

@@ -1,0 +1,117 @@
+#include "src/grid/grid_graph.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/grid/layer_stack.hpp"
+
+namespace cpla::grid {
+namespace {
+
+GridGraph make_grid(int xs = 8, int ys = 6, int layers = 4) {
+  return GridGraph(xs, ys, make_layer_stack(layers), default_geom());
+}
+
+TEST(LayerStack, AlternatingDirections) {
+  const auto stack = make_layer_stack(6);
+  ASSERT_EQ(stack.size(), 6u);
+  for (int l = 0; l < 6; ++l) {
+    EXPECT_EQ(stack[l].horizontal, l % 2 == 0) << l;
+  }
+}
+
+TEST(LayerStack, ResistanceDecreasesWithHeight) {
+  const auto stack = make_layer_stack(8);
+  for (int l = 1; l < 8; ++l) {
+    EXPECT_LT(stack[l].unit_res, stack[l - 1].unit_res);
+    EXPECT_LE(stack[l].unit_cap, stack[l - 1].unit_cap);
+  }
+}
+
+TEST(GridGraph, EdgeCounts) {
+  const GridGraph g = make_grid(8, 6, 4);
+  EXPECT_EQ(g.num_h_edges(), 7 * 6);
+  EXPECT_EQ(g.num_v_edges(), 8 * 5);
+  EXPECT_EQ(g.num_cells(), 48);
+}
+
+TEST(GridGraph, EdgeIdsAreUniqueAndInRange) {
+  const GridGraph g = make_grid(5, 4, 2);
+  std::vector<bool> seen_h(g.num_h_edges(), false);
+  for (int y = 0; y < 4; ++y) {
+    for (int x = 0; x < 4; ++x) {
+      const int id = g.h_edge_id(x, y);
+      ASSERT_GE(id, 0);
+      ASSERT_LT(id, g.num_h_edges());
+      EXPECT_FALSE(seen_h[id]);
+      seen_h[id] = true;
+    }
+  }
+  std::vector<bool> seen_v(g.num_v_edges(), false);
+  for (int x = 0; x < 5; ++x) {
+    for (int y = 0; y < 3; ++y) {
+      const int id = g.v_edge_id(x, y);
+      ASSERT_GE(id, 0);
+      ASSERT_LT(id, g.num_v_edges());
+      EXPECT_FALSE(seen_v[id]);
+      seen_v[id] = true;
+    }
+  }
+}
+
+TEST(GridGraph, CapacityRoundTrip) {
+  GridGraph g = make_grid();
+  g.fill_layer_capacity(0, 7);
+  EXPECT_EQ(g.edge_capacity(0, g.h_edge_id(3, 2)), 7);
+  g.set_edge_capacity(0, g.h_edge_id(3, 2), 2);
+  EXPECT_EQ(g.edge_capacity(0, g.h_edge_id(3, 2)), 2);
+  EXPECT_EQ(g.edge_capacity(0, g.h_edge_id(2, 2)), 7);
+}
+
+TEST(GridGraph, ViaCapacityEqnOne) {
+  // Eqn (1): cap_g = floor((ww+ws)*TileW*(cap_e0+cap_e1) / (vw+vs)^2).
+  GridGraph g = make_grid(8, 6, 4);
+  g.fill_layer_capacity(0, 10);
+  const GeomParams& geom = g.geom();
+  // Interior cell: both incident h-edges at capacity 10.
+  const double expected = (geom.wire_width + geom.wire_spacing) * geom.tile_width * 20.0 /
+                          ((geom.via_width + geom.via_spacing) * (geom.via_width + geom.via_spacing));
+  EXPECT_EQ(g.via_capacity(0, 3, 2), static_cast<int>(expected));
+}
+
+TEST(GridGraph, ViaCapacityBoundaryUsesOneEdge) {
+  GridGraph g = make_grid(8, 6, 4);
+  g.fill_layer_capacity(0, 10);
+  // x=0 has only the right-side h-edge.
+  EXPECT_LT(g.via_capacity(0, 0, 2), g.via_capacity(0, 3, 2));
+  EXPECT_EQ(g.via_capacity(0, 0, 2), g.via_capacity(0, 7, 2));  // symmetric corners
+}
+
+TEST(GridGraph, ViaCapacityZeroWhenEdgesFull) {
+  GridGraph g = make_grid(8, 6, 4);
+  // Capacity 0 edges -> no via sites (Eqn (1) numerator is 0).
+  EXPECT_EQ(g.via_capacity(1, 3, 2), 0);
+}
+
+TEST(GridGraph, ProjectedCapacitySumsMatchingLayers) {
+  GridGraph g = make_grid(8, 6, 4);  // layers 0,2 horizontal; 1,3 vertical
+  g.fill_layer_capacity(0, 3);
+  g.fill_layer_capacity(2, 5);
+  g.fill_layer_capacity(1, 7);
+  g.fill_layer_capacity(3, 11);
+  EXPECT_EQ(g.projected_capacity_h(2, 2), 8);
+  EXPECT_EQ(g.projected_capacity_v(2, 2), 18);
+}
+
+TEST(GridGraph, ViasPerTrack) {
+  GeomParams geom = default_geom();  // (1+1)*10 / (1+1)^2 = 5
+  EXPECT_EQ(geom.vias_per_track(), 5);
+}
+
+TEST(GridGraph, OutOfRangeEdgeAborts) {
+  const GridGraph g = make_grid(5, 4, 2);
+  EXPECT_DEATH(g.h_edge_id(4, 0), "CPLA_ASSERT");  // x must be < xsize-1
+  EXPECT_DEATH(g.v_edge_id(0, 3), "CPLA_ASSERT");
+}
+
+}  // namespace
+}  // namespace cpla::grid

@@ -1,0 +1,135 @@
+#include "src/ilp/branch_bound.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/util/rng.hpp"
+
+namespace cpla::ilp {
+namespace {
+
+TEST(BranchBound, Knapsack) {
+  // max 10a + 13b + 7c, 3a + 4b + 2c <= 6, binary -> min form.
+  // Best: a + c (weight 5, value 17)? b + c = weight 6, value 20. Optimal 20.
+  MipModel m;
+  const int a = m.add_binary(-10.0);
+  const int b = m.add_binary(-13.0);
+  const int c = m.add_binary(-7.0);
+  m.add_row(lp::Sense::kLe, 6.0, {{a, 3.0}, {b, 4.0}, {c, 2.0}});
+  const MipResult r = solve_mip(m);
+  ASSERT_EQ(r.status, MipStatus::kOptimal);
+  EXPECT_NEAR(r.objective, -20.0, 1e-6);
+  EXPECT_NEAR(r.x[b], 1.0, 1e-9);
+  EXPECT_NEAR(r.x[c], 1.0, 1e-9);
+  EXPECT_NEAR(r.x[a], 0.0, 1e-9);
+}
+
+TEST(BranchBound, IntegerRounding) {
+  // min -x s.t. 2x <= 5, x integer in [0, 10]: LP gives 2.5, MIP gives 2.
+  MipModel m;
+  const int x = m.add_int_var(0, 10, -1.0);
+  m.add_row(lp::Sense::kLe, 5.0, {{x, 2.0}});
+  const MipResult r = solve_mip(m);
+  ASSERT_EQ(r.status, MipStatus::kOptimal);
+  EXPECT_NEAR(r.x[x], 2.0, 1e-9);
+}
+
+TEST(BranchBound, InfeasibleIntegral) {
+  // 0.4 <= x <= 0.6 has no integer point.
+  MipModel m;
+  const int x = m.add_int_var(0.0, 1.0, 1.0);
+  m.add_row(lp::Sense::kGe, 0.4, {{x, 1.0}});
+  m.add_row(lp::Sense::kLe, 0.6, {{x, 1.0}});
+  EXPECT_EQ(solve_mip(m).status, MipStatus::kInfeasible);
+}
+
+TEST(BranchBound, MixedIntegerContinuous) {
+  // min x + y, x integer, x + 2y >= 3.2, y in [0, 0.5], x in [0, 5].
+  // x = 2 forces y = 0.6 > 0.5 (infeasible), so x = 3, y = 0.1: obj 3.1.
+  MipModel m;
+  const int x = m.add_int_var(0, 5, 1.0);
+  const int y = m.add_var(0, 0.5, 1.0);
+  m.add_row(lp::Sense::kGe, 3.2, {{x, 1.0}, {y, 2.0}});
+  const MipResult r = solve_mip(m);
+  ASSERT_EQ(r.status, MipStatus::kOptimal);
+  EXPECT_NEAR(r.objective, 3.1, 1e-6);
+  EXPECT_NEAR(r.x[x], 3.0, 1e-9);
+}
+
+TEST(BranchBound, EqualityPartition) {
+  // Exactly one of three binaries set, costs 5, 3, 4 -> picks the 3.
+  MipModel m;
+  const int a = m.add_binary(5.0);
+  const int b = m.add_binary(3.0);
+  const int c = m.add_binary(4.0);
+  m.add_row(lp::Sense::kEq, 1.0, {{a, 1.0}, {b, 1.0}, {c, 1.0}});
+  const MipResult r = solve_mip(m);
+  ASSERT_EQ(r.status, MipStatus::kOptimal);
+  EXPECT_NEAR(r.objective, 3.0, 1e-7);
+  EXPECT_NEAR(r.x[b], 1.0, 1e-9);
+}
+
+TEST(BranchBound, NodeLimitReportsTruncation) {
+  MipModel m;
+  // A small but nontrivial knapsack; with max_nodes=1 we can at best have
+  // explored the root.
+  for (int i = 0; i < 8; ++i) m.add_binary(-(1.0 + i * 0.37));
+  std::vector<std::pair<int, double>> row;
+  for (int i = 0; i < 8; ++i) row.push_back({i, 1.0 + (i % 3)});
+  m.add_row(lp::Sense::kLe, 6.5, row);
+  MipOptions opt;
+  opt.max_nodes = 1;
+  const MipResult r = solve_mip(m, opt);
+  EXPECT_TRUE(r.status == MipStatus::kFeasible || r.status == MipStatus::kLimit);
+}
+
+// Exhaustive cross-check: random small binary problems vs brute force.
+class RandomMipSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomMipSweep, MatchesBruteForce) {
+  cpla::Rng rng(500 + static_cast<std::uint64_t>(GetParam()));
+  const int n = 2 + GetParam() % 6;  // up to 7 binaries
+  MipModel m;
+  std::vector<double> cost(n);
+  for (int j = 0; j < n; ++j) {
+    cost[j] = rng.uniform(-3.0, 3.0);
+    m.add_binary(cost[j]);
+  }
+  const int rows = 1 + GetParam() % 3;
+  std::vector<std::vector<double>> coef(rows, std::vector<double>(n, 0.0));
+  std::vector<double> rhs(rows);
+  for (int i = 0; i < rows; ++i) {
+    std::vector<std::pair<int, double>> entries;
+    for (int j = 0; j < n; ++j) {
+      coef[i][j] = rng.uniform(0.0, 2.0);
+      entries.push_back({j, coef[i][j]});
+    }
+    rhs[i] = rng.uniform(1.0, static_cast<double>(n));
+    m.add_row(lp::Sense::kLe, rhs[i], entries);
+  }
+
+  // Brute force over all 2^n points.
+  double best = 1e100;
+  for (int mask = 0; mask < (1 << n); ++mask) {
+    bool ok = true;
+    for (int i = 0; i < rows && ok; ++i) {
+      double lhs = 0.0;
+      for (int j = 0; j < n; ++j)
+        if (mask & (1 << j)) lhs += coef[i][j];
+      ok = lhs <= rhs[i] + 1e-12;
+    }
+    if (!ok) continue;
+    double obj = 0.0;
+    for (int j = 0; j < n; ++j)
+      if (mask & (1 << j)) obj += cost[j];
+    best = std::min(best, obj);
+  }
+
+  const MipResult r = solve_mip(m);
+  ASSERT_EQ(r.status, MipStatus::kOptimal);
+  EXPECT_NEAR(r.objective, best, 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Random, RandomMipSweep, ::testing::Range(0, 24));
+
+}  // namespace
+}  // namespace cpla::ilp

@@ -1,0 +1,106 @@
+#include "src/la/cholesky.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/util/rng.hpp"
+
+namespace cpla::la {
+namespace {
+
+Matrix random_spd(std::size_t n, Rng* rng) {
+  Matrix g(n, n);
+  for (std::size_t r = 0; r < n; ++r)
+    for (std::size_t c = 0; c < n; ++c) g(r, c) = rng->normal();
+  Matrix a = g * g.transposed();
+  for (std::size_t i = 0; i < n; ++i) a(i, i) += static_cast<double>(n);  // well-conditioned
+  return a;
+}
+
+TEST(Cholesky, ReconstructsMatrix) {
+  Rng rng(1);
+  const Matrix a = random_spd(6, &rng);
+  auto chol = Cholesky::factor(a);
+  ASSERT_TRUE(chol.has_value());
+  const Matrix rebuilt = chol->l() * chol->l().transposed();
+  for (std::size_t r = 0; r < 6; ++r)
+    for (std::size_t c = 0; c < 6; ++c) EXPECT_NEAR(rebuilt(r, c), a(r, c), 1e-10);
+}
+
+TEST(Cholesky, SolveResidual) {
+  Rng rng(2);
+  const Matrix a = random_spd(8, &rng);
+  Vector b(8);
+  for (auto& v : b) v = rng.normal();
+  auto chol = Cholesky::factor(a);
+  ASSERT_TRUE(chol.has_value());
+  const Vector x = chol->solve(b);
+  const Vector ax = mat_vec(a, x);
+  for (std::size_t i = 0; i < 8; ++i) EXPECT_NEAR(ax[i], b[i], 1e-9);
+}
+
+TEST(Cholesky, InverseTimesMatrixIsIdentity) {
+  Rng rng(3);
+  const Matrix a = random_spd(5, &rng);
+  auto chol = Cholesky::factor(a);
+  ASSERT_TRUE(chol.has_value());
+  const Matrix prod = a * chol->inverse();
+  for (std::size_t r = 0; r < 5; ++r)
+    for (std::size_t c = 0; c < 5; ++c) EXPECT_NEAR(prod(r, c), r == c ? 1.0 : 0.0, 1e-9);
+}
+
+TEST(Cholesky, RejectsIndefinite) {
+  Matrix a(2, 2);
+  a(0, 0) = 1.0;
+  a(1, 1) = -1.0;
+  EXPECT_FALSE(Cholesky::factor(a).has_value());
+  EXPECT_FALSE(is_positive_definite(a));
+  EXPECT_TRUE(is_positive_definite(a, 2.0));  // shifted to PD
+}
+
+TEST(Cholesky, RejectsSingular) {
+  Matrix a(2, 2);
+  a(0, 0) = 1.0; a(0, 1) = 1.0;
+  a(1, 0) = 1.0; a(1, 1) = 1.0;
+  EXPECT_FALSE(Cholesky::factor(a).has_value());
+}
+
+TEST(Cholesky, LogDetDiagonal) {
+  Matrix a(3, 3);
+  a(0, 0) = 2.0; a(1, 1) = 3.0; a(2, 2) = 4.0;
+  auto chol = Cholesky::factor(a);
+  ASSERT_TRUE(chol.has_value());
+  EXPECT_NEAR(chol->log_det(), std::log(24.0), 1e-12);
+}
+
+TEST(Cholesky, MatrixSolve) {
+  Rng rng(4);
+  const Matrix a = random_spd(4, &rng);
+  auto chol = Cholesky::factor(a);
+  ASSERT_TRUE(chol.has_value());
+  const Matrix inv = chol->solve(Matrix::identity(4));
+  const Matrix prod = a * inv;
+  for (std::size_t r = 0; r < 4; ++r)
+    for (std::size_t c = 0; c < 4; ++c) EXPECT_NEAR(prod(r, c), r == c ? 1.0 : 0.0, 1e-9);
+}
+
+class CholeskySizeSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(CholeskySizeSweep, SolveAccuracyAcrossSizes) {
+  const int n = GetParam();
+  Rng rng(100 + static_cast<std::uint64_t>(n));
+  const Matrix a = random_spd(static_cast<std::size_t>(n), &rng);
+  Vector b(static_cast<std::size_t>(n));
+  for (auto& v : b) v = rng.uniform(-5.0, 5.0);
+  auto chol = Cholesky::factor(a);
+  ASSERT_TRUE(chol.has_value());
+  const Vector x = chol->solve(b);
+  const Vector ax = mat_vec(a, x);
+  for (int i = 0; i < n; ++i) EXPECT_NEAR(ax[i], b[i], 1e-8);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, CholeskySizeSweep, ::testing::Values(1, 2, 3, 5, 10, 20, 50, 100));
+
+}  // namespace
+}  // namespace cpla::la

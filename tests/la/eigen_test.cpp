@@ -1,0 +1,80 @@
+#include "src/la/eigen.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/util/rng.hpp"
+
+namespace cpla::la {
+namespace {
+
+Matrix random_sym(std::size_t n, Rng* rng) {
+  Matrix a(n, n);
+  for (std::size_t r = 0; r < n; ++r)
+    for (std::size_t c = r; c < n; ++c) a(r, c) = a(c, r) = rng->uniform(-1.0, 1.0);
+  return a;
+}
+
+TEST(Eigen, DiagonalMatrix) {
+  Matrix a(3, 3);
+  a(0, 0) = 3.0; a(1, 1) = 1.0; a(2, 2) = 2.0;
+  const EigenSym e = eigen_sym(a);
+  ASSERT_EQ(e.values.size(), 3u);
+  EXPECT_NEAR(e.values[0], 1.0, 1e-12);
+  EXPECT_NEAR(e.values[1], 2.0, 1e-12);
+  EXPECT_NEAR(e.values[2], 3.0, 1e-12);
+}
+
+TEST(Eigen, KnownTwoByTwo) {
+  // [[2,1],[1,2]] has eigenvalues 1 and 3.
+  Matrix a(2, 2);
+  a(0, 0) = 2; a(0, 1) = 1; a(1, 0) = 1; a(1, 1) = 2;
+  const EigenSym e = eigen_sym(a);
+  EXPECT_NEAR(e.values[0], 1.0, 1e-10);
+  EXPECT_NEAR(e.values[1], 3.0, 1e-10);
+  EXPECT_NEAR(min_eigenvalue(a), 1.0, 1e-10);
+}
+
+TEST(Eigen, ReconstructionAndOrthogonality) {
+  Rng rng(9);
+  const std::size_t n = 8;
+  const Matrix a = random_sym(n, &rng);
+  const EigenSym e = eigen_sym(a);
+
+  // V D V^T == A.
+  Matrix d(n, n);
+  for (std::size_t i = 0; i < n; ++i) d(i, i) = e.values[i];
+  const Matrix rebuilt = e.vectors * d * e.vectors.transposed();
+  for (std::size_t r = 0; r < n; ++r)
+    for (std::size_t c = 0; c < n; ++c) EXPECT_NEAR(rebuilt(r, c), a(r, c), 1e-9);
+
+  // V^T V == I.
+  const Matrix vtv = e.vectors.transposed() * e.vectors;
+  for (std::size_t r = 0; r < n; ++r)
+    for (std::size_t c = 0; c < n; ++c) EXPECT_NEAR(vtv(r, c), r == c ? 1.0 : 0.0, 1e-10);
+}
+
+TEST(Eigen, ValuesAscending) {
+  Rng rng(10);
+  const Matrix a = random_sym(12, &rng);
+  const EigenSym e = eigen_sym(a);
+  for (std::size_t i = 1; i < e.values.size(); ++i) EXPECT_LE(e.values[i - 1], e.values[i]);
+}
+
+TEST(Eigen, TraceEqualsSumOfEigenvalues) {
+  Rng rng(11);
+  const Matrix a = random_sym(10, &rng);
+  const EigenSym e = eigen_sym(a);
+  double tr = 0.0, sum = 0.0;
+  for (std::size_t i = 0; i < 10; ++i) {
+    tr += a(i, i);
+    sum += e.values[i];
+  }
+  EXPECT_NEAR(tr, sum, 1e-9);
+}
+
+TEST(Eigen, EmptyMatrixMinEigenvalue) {
+  EXPECT_DOUBLE_EQ(min_eigenvalue(Matrix(0, 0)), 0.0);
+}
+
+}  // namespace
+}  // namespace cpla::la

@@ -1,0 +1,80 @@
+#include "src/la/lu.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/util/rng.hpp"
+
+namespace cpla::la {
+namespace {
+
+Matrix random_square(std::size_t n, Rng* rng) {
+  Matrix a(n, n);
+  for (std::size_t r = 0; r < n; ++r)
+    for (std::size_t c = 0; c < n; ++c) a(r, c) = rng->uniform(-2.0, 2.0);
+  return a;
+}
+
+TEST(Lu, SolveResidual) {
+  Rng rng(5);
+  const Matrix a = random_square(7, &rng);
+  Vector b(7);
+  for (auto& v : b) v = rng.normal();
+  auto lu = Lu::factor(a);
+  ASSERT_TRUE(lu.has_value());
+  const Vector x = lu->solve(b);
+  const Vector ax = mat_vec(a, x);
+  for (std::size_t i = 0; i < 7; ++i) EXPECT_NEAR(ax[i], b[i], 1e-9);
+}
+
+TEST(Lu, TransposedSolveResidual) {
+  Rng rng(6);
+  const Matrix a = random_square(6, &rng);
+  Vector b(6);
+  for (auto& v : b) v = rng.normal();
+  auto lu = Lu::factor(a);
+  ASSERT_TRUE(lu.has_value());
+  const Vector x = lu->solve_transposed(b);
+  const Vector atx = mat_vec(a.transposed(), x);
+  for (std::size_t i = 0; i < 6; ++i) EXPECT_NEAR(atx[i], b[i], 1e-9);
+}
+
+TEST(Lu, PivotingHandlesZeroDiagonal) {
+  Matrix a(2, 2);
+  a(0, 0) = 0.0; a(0, 1) = 1.0;
+  a(1, 0) = 1.0; a(1, 1) = 0.0;
+  auto lu = Lu::factor(a);
+  ASSERT_TRUE(lu.has_value());
+  const Vector x = lu->solve({3.0, 4.0});
+  EXPECT_NEAR(x[0], 4.0, 1e-12);
+  EXPECT_NEAR(x[1], 3.0, 1e-12);
+}
+
+TEST(Lu, RejectsSingular) {
+  Matrix a(3, 3);
+  for (std::size_t c = 0; c < 3; ++c) {
+    a(0, c) = 1.0;
+    a(1, c) = 2.0;  // row 1 = 2 * row 0
+    a(2, c) = static_cast<double>(c);
+  }
+  EXPECT_FALSE(Lu::factor(a).has_value());
+}
+
+class LuSizeSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(LuSizeSweep, RandomSystems) {
+  const int n = GetParam();
+  Rng rng(200 + static_cast<std::uint64_t>(n));
+  const Matrix a = random_square(static_cast<std::size_t>(n), &rng);
+  auto lu = Lu::factor(a);
+  ASSERT_TRUE(lu.has_value());
+  Vector b(static_cast<std::size_t>(n));
+  for (auto& v : b) v = rng.uniform(-1.0, 1.0);
+  const Vector x = lu->solve(b);
+  const Vector ax = mat_vec(a, x);
+  for (int i = 0; i < n; ++i) EXPECT_NEAR(ax[i], b[i], 1e-7);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, LuSizeSweep, ::testing::Values(1, 2, 4, 8, 16, 32, 64));
+
+}  // namespace
+}  // namespace cpla::la

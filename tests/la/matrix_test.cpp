@@ -1,0 +1,96 @@
+#include "src/la/matrix.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cpla::la {
+namespace {
+
+TEST(Matrix, IdentityProduct) {
+  Matrix a(3, 3);
+  int v = 1;
+  for (std::size_t r = 0; r < 3; ++r)
+    for (std::size_t c = 0; c < 3; ++c) a(r, c) = v++;
+  const Matrix i = Matrix::identity(3);
+  const Matrix ai = a * i;
+  for (std::size_t r = 0; r < 3; ++r)
+    for (std::size_t c = 0; c < 3; ++c) EXPECT_DOUBLE_EQ(ai(r, c), a(r, c));
+}
+
+TEST(Matrix, ProductAgainstHandComputed) {
+  Matrix a(2, 3), b(3, 2);
+  a(0, 0) = 1; a(0, 1) = 2; a(0, 2) = 3;
+  a(1, 0) = 4; a(1, 1) = 5; a(1, 2) = 6;
+  b(0, 0) = 7; b(0, 1) = 8;
+  b(1, 0) = 9; b(1, 1) = 10;
+  b(2, 0) = 11; b(2, 1) = 12;
+  const Matrix c = a * b;
+  EXPECT_DOUBLE_EQ(c(0, 0), 58);
+  EXPECT_DOUBLE_EQ(c(0, 1), 64);
+  EXPECT_DOUBLE_EQ(c(1, 0), 139);
+  EXPECT_DOUBLE_EQ(c(1, 1), 154);
+}
+
+TEST(Matrix, TransposeRoundTrip) {
+  Matrix a(2, 4);
+  for (std::size_t r = 0; r < 2; ++r)
+    for (std::size_t c = 0; c < 4; ++c) a(r, c) = static_cast<double>(r * 10 + c);
+  const Matrix att = a.transposed().transposed();
+  for (std::size_t r = 0; r < 2; ++r)
+    for (std::size_t c = 0; c < 4; ++c) EXPECT_DOUBLE_EQ(att(r, c), a(r, c));
+}
+
+TEST(Matrix, SymmetrizeAndCheck) {
+  Matrix a(2, 2);
+  a(0, 1) = 4.0;
+  a(1, 0) = 2.0;
+  EXPECT_FALSE(a.is_symmetric());
+  a.symmetrize();
+  EXPECT_TRUE(a.is_symmetric());
+  EXPECT_DOUBLE_EQ(a(0, 1), 3.0);
+}
+
+TEST(Matrix, AxpyScaleMaxAbs) {
+  Matrix a(2, 2), b(2, 2);
+  a(0, 0) = 1.0;
+  b(1, 1) = -5.0;
+  a.axpy(2.0, b);
+  EXPECT_DOUBLE_EQ(a(1, 1), -10.0);
+  EXPECT_DOUBLE_EQ(a.max_abs(), 10.0);
+  a.scale(-0.5);
+  EXPECT_DOUBLE_EQ(a(0, 0), -0.5);
+  EXPECT_DOUBLE_EQ(a(1, 1), 5.0);
+}
+
+TEST(Matrix, MatVecAndTranspose) {
+  Matrix a(2, 3);
+  a(0, 0) = 1; a(0, 1) = 2; a(0, 2) = 3;
+  a(1, 0) = 4; a(1, 1) = 5; a(1, 2) = 6;
+  const Vector x = {1.0, 0.0, -1.0};
+  const Vector y = mat_vec(a, x);
+  ASSERT_EQ(y.size(), 2u);
+  EXPECT_DOUBLE_EQ(y[0], -2.0);
+  EXPECT_DOUBLE_EQ(y[1], -2.0);
+
+  const Vector z = mat_tvec(a, {1.0, 1.0});
+  ASSERT_EQ(z.size(), 3u);
+  EXPECT_DOUBLE_EQ(z[0], 5.0);
+  EXPECT_DOUBLE_EQ(z[1], 7.0);
+  EXPECT_DOUBLE_EQ(z[2], 9.0);
+}
+
+TEST(Matrix, DotAndNorms) {
+  Matrix a(1, 2), b(1, 2);
+  a(0, 0) = 3.0; a(0, 1) = 4.0;
+  b(0, 0) = 1.0; b(0, 1) = 1.0;
+  EXPECT_DOUBLE_EQ(dot(a, b), 7.0);
+  EXPECT_DOUBLE_EQ(frob_norm(a), 5.0);
+  EXPECT_DOUBLE_EQ(norm2({3.0, 4.0}), 5.0);
+}
+
+TEST(Matrix, OutOfRangeAborts) {
+  Matrix a(2, 2);
+  EXPECT_DEATH(a(2, 0), "CPLA_ASSERT");
+}
+
+}  // namespace
+}  // namespace cpla::la

@@ -1,0 +1,75 @@
+// Duality checks on the simplex: for an optimal LP the duals returned must
+// satisfy strong duality and complementary slackness within tolerance.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/lp/simplex.hpp"
+#include "src/util/rng.hpp"
+
+namespace cpla::lp {
+namespace {
+
+TEST(SimplexDuals, StrongDualityOnTextbookLp) {
+  // max 3x + 5y s.t. x <= 4, 2y <= 12, 3x + 2y <= 18 (min form).
+  LpProblem p;
+  const int x = p.add_var(0, kInf, -3.0);
+  const int y = p.add_var(0, kInf, -5.0);
+  p.add_row(Sense::kLe, 4.0, {{x, 1.0}});
+  p.add_row(Sense::kLe, 12.0, {{y, 2.0}});
+  p.add_row(Sense::kLe, 18.0, {{x, 3.0}, {y, 2.0}});
+  const LpResult r = solve(p);
+  ASSERT_EQ(r.status, LpStatus::kOptimal);
+  ASSERT_EQ(r.duals.size(), 3u);
+  // Known optimal duals (min form): y* = (0, -3/2, -1); b'y = objective.
+  double dual_obj = 0.0;
+  const double rhs[3] = {4.0, 12.0, 18.0};
+  for (int i = 0; i < 3; ++i) dual_obj += rhs[i] * r.duals[i];
+  EXPECT_NEAR(dual_obj, r.objective, 1e-6);
+}
+
+TEST(SimplexDuals, ComplementarySlacknessOnRandomLps) {
+  for (int trial = 0; trial < 10; ++trial) {
+    cpla::Rng rng(1300 + static_cast<std::uint64_t>(trial));
+    LpProblem p;
+    const int n = 4 + trial % 4;
+    for (int j = 0; j < n; ++j) p.add_var(0.0, 3.0, rng.uniform(-2.0, 0.5));
+    const int m = 3;
+    for (int i = 0; i < m; ++i) {
+      std::vector<std::pair<int, double>> row;
+      for (int j = 0; j < n; ++j) row.push_back({j, rng.uniform(0.2, 1.5)});
+      p.add_row(Sense::kLe, rng.uniform(2.0, 6.0), row);
+    }
+    const LpResult r = solve(p);
+    ASSERT_EQ(r.status, LpStatus::kOptimal);
+    // For <= rows of a minimization, duals are <= 0 and a slack row implies
+    // a zero dual.
+    for (int i = 0; i < m; ++i) {
+      double lhs = 0.0;
+      for (const auto& [var, coef] : p.row(i).coeffs) lhs += coef * r.x[var];
+      EXPECT_LE(r.duals[i], 1e-7) << "wrong dual sign";
+      if (lhs < p.row(i).rhs - 1e-6) {
+        EXPECT_NEAR(r.duals[i], 0.0, 1e-6) << "slack row with nonzero dual";
+      }
+    }
+  }
+}
+
+TEST(SimplexLimits, IterationLimitReported) {
+  cpla::Rng rng(7);
+  LpProblem p;
+  const int n = 12;
+  for (int j = 0; j < n; ++j) p.add_var(0.0, 10.0, rng.uniform(-2.0, 2.0));
+  for (int i = 0; i < 10; ++i) {
+    std::vector<std::pair<int, double>> row;
+    for (int j = 0; j < n; ++j) row.push_back({j, rng.uniform(0.1, 1.0)});
+    p.add_row(Sense::kLe, rng.uniform(5.0, 20.0), row);
+  }
+  LpOptions opt;
+  opt.max_iterations = 1;  // cannot even finish phase 1
+  EXPECT_EQ(solve(p, opt).status, LpStatus::kIterLimit);
+}
+
+}  // namespace
+}  // namespace cpla::lp

@@ -1,0 +1,193 @@
+#include "src/lp/simplex.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/util/rng.hpp"
+
+namespace cpla::lp {
+namespace {
+
+TEST(Simplex, TwoVarTextbook) {
+  // max 3x + 5y s.t. x <= 4, 2y <= 12, 3x + 2y <= 18, x,y >= 0.
+  // Optimum (2, 6) with value 36 -> min form objective -36.
+  LpProblem p;
+  const int x = p.add_var(0, kInf, -3.0);
+  const int y = p.add_var(0, kInf, -5.0);
+  p.add_row(Sense::kLe, 4.0, {{x, 1.0}});
+  p.add_row(Sense::kLe, 12.0, {{y, 2.0}});
+  p.add_row(Sense::kLe, 18.0, {{x, 3.0}, {y, 2.0}});
+  const LpResult r = solve(p);
+  ASSERT_EQ(r.status, LpStatus::kOptimal);
+  EXPECT_NEAR(r.objective, -36.0, 1e-7);
+  EXPECT_NEAR(r.x[x], 2.0, 1e-7);
+  EXPECT_NEAR(r.x[y], 6.0, 1e-7);
+}
+
+TEST(Simplex, EqualityConstraint) {
+  // min x + 2y s.t. x + y = 10, x <= 4 -> x=4, y=6, obj 16.
+  LpProblem p;
+  const int x = p.add_var(0, 4.0, 1.0);
+  const int y = p.add_var(0, kInf, 2.0);
+  p.add_row(Sense::kEq, 10.0, {{x, 1.0}, {y, 1.0}});
+  const LpResult r = solve(p);
+  ASSERT_EQ(r.status, LpStatus::kOptimal);
+  EXPECT_NEAR(r.objective, 16.0, 1e-7);
+  EXPECT_NEAR(r.x[x], 4.0, 1e-7);
+}
+
+TEST(Simplex, GreaterEqualConstraint) {
+  // min 2x + 3y s.t. x + y >= 5, x,y in [0, 10]; optimum x=5, y=0.
+  LpProblem p;
+  const int x = p.add_var(0, 10.0, 2.0);
+  const int y = p.add_var(0, 10.0, 3.0);
+  p.add_row(Sense::kGe, 5.0, {{x, 1.0}, {y, 1.0}});
+  const LpResult r = solve(p);
+  ASSERT_EQ(r.status, LpStatus::kOptimal);
+  EXPECT_NEAR(r.objective, 10.0, 1e-7);
+}
+
+TEST(Simplex, DetectsInfeasible) {
+  LpProblem p;
+  const int x = p.add_var(0, 1.0, 1.0);
+  p.add_row(Sense::kGe, 5.0, {{x, 1.0}});
+  EXPECT_EQ(solve(p).status, LpStatus::kInfeasible);
+}
+
+TEST(Simplex, DetectsInfeasibleContradiction) {
+  LpProblem p;
+  const int x = p.add_var(-kInf, kInf, 0.0);
+  p.add_row(Sense::kEq, 1.0, {{x, 1.0}});
+  p.add_row(Sense::kEq, 2.0, {{x, 1.0}});
+  EXPECT_EQ(solve(p).status, LpStatus::kInfeasible);
+}
+
+TEST(Simplex, DetectsUnbounded) {
+  LpProblem p;
+  p.add_var(0, kInf, -1.0);  // x: unconstrained upward
+  const int y = p.add_var(0, kInf, 0.0);
+  p.add_row(Sense::kLe, 3.0, {{y, 1.0}});  // x unconstrained upward
+  EXPECT_EQ(solve(p).status, LpStatus::kUnbounded);
+}
+
+TEST(Simplex, FreeVariable) {
+  // min x s.t. x >= -7 via row; x free.
+  LpProblem p;
+  const int x = p.add_var(-kInf, kInf, 1.0);
+  p.add_row(Sense::kGe, -7.0, {{x, 1.0}});
+  const LpResult r = solve(p);
+  ASSERT_EQ(r.status, LpStatus::kOptimal);
+  EXPECT_NEAR(r.x[x], -7.0, 1e-7);
+}
+
+TEST(Simplex, NegativeRhs) {
+  // min -x - y s.t. -x - y >= -4 (i.e. x + y <= 4), x,y in [0,3].
+  LpProblem p;
+  const int x = p.add_var(0, 3.0, -1.0);
+  const int y = p.add_var(0, 3.0, -1.0);
+  p.add_row(Sense::kGe, -4.0, {{x, -1.0}, {y, -1.0}});
+  const LpResult r = solve(p);
+  ASSERT_EQ(r.status, LpStatus::kOptimal);
+  EXPECT_NEAR(r.objective, -4.0, 1e-7);
+}
+
+TEST(Simplex, BoundFlipOnly) {
+  // No rows at all: variables go to their preferred bounds.
+  LpProblem p;
+  const int x = p.add_var(-1.0, 2.0, -1.0);
+  const int y = p.add_var(-3.0, 4.0, 1.0);
+  const LpResult r = solve(p);
+  ASSERT_EQ(r.status, LpStatus::kOptimal);
+  EXPECT_NEAR(r.x[x], 2.0, 1e-9);
+  EXPECT_NEAR(r.x[y], -3.0, 1e-9);
+}
+
+TEST(Simplex, NoRowsUnboundedFreeVar) {
+  LpProblem p;
+  p.add_var(-kInf, kInf, 1.0);
+  EXPECT_EQ(solve(p).status, LpStatus::kUnbounded);
+}
+
+TEST(Simplex, DegenerateProblem) {
+  // Multiple constraints through the same vertex; should still terminate.
+  LpProblem p;
+  const int x = p.add_var(0, kInf, -1.0);
+  const int y = p.add_var(0, kInf, -1.0);
+  p.add_row(Sense::kLe, 4.0, {{x, 1.0}, {y, 1.0}});
+  p.add_row(Sense::kLe, 4.0, {{x, 1.0}, {y, 1.0}});
+  p.add_row(Sense::kLe, 8.0, {{x, 2.0}, {y, 2.0}});
+  p.add_row(Sense::kLe, 4.0, {{x, 1.0}});
+  p.add_row(Sense::kLe, 4.0, {{y, 1.0}});
+  const LpResult r = solve(p);
+  ASSERT_EQ(r.status, LpStatus::kOptimal);
+  EXPECT_NEAR(r.objective, -4.0, 1e-7);
+}
+
+TEST(Simplex, AssignmentPolytopeIsIntegral) {
+  // 3x3 assignment LP: the relaxation has integral vertices, so the simplex
+  // should return a permutation.
+  LpProblem p;
+  const double cost[3][3] = {{4, 2, 8}, {4, 3, 7}, {3, 1, 6}};
+  int var[3][3];
+  for (int i = 0; i < 3; ++i)
+    for (int j = 0; j < 3; ++j) var[i][j] = p.add_var(0.0, 1.0, cost[i][j]);
+  for (int i = 0; i < 3; ++i) {
+    std::vector<std::pair<int, double>> row, col;
+    for (int j = 0; j < 3; ++j) {
+      row.push_back({var[i][j], 1.0});
+      col.push_back({var[j][i], 1.0});
+    }
+    p.add_row(Sense::kEq, 1.0, row);
+    p.add_row(Sense::kEq, 1.0, col);
+  }
+  const LpResult r = solve(p);
+  ASSERT_EQ(r.status, LpStatus::kOptimal);
+  // Optimal assignment: (0,1),(1,2),(2,0) -> 2+7+3 = 12.
+  EXPECT_NEAR(r.objective, 12.0, 1e-6);
+  for (int i = 0; i < 3; ++i)
+    for (int j = 0; j < 3; ++j) {
+      const double v = r.x[var[i][j]];
+      EXPECT_TRUE(std::fabs(v) < 1e-6 || std::fabs(v - 1.0) < 1e-6) << v;
+    }
+}
+
+class RandomLpSweep : public ::testing::TestWithParam<int> {};
+
+// Property: for random feasible bounded LPs, the simplex solution satisfies
+// every constraint and bound, and matches the objective recomputed from x.
+TEST_P(RandomLpSweep, SolutionIsFeasible) {
+  cpla::Rng rng(300 + static_cast<std::uint64_t>(GetParam()));
+  LpProblem p;
+  const int n = 3 + GetParam() % 5;
+  const int m = 2 + GetParam() % 4;
+  for (int j = 0; j < n; ++j) p.add_var(0.0, rng.uniform(1.0, 5.0), rng.uniform(-2.0, 2.0));
+  for (int i = 0; i < m; ++i) {
+    std::vector<std::pair<int, double>> coeffs;
+    for (int j = 0; j < n; ++j) {
+      if (rng.chance(0.7)) coeffs.push_back({j, rng.uniform(0.1, 2.0)});
+    }
+    if (coeffs.empty()) coeffs.push_back({0, 1.0});
+    // rhs large enough that x=0 is feasible for <= rows.
+    p.add_row(Sense::kLe, rng.uniform(0.5, 10.0), coeffs);
+  }
+  const LpResult r = solve(p);
+  ASSERT_EQ(r.status, LpStatus::kOptimal);
+  double obj = 0.0;
+  for (int j = 0; j < n; ++j) {
+    EXPECT_GE(r.x[j], -1e-7);
+    EXPECT_LE(r.x[j], p.upper(j) + 1e-7);
+    obj += p.cost(j) * r.x[j];
+  }
+  EXPECT_NEAR(obj, r.objective, 1e-7);
+  for (int i = 0; i < m; ++i) {
+    double lhs = 0.0;
+    for (const auto& [var, coef] : p.row(i).coeffs) lhs += coef * r.x[var];
+    EXPECT_LE(lhs, p.row(i).rhs + 1e-6);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Random, RandomLpSweep, ::testing::Range(0, 20));
+
+}  // namespace
+}  // namespace cpla::lp

@@ -1,0 +1,133 @@
+#include "src/parser/ispd08.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "src/gen/synth.hpp"
+#include "src/util/logging.hpp"
+
+namespace cpla::parser {
+namespace {
+
+const char* kSample = R"(grid 10 8 4
+vertical capacity 0 12 0 12
+horizontal capacity 12 0 12 0
+minimum width 1 1 1 1
+minimum spacing 1 1 1 1
+via spacing 1 1 1 1
+0 0 10 10
+
+num net 2
+netA 0 2 1
+15 15 1
+85 25 1
+netB 1 3 1
+5 5 1
+5 75 1
+95 75 2
+
+2
+1 2 1   2 2 1   4
+3 3 2   3 4 2   0
+)";
+
+TEST(Ispd08Reader, ParsesHeaderAndGrid) {
+  std::istringstream in(kSample);
+  const auto design = read_ispd08(in, "sample");
+  ASSERT_TRUE(design.has_value());
+  EXPECT_EQ(design->grid.xsize(), 10);
+  EXPECT_EQ(design->grid.ysize(), 8);
+  EXPECT_EQ(design->grid.num_layers(), 4);
+  EXPECT_TRUE(design->grid.is_horizontal(0));
+  EXPECT_FALSE(design->grid.is_horizontal(1));
+}
+
+TEST(Ispd08Reader, CapacityDividedByPitch) {
+  std::istringstream in(kSample);
+  const auto design = read_ispd08(in, "sample");
+  ASSERT_TRUE(design.has_value());
+  // raw 12 / (width 1 + spacing 1) = 6 tracks.
+  EXPECT_EQ(design->grid.edge_capacity(0, design->grid.h_edge_id(5, 5)), 6);
+}
+
+TEST(Ispd08Reader, PinToGcellConversion) {
+  std::istringstream in(kSample);
+  const auto design = read_ispd08(in, "sample");
+  ASSERT_TRUE(design.has_value());
+  ASSERT_EQ(design->nets.size(), 2u);
+  const auto& netA = design->nets[0];
+  EXPECT_EQ(netA.name, "netA");
+  ASSERT_EQ(netA.pins.size(), 2u);
+  EXPECT_EQ(netA.pins[0].x, 1);  // 15/10
+  EXPECT_EQ(netA.pins[0].y, 1);
+  EXPECT_EQ(netA.pins[1].x, 8);  // 85/10
+  EXPECT_EQ(netA.pins[1].y, 2);
+  // 1-based layer in file -> 0-based.
+  EXPECT_EQ(design->nets[1].pins[2].layer, 1);
+}
+
+TEST(Ispd08Reader, AppliesAdjustments) {
+  std::istringstream in(kSample);
+  const auto design = read_ispd08(in, "sample");
+  ASSERT_TRUE(design.has_value());
+  // Adjustment "1 2 1  2 2 1  4": h-edge (1,2)-(2,2) on layer 0 -> cap 4.
+  EXPECT_EQ(design->grid.edge_capacity(0, design->grid.h_edge_id(1, 2)), 4);
+  // Adjustment on layer 1 (vertical): v-edge (3,3)-(3,4) -> cap 0.
+  EXPECT_EQ(design->grid.edge_capacity(1, design->grid.v_edge_id(3, 3)), 0);
+}
+
+TEST(Ispd08Reader, RejectsMalformedHeader) {
+  set_log_level(LogLevel::kSilent);
+  std::istringstream in("not a benchmark\n");
+  EXPECT_FALSE(read_ispd08(in, "bad").has_value());
+  set_log_level(LogLevel::kInfo);
+}
+
+TEST(Ispd08Reader, RejectsTruncatedNets) {
+  set_log_level(LogLevel::kSilent);
+  std::string text(kSample);
+  text = text.substr(0, text.find("netB"));
+  std::istringstream in(text);
+  EXPECT_FALSE(read_ispd08(in, "bad").has_value());
+  set_log_level(LogLevel::kInfo);
+}
+
+TEST(Ispd08RoundTrip, WriteThenReadPreservesStructure) {
+  // Generate a synthetic design, write it, read it back, compare.
+  gen::SynthSpec spec;
+  spec.xsize = spec.ysize = 16;
+  spec.num_nets = 40;
+  spec.num_layers = 4;
+  spec.seed = 99;
+  const grid::Design original = gen::generate(spec);
+
+  std::stringstream buf;
+  write_ispd08(original, buf);
+  const auto reread = read_ispd08(buf, original.name);
+  ASSERT_TRUE(reread.has_value());
+
+  EXPECT_EQ(reread->grid.xsize(), original.grid.xsize());
+  EXPECT_EQ(reread->grid.ysize(), original.grid.ysize());
+  EXPECT_EQ(reread->grid.num_layers(), original.grid.num_layers());
+  ASSERT_EQ(reread->nets.size(), original.nets.size());
+
+  for (std::size_t n = 0; n < original.nets.size(); ++n) {
+    ASSERT_EQ(reread->nets[n].pins.size(), original.nets[n].pins.size()) << n;
+    for (std::size_t k = 0; k < original.nets[n].pins.size(); ++k) {
+      EXPECT_EQ(reread->nets[n].pins[k].x, original.nets[n].pins[k].x);
+      EXPECT_EQ(reread->nets[n].pins[k].y, original.nets[n].pins[k].y);
+      EXPECT_EQ(reread->nets[n].pins[k].layer, original.nets[n].pins[k].layer);
+    }
+  }
+  // Per-edge capacities preserved (via the adjustment mechanism).
+  for (int l = 0; l < original.grid.num_layers(); ++l) {
+    for (int e = 0; e < original.grid.num_edges_on_layer(l); ++e) {
+      ASSERT_EQ(reread->grid.edge_capacity(l, e), original.grid.edge_capacity(l, e))
+          << "layer " << l << " edge " << e;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace cpla::parser

@@ -1,0 +1,87 @@
+#include "src/route/route2d.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/grid/layer_stack.hpp"
+
+namespace cpla::route {
+namespace {
+
+grid::GridGraph make_grid() {
+  grid::GridGraph g(8, 8, grid::make_layer_stack(4), grid::default_geom());
+  for (int l = 0; l < 4; ++l) g.fill_layer_capacity(l, 3);
+  return g;
+}
+
+TEST(NetRouteType, NormalizeSortsAndDeduplicates) {
+  NetRoute r;
+  r.add_h(5);
+  r.add_h(2);
+  r.add_h(5);
+  r.add_v(9);
+  r.add_v(9);
+  r.normalize();
+  EXPECT_EQ(r.h_edges, (std::vector<int>{2, 5}));
+  EXPECT_EQ(r.v_edges, (std::vector<int>{9}));
+  EXPECT_EQ(r.wirelength(), 3u);
+  EXPECT_FALSE(r.empty());
+}
+
+TEST(Usage2DMap, ProjectedCapacities) {
+  const grid::GridGraph g = make_grid();
+  Usage2D usage(g);
+  // Two horizontal layers (0, 2) x cap 3 = 6; same for vertical.
+  EXPECT_EQ(usage.h_cap(g.h_edge_id(3, 3)), 6);
+  EXPECT_EQ(usage.v_cap(g.v_edge_id(3, 3)), 6);
+}
+
+TEST(Usage2DMap, AddRemoveAndOverflow) {
+  const grid::GridGraph g = make_grid();
+  Usage2D usage(g);
+  NetRoute r;
+  r.add_h(g.h_edge_id(2, 2));
+  for (int i = 0; i < 8; ++i) usage.add(r, +1);
+  EXPECT_EQ(usage.h_usage(g.h_edge_id(2, 2)), 8);
+  EXPECT_EQ(usage.total_overflow(), 2);  // cap 6
+  usage.add(r, -1);
+  usage.add(r, -1);
+  EXPECT_EQ(usage.total_overflow(), 0);
+}
+
+TEST(Usage2DMap, CostGrowsWithCongestionAndHistory) {
+  const grid::GridGraph g = make_grid();
+  Usage2D usage(g);
+  const int e = g.h_edge_id(1, 1);
+  const double idle = usage.h_cost(e);
+  NetRoute r;
+  r.add_h(e);
+  for (int i = 0; i < 6; ++i) usage.add(r, +1);  // exactly at capacity
+  const double full = usage.h_cost(e);
+  EXPECT_GT(full, idle);
+
+  usage.add(r, +1);  // overflowed
+  usage.bump_history(2.0);
+  const double overflowed = usage.h_cost(e);
+  EXPECT_GT(overflowed, full + 2.0);  // history adds on top of congestion
+  EXPECT_DOUBLE_EQ(usage.h_history(e), 2.0);
+  // Non-overflowed edges keep zero history.
+  EXPECT_DOUBLE_EQ(usage.h_history(g.h_edge_id(4, 4)), 0.0);
+}
+
+TEST(Usage2DMap, MonotoneCostInUsage) {
+  const grid::GridGraph g = make_grid();
+  Usage2D usage(g);
+  const int e = g.v_edge_id(2, 2);
+  NetRoute r;
+  r.add_v(e);
+  double prev = usage.v_cost(e);
+  for (int i = 0; i < 10; ++i) {
+    usage.add(r, +1);
+    const double cost = usage.v_cost(e);
+    EXPECT_GE(cost, prev);
+    prev = cost;
+  }
+}
+
+}  // namespace
+}  // namespace cpla::route

@@ -1,0 +1,184 @@
+#include "src/route/seg_tree.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <cmath>
+
+#include "src/gen/synth.hpp"
+#include "src/grid/layer_stack.hpp"
+#include "src/route/router.hpp"
+
+namespace cpla::route {
+namespace {
+
+grid::GridGraph make_grid(int n = 12) {
+  grid::GridGraph g(n, n, grid::make_layer_stack(4), grid::default_geom());
+  for (int l = 0; l < 4; ++l) g.fill_layer_capacity(l, 10);
+  return g;
+}
+
+grid::Net make_net(std::vector<grid::Pin> pins) {
+  grid::Net net;
+  net.id = 0;
+  net.name = "n";
+  net.pins = std::move(pins);
+  return net;
+}
+
+TEST(SegTree, StraightTwoPinNet) {
+  const grid::GridGraph g = make_grid();
+  const grid::Net net = make_net({{1, 3, 0}, {6, 3, 0}});
+  NetRoute r;
+  for (int x = 1; x < 6; ++x) r.add_h(g.h_edge_id(x, 3));
+  const SegTree tree = extract_tree(g, net, &r);
+  ASSERT_EQ(tree.segs.size(), 1u);
+  EXPECT_TRUE(tree.segs[0].horizontal);
+  EXPECT_EQ(tree.segs[0].length(), 5);
+  EXPECT_EQ(tree.segs[0].parent, -1);
+  ASSERT_EQ(tree.sinks.size(), 1u);
+  EXPECT_EQ(tree.sinks[0].seg_id, 0);
+}
+
+TEST(SegTree, LShapeBreaksAtTurn) {
+  const grid::GridGraph g = make_grid();
+  const grid::Net net = make_net({{1, 1, 0}, {4, 5, 0}});
+  NetRoute r;
+  for (int x = 1; x < 4; ++x) r.add_h(g.h_edge_id(x, 1));
+  for (int y = 1; y < 5; ++y) r.add_v(g.v_edge_id(4, y));
+  const SegTree tree = extract_tree(g, net, &r);
+  ASSERT_EQ(tree.segs.size(), 2u);
+  EXPECT_TRUE(tree.segs[0].horizontal);
+  EXPECT_FALSE(tree.segs[1].horizontal);
+  EXPECT_EQ(tree.segs[1].parent, 0);
+  EXPECT_EQ(tree.segs[0].length() + tree.segs[1].length(), 7);
+}
+
+TEST(SegTree, BranchPointSplitsSegments) {
+  // T shape: trunk (1,2)-(7,2), branch up at (4,2) to (4,6).
+  const grid::GridGraph g = make_grid();
+  const grid::Net net = make_net({{1, 2, 0}, {7, 2, 0}, {4, 6, 0}});
+  NetRoute r;
+  for (int x = 1; x < 7; ++x) r.add_h(g.h_edge_id(x, 2));
+  for (int y = 2; y < 6; ++y) r.add_v(g.v_edge_id(4, y));
+  const SegTree tree = extract_tree(g, net, &r);
+  // Trunk splits at the branch: (1..4), (4..7), (4,2..6) = 3 segments.
+  ASSERT_EQ(tree.segs.size(), 3u);
+  int h = 0, v = 0;
+  for (const auto& s : tree.segs) (s.horizontal ? h : v) += 1;
+  EXPECT_EQ(h, 2);
+  EXPECT_EQ(v, 1);
+  EXPECT_EQ(tree.sinks.size(), 2u);
+}
+
+TEST(SegTree, MidSegmentPinBreaksRun) {
+  // Pins at (1,1), (4,1), (8,1) on one straight wire: two segments.
+  const grid::GridGraph g = make_grid();
+  const grid::Net net = make_net({{1, 1, 0}, {8, 1, 0}, {4, 1, 0}});
+  NetRoute r;
+  for (int x = 1; x < 8; ++x) r.add_h(g.h_edge_id(x, 1));
+  const SegTree tree = extract_tree(g, net, &r);
+  ASSERT_EQ(tree.segs.size(), 2u);
+  EXPECT_EQ(tree.segs[0].length(), 3);
+  EXPECT_EQ(tree.segs[1].length(), 4);
+  EXPECT_EQ(tree.segs[1].parent, 0);
+}
+
+TEST(SegTree, PrunesDanglingWire) {
+  const grid::GridGraph g = make_grid();
+  const grid::Net net = make_net({{1, 1, 0}, {5, 1, 0}});
+  NetRoute r;
+  for (int x = 1; x < 5; ++x) r.add_h(g.h_edge_id(x, 1));
+  // Dangling stub up from (3,1) that reaches no pin.
+  r.add_v(g.v_edge_id(3, 1));
+  r.add_v(g.v_edge_id(3, 2));
+  const SegTree tree = extract_tree(g, net, &r);
+  ASSERT_EQ(tree.segs.size(), 1u);
+  EXPECT_EQ(r.v_edges.size(), 0u);  // pruned from the route too
+  EXPECT_EQ(r.h_edges.size(), 4u);
+}
+
+TEST(SegTree, BreaksCycles) {
+  // A loop plus the needed path; extraction keeps a tree.
+  const grid::GridGraph g = make_grid();
+  const grid::Net net = make_net({{1, 1, 0}, {3, 3, 0}});
+  NetRoute r;
+  // Full rectangle (1,1)-(3,1)-(3,3)-(1,3)-(1,1).
+  for (int x = 1; x < 3; ++x) {
+    r.add_h(g.h_edge_id(x, 1));
+    r.add_h(g.h_edge_id(x, 3));
+  }
+  for (int y = 1; y < 3; ++y) {
+    r.add_v(g.v_edge_id(1, y));
+    r.add_v(g.v_edge_id(3, y));
+  }
+  const SegTree tree = extract_tree(g, net, &r);
+  // Route must now be acyclic: wirelength == cells - 1 on the kept tree.
+  EXPECT_LT(r.wirelength(), 8u);
+  ASSERT_EQ(tree.sinks.size(), 1u);
+  EXPECT_GE(tree.segs.size(), 1u);
+}
+
+TEST(SegTree, AllPinsInOneCell) {
+  const grid::GridGraph g = make_grid();
+  const grid::Net net = make_net({{2, 2, 0}, {2, 2, 0}, {2, 2, 1}});
+  NetRoute r;
+  const SegTree tree = extract_tree(g, net, &r);
+  EXPECT_TRUE(tree.segs.empty());
+  ASSERT_EQ(tree.sinks.size(), 2u);
+  for (const auto& s : tree.sinks) EXPECT_EQ(s.seg_id, -1);
+  EXPECT_EQ(tree.sinks[1].pin_layer, 1);
+}
+
+TEST(SegTree, PathToRoot) {
+  const grid::GridGraph g = make_grid();
+  const grid::Net net = make_net({{1, 1, 0}, {4, 5, 0}});
+  NetRoute r;
+  for (int x = 1; x < 4; ++x) r.add_h(g.h_edge_id(x, 1));
+  for (int y = 1; y < 5; ++y) r.add_v(g.v_edge_id(4, y));
+  const SegTree tree = extract_tree(g, net, &r);
+  const auto path = tree.path_to_root(1);
+  ASSERT_EQ(path.size(), 2u);
+  EXPECT_EQ(path[0], 1);
+  EXPECT_EQ(path[1], 0);
+}
+
+// Structural invariants over a whole routed benchmark.
+TEST(SegTree, InvariantsOnRoutedBenchmark) {
+  gen::SynthSpec spec;
+  spec.xsize = spec.ysize = 24;
+  spec.num_nets = 250;
+  spec.num_layers = 4;
+  spec.seed = 5;
+  const grid::Design d = gen::generate(spec);
+  RoutingResult rr = route_all(d);
+
+  for (std::size_t n = 0; n < d.nets.size(); ++n) {
+    const SegTree tree = extract_tree(d.grid, d.nets[n], &rr.routes[n]);
+
+    std::size_t total_len = 0;
+    for (const auto& seg : tree.segs) {
+      // Parent precedes child (topological order).
+      if (seg.parent >= 0) {
+        ASSERT_LT(seg.parent, seg.id);
+        // Child starts at some endpoint of the parent.
+        const auto& par = tree.segs[seg.parent];
+        EXPECT_TRUE(seg.a == par.b || seg.a == par.a);
+      }
+      // Direction is consistent with the endpoints.
+      EXPECT_EQ(seg.horizontal, seg.a.y == seg.b.y);
+      EXPECT_GT(seg.length(), 0);
+      total_len += static_cast<std::size_t>(seg.length());
+      for (int c : seg.children) {
+        EXPECT_EQ(tree.segs[c].parent, seg.id);
+      }
+    }
+    // Segment lengths sum to the pruned route's wirelength.
+    EXPECT_EQ(total_len, rr.routes[n].wirelength());
+    // Every non-driver pin got attached.
+    EXPECT_EQ(tree.sinks.size(), d.nets[n].pins.size() - 1);
+  }
+}
+
+}  // namespace
+}  // namespace cpla::route

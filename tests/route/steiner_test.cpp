@@ -1,0 +1,96 @@
+#include <gtest/gtest.h>
+
+#include "src/route/topology.hpp"
+#include "src/util/rng.hpp"
+
+namespace cpla::route {
+namespace {
+
+grid::Net make_net(std::vector<std::pair<int, int>> pts) {
+  grid::Net net;
+  net.id = 0;
+  for (auto [x, y] : pts) net.pins.push_back(grid::Pin{x, y, 0});
+  return net;
+}
+
+TEST(Steiner, TwoPinsUnchanged) {
+  const grid::Net net = make_net({{0, 0}, {5, 7}});
+  EXPECT_EQ(topology_wirelength(steiner_topology(net)), 12);
+}
+
+TEST(Steiner, ThreePinLGainsMedianPoint) {
+  // Pins (0,0), (4,0), (2,3): MST = 4 + 5 = 9 (nearest pairs);
+  // RSMT via Steiner point (2,0): 2 + 2 + 3 = 7.
+  const grid::Net net = make_net({{0, 0}, {4, 0}, {2, 3}});
+  const long mst = topology_wirelength(mst_topology(net));
+  const long rsmt = topology_wirelength(steiner_topology(net));
+  EXPECT_EQ(mst, 9);
+  EXPECT_EQ(rsmt, 7);
+}
+
+TEST(Steiner, CrossNeedsTwoSteinerPoints) {
+  // Pins at the 4 arms of a plus: optimal RSMT uses the center.
+  const grid::Net net = make_net({{2, 0}, {2, 4}, {0, 2}, {4, 2}});
+  const long rsmt = topology_wirelength(steiner_topology(net));
+  EXPECT_EQ(rsmt, 8);  // all four arms to the center (2,2)
+  EXPECT_GT(topology_wirelength(mst_topology(net)), rsmt);
+}
+
+TEST(Steiner, CollinearPinsNoGain) {
+  const grid::Net net = make_net({{0, 0}, {3, 0}, {7, 0}, {10, 0}});
+  EXPECT_EQ(topology_wirelength(steiner_topology(net)), 10);
+}
+
+// Properties over random nets: never longer than the MST, always a
+// spanning structure (covers all pins, edge count = node count - 1).
+class SteinerSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(SteinerSweep, NeverWorseThanMstAndSpanning) {
+  cpla::Rng rng(800 + static_cast<std::uint64_t>(GetParam()));
+  const int pins = 3 + GetParam() % 10;
+  std::vector<std::pair<int, int>> pts;
+  for (int i = 0; i < pins; ++i) {
+    pts.push_back({static_cast<int>(rng.uniform_int(0, 30)),
+                   static_cast<int>(rng.uniform_int(0, 30))});
+  }
+  const grid::Net net = make_net(pts);
+  const auto mst = mst_topology(net);
+  const auto rsmt = steiner_topology(net);
+  EXPECT_LE(topology_wirelength(rsmt), topology_wirelength(mst));
+
+  // Spanning: union-find over the connection endpoints reaches every pin.
+  std::vector<grid::XY> nodes;
+  auto node_of = [&](const grid::XY& p) {
+    for (std::size_t i = 0; i < nodes.size(); ++i) {
+      if (nodes[i] == p) return i;
+    }
+    nodes.push_back(p);
+    return nodes.size() - 1;
+  };
+  std::vector<std::size_t> parent;
+  std::function<std::size_t(std::size_t)> find = [&](std::size_t v) {
+    return parent[v] == v ? v : parent[v] = find(parent[v]);
+  };
+  for (const auto& c : rsmt) {
+    node_of(c.from);
+    node_of(c.to);
+  }
+  for (const auto& pin : net.distinct_cells()) node_of({pin.x, pin.y});
+  parent.resize(nodes.size());
+  for (std::size_t i = 0; i < parent.size(); ++i) parent[i] = i;
+  for (const auto& c : rsmt) {
+    parent[find(node_of(c.from))] = find(node_of(c.to));
+  }
+  const auto cells = net.distinct_cells();
+  const std::size_t root = find(node_of({cells[0].x, cells[0].y}));
+  for (const auto& pin : cells) {
+    EXPECT_EQ(find(node_of({pin.x, pin.y})), root) << "pin disconnected";
+  }
+  // Tree: edges == nodes - 1 (no cycles, no duplicates).
+  EXPECT_EQ(rsmt.size(), nodes.size() - 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Random, SteinerSweep, ::testing::Range(0, 30));
+
+}  // namespace
+}  // namespace cpla::route

@@ -1,0 +1,86 @@
+#include "src/sdp/blockmat.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace cpla::sdp {
+namespace {
+
+BlockStructure two_blocks() {
+  return {BlockSpec{BlockSpec::Kind::kDense, 3}, BlockSpec{BlockSpec::Kind::kDiag, 2}};
+}
+
+TEST(BlockMatrix, TotalDim) { EXPECT_EQ(total_dim(two_blocks()), 5); }
+
+TEST(BlockMatrix, ScaledIdentity) {
+  const BlockMatrix m = BlockMatrix::scaled_identity(two_blocks(), 2.5);
+  EXPECT_DOUBLE_EQ(m.dense(0)(1, 1), 2.5);
+  EXPECT_DOUBLE_EQ(m.dense(0)(0, 1), 0.0);
+  EXPECT_DOUBLE_EQ(m.diag(1)[0], 2.5);
+  EXPECT_DOUBLE_EQ(m.trace(), 5 * 2.5);
+}
+
+TEST(BlockMatrix, AxpyInnerNorm) {
+  BlockMatrix a = BlockMatrix::scaled_identity(two_blocks(), 1.0);
+  BlockMatrix b = BlockMatrix::scaled_identity(two_blocks(), 3.0);
+  a.axpy(2.0, b);  // a = 7 * I
+  EXPECT_DOUBLE_EQ(a.dense(0)(2, 2), 7.0);
+  EXPECT_DOUBLE_EQ(a.inner(b), 7.0 * 3.0 * 5);
+  EXPECT_DOUBLE_EQ(a.frob_norm(), std::sqrt(49.0 * 5));
+  EXPECT_DOUBLE_EQ(a.max_abs(), 7.0);
+  a.set_zero();
+  EXPECT_DOUBLE_EQ(a.frob_norm(), 0.0);
+}
+
+TEST(BlockMatrix, MultiplyBlockwise) {
+  BlockMatrix a(two_blocks()), b(two_blocks());
+  a.dense(0)(0, 1) = 2.0;
+  b.dense(0)(1, 2) = 3.0;
+  a.diag(1) = {2.0, 4.0};
+  b.diag(1) = {5.0, 0.5};
+  const BlockMatrix c = multiply(a, b);
+  EXPECT_DOUBLE_EQ(c.dense(0)(0, 2), 6.0);
+  EXPECT_DOUBLE_EQ(c.diag(1)[0], 10.0);
+  EXPECT_DOUBLE_EQ(c.diag(1)[1], 2.0);
+}
+
+TEST(BlockCholesky, FactorsAndInverts) {
+  BlockMatrix a = BlockMatrix::scaled_identity(two_blocks(), 4.0);
+  a.dense(0)(0, 1) = a.dense(0)(1, 0) = 1.0;
+  auto chol = BlockCholesky::factor(a);
+  ASSERT_TRUE(chol.has_value());
+  const BlockMatrix inv = chol->inverse();
+  const BlockMatrix prod = multiply(a, inv);
+  for (std::size_t i = 0; i < 3; ++i) {
+    for (std::size_t j = 0; j < 3; ++j) EXPECT_NEAR(prod.dense(0)(i, j), i == j ? 1 : 0, 1e-12);
+  }
+  EXPECT_NEAR(inv.diag(1)[0], 0.25, 1e-15);
+  // det(dense) = 4*4*4 - 1*... dense block [[4,1,0],[1,4,0],[0,0,4]] -> det = 60.
+  EXPECT_NEAR(chol->log_det(), std::log(60.0) + std::log(16.0), 1e-10);
+}
+
+TEST(BlockCholesky, RejectsIndefiniteDense) {
+  BlockMatrix a = BlockMatrix::scaled_identity(two_blocks(), 1.0);
+  a.dense(0)(0, 0) = -1.0;
+  EXPECT_FALSE(BlockCholesky::factor(a).has_value());
+  EXPECT_FALSE(is_positive_definite(a));
+  EXPECT_TRUE(is_positive_definite(a, 3.0));
+}
+
+TEST(BlockCholesky, RejectsNonPositiveDiagBlock) {
+  BlockMatrix a = BlockMatrix::scaled_identity(two_blocks(), 1.0);
+  a.diag(1)[1] = 0.0;
+  EXPECT_FALSE(BlockCholesky::factor(a).has_value());
+}
+
+TEST(BlockMatrix, SymmetrizeDenseOnly) {
+  BlockMatrix a(two_blocks());
+  a.dense(0)(0, 1) = 4.0;
+  a.symmetrize();
+  EXPECT_DOUBLE_EQ(a.dense(0)(0, 1), 2.0);
+  EXPECT_DOUBLE_EQ(a.dense(0)(1, 0), 2.0);
+}
+
+}  // namespace
+}  // namespace cpla::sdp

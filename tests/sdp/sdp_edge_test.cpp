@@ -1,0 +1,84 @@
+// Edge-case behaviour of the SDP solver: infeasible/contradictory
+// constraint sets must terminate with a non-optimal status instead of
+// looping or crashing, and tiny/degenerate problems must solve.
+
+#include <gtest/gtest.h>
+
+#include "src/sdp/solver.hpp"
+
+namespace cpla::sdp {
+namespace {
+
+BlockStructure dense(int n) { return {BlockSpec{BlockSpec::Kind::kDense, n}}; }
+
+TEST(SdpEdge, ContradictoryTraceConstraints) {
+  SdpProblem p(dense(2));
+  p.add_objective_entry(0, 0, 0, 1.0);
+  const int a = p.add_constraint(1.0);
+  p.add_entry(a, 0, 0, 0, 1.0);
+  p.add_entry(a, 0, 1, 1, 1.0);
+  const int b = p.add_constraint(3.0);  // trace cannot be both 1 and 3
+  p.add_entry(b, 0, 0, 0, 1.0);
+  p.add_entry(b, 0, 1, 1, 1.0);
+
+  SdpOptions opt;
+  opt.max_iterations = 50;
+  const SdpResult r = solve(p, opt);
+  EXPECT_NE(r.status, SdpStatus::kOptimal);
+}
+
+TEST(SdpEdge, NegativeDefiniteRequirementInfeasible) {
+  // X_00 = -1 has no PSD solution.
+  SdpProblem p(dense(1));
+  p.add_objective_entry(0, 0, 0, 1.0);
+  const int c = p.add_constraint(-1.0);
+  p.add_entry(c, 0, 0, 0, 1.0);
+  SdpOptions opt;
+  opt.max_iterations = 50;
+  const SdpResult r = solve(p, opt);
+  EXPECT_NE(r.status, SdpStatus::kOptimal);
+}
+
+TEST(SdpEdge, OneByOneProblem) {
+  // min 2*x s.t. x = 5, x >= 0 (scalar PSD).
+  SdpProblem p(dense(1));
+  p.add_objective_entry(0, 0, 0, 2.0);
+  const int c = p.add_constraint(5.0);
+  p.add_entry(c, 0, 0, 0, 1.0);
+  const SdpResult r = solve(p);
+  ASSERT_EQ(r.status, SdpStatus::kOptimal);
+  EXPECT_NEAR(r.x.dense(0)(0, 0), 5.0, 1e-5);
+  EXPECT_NEAR(r.primal_obj, 10.0, 1e-4);
+}
+
+TEST(SdpEdge, PureDiagBlockWithRedundantConstraints) {
+  SdpProblem p({BlockSpec{BlockSpec::Kind::kDiag, 3}});
+  for (int i = 0; i < 3; ++i) p.add_objective_entry(0, i, i, 1.0 + i);
+  const int c1 = p.add_constraint(2.0);
+  for (int i = 0; i < 3; ++i) p.add_entry(c1, 0, i, i, 1.0);
+  const int c2 = p.add_constraint(4.0);  // scaled duplicate of c1
+  for (int i = 0; i < 3; ++i) p.add_entry(c2, 0, i, i, 2.0);
+
+  const SdpResult r = solve(p);
+  // Redundant (rank-deficient) constraints exercise the Schur ridge path;
+  // the solver may stop on the stall detector but must still land on the
+  // optimum: all mass on the cheapest variable.
+  ASSERT_TRUE(r.status == SdpStatus::kOptimal || r.status == SdpStatus::kStalled);
+  EXPECT_NEAR(r.primal_obj, 2.0, 1e-3);
+  EXPECT_NEAR(r.x.diag(0)[0], 2.0, 1e-2);
+}
+
+TEST(SdpEdge, ZeroObjective) {
+  // Any feasible point is optimal; must converge with gap ~0.
+  SdpProblem p(dense(2));
+  const int tr = p.add_constraint(1.0);
+  p.add_entry(tr, 0, 0, 0, 1.0);
+  p.add_entry(tr, 0, 1, 1, 1.0);
+  const SdpResult r = solve(p);
+  ASSERT_EQ(r.status, SdpStatus::kOptimal);
+  EXPECT_NEAR(r.primal_obj, 0.0, 1e-6);
+  EXPECT_NEAR(r.x.dense(0)(0, 0) + r.x.dense(0)(1, 1), 1.0, 1e-5);
+}
+
+}  // namespace
+}  // namespace cpla::sdp

@@ -1,0 +1,173 @@
+#include "src/sdp/solver.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/la/eigen.hpp"
+#include "src/util/rng.hpp"
+
+namespace cpla::sdp {
+namespace {
+
+BlockStructure dense_block(int n) { return {BlockSpec{BlockSpec::Kind::kDense, n}}; }
+
+TEST(SdpProblem, ApplyAndAdjoint) {
+  SdpProblem p(dense_block(2));
+  const int c0 = p.add_constraint(3.0);
+  p.add_entry(c0, 0, 0, 0, 1.0);
+  p.add_entry(c0, 0, 0, 1, 2.0);  // off-diagonal: counts twice in the trace
+
+  BlockMatrix x(p.structure());
+  x.dense(0)(0, 0) = 5.0;
+  x.dense(0)(0, 1) = x.dense(0)(1, 0) = 1.5;
+  EXPECT_DOUBLE_EQ(p.apply(0, x), 5.0 + 2.0 * 2.0 * 1.5);
+
+  BlockMatrix adj(p.structure());
+  p.accumulate_adjoint({2.0}, &adj);
+  EXPECT_DOUBLE_EQ(adj.dense(0)(0, 0), 2.0);
+  EXPECT_DOUBLE_EQ(adj.dense(0)(0, 1), 4.0);
+  EXPECT_DOUBLE_EQ(adj.dense(0)(1, 0), 4.0);
+
+  EXPECT_DOUBLE_EQ(p.rhs_vector()[0], 3.0);
+}
+
+// min tr(CX) s.t. tr(X) = 1, X >= 0 computes the minimum eigenvalue of C.
+TEST(SdpSolver, MinimumEigenvalueDiagonalC) {
+  SdpProblem p(dense_block(2));
+  p.add_objective_entry(0, 0, 0, 2.0);
+  p.add_objective_entry(0, 1, 1, 1.0);
+  const int tr = p.add_constraint(1.0);
+  p.add_entry(tr, 0, 0, 0, 1.0);
+  p.add_entry(tr, 0, 1, 1, 1.0);
+
+  const SdpResult r = solve(p);
+  EXPECT_EQ(r.status, SdpStatus::kOptimal);
+  EXPECT_NEAR(r.primal_obj, 1.0, 1e-5);
+  EXPECT_NEAR(r.x.dense(0)(1, 1), 1.0, 1e-4);
+  EXPECT_NEAR(r.x.dense(0)(0, 0), 0.0, 1e-4);
+}
+
+TEST(SdpSolver, MinimumEigenvalueDenseC) {
+  // C = [[2,1],[1,2]] has eigenvalues {1,3}; optimum X = vv^T, v=(1,-1)/sqrt2.
+  SdpProblem p(dense_block(2));
+  p.add_objective_entry(0, 0, 0, 2.0);
+  p.add_objective_entry(0, 1, 1, 2.0);
+  p.add_objective_entry(0, 0, 1, 1.0);
+  const int tr = p.add_constraint(1.0);
+  p.add_entry(tr, 0, 0, 0, 1.0);
+  p.add_entry(tr, 0, 1, 1, 1.0);
+
+  const SdpResult r = solve(p);
+  EXPECT_EQ(r.status, SdpStatus::kOptimal);
+  EXPECT_NEAR(r.primal_obj, 1.0, 1e-5);
+  EXPECT_NEAR(r.dual_obj, 1.0, 1e-5);
+  EXPECT_NEAR(r.x.dense(0)(0, 1), -0.5, 1e-4);
+}
+
+// Pure LP posed through the diag block: min x0 + 2 x1, x0 + x1 = 1, x >= 0.
+TEST(SdpSolver, LpDiagBlock) {
+  SdpProblem p({BlockSpec{BlockSpec::Kind::kDiag, 2}});
+  p.add_objective_entry(0, 0, 0, 1.0);
+  p.add_objective_entry(0, 1, 1, 2.0);
+  const int c = p.add_constraint(1.0);
+  p.add_entry(c, 0, 0, 0, 1.0);
+  p.add_entry(c, 0, 1, 1, 1.0);
+
+  const SdpResult r = solve(p);
+  EXPECT_EQ(r.status, SdpStatus::kOptimal);
+  EXPECT_NEAR(r.primal_obj, 1.0, 1e-5);
+  EXPECT_NEAR(r.x.diag(0)[0], 1.0, 1e-4);
+  EXPECT_NEAR(r.x.diag(0)[1], 0.0, 1e-4);
+}
+
+// Mixed dense + LP-slack: min tr(CX) s.t. tr(X) + s = 2, s >= 0, with C PSD:
+// pushing tr(X) to 0 is optimal, s takes the slack.
+TEST(SdpSolver, MixedBlocksWithSlack) {
+  SdpProblem p({BlockSpec{BlockSpec::Kind::kDense, 2}, BlockSpec{BlockSpec::Kind::kDiag, 1}});
+  p.add_objective_entry(0, 0, 0, 1.0);
+  p.add_objective_entry(0, 1, 1, 1.0);
+  const int c = p.add_constraint(2.0);
+  p.add_entry(c, 0, 0, 0, 1.0);
+  p.add_entry(c, 0, 1, 1, 1.0);
+  p.add_entry(c, 1, 0, 0, 1.0);
+
+  const SdpResult r = solve(p);
+  EXPECT_EQ(r.status, SdpStatus::kOptimal);
+  EXPECT_NEAR(r.primal_obj, 0.0, 1e-4);
+  EXPECT_NEAR(r.x.diag(1)[0], 2.0, 1e-3);
+}
+
+// The lifted binary-QP relaxation the CPLA engine uses, on a tiny instance:
+// one segment, two layers, costs 5 and 3. Y = [[1, x'],[x, X]], diag(X)=x,
+// x0+x1 = 1. The relaxation is exact here: pick layer 1.
+TEST(SdpSolver, LiftedAssignmentExact) {
+  SdpProblem p(dense_block(3));
+  p.add_objective_entry(0, 1, 1, 5.0);
+  p.add_objective_entry(0, 2, 2, 3.0);
+  const int corner = p.add_constraint(1.0);
+  p.add_entry(corner, 0, 0, 0, 1.0);
+  for (int i = 1; i <= 2; ++i) {
+    // X_ii - Y_0i = 0  (x^2 = x linkage)
+    const int link = p.add_constraint(0.0);
+    p.add_entry(link, 0, i, i, 1.0);
+    p.add_entry(link, 0, 0, i, -0.5);  // off-diag counts twice
+  }
+  const int pick = p.add_constraint(1.0);
+  p.add_entry(pick, 0, 1, 1, 1.0);
+  p.add_entry(pick, 0, 2, 2, 1.0);
+
+  const SdpResult r = solve(p);
+  EXPECT_EQ(r.status, SdpStatus::kOptimal);
+  EXPECT_NEAR(r.primal_obj, 3.0, 1e-4);
+  EXPECT_NEAR(r.x.dense(0)(2, 2), 1.0, 1e-3);
+  EXPECT_NEAR(r.x.dense(0)(1, 1), 0.0, 1e-3);
+}
+
+TEST(SdpSolver, DualityGapCloses) {
+  // Random PSD objective over the spectraplex; verify optimality conditions.
+  cpla::Rng rng(77);
+  const int n = 5;
+  SdpProblem p(dense_block(n));
+  for (int i = 0; i < n; ++i) {
+    for (int j = i; j < n; ++j) p.add_objective_entry(0, i, j, rng.uniform(-1.0, 1.0));
+  }
+  const int tr = p.add_constraint(1.0);
+  for (int i = 0; i < n; ++i) p.add_entry(tr, 0, i, i, 1.0);
+
+  const SdpResult r = solve(p);
+  ASSERT_EQ(r.status, SdpStatus::kOptimal);
+  EXPECT_LT(r.rel_gap, 1e-6);
+  EXPECT_LT(r.primal_infeas, 1e-6);
+  EXPECT_LT(r.dual_infeas, 1e-6);
+  // Primal iterate stays PSD (tiny numerical slack allowed).
+  EXPECT_TRUE(is_positive_definite(r.x, 1e-9));
+  EXPECT_TRUE(is_positive_definite(r.z, 1e-9));
+}
+
+// Property sweep: min-eigenvalue SDPs of growing size against the Jacobi
+// eigensolver.
+class SdpEigSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(SdpEigSweep, MatchesEigensolver) {
+  const int n = GetParam();
+  cpla::Rng rng(900 + static_cast<std::uint64_t>(n));
+  la::Matrix c(static_cast<std::size_t>(n), static_cast<std::size_t>(n));
+  SdpProblem p(dense_block(n));
+  for (int i = 0; i < n; ++i) {
+    for (int j = i; j < n; ++j) {
+      const double v = rng.uniform(-2.0, 2.0);
+      c(i, j) = c(j, i) = v;
+      p.add_objective_entry(0, i, j, v);
+    }
+  }
+  const int tr = p.add_constraint(1.0);
+  for (int i = 0; i < n; ++i) p.add_entry(tr, 0, i, i, 1.0);
+
+  const SdpResult r = solve(p);
+  ASSERT_EQ(r.status, SdpStatus::kOptimal);
+  EXPECT_NEAR(r.primal_obj, la::min_eigenvalue(c), 1e-4 * n);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, SdpEigSweep, ::testing::Values(2, 3, 4, 6, 8, 12, 16));
+
+}  // namespace
+}  // namespace cpla::sdp

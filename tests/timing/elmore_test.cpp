@@ -1,0 +1,222 @@
+#include "src/timing/elmore.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/gen/synth.hpp"
+#include "src/grid/layer_stack.hpp"
+#include "src/route/router.hpp"
+
+namespace cpla::timing {
+namespace {
+
+/// A 4-layer grid with hand-picked RC so expected delays are computable by
+/// hand: R = 8,4,2,1 per tile; C = 1 per tile on every layer; via R = 1 per
+/// crossing.
+grid::GridGraph simple_grid(int n = 16) {
+  std::vector<grid::Layer> layers = grid::make_layer_stack(4);
+  const double res[] = {8.0, 4.0, 2.0, 1.0};
+  for (int l = 0; l < 4; ++l) {
+    layers[l].unit_res = res[l];
+    layers[l].unit_cap = 1.0;
+    layers[l].via_res_up = 1.0;
+  }
+  grid::GridGraph g(n, n, layers, grid::default_geom());
+  for (int l = 0; l < 4; ++l) g.fill_layer_capacity(l, 10);
+  return g;
+}
+
+RcTable simple_rc(const grid::GridGraph& g) {
+  RcTable rc(g);
+  rc.set_sink_cap(2.0);
+  rc.set_driver_res(3.0);
+  return rc;
+}
+
+route::SegTree two_pin_tree(const grid::GridGraph& g, int len) {
+  grid::Net net;
+  net.id = 0;
+  net.pins = {grid::Pin{1, 1, 0}, grid::Pin{1 + len, 1, 0}};
+  route::NetRoute r;
+  for (int x = 1; x < 1 + len; ++x) r.add_h(g.h_edge_id(x, 1));
+  return route::extract_tree(g, net, &r);
+}
+
+TEST(Elmore, HandComputedTwoPin) {
+  const grid::GridGraph g = simple_grid();
+  const RcTable rc = simple_rc(g);
+  const route::SegTree tree = two_pin_tree(g, 4);
+
+  // Segment on layer 0 (R=8/tile, C=1/tile), length 4, sink cap 2:
+  //   wire cap = 4, Cd = 2, total = 6.
+  //   driver = 3 * 6 = 18
+  //   source via: layer 0 -> 0: none.
+  //   ts = 8*4 * (4/2 + 2) = 128
+  //   sink via: none (pin layer 0).
+  const NetTiming t0 = compute_timing(tree, {0}, rc);
+  EXPECT_DOUBLE_EQ(t0.total_cap, 6.0);
+  EXPECT_DOUBLE_EQ(t0.downstream_cap[0], 2.0);
+  EXPECT_DOUBLE_EQ(t0.max_sink_delay, 18.0 + 128.0);
+
+  // Same segment on layer 2 (R=2/tile): source via 0->2 = 2*(4+2)=12,
+  // ts = 2*4*(2+2) = 32, sink via 2->0 = 2*2 = 4.
+  const NetTiming t2 = compute_timing(tree, {2}, rc);
+  EXPECT_DOUBLE_EQ(t2.max_sink_delay, 18.0 + 12.0 + 32.0 + 4.0);
+  EXPECT_LT(t2.max_sink_delay, t0.max_sink_delay);
+}
+
+TEST(Elmore, HigherLayerIsFasterForLongNets) {
+  const grid::GridGraph g = simple_grid(32);
+  const RcTable rc = simple_rc(g);
+  const route::SegTree tree = two_pin_tree(g, 20);
+  double prev = compute_timing(tree, {0}, rc).max_sink_delay;
+  const double d2 = compute_timing(tree, {2}, rc).max_sink_delay;
+  EXPECT_LT(d2, prev);
+}
+
+TEST(Elmore, BranchTreeDownstreamCaps) {
+  // T shape: trunk (1,2)->(4,2), then two branches: right to (7,2) and up
+  // to (4,6). Verify Cd against hand computation.
+  const grid::GridGraph g = simple_grid();
+  const RcTable rc = simple_rc(g);
+  grid::Net net;
+  net.id = 0;
+  net.pins = {grid::Pin{1, 2, 0}, grid::Pin{7, 2, 0}, grid::Pin{4, 6, 0}};
+  route::NetRoute r;
+  for (int x = 1; x < 7; ++x) r.add_h(g.h_edge_id(x, 2));
+  for (int y = 2; y < 6; ++y) r.add_v(g.v_edge_id(4, y));
+  const route::SegTree tree = route::extract_tree(g, net, &r);
+  ASSERT_EQ(tree.segs.size(), 3u);
+
+  // All on layer 0 (H) / layer 1 (V); C = 1/tile everywhere, sink cap 2.
+  std::vector<int> layers(3);
+  for (const auto& s : tree.segs) layers[s.id] = s.horizontal ? 0 : 1;
+  const NetTiming t = compute_timing(tree, layers, rc);
+
+  // Identify segments: trunk len 3 (parent -1), branch-right len 3, up len 4.
+  int trunk = -1, right = -1, up = -1;
+  for (const auto& s : tree.segs) {
+    if (s.parent < 0) {
+      trunk = s.id;
+    } else if (s.horizontal) {
+      right = s.id;
+    } else {
+      up = s.id;
+    }
+  }
+  ASSERT_GE(trunk, 0);
+  ASSERT_GE(right, 0);
+  ASSERT_GE(up, 0);
+  EXPECT_DOUBLE_EQ(t.downstream_cap[right], 2.0);
+  EXPECT_DOUBLE_EQ(t.downstream_cap[up], 2.0);
+  // Trunk: right wire (3) + its Cd (2) + up wire (4) + its Cd (2) = 11.
+  EXPECT_DOUBLE_EQ(t.downstream_cap[trunk], 11.0);
+  // Total cap: wires 3+3+4 + sinks 2*2 = 14.
+  EXPECT_DOUBLE_EQ(t.total_cap, 14.0);
+}
+
+TEST(Elmore, CriticalPathMarking) {
+  const grid::GridGraph g = simple_grid();
+  const RcTable rc = simple_rc(g);
+  grid::Net net;
+  net.id = 0;
+  // Far sink at (9,2) is clearly more critical than the near one at (2,3).
+  net.pins = {grid::Pin{1, 2, 0}, grid::Pin{9, 2, 0}, grid::Pin{2, 3, 0}};
+  route::NetRoute r;
+  for (int x = 1; x < 9; ++x) r.add_h(g.h_edge_id(x, 2));
+  r.add_v(g.v_edge_id(2, 2));
+  const route::SegTree tree = route::extract_tree(g, net, &r);
+  std::vector<int> layers(tree.segs.size());
+  for (const auto& s : tree.segs) layers[s.id] = s.horizontal ? 0 : 1;
+  const NetTiming t = compute_timing(tree, layers, rc);
+
+  ASSERT_GE(t.critical_sink, 0);
+  const auto& crit = tree.sinks[t.critical_sink];
+  // The far pin (index 1 in pins) is the critical one.
+  EXPECT_EQ(crit.pin_index, 1);
+  // Marked path = exactly the path from that sink's segment to the root.
+  std::vector<bool> expected(tree.segs.size(), false);
+  for (int s : tree.path_to_root(crit.seg_id)) expected[s] = true;
+  for (std::size_t s = 0; s < tree.segs.size(); ++s) {
+    EXPECT_EQ(t.on_critical_path[s], expected[s]) << s;
+  }
+}
+
+TEST(Elmore, SinkAtRootGetsDriverDelayOnly) {
+  const grid::GridGraph g = simple_grid();
+  const RcTable rc = simple_rc(g);
+  grid::Net net;
+  net.id = 0;
+  net.pins = {grid::Pin{1, 1, 0}, grid::Pin{1, 1, 0}, grid::Pin{5, 1, 0}};
+  route::NetRoute r;
+  for (int x = 1; x < 5; ++x) r.add_h(g.h_edge_id(x, 1));
+  const route::SegTree tree = route::extract_tree(g, net, &r);
+  const NetTiming t = compute_timing(tree, {0}, rc);
+  // sinks: one at root, one at segment end.
+  ASSERT_EQ(t.sink_delay.size(), 2u);
+  const double driver = rc.driver_res() * t.total_cap;
+  bool found_root_sink = false;
+  for (std::size_t k = 0; k < tree.sinks.size(); ++k) {
+    if (tree.sinks[k].seg_id < 0) {
+      EXPECT_DOUBLE_EQ(t.sink_delay[k], driver);
+      found_root_sink = true;
+    } else {
+      EXPECT_GT(t.sink_delay[k], driver);
+    }
+  }
+  EXPECT_TRUE(found_root_sink);
+}
+
+TEST(Elmore, ViaDelayUsesMinDownstreamCap) {
+  // L-shape net: via between trunk and arm. Eqn (3) prices the via with
+  // min(Cd_parent, Cd_child); check against hand computation.
+  const grid::GridGraph g = simple_grid();
+  const RcTable rc = simple_rc(g);
+  grid::Net net;
+  net.id = 0;
+  net.pins = {grid::Pin{1, 1, 0}, grid::Pin{4, 4, 0}};
+  route::NetRoute r;
+  for (int x = 1; x < 4; ++x) r.add_h(g.h_edge_id(x, 1));
+  for (int y = 1; y < 4; ++y) r.add_v(g.v_edge_id(4, y));
+  const route::SegTree tree = route::extract_tree(g, net, &r);
+  ASSERT_EQ(tree.segs.size(), 2u);
+
+  // H on layer 0, V on layer 3: via stack 0->3 has resistance 3.
+  const NetTiming t = compute_timing(tree, {0, 3}, rc);
+  // Cd(child V-seg) = 2 (sink); Cd(parent H-seg) = wire(V)=3 + 2 = 5.
+  // Via delay = 3 * min(5, 2) = 6.
+  // arrival(parent) = driver(3*(3+3+2)=24) + ts(8*3*(1.5+5)=156) = 180.
+  // arrival(child) = 180 + 6 + ts_child(1*3*(1.5+2)=10.5) = 196.5
+  // sink via 3->0: 3*2 = 6 -> 202.5
+  EXPECT_DOUBLE_EQ(t.max_sink_delay, 202.5);
+}
+
+TEST(Elmore, NetsOnRoutedBenchmarkHaveFiniteDelays) {
+  gen::SynthSpec spec;
+  spec.xsize = spec.ysize = 20;
+  spec.num_nets = 150;
+  spec.num_layers = 4;
+  spec.seed = 21;
+  const grid::Design d = gen::generate(spec);
+  route::RoutingResult rr = route::route_all(d);
+  const RcTable rc(d.grid);
+  for (std::size_t n = 0; n < d.nets.size(); ++n) {
+    const route::SegTree tree = route::extract_tree(d.grid, d.nets[n], &rr.routes[n]);
+    std::vector<int> layers(tree.segs.size());
+    for (const auto& s : tree.segs) layers[s.id] = s.horizontal ? 0 : 1;
+    const NetTiming t = compute_timing(tree, layers, rc);
+    EXPECT_TRUE(std::isfinite(t.max_sink_delay));
+    EXPECT_GE(t.max_sink_delay, 0.0);
+    for (double cd : t.downstream_cap) EXPECT_GE(cd, 0.0);
+    // Arrival times increase along any root-to-leaf path.
+    for (const auto& s : tree.segs) {
+      if (s.parent >= 0) {
+        EXPECT_GE(t.arrival[s.id], t.arrival[s.parent]);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace cpla::timing

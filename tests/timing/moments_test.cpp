@@ -1,0 +1,105 @@
+#include "src/timing/moments.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/gen/synth.hpp"
+#include "src/grid/layer_stack.hpp"
+#include "src/route/router.hpp"
+#include "src/route/seg_tree.hpp"
+#include "src/util/rng.hpp"
+
+namespace cpla::timing {
+namespace {
+
+grid::GridGraph simple_grid() {
+  std::vector<grid::Layer> layers = grid::make_layer_stack(4);
+  for (int l = 0; l < 4; ++l) {
+    layers[l].unit_res = 2.0;
+    layers[l].unit_cap = 1.0;
+    layers[l].via_res_up = 0.0;
+  }
+  grid::GridGraph g(16, 16, layers, grid::default_geom());
+  for (int l = 0; l < 4; ++l) g.fill_layer_capacity(l, 10);
+  return g;
+}
+
+TEST(Moments, SingleLumpedSegmentClosedForm) {
+  // One segment, lumped: R_total = Rd + R, C = wire + sink.
+  // m1 = R_total * C; S2 = C * m1; m2 = R_total * S2 = (R_total * C)^2.
+  // D2M = ln2 * m1^2 / sqrt(m2) = ln2 * m1.
+  const grid::GridGraph g = simple_grid();
+  RcTable rc(g);
+  rc.set_driver_res(3.0);
+  rc.set_sink_cap(2.0);
+
+  grid::Net net;
+  net.id = 0;
+  net.pins = {grid::Pin{1, 1, 0}, grid::Pin{5, 1, 0}};
+  route::NetRoute r;
+  for (int x = 1; x < 5; ++x) r.add_h(g.h_edge_id(x, 1));
+  const route::SegTree tree = route::extract_tree(g, net, &r);
+
+  const NetMoments m = compute_moments(tree, {0}, rc);
+  const double rt = 3.0 + 2.0 * 4;  // driver + wire
+  const double c = 4.0 + 2.0;       // wire + sink
+  ASSERT_EQ(m.m1.size(), 1u);
+  EXPECT_DOUBLE_EQ(m.m1[0], rt * c);
+  EXPECT_DOUBLE_EQ(m.m2[0], rt * rt * c * c);
+  EXPECT_NEAR(m.d2m[0], std::log(2.0) * rt * c, 1e-9);
+}
+
+TEST(Moments, D2mBoundedByElmore) {
+  // Circuit moments of a nonnegative impulse response satisfy
+  // m1^2 <= 2*m2 (Cauchy-Schwarz), so D2M <= sqrt(2)*ln2*m1 < m1.
+  gen::SynthSpec spec;
+  spec.xsize = spec.ysize = 20;
+  spec.num_nets = 120;
+  spec.num_layers = 6;
+  spec.seed = 95;
+  const grid::Design d = gen::generate(spec);
+  route::RoutingResult rr = route::route_all(d);
+  const RcTable rc(d.grid);
+  cpla::Rng rng(5);
+  for (std::size_t n = 0; n < d.nets.size(); ++n) {
+    const route::SegTree tree = route::extract_tree(d.grid, d.nets[n], &rr.routes[n]);
+    std::vector<int> layers;
+    for (const auto& seg : tree.segs) {
+      const int pair = static_cast<int>(rng.uniform_int(0, 2));
+      layers.push_back(seg.horizontal ? pair * 2 : pair * 2 + 1);
+    }
+    const NetMoments m = compute_moments(tree, layers, rc);
+    for (std::size_t k = 0; k < m.m1.size(); ++k) {
+      EXPECT_GT(m.m1[k], 0.0);
+      EXPECT_GE(2.0 * m.m2[k], m.m1[k] * m.m1[k] * (1.0 - 1e-9));
+      EXPECT_LE(m.d2m[k], m.m1[k] + 1e-9);
+      EXPECT_GT(m.d2m[k], 0.0);
+    }
+  }
+}
+
+TEST(Moments, MonotoneAlongPaths) {
+  // m1 and m2 both increase from driver to sinks; the worst D2M sink is
+  // recorded in max_d2m.
+  gen::SynthSpec spec;
+  spec.xsize = spec.ysize = 16;
+  spec.num_nets = 60;
+  spec.num_layers = 4;
+  spec.seed = 97;
+  const grid::Design d = gen::generate(spec);
+  route::RoutingResult rr = route::route_all(d);
+  const RcTable rc(d.grid);
+  for (std::size_t n = 0; n < d.nets.size(); ++n) {
+    const route::SegTree tree = route::extract_tree(d.grid, d.nets[n], &rr.routes[n]);
+    std::vector<int> layers;
+    for (const auto& seg : tree.segs) layers.push_back(seg.horizontal ? 0 : 1);
+    const NetMoments m = compute_moments(tree, layers, rc);
+    double best = 0.0;
+    for (double v : m.d2m) best = std::max(best, v);
+    EXPECT_DOUBLE_EQ(best, m.max_d2m);
+  }
+}
+
+}  // namespace
+}  // namespace cpla::timing

@@ -1,0 +1,120 @@
+// Property tests on the Elmore engine: scaling laws and monotonicities
+// that must hold for any net tree and any layer assignment.
+
+#include <gtest/gtest.h>
+
+#include "src/gen/synth.hpp"
+#include "src/grid/layer_stack.hpp"
+#include "src/route/router.hpp"
+#include "src/route/seg_tree.hpp"
+#include "src/timing/elmore.hpp"
+#include "src/util/rng.hpp"
+
+namespace cpla::timing {
+namespace {
+
+struct Routed {
+  grid::Design design;
+  std::vector<route::SegTree> trees;
+  std::vector<std::vector<int>> layers;
+};
+
+Routed routed_design(std::uint64_t seed) {
+  gen::SynthSpec spec;
+  spec.xsize = spec.ysize = 20;
+  spec.num_nets = 120;
+  spec.num_layers = 6;
+  spec.seed = seed;
+  grid::Design d = gen::generate(spec);
+  route::RoutingResult rr = route::route_all(d);
+  Routed out{std::move(d), {}, {}};
+  cpla::Rng rng(seed * 7 + 1);
+  for (std::size_t n = 0; n < out.design.nets.size(); ++n) {
+    out.trees.push_back(route::extract_tree(out.design.grid, out.design.nets[n], &rr.routes[n]));
+    std::vector<int> assignment;
+    for (const auto& seg : out.trees.back().segs) {
+      // Random direction-legal layer.
+      const int pair = static_cast<int>(rng.uniform_int(0, 2));
+      assignment.push_back(seg.horizontal ? pair * 2 : pair * 2 + 1);
+    }
+    out.layers.push_back(std::move(assignment));
+  }
+  return out;
+}
+
+TEST(TimingProperty, WireDelayScalesWithResistance) {
+  // Doubling every wire and via resistance, with the driver resistance at
+  // zero, doubles every sink delay exactly (Elmore is linear in R).
+  const Routed base = routed_design(11);
+  RcTable rc1(base.design.grid);
+  rc1.set_driver_res(0.0);
+  RcTable rc2 = rc1;
+  rc2.scale_resistance(2.0);
+
+  for (std::size_t n = 0; n < base.trees.size(); ++n) {
+    if (base.trees[n].segs.empty()) continue;
+    const auto t1 = compute_timing(base.trees[n], base.layers[n], rc1);
+    const auto t2 = compute_timing(base.trees[n], base.layers[n], rc2);
+    EXPECT_NEAR(t2.max_sink_delay, 2.0 * t1.max_sink_delay,
+                1e-9 * (1.0 + t1.max_sink_delay));
+  }
+}
+
+TEST(TimingProperty, SinkCapMonotonicity) {
+  const Routed r = routed_design(12);
+  RcTable small(r.design.grid), large(r.design.grid);
+  small.set_sink_cap(1.0);
+  large.set_sink_cap(4.0);
+  for (std::size_t n = 0; n < r.trees.size(); ++n) {
+    if (r.trees[n].segs.empty()) continue;
+    const double d1 = critical_delay(r.trees[n], r.layers[n], small);
+    const double d2 = critical_delay(r.trees[n], r.layers[n], large);
+    EXPECT_LE(d1, d2);
+  }
+}
+
+TEST(TimingProperty, DriverResistanceAddsUniformly) {
+  // Increasing driver resistance by dR adds exactly dR * total_cap to
+  // every sink delay.
+  const Routed r = routed_design(13);
+  RcTable rc_a(r.design.grid), rc_b(r.design.grid);
+  rc_a.set_driver_res(5.0);
+  rc_b.set_driver_res(9.0);
+  for (std::size_t n = 0; n < r.trees.size(); ++n) {
+    if (r.trees[n].segs.empty()) continue;
+    const auto ta = compute_timing(r.trees[n], r.layers[n], rc_a);
+    const auto tb = compute_timing(r.trees[n], r.layers[n], rc_b);
+    for (std::size_t k = 0; k < ta.sink_delay.size(); ++k) {
+      EXPECT_NEAR(tb.sink_delay[k] - ta.sink_delay[k], 4.0 * ta.total_cap,
+                  1e-9 * (1.0 + ta.total_cap));
+    }
+  }
+}
+
+TEST(TimingProperty, CriticalSinkIsArgmax) {
+  const Routed r = routed_design(14);
+  for (std::size_t n = 0; n < r.trees.size(); ++n) {
+    if (r.trees[n].sinks.empty()) continue;
+    const auto t = compute_timing(r.trees[n], r.layers[n], RcTable(r.design.grid));
+    for (double d : t.sink_delay) EXPECT_LE(d, t.max_sink_delay + 1e-12);
+    EXPECT_DOUBLE_EQ(t.sink_delay[t.critical_sink], t.max_sink_delay);
+  }
+}
+
+TEST(TimingProperty, DownstreamCapDecreasesTowardLeaves) {
+  // Cd of a parent is at least the Cd of any child (the child's subtree is
+  // contained in the parent's, plus the child's own wire cap).
+  const Routed r = routed_design(15);
+  const RcTable rc(r.design.grid);
+  for (std::size_t n = 0; n < r.trees.size(); ++n) {
+    const auto t = compute_timing(r.trees[n], r.layers[n], rc);
+    for (const auto& seg : r.trees[n].segs) {
+      for (int c : seg.children) {
+        EXPECT_GE(t.downstream_cap[seg.id], t.downstream_cap[c]);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace cpla::timing

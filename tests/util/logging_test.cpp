@@ -1,0 +1,30 @@
+#include "src/util/logging.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cpla {
+namespace {
+
+TEST(Logging, LevelRoundTrip) {
+  const LogLevel before = log_level();
+  set_log_level(LogLevel::kError);
+  EXPECT_EQ(log_level(), LogLevel::kError);
+  set_log_level(LogLevel::kDebug);
+  EXPECT_EQ(log_level(), LogLevel::kDebug);
+  set_log_level(before);
+}
+
+TEST(Logging, SilentSuppressesEverything) {
+  const LogLevel before = log_level();
+  set_log_level(LogLevel::kSilent);
+  // Nothing to assert on stderr portably; the contract is "does not crash"
+  // for every level and format path.
+  log_msg(LogLevel::kDebug, "d %d", 1);
+  log_msg(LogLevel::kInfo, "i %s", "x");
+  log_msg(LogLevel::kWarn, "w %f", 1.5);
+  log_msg(LogLevel::kError, "e");
+  set_log_level(before);
+}
+
+}  // namespace
+}  // namespace cpla

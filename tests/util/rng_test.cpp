@@ -1,0 +1,71 @@
+#include "src/util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cpla {
+namespace {
+
+TEST(Rng, Deterministic) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  EXPECT_NE(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, UniformIntInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.uniform_int(-3, 5);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 5);
+  }
+}
+
+TEST(Rng, UniformIntSingleton) {
+  Rng rng(7);
+  EXPECT_EQ(rng.uniform_int(4, 4), 4);
+}
+
+TEST(Rng, UniformCoversUnitInterval) {
+  Rng rng(11);
+  double lo = 1.0, hi = 0.0, sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.uniform();
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+    sum += v;
+    ASSERT_GE(v, 0.0);
+    ASSERT_LT(v, 1.0);
+  }
+  EXPECT_LT(lo, 0.01);
+  EXPECT_GT(hi, 0.99);
+  EXPECT_NEAR(sum / n, 0.5, 0.02);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(13);
+  const int n = 50000;
+  double sum = 0.0, sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.normal();
+    sum += v;
+    sq += v * v;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.03);
+  EXPECT_NEAR(sq / n, 1.0, 0.05);
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng rng(17);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+  }
+}
+
+}  // namespace
+}  // namespace cpla

@@ -1,0 +1,45 @@
+#include "src/util/str.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cpla {
+namespace {
+
+TEST(StrSplit, BasicWhitespace) {
+  const auto parts = split_ws("  net1 42\t17  \n");
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "net1");
+  EXPECT_EQ(parts[1], "42");
+  EXPECT_EQ(parts[2], "17");
+}
+
+TEST(StrSplit, EmptyInput) { EXPECT_TRUE(split_ws("").empty()); }
+
+TEST(StrSplit, OnlyDelimiters) { EXPECT_TRUE(split_ws(" \t\n ").empty()); }
+
+TEST(StrSplit, CustomDelims) {
+  const auto parts = split_ws("a,b,,c", ",");
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[2], "c");
+}
+
+TEST(StrTrim, StripsBothEnds) {
+  EXPECT_EQ(trim("  hi \t"), "hi");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim("   "), "");
+  EXPECT_EQ(trim("x"), "x");
+}
+
+TEST(StrStartsWith, Basics) {
+  EXPECT_TRUE(starts_with("adaptec1.gr", "adaptec"));
+  EXPECT_FALSE(starts_with("ada", "adaptec"));
+  EXPECT_TRUE(starts_with("anything", ""));
+}
+
+TEST(StrFormat, Printf) {
+  EXPECT_EQ(str_format("%d nets, %.2f ms", 7, 1.5), "7 nets, 1.50 ms");
+  EXPECT_EQ(str_format("plain"), "plain");
+}
+
+}  // namespace
+}  // namespace cpla

@@ -1,0 +1,61 @@
+#include "src/util/svg.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cpla {
+namespace {
+
+TEST(Svg, DocumentStructure) {
+  SvgCanvas canvas(100, 50);
+  canvas.rect(1, 2, 3, 4, "#ff0000");
+  canvas.line(0, 0, 10, 10, "#00ff00", 2.0);
+  canvas.circle(5, 5, 2, "#0000ff");
+  canvas.text(1, 10, "hello", 9);
+  const std::string svg = canvas.render();
+  EXPECT_NE(svg.find("<svg xmlns"), std::string::npos);
+  EXPECT_NE(svg.find("width=\"100\""), std::string::npos);
+  EXPECT_NE(svg.find("<rect"), std::string::npos);
+  EXPECT_NE(svg.find("<line"), std::string::npos);
+  EXPECT_NE(svg.find("<circle"), std::string::npos);
+  EXPECT_NE(svg.find(">hello</text>"), std::string::npos);
+  EXPECT_NE(svg.find("</svg>"), std::string::npos);
+}
+
+TEST(Svg, RectStrokeOptional) {
+  SvgCanvas canvas(10, 10);
+  canvas.rect(0, 0, 1, 1, "#ffffff");
+  EXPECT_EQ(canvas.render().find("stroke="), std::string::npos);
+  canvas.rect(0, 0, 1, 1, "#ffffff", 1.0, "#000000");
+  EXPECT_NE(canvas.render().find("stroke=\"#000000\""), std::string::npos);
+}
+
+TEST(Svg, HeatColorEndpointsAndClamping) {
+  EXPECT_EQ(SvgCanvas::heat_color(0.0), SvgCanvas::heat_color(-1.0));  // clamped
+  EXPECT_EQ(SvgCanvas::heat_color(1.0), SvgCanvas::heat_color(2.0));
+  EXPECT_EQ(SvgCanvas::heat_color(1.0), "#ff0000");  // hot = red
+  // Cold end is bluish: blue channel dominates.
+  const std::string cold = SvgCanvas::heat_color(0.0);
+  ASSERT_EQ(cold.size(), 7u);
+  EXPECT_EQ(cold.substr(1, 2), "00");  // no red
+}
+
+TEST(Svg, HeatColorIsValidHexForSweep) {
+  for (int i = 0; i <= 20; ++i) {
+    const std::string c = SvgCanvas::heat_color(i / 20.0);
+    ASSERT_EQ(c.size(), 7u);
+    EXPECT_EQ(c[0], '#');
+    for (int k = 1; k < 7; ++k) {
+      EXPECT_TRUE(std::isxdigit(static_cast<unsigned char>(c[k])));
+    }
+  }
+}
+
+TEST(Svg, WriteToFile) {
+  SvgCanvas canvas(10, 10);
+  canvas.rect(0, 0, 5, 5, "#123456");
+  EXPECT_TRUE(canvas.write("/tmp/cpla_svg_test.svg"));
+  EXPECT_FALSE(canvas.write("/nonexistent-dir/x.svg"));
+}
+
+}  // namespace
+}  // namespace cpla

@@ -1,0 +1,31 @@
+#include "src/util/table.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cpla {
+namespace {
+
+TEST(Table, AlignsColumns) {
+  Table t({"bench", "Avg(Tcp)", "CPU(s)"});
+  t.add_row({"adaptec1", "228.54", "85.66"});
+  t.add_row({"bigblue1", "409.88", "105.07"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("adaptec1"), std::string::npos);
+  EXPECT_NE(out.find("409.88"), std::string::npos);
+  // Header separator present.
+  EXPECT_NE(out.find("----"), std::string::npos);
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(Table, RowArityMismatchAborts) {
+  Table t({"a", "b"});
+  EXPECT_DEATH(t.add_row({"only-one"}), "arity");
+}
+
+TEST(FmtNum, Precision) {
+  EXPECT_EQ(fmt_num(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt_num(10.0, 0), "10");
+}
+
+}  // namespace
+}  // namespace cpla
