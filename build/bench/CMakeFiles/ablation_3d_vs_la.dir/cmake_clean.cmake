@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_3d_vs_la.dir/ablation_3d_vs_la.cpp.o"
+  "CMakeFiles/ablation_3d_vs_la.dir/ablation_3d_vs_la.cpp.o.d"
+  "ablation_3d_vs_la"
+  "ablation_3d_vs_la.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_3d_vs_la.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

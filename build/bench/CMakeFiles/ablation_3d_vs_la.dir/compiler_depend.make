@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for ablation_3d_vs_la.
+# This may be replaced when dependencies are built.

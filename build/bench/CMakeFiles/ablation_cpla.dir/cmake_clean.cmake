@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_cpla.dir/ablation_cpla.cpp.o"
+  "CMakeFiles/ablation_cpla.dir/ablation_cpla.cpp.o.d"
+  "ablation_cpla"
+  "ablation_cpla.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_cpla.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_delay_distribution.dir/fig1_delay_distribution.cpp.o"
+  "CMakeFiles/fig1_delay_distribution.dir/fig1_delay_distribution.cpp.o.d"
+  "fig1_delay_distribution"
+  "fig1_delay_distribution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_delay_distribution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

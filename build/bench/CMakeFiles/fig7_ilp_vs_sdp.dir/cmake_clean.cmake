@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_ilp_vs_sdp.dir/fig7_ilp_vs_sdp.cpp.o"
+  "CMakeFiles/fig7_ilp_vs_sdp.dir/fig7_ilp_vs_sdp.cpp.o.d"
+  "fig7_ilp_vs_sdp"
+  "fig7_ilp_vs_sdp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_ilp_vs_sdp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

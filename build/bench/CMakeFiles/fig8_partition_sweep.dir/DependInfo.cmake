@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig8_partition_sweep.cpp" "bench/CMakeFiles/fig8_partition_sweep.dir/fig8_partition_sweep.cpp.o" "gcc" "bench/CMakeFiles/fig8_partition_sweep.dir/fig8_partition_sweep.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/cpla_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/gen/CMakeFiles/cpla_gen.dir/DependInfo.cmake"
+  "/root/repo/build/src/assign/CMakeFiles/cpla_assign.dir/DependInfo.cmake"
+  "/root/repo/build/src/timing/CMakeFiles/cpla_timing.dir/DependInfo.cmake"
+  "/root/repo/build/src/route/CMakeFiles/cpla_route.dir/DependInfo.cmake"
+  "/root/repo/build/src/sdp/CMakeFiles/cpla_sdp.dir/DependInfo.cmake"
+  "/root/repo/build/src/ilp/CMakeFiles/cpla_ilp.dir/DependInfo.cmake"
+  "/root/repo/build/src/lp/CMakeFiles/cpla_lp.dir/DependInfo.cmake"
+  "/root/repo/build/src/la/CMakeFiles/cpla_la.dir/DependInfo.cmake"
+  "/root/repo/build/src/grid/CMakeFiles/cpla_grid.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/cpla_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

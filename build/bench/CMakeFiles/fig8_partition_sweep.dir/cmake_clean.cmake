@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_partition_sweep.dir/fig8_partition_sweep.cpp.o"
+  "CMakeFiles/fig8_partition_sweep.dir/fig8_partition_sweep.cpp.o.d"
+  "fig8_partition_sweep"
+  "fig8_partition_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_partition_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

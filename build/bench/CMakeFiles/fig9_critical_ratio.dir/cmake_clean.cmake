@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_critical_ratio.dir/fig9_critical_ratio.cpp.o"
+  "CMakeFiles/fig9_critical_ratio.dir/fig9_critical_ratio.cpp.o.d"
+  "fig9_critical_ratio"
+  "fig9_critical_ratio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_critical_ratio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_eda.dir/micro_eda.cpp.o"
+  "CMakeFiles/micro_eda.dir/micro_eda.cpp.o.d"
+  "micro_eda"
+  "micro_eda.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_eda.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

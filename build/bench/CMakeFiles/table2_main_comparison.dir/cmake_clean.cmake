@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_main_comparison.dir/table2_main_comparison.cpp.o"
+  "CMakeFiles/table2_main_comparison.dir/table2_main_comparison.cpp.o.d"
+  "table2_main_comparison"
+  "table2_main_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_main_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cpla_cli.dir/cpla_cli.cpp.o"
+  "CMakeFiles/cpla_cli.dir/cpla_cli.cpp.o.d"
+  "cpla_cli"
+  "cpla_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cpla_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

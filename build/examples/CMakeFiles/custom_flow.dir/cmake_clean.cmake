@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custom_flow.dir/custom_flow.cpp.o"
+  "CMakeFiles/custom_flow.dir/custom_flow.cpp.o.d"
+  "custom_flow"
+  "custom_flow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_flow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

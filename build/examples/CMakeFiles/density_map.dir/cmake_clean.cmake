@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/density_map.dir/density_map.cpp.o"
+  "CMakeFiles/density_map.dir/density_map.cpp.o.d"
+  "density_map"
+  "density_map.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/density_map.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

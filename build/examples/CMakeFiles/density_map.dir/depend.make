@@ -1,0 +1,2 @@
+# Empty dependencies file for density_map.
+# This may be replaced when dependencies are built.

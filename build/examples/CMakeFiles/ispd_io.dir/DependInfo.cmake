@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/ispd_io.cpp" "examples/CMakeFiles/ispd_io.dir/ispd_io.cpp.o" "gcc" "examples/CMakeFiles/ispd_io.dir/ispd_io.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/cpla_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/gen/CMakeFiles/cpla_gen.dir/DependInfo.cmake"
+  "/root/repo/build/src/parser/CMakeFiles/cpla_parser.dir/DependInfo.cmake"
+  "/root/repo/build/src/assign/CMakeFiles/cpla_assign.dir/DependInfo.cmake"
+  "/root/repo/build/src/timing/CMakeFiles/cpla_timing.dir/DependInfo.cmake"
+  "/root/repo/build/src/route/CMakeFiles/cpla_route.dir/DependInfo.cmake"
+  "/root/repo/build/src/sdp/CMakeFiles/cpla_sdp.dir/DependInfo.cmake"
+  "/root/repo/build/src/ilp/CMakeFiles/cpla_ilp.dir/DependInfo.cmake"
+  "/root/repo/build/src/lp/CMakeFiles/cpla_lp.dir/DependInfo.cmake"
+  "/root/repo/build/src/la/CMakeFiles/cpla_la.dir/DependInfo.cmake"
+  "/root/repo/build/src/grid/CMakeFiles/cpla_grid.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/cpla_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ispd_io.dir/ispd_io.cpp.o"
+  "CMakeFiles/ispd_io.dir/ispd_io.cpp.o.d"
+  "ispd_io"
+  "ispd_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ispd_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

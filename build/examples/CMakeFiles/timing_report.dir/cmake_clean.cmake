@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/timing_report.dir/timing_report.cpp.o"
+  "CMakeFiles/timing_report.dir/timing_report.cpp.o.d"
+  "timing_report"
+  "timing_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/timing_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

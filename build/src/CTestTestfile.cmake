@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("la")
+subdirs("lp")
+subdirs("ilp")
+subdirs("sdp")
+subdirs("grid")
+subdirs("parser")
+subdirs("gen")
+subdirs("route")
+subdirs("timing")
+subdirs("assign")
+subdirs("core")

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/assign/antenna.cpp" "src/assign/CMakeFiles/cpla_assign.dir/antenna.cpp.o" "gcc" "src/assign/CMakeFiles/cpla_assign.dir/antenna.cpp.o.d"
+  "/root/repo/src/assign/initial_assign.cpp" "src/assign/CMakeFiles/cpla_assign.dir/initial_assign.cpp.o" "gcc" "src/assign/CMakeFiles/cpla_assign.dir/initial_assign.cpp.o.d"
+  "/root/repo/src/assign/net_dp.cpp" "src/assign/CMakeFiles/cpla_assign.dir/net_dp.cpp.o" "gcc" "src/assign/CMakeFiles/cpla_assign.dir/net_dp.cpp.o.d"
+  "/root/repo/src/assign/route_io.cpp" "src/assign/CMakeFiles/cpla_assign.dir/route_io.cpp.o" "gcc" "src/assign/CMakeFiles/cpla_assign.dir/route_io.cpp.o.d"
+  "/root/repo/src/assign/state.cpp" "src/assign/CMakeFiles/cpla_assign.dir/state.cpp.o" "gcc" "src/assign/CMakeFiles/cpla_assign.dir/state.cpp.o.d"
+  "/root/repo/src/assign/validate.cpp" "src/assign/CMakeFiles/cpla_assign.dir/validate.cpp.o" "gcc" "src/assign/CMakeFiles/cpla_assign.dir/validate.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/route/CMakeFiles/cpla_route.dir/DependInfo.cmake"
+  "/root/repo/build/src/timing/CMakeFiles/cpla_timing.dir/DependInfo.cmake"
+  "/root/repo/build/src/grid/CMakeFiles/cpla_grid.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/cpla_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

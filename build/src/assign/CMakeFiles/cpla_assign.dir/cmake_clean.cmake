@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cpla_assign.dir/antenna.cpp.o"
+  "CMakeFiles/cpla_assign.dir/antenna.cpp.o.d"
+  "CMakeFiles/cpla_assign.dir/initial_assign.cpp.o"
+  "CMakeFiles/cpla_assign.dir/initial_assign.cpp.o.d"
+  "CMakeFiles/cpla_assign.dir/net_dp.cpp.o"
+  "CMakeFiles/cpla_assign.dir/net_dp.cpp.o.d"
+  "CMakeFiles/cpla_assign.dir/route_io.cpp.o"
+  "CMakeFiles/cpla_assign.dir/route_io.cpp.o.d"
+  "CMakeFiles/cpla_assign.dir/state.cpp.o"
+  "CMakeFiles/cpla_assign.dir/state.cpp.o.d"
+  "CMakeFiles/cpla_assign.dir/validate.cpp.o"
+  "CMakeFiles/cpla_assign.dir/validate.cpp.o.d"
+  "libcpla_assign.a"
+  "libcpla_assign.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cpla_assign.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

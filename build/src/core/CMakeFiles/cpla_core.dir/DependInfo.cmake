@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/critical.cpp" "src/core/CMakeFiles/cpla_core.dir/critical.cpp.o" "gcc" "src/core/CMakeFiles/cpla_core.dir/critical.cpp.o.d"
+  "/root/repo/src/core/displace.cpp" "src/core/CMakeFiles/cpla_core.dir/displace.cpp.o" "gcc" "src/core/CMakeFiles/cpla_core.dir/displace.cpp.o.d"
+  "/root/repo/src/core/flow.cpp" "src/core/CMakeFiles/cpla_core.dir/flow.cpp.o" "gcc" "src/core/CMakeFiles/cpla_core.dir/flow.cpp.o.d"
+  "/root/repo/src/core/ilp_engine.cpp" "src/core/CMakeFiles/cpla_core.dir/ilp_engine.cpp.o" "gcc" "src/core/CMakeFiles/cpla_core.dir/ilp_engine.cpp.o.d"
+  "/root/repo/src/core/model.cpp" "src/core/CMakeFiles/cpla_core.dir/model.cpp.o" "gcc" "src/core/CMakeFiles/cpla_core.dir/model.cpp.o.d"
+  "/root/repo/src/core/partition.cpp" "src/core/CMakeFiles/cpla_core.dir/partition.cpp.o" "gcc" "src/core/CMakeFiles/cpla_core.dir/partition.cpp.o.d"
+  "/root/repo/src/core/pipeline.cpp" "src/core/CMakeFiles/cpla_core.dir/pipeline.cpp.o" "gcc" "src/core/CMakeFiles/cpla_core.dir/pipeline.cpp.o.d"
+  "/root/repo/src/core/sdp_engine.cpp" "src/core/CMakeFiles/cpla_core.dir/sdp_engine.cpp.o" "gcc" "src/core/CMakeFiles/cpla_core.dir/sdp_engine.cpp.o.d"
+  "/root/repo/src/core/tila.cpp" "src/core/CMakeFiles/cpla_core.dir/tila.cpp.o" "gcc" "src/core/CMakeFiles/cpla_core.dir/tila.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/assign/CMakeFiles/cpla_assign.dir/DependInfo.cmake"
+  "/root/repo/build/src/timing/CMakeFiles/cpla_timing.dir/DependInfo.cmake"
+  "/root/repo/build/src/route/CMakeFiles/cpla_route.dir/DependInfo.cmake"
+  "/root/repo/build/src/grid/CMakeFiles/cpla_grid.dir/DependInfo.cmake"
+  "/root/repo/build/src/sdp/CMakeFiles/cpla_sdp.dir/DependInfo.cmake"
+  "/root/repo/build/src/ilp/CMakeFiles/cpla_ilp.dir/DependInfo.cmake"
+  "/root/repo/build/src/lp/CMakeFiles/cpla_lp.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/cpla_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/la/CMakeFiles/cpla_la.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cpla_core.dir/critical.cpp.o"
+  "CMakeFiles/cpla_core.dir/critical.cpp.o.d"
+  "CMakeFiles/cpla_core.dir/displace.cpp.o"
+  "CMakeFiles/cpla_core.dir/displace.cpp.o.d"
+  "CMakeFiles/cpla_core.dir/flow.cpp.o"
+  "CMakeFiles/cpla_core.dir/flow.cpp.o.d"
+  "CMakeFiles/cpla_core.dir/ilp_engine.cpp.o"
+  "CMakeFiles/cpla_core.dir/ilp_engine.cpp.o.d"
+  "CMakeFiles/cpla_core.dir/model.cpp.o"
+  "CMakeFiles/cpla_core.dir/model.cpp.o.d"
+  "CMakeFiles/cpla_core.dir/partition.cpp.o"
+  "CMakeFiles/cpla_core.dir/partition.cpp.o.d"
+  "CMakeFiles/cpla_core.dir/pipeline.cpp.o"
+  "CMakeFiles/cpla_core.dir/pipeline.cpp.o.d"
+  "CMakeFiles/cpla_core.dir/sdp_engine.cpp.o"
+  "CMakeFiles/cpla_core.dir/sdp_engine.cpp.o.d"
+  "CMakeFiles/cpla_core.dir/tila.cpp.o"
+  "CMakeFiles/cpla_core.dir/tila.cpp.o.d"
+  "libcpla_core.a"
+  "libcpla_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cpla_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

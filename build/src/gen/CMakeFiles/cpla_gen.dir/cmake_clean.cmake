@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cpla_gen.dir/synth.cpp.o"
+  "CMakeFiles/cpla_gen.dir/synth.cpp.o.d"
+  "libcpla_gen.a"
+  "libcpla_gen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cpla_gen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/grid/grid_graph.cpp" "src/grid/CMakeFiles/cpla_grid.dir/grid_graph.cpp.o" "gcc" "src/grid/CMakeFiles/cpla_grid.dir/grid_graph.cpp.o.d"
+  "/root/repo/src/grid/layer_stack.cpp" "src/grid/CMakeFiles/cpla_grid.dir/layer_stack.cpp.o" "gcc" "src/grid/CMakeFiles/cpla_grid.dir/layer_stack.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/cpla_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cpla_grid.dir/grid_graph.cpp.o"
+  "CMakeFiles/cpla_grid.dir/grid_graph.cpp.o.d"
+  "CMakeFiles/cpla_grid.dir/layer_stack.cpp.o"
+  "CMakeFiles/cpla_grid.dir/layer_stack.cpp.o.d"
+  "libcpla_grid.a"
+  "libcpla_grid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cpla_grid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

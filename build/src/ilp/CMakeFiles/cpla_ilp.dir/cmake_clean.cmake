@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cpla_ilp.dir/branch_bound.cpp.o"
+  "CMakeFiles/cpla_ilp.dir/branch_bound.cpp.o.d"
+  "libcpla_ilp.a"
+  "libcpla_ilp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cpla_ilp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/la/cholesky.cpp" "src/la/CMakeFiles/cpla_la.dir/cholesky.cpp.o" "gcc" "src/la/CMakeFiles/cpla_la.dir/cholesky.cpp.o.d"
+  "/root/repo/src/la/eigen.cpp" "src/la/CMakeFiles/cpla_la.dir/eigen.cpp.o" "gcc" "src/la/CMakeFiles/cpla_la.dir/eigen.cpp.o.d"
+  "/root/repo/src/la/lu.cpp" "src/la/CMakeFiles/cpla_la.dir/lu.cpp.o" "gcc" "src/la/CMakeFiles/cpla_la.dir/lu.cpp.o.d"
+  "/root/repo/src/la/matrix.cpp" "src/la/CMakeFiles/cpla_la.dir/matrix.cpp.o" "gcc" "src/la/CMakeFiles/cpla_la.dir/matrix.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/cpla_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

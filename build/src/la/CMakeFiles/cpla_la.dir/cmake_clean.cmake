@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cpla_la.dir/cholesky.cpp.o"
+  "CMakeFiles/cpla_la.dir/cholesky.cpp.o.d"
+  "CMakeFiles/cpla_la.dir/eigen.cpp.o"
+  "CMakeFiles/cpla_la.dir/eigen.cpp.o.d"
+  "CMakeFiles/cpla_la.dir/lu.cpp.o"
+  "CMakeFiles/cpla_la.dir/lu.cpp.o.d"
+  "CMakeFiles/cpla_la.dir/matrix.cpp.o"
+  "CMakeFiles/cpla_la.dir/matrix.cpp.o.d"
+  "libcpla_la.a"
+  "libcpla_la.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cpla_la.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

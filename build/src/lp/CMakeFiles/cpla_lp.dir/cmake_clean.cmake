@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cpla_lp.dir/simplex.cpp.o"
+  "CMakeFiles/cpla_lp.dir/simplex.cpp.o.d"
+  "libcpla_lp.a"
+  "libcpla_lp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cpla_lp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cpla_parser.dir/ispd08.cpp.o"
+  "CMakeFiles/cpla_parser.dir/ispd08.cpp.o.d"
+  "libcpla_parser.a"
+  "libcpla_parser.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cpla_parser.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/route/maze.cpp" "src/route/CMakeFiles/cpla_route.dir/maze.cpp.o" "gcc" "src/route/CMakeFiles/cpla_route.dir/maze.cpp.o.d"
+  "/root/repo/src/route/route2d.cpp" "src/route/CMakeFiles/cpla_route.dir/route2d.cpp.o" "gcc" "src/route/CMakeFiles/cpla_route.dir/route2d.cpp.o.d"
+  "/root/repo/src/route/router.cpp" "src/route/CMakeFiles/cpla_route.dir/router.cpp.o" "gcc" "src/route/CMakeFiles/cpla_route.dir/router.cpp.o.d"
+  "/root/repo/src/route/router3d.cpp" "src/route/CMakeFiles/cpla_route.dir/router3d.cpp.o" "gcc" "src/route/CMakeFiles/cpla_route.dir/router3d.cpp.o.d"
+  "/root/repo/src/route/seg_tree.cpp" "src/route/CMakeFiles/cpla_route.dir/seg_tree.cpp.o" "gcc" "src/route/CMakeFiles/cpla_route.dir/seg_tree.cpp.o.d"
+  "/root/repo/src/route/topology.cpp" "src/route/CMakeFiles/cpla_route.dir/topology.cpp.o" "gcc" "src/route/CMakeFiles/cpla_route.dir/topology.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/grid/CMakeFiles/cpla_grid.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/cpla_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

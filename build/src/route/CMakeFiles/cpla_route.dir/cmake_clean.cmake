@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cpla_route.dir/maze.cpp.o"
+  "CMakeFiles/cpla_route.dir/maze.cpp.o.d"
+  "CMakeFiles/cpla_route.dir/route2d.cpp.o"
+  "CMakeFiles/cpla_route.dir/route2d.cpp.o.d"
+  "CMakeFiles/cpla_route.dir/router.cpp.o"
+  "CMakeFiles/cpla_route.dir/router.cpp.o.d"
+  "CMakeFiles/cpla_route.dir/router3d.cpp.o"
+  "CMakeFiles/cpla_route.dir/router3d.cpp.o.d"
+  "CMakeFiles/cpla_route.dir/seg_tree.cpp.o"
+  "CMakeFiles/cpla_route.dir/seg_tree.cpp.o.d"
+  "CMakeFiles/cpla_route.dir/topology.cpp.o"
+  "CMakeFiles/cpla_route.dir/topology.cpp.o.d"
+  "libcpla_route.a"
+  "libcpla_route.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cpla_route.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sdp/blockmat.cpp" "src/sdp/CMakeFiles/cpla_sdp.dir/blockmat.cpp.o" "gcc" "src/sdp/CMakeFiles/cpla_sdp.dir/blockmat.cpp.o.d"
+  "/root/repo/src/sdp/problem.cpp" "src/sdp/CMakeFiles/cpla_sdp.dir/problem.cpp.o" "gcc" "src/sdp/CMakeFiles/cpla_sdp.dir/problem.cpp.o.d"
+  "/root/repo/src/sdp/solver.cpp" "src/sdp/CMakeFiles/cpla_sdp.dir/solver.cpp.o" "gcc" "src/sdp/CMakeFiles/cpla_sdp.dir/solver.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/la/CMakeFiles/cpla_la.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/cpla_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cpla_sdp.dir/blockmat.cpp.o"
+  "CMakeFiles/cpla_sdp.dir/blockmat.cpp.o.d"
+  "CMakeFiles/cpla_sdp.dir/problem.cpp.o"
+  "CMakeFiles/cpla_sdp.dir/problem.cpp.o.d"
+  "CMakeFiles/cpla_sdp.dir/solver.cpp.o"
+  "CMakeFiles/cpla_sdp.dir/solver.cpp.o.d"
+  "libcpla_sdp.a"
+  "libcpla_sdp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cpla_sdp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

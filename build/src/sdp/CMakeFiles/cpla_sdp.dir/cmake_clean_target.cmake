@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcpla_sdp.a"
+)

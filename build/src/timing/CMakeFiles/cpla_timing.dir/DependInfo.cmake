@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/timing/elmore.cpp" "src/timing/CMakeFiles/cpla_timing.dir/elmore.cpp.o" "gcc" "src/timing/CMakeFiles/cpla_timing.dir/elmore.cpp.o.d"
+  "/root/repo/src/timing/moments.cpp" "src/timing/CMakeFiles/cpla_timing.dir/moments.cpp.o" "gcc" "src/timing/CMakeFiles/cpla_timing.dir/moments.cpp.o.d"
+  "/root/repo/src/timing/rc_table.cpp" "src/timing/CMakeFiles/cpla_timing.dir/rc_table.cpp.o" "gcc" "src/timing/CMakeFiles/cpla_timing.dir/rc_table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/route/CMakeFiles/cpla_route.dir/DependInfo.cmake"
+  "/root/repo/build/src/grid/CMakeFiles/cpla_grid.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/cpla_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cpla_timing.dir/elmore.cpp.o"
+  "CMakeFiles/cpla_timing.dir/elmore.cpp.o.d"
+  "CMakeFiles/cpla_timing.dir/moments.cpp.o"
+  "CMakeFiles/cpla_timing.dir/moments.cpp.o.d"
+  "CMakeFiles/cpla_timing.dir/rc_table.cpp.o"
+  "CMakeFiles/cpla_timing.dir/rc_table.cpp.o.d"
+  "libcpla_timing.a"
+  "libcpla_timing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cpla_timing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

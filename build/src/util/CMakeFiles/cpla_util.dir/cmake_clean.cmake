@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cpla_util.dir/logging.cpp.o"
+  "CMakeFiles/cpla_util.dir/logging.cpp.o.d"
+  "CMakeFiles/cpla_util.dir/str.cpp.o"
+  "CMakeFiles/cpla_util.dir/str.cpp.o.d"
+  "CMakeFiles/cpla_util.dir/svg.cpp.o"
+  "CMakeFiles/cpla_util.dir/svg.cpp.o.d"
+  "CMakeFiles/cpla_util.dir/table.cpp.o"
+  "CMakeFiles/cpla_util.dir/table.cpp.o.d"
+  "libcpla_util.a"
+  "libcpla_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cpla_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

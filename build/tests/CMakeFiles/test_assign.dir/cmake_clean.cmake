@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_assign.dir/assign/antenna_test.cpp.o"
+  "CMakeFiles/test_assign.dir/assign/antenna_test.cpp.o.d"
+  "CMakeFiles/test_assign.dir/assign/initial_assign_test.cpp.o"
+  "CMakeFiles/test_assign.dir/assign/initial_assign_test.cpp.o.d"
+  "CMakeFiles/test_assign.dir/assign/net_dp_test.cpp.o"
+  "CMakeFiles/test_assign.dir/assign/net_dp_test.cpp.o.d"
+  "CMakeFiles/test_assign.dir/assign/route_io_test.cpp.o"
+  "CMakeFiles/test_assign.dir/assign/route_io_test.cpp.o.d"
+  "CMakeFiles/test_assign.dir/assign/state_test.cpp.o"
+  "CMakeFiles/test_assign.dir/assign/state_test.cpp.o.d"
+  "CMakeFiles/test_assign.dir/assign/validate_test.cpp.o"
+  "CMakeFiles/test_assign.dir/assign/validate_test.cpp.o.d"
+  "test_assign"
+  "test_assign.pdb"
+  "test_assign[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_assign.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core.dir/core/critical_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/critical_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/displace_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/displace_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/engine_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/engine_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/flow_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/flow_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/model_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/model_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/partition_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/partition_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/postmap_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/postmap_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/tila_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/tila_test.cpp.o.d"
+  "test_core"
+  "test_core.pdb"
+  "test_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

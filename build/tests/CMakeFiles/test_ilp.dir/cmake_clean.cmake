@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ilp.dir/ilp/branch_bound_test.cpp.o"
+  "CMakeFiles/test_ilp.dir/ilp/branch_bound_test.cpp.o.d"
+  "test_ilp"
+  "test_ilp.pdb"
+  "test_ilp[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ilp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_la.dir/la/cholesky_test.cpp.o"
+  "CMakeFiles/test_la.dir/la/cholesky_test.cpp.o.d"
+  "CMakeFiles/test_la.dir/la/eigen_test.cpp.o"
+  "CMakeFiles/test_la.dir/la/eigen_test.cpp.o.d"
+  "CMakeFiles/test_la.dir/la/lu_test.cpp.o"
+  "CMakeFiles/test_la.dir/la/lu_test.cpp.o.d"
+  "CMakeFiles/test_la.dir/la/matrix_test.cpp.o"
+  "CMakeFiles/test_la.dir/la/matrix_test.cpp.o.d"
+  "test_la"
+  "test_la.pdb"
+  "test_la[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_la.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_route.dir/route/route2d_test.cpp.o"
+  "CMakeFiles/test_route.dir/route/route2d_test.cpp.o.d"
+  "CMakeFiles/test_route.dir/route/router3d_test.cpp.o"
+  "CMakeFiles/test_route.dir/route/router3d_test.cpp.o.d"
+  "CMakeFiles/test_route.dir/route/router_test.cpp.o"
+  "CMakeFiles/test_route.dir/route/router_test.cpp.o.d"
+  "CMakeFiles/test_route.dir/route/seg_tree_test.cpp.o"
+  "CMakeFiles/test_route.dir/route/seg_tree_test.cpp.o.d"
+  "CMakeFiles/test_route.dir/route/steiner_test.cpp.o"
+  "CMakeFiles/test_route.dir/route/steiner_test.cpp.o.d"
+  "CMakeFiles/test_route.dir/route/topology_test.cpp.o"
+  "CMakeFiles/test_route.dir/route/topology_test.cpp.o.d"
+  "test_route"
+  "test_route.pdb"
+  "test_route[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_route.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/sdp/blockmat_test.cpp" "tests/CMakeFiles/test_sdp.dir/sdp/blockmat_test.cpp.o" "gcc" "tests/CMakeFiles/test_sdp.dir/sdp/blockmat_test.cpp.o.d"
+  "/root/repo/tests/sdp/sdp_edge_test.cpp" "tests/CMakeFiles/test_sdp.dir/sdp/sdp_edge_test.cpp.o" "gcc" "tests/CMakeFiles/test_sdp.dir/sdp/sdp_edge_test.cpp.o.d"
+  "/root/repo/tests/sdp/solver_test.cpp" "tests/CMakeFiles/test_sdp.dir/sdp/solver_test.cpp.o" "gcc" "tests/CMakeFiles/test_sdp.dir/sdp/solver_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sdp/CMakeFiles/cpla_sdp.dir/DependInfo.cmake"
+  "/root/repo/build/src/la/CMakeFiles/cpla_la.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/cpla_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sdp.dir/sdp/blockmat_test.cpp.o"
+  "CMakeFiles/test_sdp.dir/sdp/blockmat_test.cpp.o.d"
+  "CMakeFiles/test_sdp.dir/sdp/sdp_edge_test.cpp.o"
+  "CMakeFiles/test_sdp.dir/sdp/sdp_edge_test.cpp.o.d"
+  "CMakeFiles/test_sdp.dir/sdp/solver_test.cpp.o"
+  "CMakeFiles/test_sdp.dir/sdp/solver_test.cpp.o.d"
+  "test_sdp"
+  "test_sdp.pdb"
+  "test_sdp[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sdp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/timing/elmore_test.cpp" "tests/CMakeFiles/test_timing.dir/timing/elmore_test.cpp.o" "gcc" "tests/CMakeFiles/test_timing.dir/timing/elmore_test.cpp.o.d"
+  "/root/repo/tests/timing/moments_test.cpp" "tests/CMakeFiles/test_timing.dir/timing/moments_test.cpp.o" "gcc" "tests/CMakeFiles/test_timing.dir/timing/moments_test.cpp.o.d"
+  "/root/repo/tests/timing/timing_property_test.cpp" "tests/CMakeFiles/test_timing.dir/timing/timing_property_test.cpp.o" "gcc" "tests/CMakeFiles/test_timing.dir/timing/timing_property_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/timing/CMakeFiles/cpla_timing.dir/DependInfo.cmake"
+  "/root/repo/build/src/gen/CMakeFiles/cpla_gen.dir/DependInfo.cmake"
+  "/root/repo/build/src/route/CMakeFiles/cpla_route.dir/DependInfo.cmake"
+  "/root/repo/build/src/grid/CMakeFiles/cpla_grid.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/cpla_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_timing.dir/timing/elmore_test.cpp.o"
+  "CMakeFiles/test_timing.dir/timing/elmore_test.cpp.o.d"
+  "CMakeFiles/test_timing.dir/timing/moments_test.cpp.o"
+  "CMakeFiles/test_timing.dir/timing/moments_test.cpp.o.d"
+  "CMakeFiles/test_timing.dir/timing/timing_property_test.cpp.o"
+  "CMakeFiles/test_timing.dir/timing/timing_property_test.cpp.o.d"
+  "test_timing"
+  "test_timing.pdb"
+  "test_timing[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_timing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
