@@ -1,10 +1,12 @@
 #include "src/core/flow.hpp"
 
 #include <algorithm>
+#include <exception>
 
 #include "src/core/ilp_engine.hpp"
 #include "src/core/sdp_engine.hpp"
 #include "src/timing/elmore.hpp"
+#include "src/util/check.hpp"
 #include "src/util/logging.hpp"
 
 #ifdef _OPENMP
@@ -99,29 +101,78 @@ CplaResult run_cpla(assign::AssignState* state, const timing::RcTable& rc,
     for (int base = 0; base < num_parts; base += batch) {
       const int count = std::min(batch, num_parts - base);
       std::vector<PartitionProblem> problems(static_cast<std::size_t>(count));
-      std::vector<EngineResult> solutions(static_cast<std::size_t>(count));
+      std::vector<GuardedSolve> solutions(static_cast<std::size_t>(count));
+      std::vector<GuardStats> local_stats(static_cast<std::size_t>(count));
 #ifdef _OPENMP
 #pragma omp parallel for schedule(dynamic) if (options.parallel && count > 1)
 #endif
       for (int i = 0; i < count; ++i) {
+        ScopedFailureContext context(base + i, -1);
         problems[i] = build_partition_problem(*state, rc, timings, parts.leaves[base + i],
                                               model_options);
-        solutions[i] = (options.engine == Engine::kSdp)
-                           ? solve_partition_sdp(problems[i], *state, options.sdp)
-                           : solve_partition_ilp(problems[i], *state, options.ilp);
+        solutions[i] = guarded_solve(problems[i], *state, options.engine, options.sdp,
+                                     options.ilp, options.guard, &local_stats[i]);
       }
-      // Commit the batch.
-      std::unordered_map<int, std::vector<int>> updates;
+      for (const GuardStats& s : local_stats) result.guard_stats.merge(s);
+
+      // Commit each partition as a transaction: apply its picks, re-check
+      // capacity and the affected nets' timing against the pre-commit
+      // state, and roll the partition back on regression. (Partitions own
+      // disjoint segments, so per-partition commits compose exactly like
+      // the previous merged batch commit when nothing rolls back.)
       for (int i = 0; i < count; ++i) {
         const PartitionProblem& p = problems[i];
+        if (p.vars.empty()) continue;
+        std::unordered_map<int, std::vector<int>> updates;
+        bool changed = false;
         for (std::size_t vi = 0; vi < p.vars.size(); ++vi) {
           const VarGroup& var = p.vars[vi];
           auto it = updates.find(var.net);
           if (it == updates.end()) it = updates.emplace(var.net, state->layers(var.net)).first;
-          it->second[var.seg] = var.layers[solutions[i].pick[vi]];
+          const int new_layer = var.layers[solutions[i].result.pick[vi]];
+          if (it->second[var.seg] != new_layer) changed = true;
+          it->second[var.seg] = new_layer;
+        }
+        if (!changed) continue;
+
+        if (!options.guard.enabled || !options.guard.transactional_commit) {
+          for (auto& [net, layers] : updates) state->set_layers(net, std::move(layers));
+          continue;
+        }
+
+        std::unordered_map<int, std::vector<int>> undo;
+        double before_sum = 0.0, before_max = 0.0;
+        for (const auto& [net, layers] : updates) {
+          (void)layers;
+          undo.emplace(net, state->layers(net));
+          const double d = timing::critical_delay(state->tree(net), state->layers(net), rc);
+          before_sum += d;
+          before_max = std::max(before_max, d);
+        }
+        const long before_overflow = state->wire_overflow() + state->via_overflow();
+
+        for (auto& [net, layers] : updates) state->set_layers(net, std::move(layers));
+
+        double after_sum = 0.0, after_max = 0.0;
+        for (const auto& [net, layers] : undo) {
+          (void)layers;
+          const double d = timing::critical_delay(state->tree(net), state->layers(net), rc);
+          after_sum += d;
+          after_max = std::max(after_max, d);
+        }
+        const long after_overflow = state->wire_overflow() + state->via_overflow();
+
+        // Valid when capacity did not regress and timing of the touched
+        // nets either improved in the worst case or held in the sum (the
+        // max-focus weighting legitimately trades sum for max).
+        const bool capacity_ok = after_overflow <= before_overflow;
+        const bool timing_ok = after_sum <= before_sum * (1.0 + 1e-9) ||
+                               after_max < before_max * (1.0 - 1e-12);
+        if (!capacity_ok || !timing_ok) {
+          for (auto& [net, layers] : undo) state->set_layers(net, std::move(layers));
+          ++result.guard_stats.commit_rollbacks;
         }
       }
-      for (auto& [net, layers] : updates) state->set_layers(net, std::move(layers));
     }
     result.partitions_solved += num_parts;
     return true;
@@ -186,6 +237,8 @@ CplaResult run_cpla(assign::AssignState* state, const timing::RcTable& rc,
   for (auto& [net, layers] : best_state) state->set_layers(net, std::move(layers));
 
   result.metrics = compute_metrics(*state, rc, critical);
+  // Per-partition fallback statistics (counts per escalation tier).
+  if (result.guard_stats.solves > 0) result.guard_stats.log_summary("cpla");
   return result;
 }
 
@@ -193,6 +246,76 @@ CplaResult run_cpla(assign::AssignState* state, const timing::RcTable& rc,
                     const CplaOptions& options) {
   const CriticalSet critical = select_critical(*state, rc, options.critical_ratio);
   return run_cpla(state, rc, critical, options);
+}
+
+OptimizeResult optimize(assign::AssignState* state, const timing::RcTable& rc,
+                        const CriticalSet& critical, const CplaOptions& options) {
+  OptimizeResult out;
+
+  // Snapshot *every* assigned net (victim displacement touches non-released
+  // nets too) so any failure — including an exception escaping the flow —
+  // restores the initial assignment, which is always a valid answer.
+  std::vector<std::vector<int>> snapshot(static_cast<std::size_t>(state->num_nets()));
+  for (int net = 0; net < state->num_nets(); ++net) snapshot[net] = state->layers(net);
+
+  auto timing_over_critical = [&]() {
+    double sum = 0.0, worst = 0.0;
+    for (int net : critical.nets) {
+      const double d = timing::critical_delay(state->tree(net), state->layers(net), rc);
+      sum += d;
+      worst = std::max(worst, d);
+    }
+    return std::pair<double, double>(
+        critical.nets.empty() ? 0.0 : sum / static_cast<double>(critical.nets.size()), worst);
+  };
+  const auto [avg0, max0] = timing_over_critical();
+  const long overflow0 = state->wire_overflow() + state->via_overflow();
+
+  auto restore = [&]() {
+    for (int net = 0; net < state->num_nets(); ++net) {
+      if (state->layers(net) != snapshot[net]) state->set_layers(net, snapshot[net]);
+    }
+  };
+
+  bool restored = false;
+  try {
+    out.result = run_cpla(state, rc, critical, options);
+  } catch (const std::exception& e) {
+    LOG_ERROR("optimize: flow threw (%s); restoring the initial assignment", e.what());
+    out.status = Status(StatusCode::kInternal, e.what());
+    restore();
+    restored = true;
+  } catch (...) {
+    LOG_ERROR("optimize: flow threw a non-std exception; restoring the initial assignment");
+    out.status = Status(StatusCode::kInternal, "non-std exception escaped the flow");
+    restore();
+    restored = true;
+  }
+
+  if (!restored) {
+    // Defense in depth on the never-worse contract: run_cpla already lands
+    // on its best tracked state, but the contract is re-verified here
+    // against the entry state and enforced by rollback if violated.
+    const auto [avg1, max1] = timing_over_critical();
+    const long overflow1 = state->wire_overflow() + state->via_overflow();
+    const double tol = 1.0 + 1e-9;
+    if (avg1 > avg0 * tol || max1 > max0 * tol || overflow1 > overflow0) {
+      LOG_WARN(
+          "optimize: result regressed (avg %.3f->%.3f max %.3f->%.3f ov %ld->%ld); "
+          "restoring the initial assignment",
+          avg0, avg1, max0, max1, overflow0, overflow1);
+      restore();
+      restored = true;
+    }
+  }
+  if (restored) out.result.metrics = compute_metrics(*state, rc, critical);
+  return out;
+}
+
+OptimizeResult optimize(assign::AssignState* state, const timing::RcTable& rc,
+                        const CplaOptions& options) {
+  const CriticalSet critical = select_critical(*state, rc, options.critical_ratio);
+  return optimize(state, rc, critical, options);
 }
 
 }  // namespace cpla::core

@@ -12,8 +12,10 @@
 #include "src/core/displace.hpp"
 #include "src/core/model.hpp"
 #include "src/core/partition.hpp"
+#include "src/core/solve_guard.hpp"
 #include "src/ilp/branch_bound.hpp"
 #include "src/sdp/solver.hpp"
+#include "src/util/status.hpp"
 
 namespace cpla::core {
 
@@ -29,7 +31,7 @@ struct LaMetrics {
 LaMetrics compute_metrics(const assign::AssignState& state, const timing::RcTable& rc,
                           const CriticalSet& critical);
 
-enum class Engine { kSdp, kIlp };
+// Engine and GuardTier/GuardOptions/GuardStats live in solve_guard.hpp.
 
 struct CplaOptions {
   double critical_ratio = 0.005;  // 0.5%, the paper's headline setting
@@ -49,6 +51,9 @@ struct CplaOptions {
   DisplaceOptions displace;
   sdp::SdpOptions sdp{.max_iterations = 60, .tol = 1e-5, .step_fraction = 0.98};
   ilp::MipOptions ilp;
+  // Graceful degradation: every partition solve runs through the guarded
+  // escalation chain and commits transactionally (see solve_guard.hpp).
+  GuardOptions guard;
   bool parallel = true;  // OpenMP over partitions
   // Ablation: commit all partitions from one snapshot (Jacobi) instead of
   // committing each batch before building the next (Gauss-Seidel, default).
@@ -60,6 +65,7 @@ struct CplaResult {
   int rounds = 0;
   int partitions_solved = 0;
   int max_partition_depth = 0;
+  GuardStats guard_stats;  // per-tier escalation counts across all solves
 };
 
 /// Runs CPLA on a pre-selected critical set (share the set with a TILA run
@@ -70,5 +76,20 @@ CplaResult run_cpla(assign::AssignState* state, const timing::RcTable& rc,
 /// Convenience: selects the critical set at `options.critical_ratio` first.
 CplaResult run_cpla(assign::AssignState* state, const timing::RcTable& rc,
                     const CplaOptions& options = {});
+
+struct OptimizeResult {
+  Status status;  // kOk, or the dominant failure when the run degraded hard
+  CplaResult result;
+};
+
+/// The never-crash, never-worse entry point: runs CPLA with the full
+/// degradation ladder and guarantees on return that the assignment is
+/// capacity-valid and its critical timing + overflow are no worse than on
+/// entry — under *any* failure, including an exception escaping the flow
+/// (the state is rolled back to the initial assignment in that case).
+OptimizeResult optimize(assign::AssignState* state, const timing::RcTable& rc,
+                        const CriticalSet& critical, const CplaOptions& options = {});
+OptimizeResult optimize(assign::AssignState* state, const timing::RcTable& rc,
+                        const CplaOptions& options = {});
 
 }  // namespace cpla::core

@@ -121,6 +121,11 @@ EngineResult solve_partition_ilp(const PartitionProblem& p, const assign::Assign
   const ilp::MipResult mr = solve_mip(m, options);
   result.solver_ok =
       (mr.status == ilp::MipStatus::kOptimal || mr.status == ilp::MipStatus::kFeasible);
+  switch (mr.status) {
+    case ilp::MipStatus::kInfeasible: result.code = StatusCode::kInfeasible; break;
+    case ilp::MipStatus::kLimit: result.code = StatusCode::kIterationLimit; break;
+    default: break;
+  }
   result.iterations = static_cast<int>(mr.nodes);
   result.relaxation_obj = mr.best_bound;
 

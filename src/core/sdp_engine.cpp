@@ -1,6 +1,7 @@
 #include "src/core/sdp_engine.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <unordered_map>
 
 #include "src/util/check.hpp"
@@ -252,6 +253,12 @@ EngineResult solve_partition_sdp(const PartitionProblem& p, const assign::Assign
   result.solver_ok =
       (sr.status == sdp::SdpStatus::kOptimal || sr.status == sdp::SdpStatus::kStalled ||
        sr.status == sdp::SdpStatus::kIterLimit);
+  switch (sr.status) {
+    case sdp::SdpStatus::kNumerical: result.code = StatusCode::kNumericalFailure; break;
+    case sdp::SdpStatus::kDeadline: result.code = StatusCode::kDeadlineExceeded; break;
+    case sdp::SdpStatus::kIterLimit: result.code = StatusCode::kIterationLimit; break;
+    default: break;
+  }
 
   // Extract x from the first row/diagonal of the dense block.
   std::vector<std::vector<double>> x(p.vars.size());
@@ -260,8 +267,10 @@ EngineResult solve_partition_sdp(const PartitionProblem& p, const assign::Assign
     for (std::size_t k = 0; k < p.vars[i].layers.size(); ++k) {
       if (result.solver_ok) {
         x[i][k] = 0.5 * (sr.x.dense(0)(0, xi(i, k)) + sr.x.dense(0)(xi(i, k), xi(i, k)));
-      } else {
-        // Numerical failure: fall back to the current assignment.
+      }
+      // Numerical failure (or a non-finite entry that slipped through a
+      // nominally-ok solve): fall back to the current assignment.
+      if (!result.solver_ok || !std::isfinite(x[i][k])) {
         x[i][k] = (p.vars[i].layers[k] == p.vars[i].current_layer) ? 1.0 : 0.0;
       }
     }

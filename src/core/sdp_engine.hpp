@@ -16,6 +16,7 @@
 
 #include "src/core/model.hpp"
 #include "src/sdp/solver.hpp"
+#include "src/util/status.hpp"
 
 namespace cpla::core {
 
@@ -25,6 +26,9 @@ struct EngineResult {
   double relaxation_obj = 0.0;
   int iterations = 0;
   bool solver_ok = true;
+  // Structured reason when the relaxation/search degraded (the pick is
+  // still always populated — a failed solve keeps the current assignment).
+  StatusCode code = StatusCode::kOk;
 };
 
 EngineResult solve_partition_sdp(const PartitionProblem& problem,

@@ -2,10 +2,13 @@
 
 #include <cmath>
 
+#include "src/util/fault_inject.hpp"
+
 namespace cpla::la {
 
 std::optional<Cholesky> Cholesky::factor(const Matrix& a) {
   CPLA_ASSERT(a.rows() == a.cols());
+  if (CPLA_FAULT_POINT("la.cholesky.factor")) return std::nullopt;
   const std::size_t n = a.rows();
   Matrix l(n, n);
   for (std::size_t j = 0; j < n; ++j) {

@@ -1,9 +1,13 @@
 #include "src/parser/ispd08.hpp"
 
+#include <algorithm>
+#include <cerrno>
+#include <climits>
+#include <cmath>
+#include <cstdlib>
 #include <fstream>
 #include <istream>
 #include <ostream>
-#include <algorithm>
 #include <sstream>
 
 #include "src/grid/layer_stack.hpp"
@@ -14,150 +18,250 @@ namespace cpla::parser {
 
 namespace {
 
-/// Pulls the next non-empty line's tokens.
-bool next_tokens(std::istream& in, std::vector<std::string>* out) {
-  std::string line;
-  while (std::getline(in, line)) {
-    auto toks = cpla::split_ws(line);
-    if (!toks.empty()) {
-      *out = std::move(toks);
-      return true;
+/// Token stream that remembers the 1-based number of the line it last
+/// produced, so every diagnostic can point at the offending input line.
+class LineReader {
+ public:
+  explicit LineReader(std::istream& in) : in_(in) {}
+
+  /// Pulls the next non-empty line's tokens.
+  bool next(std::vector<std::string>* out) {
+    std::string line;
+    while (std::getline(in_, line)) {
+      ++line_;
+      auto toks = cpla::split_ws(line);
+      if (!toks.empty()) {
+        *out = std::move(toks);
+        return true;
+      }
     }
+    return false;
   }
-  return false;
+
+  /// Line of the last token set produced (0 before the first next()).
+  int line() const { return line_; }
+  /// Line to blame when input ends where more was expected.
+  int eof_line() const { return line_ + 1; }
+
+ private:
+  std::istream& in_;
+  int line_ = 0;
+};
+
+/// Strict full-token integer parse — no exceptions, no partial consumption.
+bool to_int(const std::string& t, int* out) {
+  char* end = nullptr;
+  errno = 0;
+  const long v = std::strtol(t.c_str(), &end, 10);
+  if (end == t.c_str() || *end != '\0' || errno == ERANGE) return false;
+  if (v < static_cast<long>(INT_MIN) || v > static_cast<long>(INT_MAX)) return false;
+  *out = static_cast<int>(v);
+  return true;
+}
+
+bool to_double(const std::string& t, double* out) {
+  char* end = nullptr;
+  errno = 0;
+  const double v = std::strtod(t.c_str(), &end);
+  if (end == t.c_str() || *end != '\0' || errno == ERANGE || !std::isfinite(v)) return false;
+  *out = v;
+  return true;
 }
 
 /// Reads the numeric tail of a header line like "vertical capacity 0 10 ...".
 std::vector<int> numeric_tail(const std::vector<std::string>& toks) {
   std::vector<int> vals;
   for (const auto& t : toks) {
-    char* end = nullptr;
-    const long v = std::strtol(t.c_str(), &end, 10);
-    if (end != t.c_str() && *end == '\0') vals.push_back(static_cast<int>(v));
+    int v = 0;
+    if (to_int(t, &v)) vals.push_back(v);
   }
   return vals;
 }
 
+Status bad_line(int line, std::string message) {
+  return Status(StatusCode::kBadInput, std::move(message), line);
+}
+
 }  // namespace
 
-std::optional<grid::Design> read_ispd08(std::istream& in, const std::string& design_name) {
+Result<grid::Design> parse_ispd08(std::istream& in, const std::string& design_name) {
+  LineReader reader(in);
   std::vector<std::string> toks;
 
   // grid X Y L
-  if (!next_tokens(in, &toks) || toks.size() < 4 || toks[0] != "grid") {
-    LOG_ERROR("ispd08: missing 'grid' header");
-    return std::nullopt;
+  if (!reader.next(&toks)) return bad_line(reader.eof_line(), "missing 'grid' header");
+  int xsize = 0, ysize = 0, num_layers = 0;
+  if (toks.size() < 4 || toks[0] != "grid" || !to_int(toks[1], &xsize) ||
+      !to_int(toks[2], &ysize) || !to_int(toks[3], &num_layers)) {
+    return bad_line(reader.line(), "malformed 'grid X Y L' header");
   }
-  const int xsize = std::stoi(toks[1]);
-  const int ysize = std::stoi(toks[2]);
-  const int num_layers = std::stoi(toks[3]);
   if (xsize < 2 || ysize < 2 || num_layers < 2) {
-    LOG_ERROR("ispd08: degenerate grid %dx%dx%d", xsize, ysize, num_layers);
-    return std::nullopt;
+    return bad_line(reader.line(), str_format("degenerate grid %dx%dx%d", xsize, ysize,
+                                              num_layers));
+  }
+  if (static_cast<long long>(xsize) * ysize > 100'000'000LL || num_layers > 256) {
+    return bad_line(reader.line(), str_format("implausible grid %dx%dx%d", xsize, ysize,
+                                              num_layers));
   }
 
-  auto read_layer_vals = [&](const char* what) -> std::optional<std::vector<int>> {
-    if (!next_tokens(in, &toks)) {
-      LOG_ERROR("ispd08: missing '%s' line", what);
-      return std::nullopt;
+  auto read_layer_vals = [&](const char* what) -> Result<std::vector<int>> {
+    if (!reader.next(&toks)) {
+      return bad_line(reader.eof_line(), str_format("missing '%s' line", what));
     }
     auto vals = numeric_tail(toks);
     if (static_cast<int>(vals.size()) != num_layers) {
-      LOG_ERROR("ispd08: '%s' expects %d values, got %zu", what, num_layers, vals.size());
-      return std::nullopt;
+      return bad_line(reader.line(), str_format("'%s' expects %d values, got %zu", what,
+                                                num_layers, vals.size()));
+    }
+    for (int v : vals) {
+      if (v < 0) {
+        return bad_line(reader.line(), str_format("negative value %d in '%s'", v, what));
+      }
     }
     return vals;
   };
 
-  const auto vcap = read_layer_vals("vertical capacity");
-  const auto hcap = read_layer_vals("horizontal capacity");
-  const auto min_width = read_layer_vals("minimum width");
-  const auto min_spacing = read_layer_vals("minimum spacing");
-  const auto via_spacing = read_layer_vals("via spacing");
-  if (!vcap || !hcap || !min_width || !min_spacing || !via_spacing) return std::nullopt;
+  auto vcap = read_layer_vals("vertical capacity");
+  if (!vcap.is_ok()) return vcap.status();
+  auto hcap = read_layer_vals("horizontal capacity");
+  if (!hcap.is_ok()) return hcap.status();
+  auto min_width = read_layer_vals("minimum width");
+  if (!min_width.is_ok()) return min_width.status();
+  auto min_spacing = read_layer_vals("minimum spacing");
+  if (!min_spacing.is_ok()) return min_spacing.status();
+  auto via_spacing = read_layer_vals("via spacing");
+  if (!via_spacing.is_ok()) return via_spacing.status();
 
   // llx lly tile_w tile_h
-  if (!next_tokens(in, &toks) || toks.size() < 4) {
-    LOG_ERROR("ispd08: missing origin/tile line");
-    return std::nullopt;
+  if (!reader.next(&toks)) return bad_line(reader.eof_line(), "missing origin/tile line");
+  double llx = 0, lly = 0, tile_w = 0, tile_h = 0;
+  if (toks.size() < 4 || !to_double(toks[0], &llx) || !to_double(toks[1], &lly) ||
+      !to_double(toks[2], &tile_w) || !to_double(toks[3], &tile_h)) {
+    return bad_line(reader.line(), "malformed origin/tile line");
   }
-  const double llx = std::stod(toks[0]);
-  const double lly = std::stod(toks[1]);
-  const double tile_w = std::stod(toks[2]);
-  const double tile_h = std::stod(toks[3]);
+  if (tile_w <= 0.0 || tile_h <= 0.0) {
+    return bad_line(reader.line(), str_format("non-positive tile size %g x %g", tile_w, tile_h));
+  }
 
   // Direction per layer from which capacity is nonzero; RC profile from the
   // canonical stack (the file format carries no electrical data).
+  const std::vector<int>& vc = vcap.value();
+  const std::vector<int>& hc = hcap.value();
+  const std::vector<int>& mw = min_width.value();
+  const std::vector<int>& ms = min_spacing.value();
+  const std::vector<int>& vs = via_spacing.value();
   std::vector<grid::Layer> layers = grid::make_layer_stack(num_layers);
   for (int l = 0; l < num_layers; ++l) {
-    layers[l].horizontal = (*hcap)[l] >= (*vcap)[l];
+    layers[l].horizontal = hc[l] >= vc[l];
   }
   grid::GeomParams geom = grid::default_geom();
   geom.tile_width = tile_w;
-  geom.wire_width = std::max(1, (*min_width)[0]);
-  geom.wire_spacing = std::max(0, (*min_spacing)[0]);
-  geom.via_spacing = std::max(0, (*via_spacing)[0]);
+  geom.wire_width = std::max(1, mw[0]);
+  geom.wire_spacing = std::max(0, ms[0]);
+  geom.via_spacing = std::max(0, vs[0]);
 
   grid::GridGraph g(xsize, ysize, layers, geom);
   for (int l = 0; l < num_layers; ++l) {
-    const int raw = layers[l].horizontal ? (*hcap)[l] : (*vcap)[l];
-    const int pitch = std::max(1, (*min_width)[l] + (*min_spacing)[l]);
+    const int raw = layers[l].horizontal ? hc[l] : vc[l];
+    const int pitch = std::max(1, mw[l] + ms[l]);
     g.fill_layer_capacity(l, raw / pitch);  // tracks per edge
   }
 
   grid::Design design(design_name, std::move(g));
 
   // num net N
-  if (!next_tokens(in, &toks) || toks.size() < 3 || toks[0] != "num" || toks[1] != "net") {
-    LOG_ERROR("ispd08: missing 'num net' line");
-    return std::nullopt;
+  if (!reader.next(&toks)) return bad_line(reader.eof_line(), "missing 'num net' line");
+  int num_nets = 0;
+  if (toks.size() < 3 || toks[0] != "num" || toks[1] != "net" || !to_int(toks[2], &num_nets) ||
+      num_nets < 0) {
+    return bad_line(reader.line(), "malformed 'num net N' line");
   }
-  const int num_nets = std::stoi(toks[2]);
 
-  auto to_cell = [&](double px, double py) -> grid::Pin {
-    grid::Pin pin;
-    pin.x = std::clamp(static_cast<int>((px - llx) / tile_w), 0, xsize - 1);
-    pin.y = std::clamp(static_cast<int>((py - lly) / tile_h), 0, ysize - 1);
-    return pin;
+  // Maps an absolute pin coordinate to its g-cell; a point exactly on the
+  // far boundary belongs to the last cell, anything further out is an
+  // input error (the old behavior of silently clamping hid corrupt files).
+  auto to_cell = [&](double p, double origin, double tile, int size, int* cell) {
+    const double offset = p - origin;
+    const int c = static_cast<int>(offset / tile);
+    if (offset < 0.0 || c > size || (c == size && offset > size * tile)) return false;
+    *cell = std::min(c, size - 1);
+    return true;
   };
 
-  design.nets.reserve(static_cast<std::size_t>(num_nets));
+  design.nets.reserve(static_cast<std::size_t>(std::min(num_nets, 10'000'000)));
   for (int n = 0; n < num_nets; ++n) {
-    if (!next_tokens(in, &toks) || toks.size() < 3) {
-      LOG_ERROR("ispd08: truncated net header (net %d)", n);
-      return std::nullopt;
+    if (!reader.next(&toks) || toks.size() < 3) {
+      return bad_line(reader.eof_line(), str_format("truncated net header (net %d of %d)", n,
+                                                    num_nets));
     }
     grid::Net net;
     net.name = toks[0];
     net.id = n;
-    const int num_pins = std::stoi(toks[2]);
+    int num_pins = 0;
+    if (!to_int(toks[2], &num_pins) || num_pins < 1) {
+      return bad_line(reader.line(), str_format("malformed pin count for net %s",
+                                                net.name.c_str()));
+    }
+    if (num_pins > 1'000'000) {
+      return bad_line(reader.line(), str_format("implausible pin count %d for net %s", num_pins,
+                                                net.name.c_str()));
+    }
     net.pins.reserve(static_cast<std::size_t>(num_pins));
     for (int k = 0; k < num_pins; ++k) {
-      if (!next_tokens(in, &toks) || toks.size() < 3) {
-        LOG_ERROR("ispd08: truncated pin list for net %s", net.name.c_str());
-        return std::nullopt;
+      if (!reader.next(&toks)) {
+        return bad_line(reader.eof_line(), str_format("truncated pin list for net %s (pin %d of %d)",
+                                                      net.name.c_str(), k, num_pins));
       }
-      grid::Pin pin = to_cell(std::stod(toks[0]), std::stod(toks[1]));
-      pin.layer = std::clamp(std::stoi(toks[2]) - 1, 0, num_layers - 1);
+      double px = 0, py = 0;
+      int file_layer = 0;
+      if (toks.size() < 3 || !to_double(toks[0], &px) || !to_double(toks[1], &py) ||
+          !to_int(toks[2], &file_layer)) {
+        return bad_line(reader.line(), str_format("malformed pin for net %s", net.name.c_str()));
+      }
+      grid::Pin pin;
+      if (!to_cell(px, llx, tile_w, xsize, &pin.x) || !to_cell(py, lly, tile_h, ysize, &pin.y)) {
+        return bad_line(reader.line(), str_format("pin (%g, %g) outside the %dx%d grid", px, py,
+                                                  xsize, ysize));
+      }
+      if (file_layer < 1 || file_layer > num_layers) {
+        return bad_line(reader.line(), str_format("pin layer %d outside [1, %d]", file_layer,
+                                                  num_layers));
+      }
+      pin.layer = file_layer - 1;
       net.pins.push_back(pin);
     }
     design.nets.push_back(std::move(net));
   }
 
   // Optional capacity adjustments.
-  if (next_tokens(in, &toks)) {
-    const int num_adjust = std::stoi(toks[0]);
+  if (reader.next(&toks)) {
+    int num_adjust = 0;
+    if (!to_int(toks[0], &num_adjust) || num_adjust < 0) {
+      return bad_line(reader.line(), "malformed adjustment count");
+    }
     for (int a = 0; a < num_adjust; ++a) {
-      if (!next_tokens(in, &toks) || toks.size() < 7) {
-        LOG_ERROR("ispd08: truncated adjustment %d", a);
-        return std::nullopt;
+      if (!reader.next(&toks) || toks.size() < 7) {
+        return bad_line(reader.eof_line(), str_format("truncated adjustment %d of %d", a,
+                                                      num_adjust));
       }
-      const int x1 = std::stoi(toks[0]), y1 = std::stoi(toks[1]), l1 = std::stoi(toks[2]) - 1;
-      const int x2 = std::stoi(toks[3]), y2 = std::stoi(toks[4]), l2 = std::stoi(toks[5]) - 1;
-      const int cap = std::stoi(toks[6]);
+      int x1, y1, l1, x2, y2, l2, cap;
+      if (!to_int(toks[0], &x1) || !to_int(toks[1], &y1) || !to_int(toks[2], &l1) ||
+          !to_int(toks[3], &x2) || !to_int(toks[4], &y2) || !to_int(toks[5], &l2) ||
+          !to_int(toks[6], &cap)) {
+        return bad_line(reader.line(), str_format("malformed adjustment %d", a));
+      }
+      l1 -= 1;
+      l2 -= 1;
+      if (cap < 0) {
+        return bad_line(reader.line(), str_format("negative capacity %d in adjustment %d", cap, a));
+      }
       if (l1 != l2 || l1 < 0 || l1 >= num_layers) continue;
-      const int pitch = 1;  // adjustments are given in tracks already
-      (void)pitch;
+      if (x1 < 0 || x1 >= xsize || x2 < 0 || x2 >= xsize || y1 < 0 || y1 >= ysize || y2 < 0 ||
+          y2 >= ysize) {
+        return bad_line(reader.line(),
+                        str_format("adjustment %d edge (%d,%d)-(%d,%d) outside the %dx%d grid", a,
+                                   x1, y1, x2, y2, xsize, ysize));
+      }
       auto& gg = design.grid;
       if (y1 == y2 && std::abs(x1 - x2) == 1 && gg.is_horizontal(l1)) {
         gg.set_edge_capacity(l1, gg.h_edge_id(std::min(x1, x2), y1), cap);
@@ -170,11 +274,10 @@ std::optional<grid::Design> read_ispd08(std::istream& in, const std::string& des
   return design;
 }
 
-std::optional<grid::Design> read_ispd08_file(const std::string& path) {
+Result<grid::Design> parse_ispd08_file(const std::string& path) {
   std::ifstream in(path);
   if (!in) {
-    LOG_ERROR("ispd08: cannot open %s", path.c_str());
-    return std::nullopt;
+    return Status(StatusCode::kBadInput, str_format("cannot open %s", path.c_str()));
   }
   // Design name = basename without extension.
   std::string name = path;
@@ -184,7 +287,25 @@ std::optional<grid::Design> read_ispd08_file(const std::string& path) {
   if (const auto dot = name.find_last_of('.'); dot != std::string::npos) {
     name = name.substr(0, dot);
   }
-  return read_ispd08(in, name);
+  return parse_ispd08(in, name);
+}
+
+std::optional<grid::Design> read_ispd08(std::istream& in, const std::string& design_name) {
+  Result<grid::Design> parsed = parse_ispd08(in, design_name);
+  if (!parsed.is_ok()) {
+    LOG_ERROR("ispd08: %s", parsed.status().to_string().c_str());
+    return std::nullopt;
+  }
+  return std::move(parsed.take());
+}
+
+std::optional<grid::Design> read_ispd08_file(const std::string& path) {
+  Result<grid::Design> parsed = parse_ispd08_file(path);
+  if (!parsed.is_ok()) {
+    LOG_ERROR("ispd08: %s", parsed.status().to_string().c_str());
+    return std::nullopt;
+  }
+  return std::move(parsed.take());
 }
 
 void write_ispd08(const grid::Design& design, std::ostream& out) {

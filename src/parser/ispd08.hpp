@@ -24,6 +24,7 @@
 #include <string>
 
 #include "src/grid/design.hpp"
+#include "src/util/status.hpp"
 
 namespace cpla::parser {
 
@@ -34,8 +35,15 @@ struct Ispd08Options {
   double tile_width = 10.0;
 };
 
-/// Parses a benchmark; returns std::nullopt (with a log message) on a
-/// malformed file.
+/// Parses a benchmark. Malformed input — truncated blocks, non-numeric
+/// fields, negative capacities, pins outside the grid — yields a
+/// StatusCode::kBadInput Status carrying the 1-based line number of the
+/// offending line; no input can crash the parser.
+Result<grid::Design> parse_ispd08(std::istream& in, const std::string& design_name);
+Result<grid::Design> parse_ispd08_file(const std::string& path);
+
+/// Legacy convenience wrappers: log the diagnostic and collapse the Status
+/// to std::nullopt.
 std::optional<grid::Design> read_ispd08(std::istream& in, const std::string& design_name);
 std::optional<grid::Design> read_ispd08_file(const std::string& path);
 

@@ -6,7 +6,9 @@
 
 #include "src/la/lu.hpp"
 #include "src/util/check.hpp"
+#include "src/util/fault_inject.hpp"
 #include "src/util/logging.hpp"
+#include "src/util/timer.hpp"
 
 namespace cpla::sdp {
 
@@ -16,6 +18,7 @@ const char* to_string(SdpStatus status) {
     case SdpStatus::kStalled: return "stalled";
     case SdpStatus::kIterLimit: return "iteration-limit";
     case SdpStatus::kNumerical: return "numerical-failure";
+    case SdpStatus::kDeadline: return "deadline-exceeded";
   }
   return "?";
 }
@@ -101,9 +104,24 @@ SdpResult solve(const SdpProblem& p, const SdpOptions& opt) {
 
   double prev_gap = std::numeric_limits<double>::infinity();
   int stall_count = 0;
+  WallTimer timer;
+
+  if (CPLA_FAULT_POINT("sdp.solve.numerical")) {
+    res.status = SdpStatus::kNumerical;
+    return res;
+  }
+  if (CPLA_FAULT_POINT("sdp.solve.iterlimit")) {
+    res.status = SdpStatus::kIterLimit;
+    return res;
+  }
 
   for (int iter = 0; iter < opt.max_iterations; ++iter) {
     res.iterations = iter;
+
+    if (opt.time_limit_ms > 0.0 && timer.milliseconds() > opt.time_limit_ms) {
+      res.status = SdpStatus::kDeadline;
+      return res;
+    }
 
     // Residuals.
     la::Vector ax = p.apply_all(res.x);
@@ -121,6 +139,14 @@ SdpResult solve(const SdpProblem& p, const SdpOptions& opt) {
     res.primal_infeas = la::norm2(rp) / (1.0 + b_norm);
     res.dual_infeas = rd.frob_norm() / c_norm;
     res.rel_gap = std::fabs(gap) / (1.0 + std::fabs(res.primal_obj) + std::fabs(res.dual_obj));
+
+    // A non-finite iterate means the numerics have already left the rails;
+    // no further step can recover, so report instead of looping on NaNs.
+    if (!std::isfinite(gap) || !std::isfinite(res.primal_obj) ||
+        !std::isfinite(res.primal_infeas) || !std::isfinite(res.dual_infeas)) {
+      res.status = SdpStatus::kNumerical;
+      return res;
+    }
 
     if (res.primal_infeas < opt.tol && res.dual_infeas < opt.tol && res.rel_gap < opt.tol) {
       res.status = SdpStatus::kOptimal;

@@ -19,7 +19,9 @@ enum class SdpStatus {
   kOptimal,    // primal/dual feasible within tolerance, gap closed
   kStalled,    // progress stopped before tolerance; solution still returned
   kIterLimit,  // iteration cap reached
-  kNumerical,  // Schur factorization failed beyond recovery
+  kNumerical,  // Schur factorization failed beyond recovery, or a
+               // non-finite iterate was detected
+  kDeadline,   // wall-clock budget (time_limit_ms) exhausted
 };
 
 const char* to_string(SdpStatus status);
@@ -28,6 +30,7 @@ struct SdpOptions {
   int max_iterations = 100;
   double tol = 1e-7;         // relative feasibility + gap tolerance
   double step_fraction = 0.98;
+  double time_limit_ms = 0.0;  // wall-clock budget; 0 = unlimited
 };
 
 struct SdpResult {

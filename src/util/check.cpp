@@ -1,0 +1,47 @@
+#include "src/util/check.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "src/util/logging.hpp"
+
+namespace cpla {
+
+namespace {
+thread_local int g_partition = -1;
+thread_local int g_net = -1;
+}  // namespace
+
+void set_failure_context(int partition, int net) {
+  g_partition = partition;
+  g_net = net;
+}
+
+ScopedFailureContext::ScopedFailureContext(int partition, int net)
+    : prev_partition_(g_partition), prev_net_(g_net) {
+  g_partition = partition;
+  g_net = net;
+}
+
+ScopedFailureContext::~ScopedFailureContext() {
+  g_partition = prev_partition_;
+  g_net = prev_net_;
+}
+
+void assert_fail(const char* expr, const char* file, int line, const char* msg) {
+  // Route through the logger so the failure lands in the same stream (and
+  // with the same timestamps) as the run's diagnostics; emit at kError
+  // regardless of the gating level — an abort must never be silent.
+  const LogLevel saved = log_level();
+  if (saved > LogLevel::kError) set_log_level(LogLevel::kError);
+  log_msg(LogLevel::kError, "CPLA_ASSERT failed: %s at %s:%d%s%s", expr, file, line,
+          msg ? " — " : "", msg ? msg : "");
+  if (g_partition >= 0 || g_net >= 0) {
+    log_msg(LogLevel::kError, "CPLA_ASSERT context: partition=%d net=%d", g_partition, g_net);
+  }
+  std::fflush(stderr);
+  std::fflush(stdout);
+  std::abort();
+}
+
+}  // namespace cpla

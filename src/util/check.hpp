@@ -4,18 +4,35 @@
 // the solvers in this project rely on invariants (PSD-ness, basis validity,
 // tree shape) whose silent violation produces garbage numbers, which is far
 // more expensive to debug than the cost of the checks.
-
-#include <cstdio>
-#include <cstdlib>
+//
+// CPLA_ASSERT is for *programmer invariants only* — conditions that can be
+// false only through a bug in this repository. Failures that inputs or
+// numerics can cause must be reported recoverably instead; see
+// src/util/status.hpp (CPLA_CHECK / Status / Result).
 
 namespace cpla {
 
-[[noreturn]] inline void assert_fail(const char* expr, const char* file, int line,
-                                     const char* msg) {
-  std::fprintf(stderr, "CPLA_ASSERT failed: %s\n  at %s:%d\n  %s\n", expr, file, line,
-               msg ? msg : "");
-  std::abort();
-}
+/// Logs the failed expression plus any active failure context through the
+/// logging subsystem (flushed), then aborts.
+[[noreturn]] void assert_fail(const char* expr, const char* file, int line, const char* msg);
+
+// Thread-local context attached to assert_fail output, so a crash inside a
+// parallel partition solve identifies which partition/net was active.
+// -1 clears a field.
+void set_failure_context(int partition, int net);
+
+/// RAII failure-context scope; restores the previous context on exit.
+class ScopedFailureContext {
+ public:
+  ScopedFailureContext(int partition, int net);
+  ~ScopedFailureContext();
+  ScopedFailureContext(const ScopedFailureContext&) = delete;
+  ScopedFailureContext& operator=(const ScopedFailureContext&) = delete;
+
+ private:
+  int prev_partition_;
+  int prev_net_;
+};
 
 }  // namespace cpla
 

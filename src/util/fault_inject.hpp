@@ -1,0 +1,57 @@
+#pragma once
+
+// Deterministic fault injection for robustness tests. Library code marks
+// the places where a real failure could originate (a Cholesky breakdown, an
+// iteration cap, a deadline) with CPLA_FAULT_POINT("site.name"); tests arm
+// a site to fire at a chosen occurrence and assert the pipeline degrades
+// instead of crashing. Compiled in unconditionally: when nothing is armed a
+// fault point is a single relaxed atomic load, so the hooks are free in
+// production builds and the tested binary is the shipped binary.
+
+#include <atomic>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+namespace cpla {
+
+class FaultInjector {
+ public:
+  /// Process-wide instance (fault points must be reachable from anywhere).
+  static FaultInjector& instance();
+
+  /// Arms `site` to fire on occurrences [first, first + count) — 0-based,
+  /// counted from the moment of arming. Re-arming resets the site counter.
+  void arm(const std::string& site, long first, long count = 1);
+
+  /// Arms `site` to fire on every occurrence.
+  void arm_always(const std::string& site);
+
+  void disarm(const std::string& site);
+
+  /// Disarms everything and clears all counters.
+  void reset();
+
+  /// Occurrences observed at `site` since it was armed (0 if never armed).
+  long hits(const std::string& site);
+
+  /// Called by CPLA_FAULT_POINT. Returns true when the site is armed for
+  /// this occurrence. No-op (and no counting) while nothing is armed.
+  bool should_fail(const char* site);
+
+ private:
+  struct Site {
+    long hits = 0;
+    long first = 0;
+    long count = 0;
+    bool always = false;
+  };
+
+  std::atomic<bool> active_{false};
+  std::mutex mutex_;
+  std::unordered_map<std::string, Site> sites_;
+};
+
+}  // namespace cpla
+
+#define CPLA_FAULT_POINT(site) (::cpla::FaultInjector::instance().should_fail(site))

@@ -1,0 +1,28 @@
+#include "src/util/status.hpp"
+
+#include "src/util/str.hpp"
+
+namespace cpla {
+
+const char* to_string(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk: return "ok";
+    case StatusCode::kNumericalFailure: return "numerical-failure";
+    case StatusCode::kIterationLimit: return "iteration-limit";
+    case StatusCode::kDeadlineExceeded: return "deadline-exceeded";
+    case StatusCode::kInfeasible: return "infeasible";
+    case StatusCode::kBadInput: return "bad-input";
+    case StatusCode::kInternal: return "internal";
+  }
+  return "?";
+}
+
+std::string Status::to_string() const {
+  if (is_ok()) return "ok";
+  if (line_ >= 0) {
+    return str_format("%s (line %d): %s", cpla::to_string(code_), line_, message_.c_str());
+  }
+  return str_format("%s: %s", cpla::to_string(code_), message_.c_str());
+}
+
+}  // namespace cpla

@@ -1,0 +1,102 @@
+#pragma once
+
+// Structured, recoverable error reporting for library code. CPLA_ASSERT
+// (src/util/check.hpp) remains the tool for true programmer invariants —
+// conditions that can only be false through a bug in this repository. Every
+// failure an *input* or the *numerics* can cause (ill-conditioned Schur
+// systems, iteration caps, wall-clock deadlines, malformed benchmark files)
+// is reported through Status/Result so callers can degrade gracefully
+// instead of aborting mid-run.
+
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "src/util/check.hpp"
+
+namespace cpla {
+
+enum class StatusCode : int {
+  kOk = 0,
+  kNumericalFailure,   // factorization failed / non-finite iterate
+  kIterationLimit,     // solver hit its iteration cap
+  kDeadlineExceeded,   // wall-clock budget exhausted
+  kInfeasible,         // no feasible point exists (or was found)
+  kBadInput,           // malformed external input (parser, config)
+  kInternal,           // caught exception / unclassified failure
+};
+
+const char* to_string(StatusCode code);
+
+/// Failure description: a code, a human-readable message, and — for input
+/// errors — the 1-based line number of the offending input line.
+class Status {
+ public:
+  Status() = default;  // ok
+  Status(StatusCode code, std::string message, int line = -1)
+      : code_(code), message_(std::move(message)), line_(line) {}
+
+  static Status ok() { return Status(); }
+
+  bool is_ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+  /// Input line number the failure was detected on; -1 when not applicable.
+  int line() const { return line_; }
+
+  /// "numerical-failure: Schur factorization failed" /
+  /// "bad-input (line 12): truncated pin list".
+  std::string to_string() const;
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+  int line_ = -1;
+};
+
+/// Value-or-Status. A Result holding a value is always ok(); constructing
+/// from a Status requires a non-ok status.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    CPLA_ASSERT_MSG(!status_.is_ok(), "Result built from an ok Status carries no value");
+  }
+
+  bool is_ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  T& value() {
+    CPLA_ASSERT_MSG(value_.has_value(), "value() on a failed Result");
+    return *value_;
+  }
+  const T& value() const {
+    CPLA_ASSERT_MSG(value_.has_value(), "value() on a failed Result");
+    return *value_;
+  }
+  T&& take() {
+    CPLA_ASSERT_MSG(value_.has_value(), "take() on a failed Result");
+    return std::move(*value_);
+  }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace cpla
+
+/// Returns `status_expr` from the enclosing function when `cond` is false.
+/// For recoverable conditions; use CPLA_ASSERT for programmer invariants.
+#define CPLA_CHECK(cond, status_expr) \
+  do {                                \
+    if (!(cond)) return (status_expr); \
+  } while (0)
+
+/// Propagates a failed Status from an expression yielding one.
+#define CPLA_CHECK_OK(expr)                            \
+  do {                                                 \
+    ::cpla::Status cpla_check_status_ = (expr);        \
+    if (!cpla_check_status_.is_ok()) return cpla_check_status_; \
+  } while (0)

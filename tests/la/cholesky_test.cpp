@@ -4,6 +4,7 @@
 
 #include <cmath>
 
+#include "src/util/fault_inject.hpp"
 #include "src/util/rng.hpp"
 
 namespace cpla::la {
@@ -64,6 +65,17 @@ TEST(Cholesky, RejectsSingular) {
   a(0, 0) = 1.0; a(0, 1) = 1.0;
   a(1, 0) = 1.0; a(1, 1) = 1.0;
   EXPECT_FALSE(Cholesky::factor(a).has_value());
+}
+
+TEST(Cholesky, InjectedFactorFailureIsReportedNotFatal) {
+  // A breakdown deep inside a hot loop must surface as nullopt — the same
+  // recoverable signal an indefinite matrix produces — never as an abort.
+  Rng rng(7);
+  const Matrix a = random_spd(4, &rng);
+  FaultInjector::instance().arm("la.cholesky.factor", 0);
+  EXPECT_FALSE(Cholesky::factor(a).has_value());  // injected breakdown
+  EXPECT_TRUE(Cholesky::factor(a).has_value());   // next call is healthy again
+  FaultInjector::instance().reset();
 }
 
 TEST(Cholesky, LogDetDiagonal) {

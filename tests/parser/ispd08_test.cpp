@@ -93,6 +93,103 @@ TEST(Ispd08Reader, RejectsTruncatedNets) {
   set_log_level(LogLevel::kInfo);
 }
 
+// --- Structured diagnostics (parse_ispd08 / Status) ---------------------
+//
+// Every malformed input must produce StatusCode::kBadInput with the 1-based
+// line number of the offending line — and must never crash or abort.
+
+Status parse_status(const std::string& text) {
+  std::istringstream in(text);
+  auto result = parse_ispd08(in, "bad");
+  EXPECT_FALSE(result.is_ok());
+  return result.status();
+}
+
+TEST(Ispd08Diagnostics, MalformedGridHeader) {
+  const Status s = parse_status("not a benchmark\n");
+  EXPECT_EQ(s.code(), StatusCode::kBadInput);
+  EXPECT_EQ(s.line(), 1);
+}
+
+TEST(Ispd08Diagnostics, NonNumericGridSizes) {
+  const Status s = parse_status("grid ten 8 3\n");
+  EXPECT_EQ(s.code(), StatusCode::kBadInput);
+  EXPECT_EQ(s.line(), 1);
+}
+
+TEST(Ispd08Diagnostics, EmptyInput) {
+  const Status s = parse_status("");
+  EXPECT_EQ(s.code(), StatusCode::kBadInput);
+  EXPECT_NE(s.message().find("grid"), std::string::npos);
+}
+
+TEST(Ispd08Diagnostics, WrongCapacityCount) {
+  // 3-layer grid with only two vertical-capacity values: error on line 2.
+  const Status s = parse_status("grid 8 8 3\nvertical capacity 0 10\n");
+  EXPECT_EQ(s.code(), StatusCode::kBadInput);
+  EXPECT_EQ(s.line(), 2);
+}
+
+TEST(Ispd08Diagnostics, NegativeLayerCapacity) {
+  const Status s = parse_status("grid 8 8 3\nvertical capacity 0 -10 0\n");
+  EXPECT_EQ(s.code(), StatusCode::kBadInput);
+  EXPECT_EQ(s.line(), 2);
+  EXPECT_NE(s.message().find("negative"), std::string::npos);
+}
+
+TEST(Ispd08Diagnostics, PinLayerOutOfRange) {
+  std::string text(kSample);
+  const auto pos = text.find("15 15 1");
+  text.replace(pos, 7, "15 15 9");  // layer 9 of a 4-layer stack, line 11
+  const Status s = parse_status(text);
+  EXPECT_EQ(s.code(), StatusCode::kBadInput);
+  EXPECT_EQ(s.line(), 11);
+  EXPECT_NE(s.message().find("layer"), std::string::npos);
+}
+
+TEST(Ispd08Diagnostics, LegacyWrapperCollapsesToNullopt) {
+  set_log_level(LogLevel::kSilent);
+  std::istringstream in("grid 8 8 3\n");
+  EXPECT_FALSE(read_ispd08(in, "bad").has_value());
+  set_log_level(LogLevel::kInfo);
+}
+
+TEST(Ispd08Diagnostics, MissingFileIsAStatus) {
+  const auto result = parse_ispd08_file("/nonexistent/benchmark.gr");
+  ASSERT_FALSE(result.is_ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kBadInput);
+  EXPECT_NE(result.status().message().find("cannot open"), std::string::npos);
+}
+
+// Corpus files checked in under tests/parser/data/.
+std::string data_path(const char* name) {
+  return std::string(CPLA_TEST_DATA_DIR) + "/" + name;
+}
+
+TEST(Ispd08Corpus, TruncatedNetBlock) {
+  const auto result = parse_ispd08_file(data_path("truncated_net.gr"));
+  ASSERT_FALSE(result.is_ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kBadInput);
+  EXPECT_EQ(result.status().line(), 14);  // EOF: one past the last line
+  EXPECT_NE(result.status().message().find("netB"), std::string::npos);
+}
+
+TEST(Ispd08Corpus, NegativeAdjustmentCapacity) {
+  const auto result = parse_ispd08_file(data_path("negative_capacity.gr"));
+  ASSERT_FALSE(result.is_ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kBadInput);
+  EXPECT_EQ(result.status().line(), 13);
+  EXPECT_NE(result.status().message().find("negative capacity"), std::string::npos);
+}
+
+TEST(Ispd08Corpus, PinOutsideGridBounds) {
+  const auto result = parse_ispd08_file(data_path("pin_out_of_bounds.gr"));
+  ASSERT_FALSE(result.is_ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kBadInput);
+  EXPECT_EQ(result.status().line(), 11);
+  EXPECT_NE(result.status().message().find("outside"), std::string::npos);
+}
+
 TEST(Ispd08RoundTrip, WriteThenReadPreservesStructure) {
   // Generate a synthetic design, write it, read it back, compare.
   gen::SynthSpec spec;

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "src/la/eigen.hpp"
+#include "src/util/fault_inject.hpp"
 #include "src/util/rng.hpp"
 
 namespace cpla::sdp {
@@ -168,6 +169,47 @@ TEST_P(SdpEigSweep, MatchesEigensolver) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Sizes, SdpEigSweep, ::testing::Values(2, 3, 4, 6, 8, 12, 16));
+
+// A small well-posed instance reused by the failure-mode tests below.
+SdpProblem min_eig_instance() {
+  SdpProblem p(dense_block(2));
+  p.add_objective_entry(0, 0, 0, 2.0);
+  p.add_objective_entry(0, 1, 1, 1.0);
+  const int tr = p.add_constraint(1.0);
+  p.add_entry(tr, 0, 0, 0, 1.0);
+  p.add_entry(tr, 0, 1, 1, 1.0);
+  return p;
+}
+
+TEST(SdpStatusNames, AllValues) {
+  EXPECT_STREQ(to_string(SdpStatus::kOptimal), "optimal");
+  EXPECT_STREQ(to_string(SdpStatus::kStalled), "stalled");
+  EXPECT_STREQ(to_string(SdpStatus::kIterLimit), "iteration-limit");
+  EXPECT_STREQ(to_string(SdpStatus::kNumerical), "numerical-failure");
+  EXPECT_STREQ(to_string(SdpStatus::kDeadline), "deadline-exceeded");
+}
+
+TEST(SdpSolver, DeadlineExhaustionReportsStatus) {
+  SdpOptions opt;
+  opt.time_limit_ms = 1e-7;  // expires before the first iteration completes
+  const SdpResult r = solve(min_eig_instance(), opt);
+  EXPECT_EQ(r.status, SdpStatus::kDeadline);
+}
+
+TEST(SdpSolver, InjectedNumericalFailureReportsStatus) {
+  FaultInjector::instance().arm_always("sdp.solve.numerical");
+  const SdpResult r = solve(min_eig_instance());
+  EXPECT_EQ(r.status, SdpStatus::kNumerical);
+  FaultInjector::instance().reset();
+  EXPECT_EQ(solve(min_eig_instance()).status, SdpStatus::kOptimal);
+}
+
+TEST(SdpSolver, InjectedIterationLimitReportsStatus) {
+  FaultInjector::instance().arm_always("sdp.solve.iterlimit");
+  const SdpResult r = solve(min_eig_instance());
+  EXPECT_EQ(r.status, SdpStatus::kIterLimit);
+  FaultInjector::instance().reset();
+}
 
 }  // namespace
 }  // namespace cpla::sdp

@@ -1,0 +1,75 @@
+#include "src/util/fault_inject.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cpla {
+namespace {
+
+class FaultInjectTest : public ::testing::Test {
+ protected:
+  void SetUp() override { FaultInjector::instance().reset(); }
+  void TearDown() override { FaultInjector::instance().reset(); }
+};
+
+TEST_F(FaultInjectTest, InactiveSiteNeverFires) {
+  EXPECT_FALSE(CPLA_FAULT_POINT("test.site"));
+  EXPECT_FALSE(CPLA_FAULT_POINT("test.site"));
+  // Nothing armed: occurrences are not even counted.
+  EXPECT_EQ(FaultInjector::instance().hits("test.site"), 0);
+}
+
+TEST_F(FaultInjectTest, FiresOnArmedOccurrenceOnly) {
+  FaultInjector::instance().arm("test.site", 2);  // third occurrence
+  EXPECT_FALSE(CPLA_FAULT_POINT("test.site"));
+  EXPECT_FALSE(CPLA_FAULT_POINT("test.site"));
+  EXPECT_TRUE(CPLA_FAULT_POINT("test.site"));
+  EXPECT_FALSE(CPLA_FAULT_POINT("test.site"));
+  EXPECT_EQ(FaultInjector::instance().hits("test.site"), 4);
+}
+
+TEST_F(FaultInjectTest, FiresOnAWindowOfOccurrences) {
+  FaultInjector::instance().arm("test.site", 1, 2);  // occurrences 1 and 2
+  EXPECT_FALSE(CPLA_FAULT_POINT("test.site"));
+  EXPECT_TRUE(CPLA_FAULT_POINT("test.site"));
+  EXPECT_TRUE(CPLA_FAULT_POINT("test.site"));
+  EXPECT_FALSE(CPLA_FAULT_POINT("test.site"));
+}
+
+TEST_F(FaultInjectTest, ArmAlwaysFiresEveryTime) {
+  FaultInjector::instance().arm_always("test.site");
+  for (int i = 0; i < 5; ++i) EXPECT_TRUE(CPLA_FAULT_POINT("test.site"));
+  EXPECT_EQ(FaultInjector::instance().hits("test.site"), 5);
+}
+
+TEST_F(FaultInjectTest, SitesAreIndependent) {
+  FaultInjector::instance().arm_always("test.a");
+  EXPECT_TRUE(CPLA_FAULT_POINT("test.a"));
+  EXPECT_FALSE(CPLA_FAULT_POINT("test.b"));
+}
+
+TEST_F(FaultInjectTest, DisarmStopsFiring) {
+  FaultInjector::instance().arm_always("test.site");
+  EXPECT_TRUE(CPLA_FAULT_POINT("test.site"));
+  FaultInjector::instance().disarm("test.site");
+  EXPECT_FALSE(CPLA_FAULT_POINT("test.site"));
+}
+
+TEST_F(FaultInjectTest, RearmResetsTheCounter) {
+  FaultInjector::instance().arm("test.site", 0);
+  EXPECT_TRUE(CPLA_FAULT_POINT("test.site"));
+  EXPECT_FALSE(CPLA_FAULT_POINT("test.site"));
+  FaultInjector::instance().arm("test.site", 0);  // counter back to zero
+  EXPECT_TRUE(CPLA_FAULT_POINT("test.site"));
+}
+
+TEST_F(FaultInjectTest, ResetClearsEverything) {
+  FaultInjector::instance().arm_always("test.a");
+  FaultInjector::instance().arm("test.b", 0);
+  FaultInjector::instance().reset();
+  EXPECT_FALSE(CPLA_FAULT_POINT("test.a"));
+  EXPECT_FALSE(CPLA_FAULT_POINT("test.b"));
+  EXPECT_EQ(FaultInjector::instance().hits("test.a"), 0);
+}
+
+}  // namespace
+}  // namespace cpla

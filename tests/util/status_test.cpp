@@ -1,0 +1,125 @@
+#include "src/util/status.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/util/check.hpp"
+#include "src/util/logging.hpp"
+
+namespace cpla {
+namespace {
+
+TEST(StatusCodeNames, AllValues) {
+  EXPECT_STREQ(to_string(StatusCode::kOk), "ok");
+  EXPECT_STREQ(to_string(StatusCode::kNumericalFailure), "numerical-failure");
+  EXPECT_STREQ(to_string(StatusCode::kIterationLimit), "iteration-limit");
+  EXPECT_STREQ(to_string(StatusCode::kDeadlineExceeded), "deadline-exceeded");
+  EXPECT_STREQ(to_string(StatusCode::kInfeasible), "infeasible");
+  EXPECT_STREQ(to_string(StatusCode::kBadInput), "bad-input");
+  EXPECT_STREQ(to_string(StatusCode::kInternal), "internal");
+}
+
+TEST(Status, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.is_ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.line(), -1);
+  EXPECT_TRUE(Status::ok().is_ok());
+}
+
+TEST(Status, CarriesCodeMessageAndLine) {
+  const Status s(StatusCode::kBadInput, "truncated pin list", 12);
+  EXPECT_FALSE(s.is_ok());
+  EXPECT_EQ(s.code(), StatusCode::kBadInput);
+  EXPECT_EQ(s.message(), "truncated pin list");
+  EXPECT_EQ(s.line(), 12);
+  EXPECT_EQ(s.to_string(), "bad-input (line 12): truncated pin list");
+}
+
+TEST(Status, ToStringWithoutLine) {
+  const Status s(StatusCode::kNumericalFailure, "Schur factorization failed");
+  EXPECT_EQ(s.to_string(), "numerical-failure: Schur factorization failed");
+}
+
+TEST(Result, HoldsValue) {
+  Result<int> r(41);
+  ASSERT_TRUE(r.is_ok());
+  EXPECT_TRUE(r.status().is_ok());
+  EXPECT_EQ(r.value(), 41);
+  r.value() += 1;
+  EXPECT_EQ(r.value(), 42);
+}
+
+TEST(Result, HoldsStatus) {
+  const Result<int> r(Status(StatusCode::kInfeasible, "no feasible point"));
+  EXPECT_FALSE(r.is_ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInfeasible);
+}
+
+TEST(Result, TakeMovesTheValue) {
+  Result<std::vector<int>> r(std::vector<int>{1, 2, 3});
+  const std::vector<int> v = r.take();
+  EXPECT_EQ(v.size(), 3u);
+}
+
+Status check_positive(int v) {
+  CPLA_CHECK(v > 0, Status(StatusCode::kBadInput, "not positive"));
+  return Status::ok();
+}
+
+Status check_chain(int v) {
+  CPLA_CHECK_OK(check_positive(v));
+  return Status(StatusCode::kInternal, "reached the end");
+}
+
+TEST(CheckMacros, CplaCheckReturnsStatusOnFailure) {
+  EXPECT_TRUE(check_positive(1).is_ok());
+  const Status s = check_positive(-1);
+  EXPECT_EQ(s.code(), StatusCode::kBadInput);
+}
+
+TEST(CheckMacros, CplaCheckOkPropagates) {
+  EXPECT_EQ(check_chain(-1).code(), StatusCode::kBadInput);  // propagated
+  EXPECT_EQ(check_chain(1).code(), StatusCode::kInternal);   // fell through
+}
+
+using StatusDeathTest = ::testing::Test;
+
+TEST(StatusDeathTest, AssertFailLogsExpressionAndAborts) {
+  EXPECT_DEATH(CPLA_ASSERT(1 == 2), "CPLA_ASSERT failed: 1 == 2");
+}
+
+TEST(StatusDeathTest, AssertFailReportsFailureContext) {
+  EXPECT_DEATH(
+      {
+        ScopedFailureContext ctx(3, 7);
+        CPLA_ASSERT_MSG(false, "boom");
+      },
+      "partition=3 net=7");
+}
+
+TEST(StatusDeathTest, AssertFailIsNotSilencedByLogLevel) {
+  EXPECT_DEATH(
+      {
+        set_log_level(LogLevel::kSilent);
+        CPLA_ASSERT(false);
+      },
+      "CPLA_ASSERT failed");
+}
+
+TEST(FailureContext, ScopedRestoresPrevious) {
+  // Observable only through assert_fail output; here we just exercise the
+  // set/restore paths for the nesting case.
+  set_failure_context(1, 2);
+  {
+    ScopedFailureContext inner(5, 6);
+    ScopedFailureContext deeper(-1, 9);
+  }
+  set_failure_context(-1, -1);
+}
+
+}  // namespace
+}  // namespace cpla
