@@ -46,18 +46,22 @@ void print_histogram(const char* title, const std::vector<double>& delays, doubl
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace cpla;
+  const bench::BenchArgs args = bench::parse_bench_args(&argc, argv);
+  bench::BenchReport report("fig1_delay_distribution", args);
   set_log_level(LogLevel::kWarn);
   std::printf("=== Fig 1: pin delay distribution, adaptec1, 0.5%% critical ===\n\n");
 
-  bench::BenchRun run = bench::make_run("adaptec1", 0.005);
+  bench::BenchRun run = bench::make_run("adaptec1", 0.005, args.seed);
 
-  bench::run_tila_flow(&run);
+  const bench::FlowOutcome tila_out = bench::run_tila_flow(&run);
   const std::vector<double> tila = sink_delays(run.prepared, run.critical);
 
-  bench::run_cpla_flow(&run);
+  const bench::FlowOutcome ours_out = bench::run_cpla_flow(&run);
   const std::vector<double> ours = sink_delays(run.prepared, run.critical);
+  report.record_flow("adaptec1.tila", tila_out);
+  report.record_flow("adaptec1.sdp", ours_out);
 
   // Common bin range across both flows (like the paper's shared x-axis).
   double hi = 0.0;
@@ -71,5 +75,7 @@ int main() {
   const double ours_worst = *std::max_element(ours.begin(), ours.end());
   std::printf("max pin delay: TILA %.0f vs ours %.0f (%.1f%% lower)\n", tila_worst, ours_worst,
               100.0 * (1.0 - ours_worst / tila_worst));
-  return 0;
+  report.record_value("adaptec1.tila.worst_pin_delay", tila_worst);
+  report.record_value("adaptec1.sdp.worst_pin_delay", ours_worst);
+  return report.write() ? 0 : 1;
 }

@@ -7,8 +7,10 @@
 
 #include "bench/harness.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace cpla;
+  const bench::BenchArgs args = bench::parse_bench_args(&argc, argv);
+  bench::BenchReport report("fig7_ilp_vs_sdp", args);
   set_log_level(LogLevel::kWarn);
   std::printf("=== Fig 7: ILP vs SDP on small cases (0.5%% critical) ===\n\n");
 
@@ -18,7 +20,7 @@ int main() {
   double sum_ilp_cpu = 0.0, sum_sdp_cpu = 0.0;
   double sum_ilp_avg = 0.0, sum_sdp_avg = 0.0;
   for (const auto& name : gen::small_case_names()) {
-    bench::BenchRun run = bench::make_run(name, 0.005);
+    bench::BenchRun run = bench::make_run(name, 0.005, args.seed);
 
     // Same iterative scheme and round budget for both; only the engine
     // differs (the paper applies its partitioning to both methods).
@@ -31,6 +33,8 @@ int main() {
     core::CplaOptions sdp_opt;
     sdp_opt.max_rounds = 3;
     const bench::FlowOutcome sdp = bench::run_cpla_flow(&run, sdp_opt);
+    report.record_flow(name + ".ilp", ilp);
+    report.record_flow(name + ".sdp", sdp);
 
     table.add_row({name, fmt_num(ilp.metrics.avg_tcp / 1e3, 2),
                    fmt_num(sdp.metrics.avg_tcp / 1e3, 2), fmt_num(ilp.metrics.max_tcp / 1e3, 2),
@@ -46,5 +50,6 @@ int main() {
   std::printf("\nSDP/ILP quality ratio (Avg): %.3f;  ILP/SDP runtime ratio: %.2fx\n",
               sum_sdp_avg / sum_ilp_avg, sum_ilp_cpu / std::max(0.01, sum_sdp_cpu));
   std::printf("(paper: quality ~1.0, ILP much slower — it cannot finish large cases)\n");
-  return 0;
+  report.record_value("ratio.quality", sum_sdp_avg / sum_ilp_avg);
+  return report.write() ? 0 : 1;
 }

@@ -8,8 +8,10 @@
 
 #include "bench/harness.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace cpla;
+  const bench::BenchArgs args = bench::parse_bench_args(&argc, argv);
+  bench::BenchReport report("fig9_critical_ratio", args);
   set_log_level(LogLevel::kWarn);
   std::printf("=== Fig 9: critical-ratio impact on adaptec1 ===\n\n");
 
@@ -18,9 +20,12 @@ int main() {
   Table table({"ratio", "TILA Avg(Tcp)", "SDP Avg(Tcp)", "TILA Max(Tcp)", "SDP Max(Tcp)",
                "TILA CPU(s)", "SDP CPU(s)"});
   for (double ratio : ratios) {
-    bench::BenchRun run = bench::make_run("adaptec1", ratio);
+    bench::BenchRun run = bench::make_run("adaptec1", ratio, args.seed);
     const bench::FlowOutcome tila = bench::run_tila_flow(&run);
     const bench::FlowOutcome sdp = bench::run_cpla_flow(&run);
+    const std::string prefix = "adaptec1.r" + fmt_num(1000.0 * ratio, 0);
+    report.record_flow(prefix + ".tila", tila);
+    report.record_flow(prefix + ".sdp", sdp);
     table.add_row({fmt_num(100.0 * ratio, 1) + "%", fmt_num(tila.metrics.avg_tcp / 1e3, 2),
                    fmt_num(sdp.metrics.avg_tcp / 1e3, 2), fmt_num(tila.metrics.max_tcp / 1e3, 2),
                    fmt_num(sdp.metrics.max_tcp / 1e3, 2), fmt_num(tila.seconds, 3),
@@ -29,5 +34,5 @@ int main() {
   table.print();
   std::printf("\n(paper: Avg decreases mildly with ratio for both; SDP holds Max(Tcp)\n"
               " down where TILA does not; SDP runtime scales ~linearly with ratio)\n");
-  return 0;
+  return report.write() ? 0 : 1;
 }

@@ -4,6 +4,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench/micro_main.hpp"
+
 #include "src/core/critical.hpp"
 #include "src/core/pipeline.hpp"
 #include "src/core/sdp_engine.hpp"
@@ -92,4 +94,4 @@ BENCHMARK(BM_PartitionSdpSolve)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+CPLA_MICRO_BENCH_MAIN("micro_eda")

@@ -1,0 +1,75 @@
+#pragma once
+
+// Shared main() for the google-benchmark micro suites: parses the harness
+// flags (--metrics-out, --seed), forwards everything else to
+// google-benchmark, and captures every benchmark's per-iteration real time
+// as a phase in the BENCH_*.json artifact alongside the obs registry
+// counters (pivots, B&B nodes, Cholesky factors, ...) the run generated.
+//
+// Usage, instead of BENCHMARK_MAIN():
+//   CPLA_MICRO_BENCH_MAIN("micro_solvers")
+
+#include <benchmark/benchmark.h>
+
+#include <type_traits>
+
+#include "bench/harness.hpp"
+
+namespace cpla::bench {
+
+// google-benchmark <1.8 exposes Run::error_occurred; >=1.8 replaced it with
+// the Run::skipped enum. Detect whichever this toolchain has.
+template <typename R, typename = void>
+struct HasSkippedField : std::false_type {};
+template <typename R>
+struct HasSkippedField<R, std::void_t<decltype(std::declval<const R&>().skipped)>>
+    : std::true_type {};
+
+template <typename R>
+bool run_completed(const R& run) {
+  if constexpr (HasSkippedField<R>::value) {
+    return !static_cast<bool>(run.skipped);
+  } else {
+    return !run.error_occurred;
+  }
+}
+
+/// ConsoleReporter that additionally mirrors each per-iteration run into
+/// the report: phase "<name>" = real time per iteration in ms.
+class CapturingReporter : public benchmark::ConsoleReporter {
+ public:
+  explicit CapturingReporter(BenchReport* report) : report_(report) {}
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      if (run.run_type != Run::RT_Iteration || !run_completed(run)) continue;
+      const double iters = run.iterations > 0 ? static_cast<double>(run.iterations) : 1.0;
+      report_->record_phase(run.benchmark_name(),
+                            run.real_accumulated_time / iters * 1e3);
+      report_->record_value(run.benchmark_name() + ".iterations",
+                            static_cast<double>(run.iterations));
+    }
+    ConsoleReporter::ReportRuns(runs);
+  }
+
+ private:
+  BenchReport* report_;
+};
+
+inline int micro_bench_main(const char* name, int argc, char** argv) {
+  BenchArgs args = parse_bench_args(&argc, argv);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  BenchReport report(name, args);
+  CapturingReporter reporter(&report);
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  return report.write() ? 0 : 1;
+}
+
+}  // namespace cpla::bench
+
+#define CPLA_MICRO_BENCH_MAIN(name)                                  \
+  int main(int argc, char** argv) {                                  \
+    return ::cpla::bench::micro_bench_main(name, argc, argv);        \
+  }

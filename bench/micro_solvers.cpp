@@ -4,6 +4,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench/micro_main.hpp"
+
 #include "src/ilp/branch_bound.hpp"
 #include "src/la/cholesky.hpp"
 #include "src/la/eigen.hpp"
@@ -101,4 +103,4 @@ BENCHMARK(BM_SdpMinEigenvalue)->Arg(8)->Arg(24)->Arg(48);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+CPLA_MICRO_BENCH_MAIN("micro_solvers")

@@ -6,7 +6,8 @@
 // and Max(Tcp) (0.96x), reduces via overflow (0.90x), keeps via count flat
 // (1.00x), and pays a multiple of TILA's runtime (3.16x).
 //
-// Usage: table2_main_comparison [--quick]   (--quick runs the 6 small cases)
+// Usage: table2_main_comparison [--quick] [--seed N] [--metrics-out FILE]
+// (--quick runs the 6 small cases)
 
 #include <cstring>
 
@@ -14,10 +15,11 @@
 
 int main(int argc, char** argv) {
   using namespace cpla;
-  const bool quick = (argc > 1 && std::strcmp(argv[1], "--quick") == 0);
+  const bench::BenchArgs args = bench::parse_bench_args(&argc, argv);
+  bench::BenchReport report("table2_main_comparison", args);
   set_log_level(LogLevel::kWarn);
 
-  const auto& names = quick ? gen::small_case_names() : gen::suite_names();
+  const auto& names = args.quick ? gen::small_case_names() : gen::suite_names();
   std::printf("=== Table 2: TILA-0.5%% vs SDP-0.5%% on %zu benchmarks ===\n\n", names.size());
 
   Table table({"bench", "TILA Avg(Tcp)", "TILA Max(Tcp)", "TILA OV#", "TILA via#",
@@ -29,9 +31,11 @@ int main(int argc, char** argv) {
   double sum_t_ov = 0, sum_t_via = 0, sum_s_ov = 0, sum_s_via = 0;
 
   for (const auto& name : names) {
-    bench::BenchRun run = bench::make_run(name, 0.005);
+    bench::BenchRun run = bench::make_run(name, 0.005, args.seed);
     const bench::FlowOutcome tila = bench::run_tila_flow(&run);
     const bench::FlowOutcome sdp = bench::run_cpla_flow(&run);
+    report.record_flow(name + ".tila", tila);
+    report.record_flow(name + ".sdp", sdp);
 
     table.add_row({name, fmt_num(tila.metrics.avg_tcp / 1e3, 2),
                    fmt_num(tila.metrics.max_tcp / 1e3, 2),
@@ -68,5 +72,7 @@ int main(int argc, char** argv) {
 
   std::printf("\n(units: Avg/Max Tcp in 1e3 delay units; paper ratios for reference:\n"
               " Avg 0.86, Max 0.96, OV 0.90, via 1.00, CPU 3.16)\n");
-  return 0;
+  report.record_value("ratio.avg_tcp", sum_s_avg / sum_t_avg);
+  report.record_value("ratio.max_tcp", sum_s_max / sum_t_max);
+  return report.write() ? 0 : 1;
 }

@@ -5,6 +5,7 @@
 
 #include "src/core/ilp_engine.hpp"
 #include "src/core/sdp_engine.hpp"
+#include "src/obs/metrics.hpp"
 #include "src/timing/elmore.hpp"
 #include "src/util/check.hpp"
 #include "src/util/logging.hpp"
@@ -62,11 +63,17 @@ CplaResult run_cpla(assign::AssignState* state, const timing::RcTable& rc,
   // One full partition-solve-commit sweep under the given model options;
   // returns false if there was nothing to do.
   auto run_round = [&](const ModelOptions& model_options) {
+    obs::ScopedPhase round_phase("core.flow.round");
+    obs::metrics().counter("core.flow.rounds").add();
+
     // Timing snapshot of every released net (downstream caps and critical
     // paths are frozen for this round's solves).
     std::unordered_map<int, timing::NetTiming> timings;
-    for (int net : critical.nets) {
-      timings.emplace(net, timing::compute_timing(state->tree(net), state->layers(net), rc));
+    {
+      obs::ScopedPhase phase("core.flow.timing_snapshot");
+      for (int net : critical.nets) {
+        timings.emplace(net, timing::compute_timing(state->tree(net), state->layers(net), rc));
+      }
     }
 
     // All released segments with midpoints.
@@ -83,9 +90,12 @@ CplaResult run_cpla(assign::AssignState* state, const timing::RcTable& rc,
     }
     if (refs.empty()) return false;
 
+    obs::ScopedPhase partition_phase("core.flow.partition");
     const PartitionResult parts = partition(g.xsize(), g.ysize(), refs, options.partition);
+    partition_phase.stop();
     result.max_partition_depth = std::max(result.max_partition_depth, parts.max_depth);
     const int num_parts = static_cast<int>(parts.leaves.size());
+    obs::metrics().counter("core.flow.partitions").add(num_parts);
 
     // Gauss-Seidel sweep: each partition is built against the *latest*
     // state and committed immediately, so neighboring partitions see the
@@ -103,6 +113,7 @@ CplaResult run_cpla(assign::AssignState* state, const timing::RcTable& rc,
       std::vector<PartitionProblem> problems(static_cast<std::size_t>(count));
       std::vector<GuardedSolve> solutions(static_cast<std::size_t>(count));
       std::vector<GuardStats> local_stats(static_cast<std::size_t>(count));
+      obs::ScopedPhase solve_phase("core.flow.solve");
 #ifdef _OPENMP
 #pragma omp parallel for schedule(dynamic) if (options.parallel && count > 1)
 #endif
@@ -113,7 +124,9 @@ CplaResult run_cpla(assign::AssignState* state, const timing::RcTable& rc,
         solutions[i] = guarded_solve(problems[i], *state, options.engine, options.sdp,
                                      options.ilp, options.guard, &local_stats[i]);
       }
+      solve_phase.stop();
       for (const GuardStats& s : local_stats) result.guard_stats.merge(s);
+      obs::ScopedPhase commit_phase("core.flow.commit");
 
       // Commit each partition as a transaction: apply its picks, re-check
       // capacity and the affected nets' timing against the pre-commit
@@ -171,6 +184,7 @@ CplaResult run_cpla(assign::AssignState* state, const timing::RcTable& rc,
         if (!capacity_ok || !timing_ok) {
           for (auto& [net, layers] : undo) state->set_layers(net, std::move(layers));
           ++result.guard_stats.commit_rollbacks;
+          obs::metrics().counter("core.guard.commit_rollbacks").add();
         }
       }
     }
@@ -183,6 +197,7 @@ CplaResult run_cpla(assign::AssignState* state, const timing::RcTable& rc,
     result.rounds = round + 1;
 
     if (options.displace_victims) {
+      obs::ScopedPhase phase("core.flow.displace");
       make_headroom(state, rc, critical, options.displace);
     }
 

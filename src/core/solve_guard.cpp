@@ -6,6 +6,7 @@
 
 #include "src/assign/net_dp.hpp"
 #include "src/core/ilp_engine.hpp"
+#include "src/obs/metrics.hpp"
 #include "src/util/fault_inject.hpp"
 #include "src/util/logging.hpp"
 #include "src/util/timer.hpp"
@@ -162,10 +163,11 @@ EngineResult solve_partition_net_dp(const PartitionProblem& p,
   return result;
 }
 
-GuardedSolve guarded_solve(const PartitionProblem& p, const assign::AssignState& state,
-                           Engine engine, const sdp::SdpOptions& sdp_options,
-                           const ilp::MipOptions& ilp_options, const GuardOptions& guard,
-                           GuardStats* stats) {
+static GuardedSolve guarded_solve_impl(const PartitionProblem& p,
+                                       const assign::AssignState& state, Engine engine,
+                                       const sdp::SdpOptions& sdp_options,
+                                       const ilp::MipOptions& ilp_options,
+                                       const GuardOptions& guard, GuardStats* stats) {
   GuardedSolve out;
   ++stats->solves;
   if (p.vars.empty()) {
@@ -280,6 +282,42 @@ GuardedSolve guarded_solve(const PartitionProblem& p, const assign::AssignState&
   // Tier 4: keep the current assignment — the incremental framework's
   // always-valid answer.
   keep_current(last_failure);
+  return out;
+}
+
+GuardedSolve guarded_solve(const PartitionProblem& p, const assign::AssignState& state,
+                           Engine engine, const sdp::SdpOptions& sdp_options,
+                           const ilp::MipOptions& ilp_options, const GuardOptions& guard,
+                           GuardStats* stats) {
+  // Mirror per-solve outcomes into the global registry: the local GuardStats
+  // aggregate belongs to one flow invocation, while the registry feeds the
+  // bench JSON / CI view across the whole process.
+  static obs::Counter& solves = obs::metrics().counter("core.guard.solves");
+  static obs::Counter* tiers[kNumGuardTiers] = {
+      &obs::metrics().counter("core.guard.tier.primary"),
+      &obs::metrics().counter("core.guard.tier.sdp-retry"),
+      &obs::metrics().counter("core.guard.tier.ilp-fallback"),
+      &obs::metrics().counter("core.guard.tier.net-dp"),
+      &obs::metrics().counter("core.guard.tier.keep-current"),
+  };
+  static obs::Counter& deadline_hits = obs::metrics().counter("core.guard.deadline_hits");
+  static obs::Counter& numerical = obs::metrics().counter("core.guard.numerical_failures");
+  static obs::Counter& iter_limits = obs::metrics().counter("core.guard.iteration_limits");
+  static obs::Counter& rejects = obs::metrics().counter("core.guard.validation_rejects");
+  static obs::Counter& sdp_iters = obs::metrics().counter("core.guard.sdp_iterations");
+  static obs::Histogram& wall = obs::metrics().histogram("core.guard.solve.ms");
+
+  const GuardStats before = *stats;
+  WallTimer timer;
+  GuardedSolve out = guarded_solve_impl(p, state, engine, sdp_options, ilp_options, guard, stats);
+  wall.record(timer.milliseconds());
+  solves.add();
+  tiers[static_cast<int>(out.tier)]->add();
+  deadline_hits.add(stats->deadline_hits - before.deadline_hits);
+  numerical.add(stats->numerical_failures - before.numerical_failures);
+  iter_limits.add(stats->iteration_limits - before.iteration_limits);
+  rejects.add(stats->validation_rejects - before.validation_rejects);
+  sdp_iters.add(out.result.iterations);
   return out;
 }
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "src/obs/metrics.hpp"
 #include "src/util/check.hpp"
 #include "src/util/timer.hpp"
 
@@ -143,8 +144,13 @@ class Searcher {
 }  // namespace
 
 MipResult solve_mip(const MipModel& model, const MipOptions& options) {
+  static obs::Counter& solves = obs::metrics().counter("ilp.bnb.solves");
+  static obs::Counter& nodes = obs::metrics().counter("ilp.bnb.nodes");
   Searcher searcher(model, options);
-  return searcher.run();
+  MipResult out = searcher.run();
+  solves.add();
+  nodes.add(out.nodes);
+  return out;
 }
 
 }  // namespace cpla::ilp

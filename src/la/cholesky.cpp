@@ -2,19 +2,29 @@
 
 #include <cmath>
 
+#include "src/obs/metrics.hpp"
 #include "src/util/fault_inject.hpp"
 
 namespace cpla::la {
 
 std::optional<Cholesky> Cholesky::factor(const Matrix& a) {
   CPLA_ASSERT(a.rows() == a.cols());
-  if (CPLA_FAULT_POINT("la.cholesky.factor")) return std::nullopt;
+  static obs::Counter& factors = obs::metrics().counter("la.cholesky.factors");
+  static obs::Counter& failures = obs::metrics().counter("la.cholesky.failures");
+  factors.add();
+  if (CPLA_FAULT_POINT("la.cholesky.factor")) {
+    failures.add();
+    return std::nullopt;
+  }
   const std::size_t n = a.rows();
   Matrix l(n, n);
   for (std::size_t j = 0; j < n; ++j) {
     double diag = a(j, j);
     for (std::size_t k = 0; k < j; ++k) diag -= l(j, k) * l(j, k);
-    if (!(diag > 0.0) || !std::isfinite(diag)) return std::nullopt;
+    if (!(diag > 0.0) || !std::isfinite(diag)) {
+      failures.add();
+      return std::nullopt;
+    }
     const double ljj = std::sqrt(diag);
     l(j, j) = ljj;
     for (std::size_t i = j + 1; i < n; ++i) {

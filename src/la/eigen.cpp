@@ -4,10 +4,14 @@
 #include <cmath>
 #include <numeric>
 
+#include "src/obs/metrics.hpp"
+
 namespace cpla::la {
 
 EigenSym eigen_sym(const Matrix& a, int max_sweeps, double tol) {
   CPLA_ASSERT(a.rows() == a.cols());
+  static obs::Counter& calls = obs::metrics().counter("la.eigen.calls");
+  calls.add();
   const std::size_t n = a.rows();
   Matrix d = a;
   Matrix v = Matrix::identity(n);

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "src/la/lu.hpp"
+#include "src/obs/metrics.hpp"
 #include "src/util/check.hpp"
 
 namespace cpla::lp {
@@ -303,6 +304,16 @@ class Simplex {
   int iters_ = 0;
 };
 
+/// Mirrors every solve into the global metrics registry (pivot counts are
+/// the simplex cost driver CI tracks across PRs).
+LpResult record_lp(LpResult out) {
+  static obs::Counter& solves = obs::metrics().counter("lp.simplex.solves");
+  static obs::Counter& pivots = obs::metrics().counter("lp.simplex.pivots");
+  solves.add();
+  pivots.add(out.iterations);
+  return out;
+}
+
 }  // namespace
 
 LpResult solve(const LpProblem& problem, const LpOptions& options) {
@@ -330,10 +341,10 @@ LpResult solve(const LpProblem& problem, const LpOptions& options) {
       out.x[j] = v;
       out.objective += c * v;
     }
-    return out;
+    return record_lp(std::move(out));
   }
   Simplex solver(problem, options);
-  return solver.run();
+  return record_lp(solver.run());
 }
 
 }  // namespace cpla::lp

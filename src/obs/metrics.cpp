@@ -1,0 +1,224 @@
+#include "src/obs/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace cpla::obs {
+
+namespace {
+
+// log(growth) for the geometric bucket ladder: kBuckets buckets spanning
+// [kMinBound, kMaxBound).
+const double kLogMin = std::log(Histogram::kMinBound);
+const double kLogSpan = std::log(Histogram::kMaxBound) - kLogMin;
+
+void atomic_add_double(std::atomic<double>* target, double delta) {
+  double cur = target->load(std::memory_order_relaxed);
+  while (!target->compare_exchange_weak(cur, cur + delta, std::memory_order_relaxed)) {
+  }
+}
+
+void atomic_min_double(std::atomic<double>* target, double v) {
+  double cur = target->load(std::memory_order_relaxed);
+  while (v < cur && !target->compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+void atomic_max_double(std::atomic<double>* target, double v) {
+  double cur = target->load(std::memory_order_relaxed);
+  while (v > cur && !target->compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+int Histogram::bucket_index(double v) const {
+  if (v < kMinBound) return 0;
+  if (v >= kMaxBound) return kBuckets + 1;
+  const int idx =
+      static_cast<int>(static_cast<double>(kBuckets) * (std::log(v) - kLogMin) / kLogSpan);
+  return 1 + std::clamp(idx, 0, kBuckets - 1);
+}
+
+double Histogram::bucket_mid(int idx) const {
+  if (idx <= 0) return kMinBound;
+  if (idx >= kBuckets + 1) return kMaxBound;
+  const double lo = kLogMin + kLogSpan * static_cast<double>(idx - 1) / kBuckets;
+  const double hi = kLogMin + kLogSpan * static_cast<double>(idx) / kBuckets;
+  return std::exp(0.5 * (lo + hi));
+}
+
+void Histogram::record(double v) {
+  if (!std::isfinite(v)) return;
+  buckets_[bucket_index(v)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  atomic_add_double(&sum_, v);
+  // First writer seeds min/max; the CAS loops keep them exact afterwards.
+  // The seeding race (two first-writers) is benign because min/max start
+  // from the first observed value via exchange on has_value_.
+  if (!has_value_.load(std::memory_order_relaxed) &&
+      !has_value_.exchange(true, std::memory_order_relaxed)) {
+    min_.store(v, std::memory_order_relaxed);
+    max_.store(v, std::memory_order_relaxed);
+  }
+  atomic_min_double(&min_, v);
+  atomic_max_double(&max_, v);
+}
+
+double Histogram::min() const { return has_value_.load(std::memory_order_relaxed) ? min_.load(std::memory_order_relaxed) : 0.0; }
+
+double Histogram::max() const { return has_value_.load(std::memory_order_relaxed) ? max_.load(std::memory_order_relaxed) : 0.0; }
+
+double Histogram::mean() const {
+  const std::int64_t n = count();
+  return n > 0 ? sum() / static_cast<double>(n) : 0.0;
+}
+
+double Histogram::percentile(double p) const {
+  const std::int64_t n = count();
+  if (n <= 0) return 0.0;
+  p = std::clamp(p, 0.0, 100.0);
+  const double target = p / 100.0 * static_cast<double>(n);
+  std::int64_t cum = 0;
+  for (int i = 0; i < kBuckets + 2; ++i) {
+    cum += buckets_[i].load(std::memory_order_relaxed);
+    if (static_cast<double>(cum) >= target && cum > 0) {
+      return std::clamp(bucket_mid(i), min(), max());
+    }
+  }
+  return max();
+}
+
+void Histogram::reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+  min_.store(0.0, std::memory_order_relaxed);
+  max_.store(0.0, std::memory_order_relaxed);
+  has_value_.store(false, std::memory_order_relaxed);
+}
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>()).first;
+  }
+  return *it->second;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  }
+  return *it->second;
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(std::string(name), std::make_unique<Histogram>()).first;
+  }
+  return *it->second;
+}
+
+void MetricsRegistry::reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, c] : counters_) c->reset();
+  for (auto& [name, g] : gauges_) g->reset();
+  for (auto& [name, h] : histograms_) h->reset();
+}
+
+std::string MetricsRegistry::to_json() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out = "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, c] : counters_) {
+    if (!first) out += ',';
+    first = false;
+    out += '"' + json_escape(name) + "\":" + std::to_string(c->value());
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, g] : gauges_) {
+    if (!first) out += ',';
+    first = false;
+    out += '"' + json_escape(name) + "\":" + json_number(g->value());
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : histograms_) {
+    if (!first) out += ',';
+    first = false;
+    out += '"' + json_escape(name) + "\":{";
+    out += "\"count\":" + std::to_string(h->count());
+    out += ",\"sum\":" + json_number(h->sum());
+    out += ",\"min\":" + json_number(h->min());
+    out += ",\"max\":" + json_number(h->max());
+    out += ",\"mean\":" + json_number(h->mean());
+    out += ",\"p50\":" + json_number(h->percentile(50.0));
+    out += ",\"p90\":" + json_number(h->percentile(90.0));
+    out += ",\"p99\":" + json_number(h->percentile(99.0));
+    out += '}';
+  }
+  out += "}}";
+  return out;
+}
+
+MetricsRegistry& metrics() {
+  static MetricsRegistry* registry = new MetricsRegistry();  // never destroyed: safe at exit
+  return *registry;
+}
+
+ScopedPhase::ScopedPhase(std::string_view name, MetricsRegistry* registry) {
+  MetricsRegistry& reg = registry ? *registry : metrics();
+  hist_ = &reg.histogram("phase." + std::string(name) + ".ms");
+}
+
+double ScopedPhase::stop() {
+  if (!stopped_) {
+    stopped_ = true;
+    elapsed_ms_ = timer_.milliseconds();
+    hist_->record(elapsed_ms_);
+  }
+  return elapsed_ms_;
+}
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char ch : s) {
+    switch (ch) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", ch);
+          out += buf;
+        } else {
+          out += ch;
+        }
+    }
+  }
+  return out;
+}
+
+std::string json_number(double v) {
+  if (!std::isfinite(v)) return "0";
+  if (v == std::floor(v) && std::fabs(v) < 1e15) {
+    return std::to_string(static_cast<long long>(v));
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.12g", v);
+  return buf;
+}
+
+}  // namespace cpla::obs

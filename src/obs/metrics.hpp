@@ -1,0 +1,148 @@
+#pragma once
+
+// Process-wide structured metrics: counters, gauges, and log-bucketed
+// latency histograms, aggregated lock-free on the hot path (relaxed
+// atomics, so `#pragma omp parallel` regions can increment freely) and
+// exported as dependency-free JSON for the bench harness and CI.
+//
+// Usage pattern for hot paths — resolve the handle once per call site:
+//
+//   static obs::Counter& evals = obs::metrics().counter("timing.elmore.evals");
+//   evals.add();
+//
+// Phase timing:
+//
+//   { obs::ScopedPhase phase("core.flow.solve"); ...work... }
+//   // records into histogram "phase.core.flow.solve.ms"
+//
+// Naming scheme (see DESIGN.md "Observability and benchmarking"):
+//   <subsystem>.<object>.<what>   e.g. lp.simplex.pivots, core.guard.solves
+//   phase.<name>.ms               wall-clock histograms from ScopedPhase
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+#include "src/util/timer.hpp"
+
+namespace cpla::obs {
+
+/// Monotonic counter. add() is wait-free and OpenMP/thread safe.
+class Counter {
+ public:
+  void add(std::int64_t delta = 1) { value_.fetch_add(delta, std::memory_order_relaxed); }
+  std::int64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::int64_t> value_{0};
+};
+
+/// Last-written scalar (thread count, option values, final objectives).
+class Gauge {
+ public:
+  void set(double v) { value_.store(v, std::memory_order_relaxed); }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+  void reset() { value_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Histogram over positive values (latency in ms, iteration counts) with
+/// geometric buckets spanning [1e-6, 1e7). 256 buckets give ~12% relative
+/// resolution per bucket; exact min/max/sum/count are tracked alongside so
+/// totals are not quantized. record() is lock-free.
+class Histogram {
+ public:
+  static constexpr int kBuckets = 256;
+  static constexpr double kMinBound = 1e-6;
+  static constexpr double kMaxBound = 1e7;
+
+  void record(double v);
+
+  std::int64_t count() const { return count_.load(std::memory_order_relaxed); }
+  double sum() const { return sum_.load(std::memory_order_relaxed); }
+  double min() const;
+  double max() const;
+  double mean() const;
+
+  /// Approximate percentile (p in [0,100]) from the bucket bounds, clamped
+  /// to the exact observed [min, max]. Returns 0 when empty.
+  double percentile(double p) const;
+
+  void reset();
+
+ private:
+  int bucket_index(double v) const;
+  double bucket_mid(int idx) const;
+
+  std::atomic<std::int64_t> buckets_[kBuckets + 2] = {};  // [0]=under, [kBuckets+1]=over
+  std::atomic<std::int64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+  std::atomic<double> min_{0.0};
+  std::atomic<double> max_{0.0};
+  std::atomic<bool> has_value_{false};
+};
+
+/// Named metric registry. Lookup takes a mutex (do it once per call site
+/// via a static reference); the returned references stay valid for the
+/// registry's lifetime — reset() zeroes values but never unregisters.
+class MetricsRegistry {
+ public:
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  Histogram& histogram(std::string_view name);
+
+  /// Zeroes every metric (registrations and handles survive).
+  void reset();
+
+  /// Compact JSON object, keys sorted (std::map order), schema:
+  ///   {"counters":{...},"gauges":{...},
+  ///    "histograms":{"n":{"count":..,"sum":..,"min":..,"max":..,
+  ///                       "mean":..,"p50":..,"p90":..,"p99":..}}}
+  std::string to_json() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+/// The process-global registry every subsystem reports into.
+MetricsRegistry& metrics();
+
+/// Scoped wall-clock phase timer: records elapsed milliseconds into
+/// histogram "phase.<name>.ms" of the global registry on destruction (or
+/// the first stop() call). Cheap enough for per-round scopes; not meant
+/// for per-segment inner loops — use a Counter there.
+class ScopedPhase {
+ public:
+  explicit ScopedPhase(std::string_view name, MetricsRegistry* registry = nullptr);
+  ~ScopedPhase() { stop(); }
+  ScopedPhase(const ScopedPhase&) = delete;
+  ScopedPhase& operator=(const ScopedPhase&) = delete;
+
+  /// Records once and returns the elapsed milliseconds.
+  double stop();
+
+ private:
+  Histogram* hist_;
+  WallTimer timer_;
+  bool stopped_ = false;
+  double elapsed_ms_ = 0.0;
+};
+
+/// JSON string escaping for the exporters (shared with the bench harness).
+std::string json_escape(std::string_view s);
+
+/// Stable numeric formatting: integers render without exponent; doubles use
+/// shortest round-trippable form; non-finite values render as 0.
+std::string json_number(double v);
+
+}  // namespace cpla::obs

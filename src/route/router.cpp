@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <numeric>
 
+#include "src/obs/metrics.hpp"
 #include "src/route/maze.hpp"
 #include "src/route/topology.hpp"
 #include "src/util/logging.hpp"
@@ -166,6 +167,7 @@ RoutingResult route_all(const grid::Design& design, const RouterOptions& options
   }
 
   // Negotiated rip-up and reroute.
+  long reroutes = 0;
   for (int round = 0; round < options.max_negotiation_rounds; ++round) {
     const long overflow = usage.total_overflow();
     result.overflow = overflow;
@@ -196,9 +198,12 @@ RoutingResult route_all(const grid::Design& design, const RouterOptions& options
       usage.add(r, -1);
       r = maze_reroute(g, usage, design.nets[idx]);
       usage.add(r, +1);
+      ++reroutes;
     }
   }
   result.overflow = usage.total_overflow();
+  obs::metrics().counter("route.ripup.rounds").add(result.rounds);
+  obs::metrics().counter("route.ripup.reroutes").add(reroutes);
 
   LOG_INFO("router: %s: %zu nets, overflow=%ld after %d rounds", design.name.c_str(),
            design.nets.size(), result.overflow, result.rounds);

@@ -6,6 +6,7 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "src/obs/metrics.hpp"
 #include "src/util/check.hpp"
 #include "src/util/logging.hpp"
 
@@ -226,6 +227,7 @@ Routing3DResult route_all_3d(const grid::Design& design, const Router3DOptions& 
     result.routes[idx] = std::move(r);
   }
 
+  long reroutes = 0;
   for (int round = 0; round < options.max_negotiation_rounds; ++round) {
     result.rounds = round;
     if (usage.total_overflow() == 0) break;
@@ -236,9 +238,12 @@ Routing3DResult route_all_3d(const grid::Design& design, const Router3DOptions& 
       usage.add(r, -1);
       r = route_net_3d(g, usage, options, design.nets[idx]);
       usage.add(r, +1);
+      ++reroutes;
     }
   }
   result.wire_overflow = usage.total_overflow();
+  obs::metrics().counter("route3d.ripup.rounds").add(result.rounds);
+  obs::metrics().counter("route3d.ripup.reroutes").add(reroutes);
   LOG_INFO("router3d: %s: %zu nets, wire overflow=%ld after %d rounds", design.name.c_str(),
            design.nets.size(), result.wire_overflow, result.rounds);
   return result;

@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "src/la/lu.hpp"
+#include "src/obs/metrics.hpp"
 #include "src/util/check.hpp"
 #include "src/util/fault_inject.hpp"
 #include "src/util/logging.hpp"
@@ -82,7 +83,7 @@ double max_step(const BlockMatrix& base, const BlockMatrix& dir, double fraction
 
 }  // namespace
 
-SdpResult solve(const SdpProblem& p, const SdpOptions& opt) {
+static SdpResult solve_impl(const SdpProblem& p, const SdpOptions& opt) {
   const int m = p.num_constraints();
   const int n_total = total_dim(p.structure());
   const BlockMatrix c = p.objective_matrix();
@@ -264,6 +265,20 @@ SdpResult solve(const SdpProblem& p, const SdpOptions& opt) {
   }
 
   res.status = SdpStatus::kIterLimit;
+  return res;
+}
+
+SdpResult solve(const SdpProblem& p, const SdpOptions& opt) {
+  static obs::Counter& calls = obs::metrics().counter("sdp.solve.calls");
+  static obs::Counter& iterations = obs::metrics().counter("sdp.solve.iterations");
+  static obs::Counter& failures = obs::metrics().counter("sdp.solve.failures");
+  static obs::Histogram& wall = obs::metrics().histogram("sdp.solve.ms");
+  WallTimer timer;
+  SdpResult res = solve_impl(p, opt);
+  calls.add();
+  iterations.add(res.iterations);
+  if (res.status == SdpStatus::kNumerical || res.status == SdpStatus::kDeadline) failures.add();
+  wall.record(timer.milliseconds());
   return res;
 }
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "src/obs/metrics.hpp"
 #include "src/util/check.hpp"
 
 namespace cpla::timing {
@@ -10,6 +11,8 @@ NetTiming compute_timing(const route::SegTree& tree, const std::vector<int>& lay
                          const RcTable& rc) {
   const std::size_t n = tree.segs.size();
   CPLA_ASSERT(layers.size() == n);
+  static obs::Counter& evals = obs::metrics().counter("timing.elmore.evals");
+  evals.add();
   NetTiming t;
   t.downstream_cap.assign(n, 0.0);
   t.arrival.assign(n, 0.0);

@@ -1,0 +1,134 @@
+// Integration tests for the observability wiring: run the real optimize()
+// flow and assert that solve-guard activity (solves, escalation tiers,
+// failure classifications) and the pipeline phase timers surface in the
+// global metrics registry. All assertions are before/after deltas so the
+// tests stay robust no matter what other suites ran in this process.
+
+#include <gtest/gtest.h>
+
+#include "src/core/flow.hpp"
+#include "src/core/pipeline.hpp"
+#include "src/gen/synth.hpp"
+#include "src/obs/metrics.hpp"
+#include "src/util/fault_inject.hpp"
+#include "src/util/logging.hpp"
+
+namespace cpla::core {
+namespace {
+
+Prepared small_bench(std::uint64_t seed = 81) {
+  gen::SynthSpec spec;
+  spec.xsize = spec.ysize = 20;
+  spec.num_nets = 200;
+  spec.num_layers = 6;
+  spec.seed = seed;
+  return prepare(gen::generate(spec));
+}
+
+std::int64_t counter(const char* name) { return obs::metrics().counter(name).value(); }
+
+class GuardMetricsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    set_log_level(LogLevel::kError);
+    FaultInjector::instance().reset();
+  }
+  void TearDown() override { FaultInjector::instance().reset(); }
+};
+
+TEST_F(GuardMetricsTest, GuardCountersMirrorGuardStats) {
+  Prepared bench = small_bench();
+  const CriticalSet critical = select_critical(*bench.state, *bench.rc, 0.03);
+
+  const std::int64_t solves0 = counter("core.guard.solves");
+  const std::int64_t primary0 = counter("core.guard.tier.primary");
+  const std::int64_t iters0 = counter("core.guard.sdp_iterations");
+
+  const OptimizeResult out = optimize(bench.state.get(), *bench.rc, critical);
+  ASSERT_TRUE(out.status.is_ok());
+
+  const GuardStats& gs = out.result.guard_stats;
+  EXPECT_EQ(counter("core.guard.solves") - solves0, gs.solves);
+  EXPECT_EQ(counter("core.guard.tier.primary") - primary0,
+            gs.tier_used[static_cast<int>(GuardTier::kPrimary)]);
+  EXPECT_GE(counter("core.guard.sdp_iterations") - iters0, 0);
+
+  // The guard latency histogram saw one sample per guarded solve.
+  EXPECT_GE(obs::metrics().histogram("core.guard.solve.ms").count(), gs.solves);
+}
+
+TEST_F(GuardMetricsTest, EscalationTiersSurfaceInRegistry) {
+  Prepared bench = small_bench(82);
+  const CriticalSet critical = select_critical(*bench.state, *bench.rc, 0.03);
+
+  const std::int64_t numfail0 = counter("core.guard.numerical_failures");
+  const std::int64_t primary0 = counter("core.guard.tier.primary");
+  const std::int64_t ilp0 = counter("core.guard.tier.ilp-fallback");
+  const std::int64_t dp0 = counter("core.guard.tier.net-dp");
+  const std::int64_t keep0 = counter("core.guard.tier.keep-current");
+
+  // Kill every Cholesky factorization: no SDP tier can succeed, so all
+  // non-trivial partitions escalate past the primary tier.
+  FaultInjector::instance().arm_always("la.cholesky.factor");
+  const OptimizeResult out = optimize(bench.state.get(), *bench.rc, critical);
+  FaultInjector::instance().reset();
+
+  const GuardStats& gs = out.result.guard_stats;
+  ASSERT_TRUE(gs.degraded());
+  EXPECT_GT(counter("core.guard.numerical_failures") - numfail0, 0);
+  EXPECT_EQ(counter("core.guard.numerical_failures") - numfail0, gs.numerical_failures);
+
+  const std::int64_t fallback_delta = (counter("core.guard.tier.ilp-fallback") - ilp0) +
+                                      (counter("core.guard.tier.net-dp") - dp0) +
+                                      (counter("core.guard.tier.keep-current") - keep0);
+  const long fallback_stats = gs.tier_used[static_cast<int>(GuardTier::kIlp)] +
+                              gs.tier_used[static_cast<int>(GuardTier::kNetDp)] +
+                              gs.tier_used[static_cast<int>(GuardTier::kKeepCurrent)];
+  EXPECT_EQ(fallback_delta, fallback_stats);
+  EXPECT_GT(fallback_delta, 0);
+  EXPECT_EQ(counter("core.guard.tier.primary") - primary0,
+            gs.tier_used[static_cast<int>(GuardTier::kPrimary)]);
+}
+
+TEST_F(GuardMetricsTest, FlowPhasesAndSolverCountersRecorded) {
+  Prepared bench = small_bench();
+  const CriticalSet critical = select_critical(*bench.state, *bench.rc, 0.03);
+
+  const std::int64_t rounds0 = counter("core.flow.rounds");
+  const std::int64_t parts0 = counter("core.flow.partitions");
+  const std::int64_t sdp0 = counter("sdp.solve.calls");
+  const std::int64_t elmore0 = counter("timing.elmore.evals");
+  obs::Histogram& round_ms = obs::metrics().histogram("phase.core.flow.round.ms");
+  obs::Histogram& solve_ms = obs::metrics().histogram("phase.core.flow.solve.ms");
+  const std::int64_t round_n0 = round_ms.count();
+  const std::int64_t solve_n0 = solve_ms.count();
+
+  const OptimizeResult out = optimize(bench.state.get(), *bench.rc, critical);
+  ASSERT_TRUE(out.status.is_ok());
+
+  const std::int64_t rounds = counter("core.flow.rounds") - rounds0;
+  EXPECT_GT(rounds, 0);
+  EXPECT_GT(counter("core.flow.partitions") - parts0, 0);
+  EXPECT_GT(counter("sdp.solve.calls") - sdp0, 0);
+  EXPECT_GT(counter("timing.elmore.evals") - elmore0, 0);
+  // Each flow round recorded one wall-time sample; the solve phase records
+  // one sample per partition batch, so at least one per round.
+  EXPECT_EQ(round_ms.count() - round_n0, rounds);
+  EXPECT_GE(solve_ms.count() - solve_n0, rounds);
+}
+
+TEST_F(GuardMetricsTest, PipelinePhasesRecordedByPrepare) {
+  obs::Histogram& prep = obs::metrics().histogram("phase.core.pipeline.prepare.ms");
+  obs::Histogram& route = obs::metrics().histogram("phase.core.pipeline.route2d.ms");
+  const std::int64_t prep0 = prep.count();
+  const std::int64_t route0 = route.count();
+
+  Prepared bench = small_bench();
+  ASSERT_NE(bench.state, nullptr);
+  EXPECT_EQ(prep.count() - prep0, 1);
+  EXPECT_EQ(route.count() - route0, 1);
+  EXPECT_GE(prep.max(), 0.0);
+}
+
+}  // namespace
+}  // namespace cpla::core
