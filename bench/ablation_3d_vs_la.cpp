@@ -71,7 +71,7 @@ int main(int argc, char** argv) {
                    fmt_num(m_b.max_tcp / 1e3, 2), std::to_string(wirelen_b),
                    std::to_string(m_b.via_count), fmt_num(secs_b, 2)});
   }
-  table.print();
+  table.print(stdout);
   std::printf("\n(3-D search is layer-aware but congestion-blind across layers per step and\n"
               " far slower per net; the decomposition plus timing-driven incremental\n"
               " assignment is how production flows close timing)\n");

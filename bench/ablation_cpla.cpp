@@ -101,6 +101,6 @@ int main(int argc, char** argv) {
                      fmt_num(out.metrics.max_tcp / 1e3, 2), fmt_num(out.seconds, 2)});
     }
   }
-  table.print();
+  table.print(stdout);
   return report.write() ? 0 : 1;
 }

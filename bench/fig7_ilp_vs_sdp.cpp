@@ -45,7 +45,7 @@ int main(int argc, char** argv) {
     sum_ilp_avg += ilp.metrics.avg_tcp;
     sum_sdp_avg += sdp.metrics.avg_tcp;
   }
-  table.print();
+  table.print(stdout);
 
   std::printf("\nSDP/ILP quality ratio (Avg): %.3f;  ILP/SDP runtime ratio: %.2fx\n",
               sum_sdp_avg / sum_ilp_avg, sum_ilp_cpu / std::max(0.01, sum_sdp_cpu));

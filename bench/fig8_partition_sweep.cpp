@@ -38,7 +38,7 @@ int main(int argc, char** argv) {
                      std::to_string(r.partitions_solved / std::max(1, r.rounds))});
     }
   }
-  table.print();
+  table.print(stdout);
   std::printf("\n(paper: quality flat across partition sizes; runtime rises steeply —\n"
               " the default cap of 10 sits at the runtime sweet spot)\n");
   return report.write() ? 0 : 1;

@@ -68,7 +68,7 @@ int main(int argc, char** argv) {
                  fmt_num(sum_s_ov / std::max(1.0, sum_t_ov), 2),
                  fmt_num(sum_s_via / sum_t_via, 2),
                  fmt_num(sum_s_cpu / std::max(0.01, sum_t_cpu), 2)});
-  table.print();
+  table.print(stdout);
 
   std::printf("\n(units: Avg/Max Tcp in 1e3 delay units; paper ratios for reference:\n"
               " Avg 0.86, Max 0.96, OV 0.90, via 1.00, CPU 3.16)\n");

@@ -111,7 +111,7 @@ int main(int argc, char** argv) {
   };
   row("initial", before, 0.0);
   row(engine.c_str(), after, seconds);
-  table.print();
+  table.print(stdout);
 
   if (const char* out = arg_value(argc, argv, "--write-routes")) {
     if (!assign::write_routes_file(*prep.state, out)) return 1;

@@ -30,7 +30,8 @@ int main() {
   auto add_net = [&design](std::vector<grid::Pin> pins) {
     grid::Net net;
     net.id = static_cast<int>(design.nets.size());
-    net.name = "n" + std::to_string(net.id);
+    net.name = "n";  // two steps: gcc 12 -Wrestrict false positive (PR105651)
+    net.name += std::to_string(net.id);
     net.pins = std::move(pins);
     design.nets.push_back(std::move(net));
   };

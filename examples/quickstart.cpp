@@ -60,7 +60,7 @@ int main(int argc, char** argv) {
   row("initial", before, 0.0);
   row("TILA", tila, tila_s);
   row("CPLA-SDP", result.metrics, cpla_s);
-  table.print();
+  table.print(stdout);
 
   std::printf("\nCPLA: %d rounds, %d partitions, quadtree depth %d\n", result.rounds,
               result.partitions_solved, result.max_partition_depth);

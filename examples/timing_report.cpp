@@ -54,11 +54,11 @@ int main(int argc, char** argv) {
       if (!t.on_critical_path[seg.id]) continue;
       table.add_row({std::to_string(seg.id), seg.horizontal ? "H" : "V",
                      str_format("(%d,%d)-(%d,%d)", seg.a.x, seg.a.y, seg.b.x, seg.b.y),
-                     "M" + std::to_string(state.layers(net)[seg.id] + 1),
+                     str_format("M%d", state.layers(net)[seg.id] + 1),
                      std::to_string(seg.length()), fmt_num(t.downstream_cap[seg.id], 1),
                      fmt_num(t.arrival[seg.id], 1), "*"});
     }
-    table.print();
+    table.print(stdout);
     std::printf("\n");
   }
 

@@ -11,7 +11,7 @@
 
 namespace cpla::ilp {
 
-enum class MipStatus {
+enum class [[nodiscard]] MipStatus {
   kOptimal,     // proven optimal
   kFeasible,    // incumbent found, search truncated by a limit
   kInfeasible,  // no integer-feasible point

@@ -19,7 +19,7 @@ inline constexpr double kInf = std::numeric_limits<double>::infinity();
 
 enum class Sense { kLe, kGe, kEq };
 
-enum class LpStatus { kOptimal, kInfeasible, kUnbounded, kIterLimit };
+enum class [[nodiscard]] LpStatus { kOptimal, kInfeasible, kUnbounded, kIterLimit };
 
 const char* to_string(LpStatus status);
 

@@ -15,7 +15,7 @@
 
 namespace cpla::sdp {
 
-enum class SdpStatus {
+enum class [[nodiscard]] SdpStatus {
   kOptimal,    // primal/dual feasible within tolerance, gap closed
   kStalled,    // progress stopped before tolerance; solution still returned
   kIterLimit,  // iteration cap reached

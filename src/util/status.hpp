@@ -16,7 +16,7 @@
 
 namespace cpla {
 
-enum class StatusCode : int {
+enum class [[nodiscard]] StatusCode : int {
   kOk = 0,
   kNumericalFailure,   // factorization failed / non-finite iterate
   kIterationLimit,     // solver hit its iteration cap
@@ -30,7 +30,7 @@ const char* to_string(StatusCode code);
 
 /// Failure description: a code, a human-readable message, and — for input
 /// errors — the 1-based line number of the offending input line.
-class Status {
+class [[nodiscard]] Status {
  public:
   Status() = default;  // ok
   Status(StatusCode code, std::string message, int line = -1)
@@ -57,7 +57,7 @@ class Status {
 /// Value-or-Status. A Result holding a value is always ok(); constructing
 /// from a Status requires a non-ok status.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   Result(T value) : value_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
   Result(Status status) : status_(std::move(status)) {  // NOLINT

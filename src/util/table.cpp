@@ -44,10 +44,10 @@ std::string Table::render() const {
   return out;
 }
 
-void Table::print() const {
+void Table::print(std::FILE* out) const {
   const std::string text = render();
-  std::fwrite(text.data(), 1, text.size(), stdout);
-  std::fflush(stdout);
+  std::fwrite(text.data(), 1, text.size(), out);
+  std::fflush(out);
 }
 
 std::string fmt_num(double value, int precision) {

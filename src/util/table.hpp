@@ -2,7 +2,12 @@
 
 // Console table renderer used by the benchmark harnesses to print
 // paper-style result tables (Table 2, Fig 7/8/9 series) with aligned columns.
+//
+// Library code never picks an output stream itself (the no-direct-stdout
+// lint contract); print() takes the destination from the caller, so only
+// the CLI surface (bench/, examples/) decides where a table lands.
 
+#include <cstdio>
 #include <string>
 #include <vector>
 
@@ -18,8 +23,8 @@ class Table {
   /// Renders with column alignment (first column left, rest right).
   std::string render() const;
 
-  /// Renders and writes to stdout.
-  void print() const;
+  /// Renders and writes to `out` (callers pass stdout at the CLI surface).
+  void print(std::FILE* out) const;
 
   std::size_t rows() const { return rows_.size(); }
 

@@ -44,7 +44,7 @@ class PostMapTest : public ::testing::Test {
   }
 
   /// One-variable-per-net problem over layers {0, 2}, uniform costs.
-  PartitionProblem make_problem(const assign::AssignState& state, int count) {
+  PartitionProblem make_problem(const assign::AssignState& /*state*/, int count) {
     PartitionProblem p;
     rc_ = std::make_unique<timing::RcTable>(design_.grid);
     p.rc = rc_.get();

@@ -1,0 +1,8 @@
+#pragma once
+// Example in a comment must not count: CPLA_FAULT_POINT("comment.site")
+namespace cpla::fault_sites {
+inline constexpr char kWidgetSolveOverflow[] = "widget.solve.overflow";
+inline constexpr const char* kAll[] = {
+    kWidgetSolveOverflow,
+};
+}  // namespace cpla::fault_sites

@@ -1,0 +1,7 @@
+void test_widget() {
+  FaultInjector::instance().arm_always("widget.solve.overflow");
+  auto reg = LocalRegistry();
+  reg.counter("test.local.name").add();  // local registry: exempt
+  auto v = obs::metrics().counter("widget.solves").value();
+  (void)v;
+}

@@ -1,0 +1,5 @@
+#include "src/util/fault_sites.hpp"
+bool widget_solve() {
+  if (CPLA_FAULT_POINT("widget.solve.overflow")) return false;
+  return true;
+}

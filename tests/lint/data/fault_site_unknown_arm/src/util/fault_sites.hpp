@@ -1,0 +1,5 @@
+#pragma once
+namespace cpla::fault_sites {
+inline constexpr const char* kAll[] = {
+};
+}  // namespace cpla::fault_sites

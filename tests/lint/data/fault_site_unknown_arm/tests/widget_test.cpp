@@ -1,0 +1,3 @@
+void test_degradation() {
+  FaultInjector::instance().arm_always("no.such.site");
+}

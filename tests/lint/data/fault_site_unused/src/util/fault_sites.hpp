@@ -1,0 +1,7 @@
+#pragma once
+namespace cpla::fault_sites {
+inline constexpr char kGhostSite[] = "ghost.site.never_used";
+inline constexpr const char* kAll[] = {
+    kGhostSite,
+};
+}  // namespace cpla::fault_sites

@@ -1,0 +1,3 @@
+void instrument() {
+  obs::metrics().counter("core.widget.solves").add();
+}

@@ -1,0 +1,4 @@
+void check_counters() {
+  auto v = obs::metrics().counter("core.widget.sloves").value();  // typo'd name
+  (void)v;
+}

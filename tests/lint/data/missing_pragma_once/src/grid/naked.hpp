@@ -1,0 +1,3 @@
+namespace cpla::grid {
+struct Naked { int x = 0; };
+}  // namespace cpla::grid

@@ -1,0 +1,9 @@
+#include <cstdio>
+#include <iostream>
+void dump(int rounds) {
+  std::cout << "rounds=" << rounds << "\n";
+  printf("rounds=%d\n", rounds);
+}
+void dump_raw(const char* text, unsigned long len) {
+  std::fwrite(text, 1, len, stdout);
+}

@@ -1,0 +1,6 @@
+#include <cstdlib>
+#include <random>
+double perturbation() {
+  std::random_device rd;
+  return (rand() % 100) * 1e-9 + rd();
+}

@@ -1,0 +1,164 @@
+#!/usr/bin/env python3
+"""Self-test for tools/cpla_lint.py.
+
+Three contracts, each of which has caught a real class of linter rot in other
+projects:
+
+  1. every check fires on its seeded-violation fixture (a check that cannot
+     fail is decoration, not analysis),
+  2. a clean fixture and the real repository produce zero findings,
+  3. --fix repairs what it claims to repair, idempotently.
+
+Fixtures live in tests/lint/data/<check_name>/ as miniature repo roots. The
+test runs the linter in-process (no subprocess per case) through its main()
+so argument parsing and exit codes are covered too.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import shutil
+import sys
+import tempfile
+import unittest
+from contextlib import redirect_stdout
+from pathlib import Path
+from typing import Any
+
+REPO_ROOT = Path(__file__).resolve().parent.parent.parent
+DATA = REPO_ROOT / "tests" / "lint" / "data"
+
+sys.path.insert(0, str(REPO_ROOT / "tools"))
+
+import cpla_lint  # noqa: E402
+
+
+def run_lint(*argv: str) -> tuple[int, dict[str, Any]]:
+    out = io.StringIO()
+    with redirect_stdout(out):
+        rc = cpla_lint.main([*argv, "--format", "json"])
+    return rc, json.loads(out.getvalue())
+
+
+class FixtureFiring(unittest.TestCase):
+    """Every check fires — and only that check — on its seeded fixture."""
+
+    def assert_fires(self, check: str) -> None:
+        fixture = DATA / check.replace("-", "_")
+        self.assertTrue(fixture.is_dir(), f"missing fixture dir {fixture}")
+        rc, doc = run_lint("--root", str(fixture))
+        self.assertEqual(rc, 1, f"{check}: linter should exit 1 on its fixture")
+        fired = {f["check"] for f in doc["findings"]}
+        self.assertIn(check, fired, f"{check}: expected the check to fire, got {fired}")
+        self.assertEqual(
+            fired, {check}, f"{check}: fixture should trip exactly one check, got {fired}"
+        )
+
+    def test_every_check_has_a_firing_fixture(self) -> None:
+        for check in cpla_lint.CHECKS:
+            with self.subTest(check=check):
+                self.assert_fires(check)
+
+    def test_finding_shape(self) -> None:
+        rc, doc = run_lint("--root", str(DATA / "no_direct_stdout"))
+        self.assertEqual(rc, 1)
+        self.assertEqual(doc["schema"], "cpla-lint-v1")
+        for f in doc["findings"]:
+            self.assertIn("check", f)
+            self.assertIn("file", f)
+            self.assertGreater(f["line"], 0)
+            self.assertTrue(f["message"])
+
+    def test_stdout_fixture_reports_each_call(self) -> None:
+        _, doc = run_lint("--root", str(DATA / "no_direct_stdout"))
+        lines = {f["line"] for f in doc["findings"]}
+        self.assertEqual(
+            len(lines), 3, "std::cout, printf, and fwrite(stdout) are separate findings"
+        )
+
+
+class CleanTrees(unittest.TestCase):
+    def test_clean_fixture_is_clean(self) -> None:
+        rc, doc = run_lint("--root", str(DATA / "clean"))
+        self.assertEqual(doc["findings"], [])
+        self.assertEqual(rc, 0)
+
+    def test_real_repository_is_clean(self) -> None:
+        rc, doc = run_lint("--root", str(REPO_ROOT))
+        self.assertEqual(
+            [f"{f['file']}:{f['line']} {f['check']}" for f in doc["findings"]],
+            [],
+            "the real tree must lint clean (fix the finding or the check)",
+        )
+        self.assertEqual(rc, 0)
+
+
+class Suppression(unittest.TestCase):
+    def test_allow_comment_suppresses_one_line(self) -> None:
+        with tempfile.TemporaryDirectory() as tmp:
+            root = Path(tmp) / "fixture"
+            shutil.copytree(DATA / "solver_nondeterminism", root)
+            src = root / "src" / "sdp" / "perturb.cpp"
+            patched = [
+                line.rstrip("\n") + "  // cpla-lint: allow(solver-nondeterminism)"
+                if "rand()" in line or "random_device rd" in line
+                else line.rstrip("\n")
+                for line in src.read_text().splitlines()
+            ]
+            src.write_text("\n".join(patched) + "\n")
+            rc, doc = run_lint("--root", str(root))
+            self.assertEqual(doc["findings"], [])
+            self.assertEqual(rc, 0)
+
+
+class FixMode(unittest.TestCase):
+    def fix_and_recheck(self, fixture: str, check: str) -> None:
+        with tempfile.TemporaryDirectory() as tmp:
+            root = Path(tmp) / "fixture"
+            shutil.copytree(DATA / fixture, root)
+            rc, doc = run_lint("--root", str(root), "--fix")
+            self.assertEqual({f["check"] for f in doc["fixed"]}, {check})
+            rc, doc = run_lint("--root", str(root))
+            self.assertEqual(
+                [f for f in doc["findings"] if f["check"] == check],
+                [],
+                f"--fix did not clear {check}",
+            )
+
+    def test_fix_pragma_once(self) -> None:
+        self.fix_and_recheck("missing_pragma_once", "missing-pragma-once")
+
+    def test_fix_registry_append(self) -> None:
+        self.fix_and_recheck("fault_site_undeclared", "fault-site-undeclared")
+
+    def test_fixed_registry_parses_as_the_canonical_shape(self) -> None:
+        with tempfile.TemporaryDirectory() as tmp:
+            root = Path(tmp) / "fixture"
+            shutil.copytree(DATA / "fault_site_undeclared", root)
+            run_lint("--root", str(root), "--fix")
+            text = (root / "src" / "util" / "fault_sites.hpp").read_text()
+            self.assertIn(
+                'inline constexpr char kWidgetSolveOverflow[] = "widget.solve.overflow";', text
+            )
+            self.assertIn("kWidgetSolveOverflow,", text)
+
+
+class CommentStripping(unittest.TestCase):
+    def test_strings_survive_comments_die(self) -> None:
+        code = (
+            'a("keep");\n'
+            '// b("dies")\n'
+            '/* c("dies\ntoo") */ d("keep2");\n'
+            'e("slash // not comment");\n'
+        )
+        stripped = cpla_lint.strip_comments(code)
+        self.assertIn('"keep"', stripped)
+        self.assertIn('"keep2"', stripped)
+        self.assertIn('"slash // not comment"', stripped)
+        self.assertNotIn("dies", stripped)
+        self.assertEqual(stripped.count("\n"), code.count("\n"), "line structure preserved")
+
+
+if __name__ == "__main__":
+    unittest.main(verbosity=2)

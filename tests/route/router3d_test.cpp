@@ -46,7 +46,10 @@ TEST(Router3D, DirectionLegalLayers) {
   for (int i = 0; i < 30; ++i) {
     grid::Net net;
     net.id = i;
-    net.name = "n" + std::to_string(i);
+    // Built in two steps: operator+(const char*, string&&) trips gcc 12's
+    // -Wrestrict false positive (GCC PR105651) under -Werror.
+    net.name = "n";
+    net.name += std::to_string(i);
     net.pins = {grid::Pin{(i * 3) % 14 + 1, (i * 5) % 14 + 1, 0},
                 grid::Pin{(i * 7) % 14 + 1, (i * 11) % 14 + 1, 0}};
     d.nets.push_back(net);
@@ -105,7 +108,8 @@ TEST(Router3D, ViaCostShapesLayerUsage) {
   for (int i = 0; i < 20; ++i) {
     grid::Net net;
     net.id = i;
-    net.name = "n" + std::to_string(i);
+    net.name = "n";  // two steps: gcc 12 -Wrestrict false positive (PR105651)
+    net.name += std::to_string(i);
     net.pins = {grid::Pin{1, i % 20 + 1, 0}, grid::Pin{22, (i * 3) % 20 + 1, 0}};
     d.nets.push_back(net);
   }

@@ -1,0 +1,55 @@
+// The canonical fault-site registry (src/util/fault_sites.hpp) is the
+// contract `tools/cpla_lint.py` enforces between library fault points and
+// the tests that arm them. These tests pin the registry's own invariants:
+// well-formed names, no duplicates, and injector round-trips for every
+// declared site — so a malformed entry fails here even before the linter
+// runs.
+
+#include "src/util/fault_sites.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <set>
+#include <string>
+
+#include "src/util/fault_inject.hpp"
+
+namespace cpla {
+namespace {
+
+TEST(FaultSites, RegistryIsNonEmptyAndCountMatches) {
+  EXPECT_GT(fault_sites::kCount, 0u);
+  EXPECT_EQ(fault_sites::kCount, sizeof(fault_sites::kAll) / sizeof(fault_sites::kAll[0]));
+}
+
+TEST(FaultSites, NamesAreUniqueDottedLowercase) {
+  std::set<std::string> seen;
+  for (const char* site : fault_sites::kAll) {
+    const std::string name(site);
+    EXPECT_TRUE(seen.insert(name).second) << "duplicate site: " << name;
+    EXPECT_NE(name.find('.'), std::string::npos) << "site missing subsystem prefix: " << name;
+    EXPECT_NE(name.front(), '.') << name;
+    EXPECT_NE(name.back(), '.') << name;
+    for (const char c : name) {
+      EXPECT_TRUE(std::islower(static_cast<unsigned char>(c)) ||
+                  std::isdigit(static_cast<unsigned char>(c)) || c == '.' || c == '_')
+          << "site \"" << name << "\" has unexpected character '" << c << "'";
+    }
+  }
+}
+
+TEST(FaultSites, EverySiteRoundTripsThroughTheInjector) {
+  FaultInjector& inj = FaultInjector::instance();
+  inj.reset();
+  for (const char* site : fault_sites::kAll) {
+    inj.arm_always(site);
+    EXPECT_TRUE(inj.should_fail(site)) << site;
+    inj.disarm(site);
+    EXPECT_FALSE(inj.should_fail(site)) << site;
+  }
+  inj.reset();
+}
+
+}  // namespace
+}  // namespace cpla

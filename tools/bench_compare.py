@@ -29,12 +29,15 @@ Missing keys in CURRENT (present in BASELINE) always fail: a silently
 dropped phase or counter usually means instrumentation broke.
 """
 
+from __future__ import annotations
+
 import argparse
 import json
 import sys
+from typing import Any
 
 
-def load(path):
+def load(path: str) -> dict[str, Any]:
     try:
         with open(path, "r", encoding="utf-8") as f:
             doc = json.load(f)
@@ -47,15 +50,24 @@ def load(path):
     return doc
 
 
-def flatten_phases(doc):
+def flatten_phases(doc: dict[str, Any]) -> dict[str, float]:
     return {name: p.get("wall_ms", 0.0) for name, p in doc.get("phases", {}).items()}
 
 
-def flatten_counters(doc):
+def flatten_counters(doc: dict[str, Any]) -> dict[str, float]:
     return dict(doc.get("metrics", {}).get("counters", {}))
 
 
-def compare_section(label, base, cur, tol, failures, *, numeric=True, min_abs=0.0):
+def compare_section(
+    label: str,
+    base: dict[str, Any],
+    cur: dict[str, Any],
+    tol: float,
+    failures: list[str],
+    *,
+    numeric: bool = True,
+    min_abs: float = 0.0,
+) -> None:
     """One-sided comparison of two {name: number} maps."""
     for name in sorted(base):
         if name not in cur:
@@ -78,8 +90,8 @@ def compare_section(label, base, cur, tol, failures, *, numeric=True, min_abs=0.
             print(f"note: {label}: '{name}' is new (not in baseline)")
 
 
-def compare(base, cur, args):
-    failures = []
+def compare(base: dict[str, Any], cur: dict[str, Any], args: argparse.Namespace) -> list[str]:
+    failures: list[str] = []
     if base.get("bench") != cur.get("bench"):
         failures.append(
             f"bench name mismatch: {base.get('bench')!r} vs {cur.get('bench')!r}")
@@ -98,7 +110,7 @@ def compare(base, cur, args):
     return failures
 
 
-def self_test():
+def self_test() -> int:
     """Proves the gate logic: identical runs pass, a 2x slowdown fails."""
     base = {
         "schema": "cpla-bench-v1", "bench": "selftest", "git_rev": "x", "threads": 1,
@@ -141,7 +153,7 @@ def self_test():
     return 0
 
 
-def main():
+def main() -> None:
     ap = argparse.ArgumentParser(description=__doc__,
                                  formatter_class=argparse.RawDescriptionHelpFormatter)
     ap.add_argument("baseline", nargs="?", help="baseline BENCH_*.json")

@@ -1,0 +1,488 @@
+#!/usr/bin/env python3
+"""cpla-lint: project-specific static analysis for the CPLA repository.
+
+Cross-file checks no generic linter knows about:
+
+  fault-site-undeclared   every CPLA_FAULT_POINT("...") string used in src/
+                          must be declared in src/util/fault_sites.hpp
+  fault-site-unused       every site declared in src/util/fault_sites.hpp
+                          must have a CPLA_FAULT_POINT in src/
+  fault-site-unknown-arm  every site a test arms (arm / arm_always / disarm)
+                          must exist as a fault point in src/ or in the
+                          arming file itself (injector unit tests)
+  metric-unregistered     every metric name tests/bench query against the
+                          global registry must be registered by
+                          instrumentation in src/
+  no-direct-stdout        library code must not print directly (std::cout,
+                          printf, fprintf(stdout/stderr), puts); route
+                          output through src/util/logging
+  solver-nondeterminism   no rand()/srand()/std::random_device inside the
+                          solver modules (la, lp, ilp, sdp); solvers must
+                          be bit-reproducible across runs
+  missing-pragma-once     every header starts with #pragma once  [--fix]
+  using-namespace-header  no `using namespace` at any scope in headers
+
+Findings print as `path:line: [check] message` or, with --format json, as a
+machine-readable document (schema cpla-lint-v1). `--fix` applies the safe
+fixes (inserting #pragma once, appending missing fault-site declarations to
+the registry). A finding can be suppressed for one line with a trailing
+`// cpla-lint: allow(check-name)` comment.
+
+Exit status: 0 clean, 1 findings, 2 usage or internal error.
+
+Dependency-free by design: stdlib only, so it runs in any CI image and as a
+ctest with no environment setup.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import re
+import sys
+from dataclasses import dataclass
+from pathlib import Path
+
+SCHEMA = "cpla-lint-v1"
+
+CHECKS = (
+    "fault-site-undeclared",
+    "fault-site-unused",
+    "fault-site-unknown-arm",
+    "metric-unregistered",
+    "no-direct-stdout",
+    "solver-nondeterminism",
+    "missing-pragma-once",
+    "using-namespace-header",
+)
+
+REGISTRY_RELPATH = Path("src/util/fault_sites.hpp")
+SOLVER_DIRS = ("la", "lp", "ilp", "sdp")
+HEADER_SUFFIXES = (".hpp", ".h")
+SOURCE_SUFFIXES = (".hpp", ".h", ".cpp", ".cc")
+
+ALLOW_RE = re.compile(r"cpla-lint:\s*allow\(([a-z0-9_,\s-]+)\)")
+FAULT_POINT_RE = re.compile(r'CPLA_FAULT_POINT\s*\(\s*"([^"]+)"\s*\)')
+ARM_RE = re.compile(r'\b(?:arm|arm_always|disarm)\s*\(\s*"([^"]+)"')
+METRIC_RE = re.compile(r'(?<![A-Za-z0-9_])(counter|gauge|histogram)\s*\(\s*"([^"]+)"\s*([,)])')
+SCOPED_PHASE_RE = re.compile(r'\bScopedPhase\s+\w+\s*[({]\s*"([^"]+)"\s*([,)}])')
+GLOBAL_RECEIVER_RE = re.compile(r"(?:\bobs\s*::\s*)?\bmetrics\s*\(\s*\)\s*\.\s*$")
+USING_NAMESPACE_RE = re.compile(r"^\s*using\s+namespace\b")
+STDOUT_PATTERNS = (
+    (re.compile(r"\bstd\s*::\s*cout\b"), "std::cout"),
+    (re.compile(r"\bstd\s*::\s*cerr\b"), "std::cerr"),
+    (re.compile(r"(?<![\w:.])(?:std\s*::\s*)?printf\s*\("), "printf"),
+    (
+        re.compile(r"(?<![\w:.])(?:std\s*::\s*)?v?fprintf\s*\(\s*(?:stdout|stderr)\b"),
+        "fprintf(stdout/stderr)",
+    ),
+    (re.compile(r"(?<![\w:.])(?:std\s*::\s*)?puts\s*\("), "puts"),
+    (re.compile(r"(?<![\w:.])(?:std\s*::\s*)?putchar\s*\("), "putchar"),
+    (
+        re.compile(
+            r"(?<![\w:.])(?:std\s*::\s*)?(?:fputs|fputc|fwrite)"
+            r"\s*\([^()]*,\s*(?:stdout|stderr)\s*\)"
+        ),
+        "fputs/fwrite(stdout/stderr)",
+    ),
+)
+NONDETERMINISM_PATTERNS = (
+    (re.compile(r"(?<![\w:.])(?:std\s*::\s*)?s?rand\s*\("), "rand()/srand()"),
+    (re.compile(r"\bstd\s*::\s*random_device\b"), "std::random_device"),
+)
+
+
+@dataclass
+class Finding:
+    check: str
+    path: Path
+    line: int
+    message: str
+    fixable: bool = False
+
+    def render(self, root: Path) -> str:
+        try:
+            rel = self.path.resolve().relative_to(root.resolve())
+        except ValueError:
+            rel = self.path
+        return f"{rel}:{self.line}: [{self.check}] {self.message}"
+
+
+@dataclass
+class SourceFile:
+    """One scanned file: raw text, comment-stripped text, suppressions."""
+
+    path: Path
+    raw: str
+    code: str  # comments blanked out, strings and line structure preserved
+    allows: dict[int, set[str]]  # 1-based line -> suppressed check names
+
+    @property
+    def code_lines(self) -> list[str]:
+        return self.code.splitlines()
+
+
+def strip_comments(text: str) -> str:
+    """Blanks // and /* */ comment bodies, preserving newlines, string and
+    character literals (including escapes), and raw string literals. Keeping
+    offsets identical to the input makes every downstream regex line-accurate.
+    """
+    out = list(text)
+    i, n = 0, len(text)
+    while i < n:
+        ch = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if ch == "/" and nxt == "/":
+            while i < n and text[i] != "\n":
+                out[i] = " "
+                i += 1
+        elif ch == "/" and nxt == "*":
+            out[i] = out[i + 1] = " "
+            i += 2
+            while i < n and not (text[i] == "*" and i + 1 < n and text[i + 1] == "/"):
+                if text[i] != "\n":
+                    out[i] = " "
+                i += 1
+            if i < n:
+                out[i] = out[i + 1] = " "
+                i += 2
+        elif ch == "R" and nxt == '"' and (i == 0 or not text[i - 1].isalnum()):
+            m = re.match(r'R"([^(\s]*)\(', text[i:])
+            if m:
+                end = text.find(f"){m.group(1)}\"", i + m.end())
+                i = n if end < 0 else end + len(m.group(1)) + 2
+            else:
+                i += 1
+        elif ch in "\"'":
+            quote = ch
+            i += 1
+            while i < n and text[i] != quote:
+                i += 2 if text[i] == "\\" else 1
+            i += 1
+        else:
+            i += 1
+    return "".join(out)
+
+
+def parse_allows(raw: str) -> dict[int, set[str]]:
+    allows: dict[int, set[str]] = {}
+    for lineno, line in enumerate(raw.splitlines(), start=1):
+        m = ALLOW_RE.search(line)
+        if m:
+            allows[lineno] = {name.strip() for name in m.group(1).split(",")}
+    return allows
+
+
+def load(path: Path) -> SourceFile:
+    raw = path.read_text(encoding="utf-8", errors="replace")
+    return SourceFile(path=path, raw=raw, code=strip_comments(raw), allows=parse_allows(raw))
+
+
+def line_of(text: str, offset: int) -> int:
+    return text.count("\n", 0, offset) + 1
+
+
+class Repo:
+    def __init__(self, root: Path) -> None:
+        self.root = root
+        self.src = self._glob(root / "src")
+        self.tests = self._glob(root / "tests")
+        self.bench = self._glob(root / "bench")
+
+    @staticmethod
+    def _glob(base: Path) -> list[SourceFile]:
+        if not base.is_dir():
+            return []
+        paths = sorted(
+            p
+            for p in base.rglob("*")
+            if p.is_file()
+            and p.suffix in SOURCE_SUFFIXES
+            # The lint self-test corpus holds deliberately broken mini-repos;
+            # they are linted via --root, never as part of the real tree.
+            # (Relative to the scan base, so --root can point INTO a fixture.)
+            and "lint/data" not in p.relative_to(base).as_posix()
+        )
+        return [load(p) for p in paths]
+
+    @property
+    def headers(self) -> list[SourceFile]:
+        return [
+            f for f in (*self.src, *self.tests, *self.bench) if f.path.suffix in HEADER_SUFFIXES
+        ]
+
+    def registry(self) -> SourceFile | None:
+        target = (self.root / REGISTRY_RELPATH).resolve()
+        for f in self.src:
+            if f.path.resolve() == target:
+                return f
+        return None
+
+
+class Linter:
+    def __init__(self, repo: Repo, fix: bool) -> None:
+        self.repo = repo
+        self.fix = fix
+        self.findings: list[Finding] = []
+        self.fixed: list[Finding] = []
+
+    def report(
+        self, check: str, f: SourceFile, line: int, message: str, fixable: bool = False
+    ) -> None:
+        if check in f.allows.get(line, set()):
+            return
+        self.findings.append(Finding(check, f.path, line, message, fixable))
+
+    def run(self) -> list[Finding]:
+        self.check_fault_sites()
+        self.check_metrics()
+        self.check_no_direct_stdout()
+        self.check_solver_nondeterminism()
+        self.check_headers()
+        return self.findings
+
+    # ---- fault-injection site registry ---------------------------------
+
+    def check_fault_sites(self) -> None:
+        registry = self.repo.registry()
+        declared: dict[str, int] = {}
+        if registry is not None:
+            for m in re.finditer(r'"([^"\n]+)"', registry.code):
+                declared.setdefault(m.group(1), line_of(registry.code, m.start()))
+
+        used: dict[str, tuple[SourceFile, int]] = {}
+        missing: list[tuple[str, SourceFile, int]] = []
+        for f in self.repo.src:
+            if registry is not None and f.path == registry.path:
+                continue
+            for m in FAULT_POINT_RE.finditer(f.code):
+                site = m.group(1)
+                used.setdefault(site, (f, line_of(f.code, m.start())))
+                if site not in declared:
+                    missing.append((site, f, line_of(f.code, m.start())))
+
+        for site, f, line in missing:
+            self.report(
+                "fault-site-undeclared",
+                f,
+                line,
+                f'fault site "{site}" is not declared in {REGISTRY_RELPATH}',
+                fixable=True,
+            )
+        if missing and self.fix and registry is not None:
+            self.fix_registry(registry, sorted({site for site, _, _ in missing}))
+
+        if registry is not None:
+            for site, line in sorted(declared.items()):
+                if site not in used:
+                    self.report(
+                        "fault-site-unused",
+                        registry,
+                        line,
+                        f'declared fault site "{site}" has no CPLA_FAULT_POINT in src/',
+                    )
+
+        for f in (*self.repo.tests, *self.repo.bench):
+            local = {m.group(1) for m in FAULT_POINT_RE.finditer(f.code)}
+            for m in ARM_RE.finditer(f.code):
+                site = m.group(1)
+                if site not in used and site not in local:
+                    self.report(
+                        "fault-site-unknown-arm",
+                        f,
+                        line_of(f.code, m.start()),
+                        f'armed fault site "{site}" does not exist in src/ '
+                        "(renamed or deleted? the test is arming a dead string)",
+                    )
+
+    def fix_registry(self, registry: SourceFile, sites: list[str]) -> None:
+        text = registry.raw
+        anchor = text.find("inline constexpr const char* kAll[]")
+        end = text.find("};", anchor)
+        if anchor < 0 or end < 0:
+            return
+        decls = "".join(
+            f'inline constexpr char {constant_name(site)}[] = "{site}";\n' for site in sites
+        )
+        entries = "".join(f"    {constant_name(site)},\n" for site in sites)
+        text = text[:anchor] + decls + "\n" + text[anchor:end] + entries + text[end:]
+        registry.path.write_text(text, encoding="utf-8")
+        for fnd in self.findings:
+            if fnd.check == "fault-site-undeclared":
+                self.fixed.append(fnd)
+        self.findings = [f for f in self.findings if f.check != "fault-site-undeclared"]
+
+    # ---- metric-name cross-check ---------------------------------------
+
+    def check_metrics(self) -> None:
+        registered: set[str] = set()
+        for f in self.repo.src:
+            for m in METRIC_RE.finditer(f.code):
+                if self.is_global_receiver(f.code, m.start()):
+                    registered.add(m.group(2))
+            for m in SCOPED_PHASE_RE.finditer(f.code):
+                if m.group(2) != ",":  # second arg means a non-global registry
+                    registered.add(f"phase.{m.group(1)}.ms")
+
+        # Only names under a subsystem prefix src actually instruments are
+        # checked; local-registry unit-test names ("test.counter") pass free.
+        prefixes = {name.split(".", 1)[0] for name in registered}
+
+        for f in (*self.repo.tests, *self.repo.bench):
+            local = {
+                f"phase.{m.group(1)}.ms"
+                for m in SCOPED_PHASE_RE.finditer(f.code)
+            }
+            for m in METRIC_RE.finditer(f.code):
+                name = m.group(2)
+                if not self.is_global_receiver(f.code, m.start()):
+                    continue
+                if name.split(".", 1)[0] not in prefixes:
+                    continue
+                if name in registered or name in local:
+                    continue
+                self.report(
+                    "metric-unregistered",
+                    f,
+                    line_of(f.code, m.start()),
+                    f'metric "{name}" is queried here but never registered by '
+                    "instrumentation in src/ (renamed? typo?)",
+                )
+
+    @staticmethod
+    def is_global_receiver(code: str, start: int) -> bool:
+        """True for `obs::metrics().counter(` / bare `counter(` (helper
+        functions forwarding to the global registry); False for calls on any
+        other receiver (`reg.counter(` — a local registry).
+        """
+        head = code[:start].rstrip()
+        if head.endswith("."):
+            return bool(GLOBAL_RECEIVER_RE.search(head))
+        return True
+
+    # ---- direct stdout and nondeterminism ------------------------------
+
+    def check_no_direct_stdout(self) -> None:
+        for f in self.repo.src:
+            if f.path.stem == "logging" or "util/logging" in f.path.as_posix():
+                continue
+            for pattern, label in STDOUT_PATTERNS:
+                for m in pattern.finditer(f.code):
+                    self.report(
+                        "no-direct-stdout",
+                        f,
+                        line_of(f.code, m.start()),
+                        f"library code must not print via {label}; "
+                        "use LOG_INFO/LOG_WARN (src/util/logging.hpp)",
+                    )
+
+    def check_solver_nondeterminism(self) -> None:
+        solver_roots = [(self.repo.root / "src" / d).resolve() for d in SOLVER_DIRS]
+        for f in self.repo.src:
+            resolved = f.path.resolve()
+            if not any(root in resolved.parents for root in solver_roots):
+                continue
+            for pattern, label in NONDETERMINISM_PATTERNS:
+                for m in pattern.finditer(f.code):
+                    self.report(
+                        "solver-nondeterminism",
+                        f,
+                        line_of(f.code, m.start()),
+                        f"{label} in a solver module breaks run-to-run "
+                        "reproducibility; thread cpla::Rng through instead",
+                    )
+
+    # ---- header hygiene -------------------------------------------------
+
+    def check_headers(self) -> None:
+        for f in self.repo.headers:
+            if "#pragma once" not in f.code:
+                self.report(
+                    "missing-pragma-once",
+                    f,
+                    1,
+                    "header lacks #pragma once",
+                    fixable=True,
+                )
+                if self.fix:
+                    f.path.write_text("#pragma once\n\n" + f.raw, encoding="utf-8")
+                    self.fixed.append(self.findings.pop())
+            for lineno, line in enumerate(f.code_lines, start=1):
+                if USING_NAMESPACE_RE.match(line):
+                    self.report(
+                        "using-namespace-header",
+                        f,
+                        lineno,
+                        "`using namespace` in a header leaks into every "
+                        "includer; qualify names instead",
+                    )
+
+
+def constant_name(site: str) -> str:
+    parts = re.split(r"[._-]", site)
+    return "k" + "".join(p.capitalize() for p in parts if p)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="cpla_lint.py", description="Project-specific static analysis for CPLA."
+    )
+    parser.add_argument(
+        "--root",
+        type=Path,
+        default=Path(__file__).resolve().parent.parent,
+        help="repository root to scan (default: this file's repo)",
+    )
+    parser.add_argument("--format", choices=("text", "json"), default="text")
+    parser.add_argument(
+        "--fix", action="store_true", help="apply safe fixes (pragma once, registry append)"
+    )
+    parser.add_argument("--list-checks", action="store_true", help="print check names and exit")
+    args = parser.parse_args(argv)
+
+    if args.list_checks:
+        for check in CHECKS:
+            print(check)
+        return 0
+
+    root = args.root.resolve()
+    if not (root / "src").is_dir():
+        print(f"cpla-lint: no src/ under {root}", file=sys.stderr)
+        return 2
+
+    linter = Linter(Repo(root), fix=args.fix)
+    findings = linter.run()
+
+    if args.format == "json":
+        doc = {
+            "schema": SCHEMA,
+            "root": str(root),
+            "findings": [
+                {
+                    "check": f.check,
+                    "file": str(f.path.resolve().relative_to(root)),
+                    "line": f.line,
+                    "message": f.message,
+                    "fixable": f.fixable,
+                }
+                for f in findings
+            ],
+            "fixed": [
+                {"check": f.check, "file": str(f.path.resolve().relative_to(root)), "line": f.line}
+                for f in linter.fixed
+            ],
+        }
+        print(json.dumps(doc, indent=2, sort_keys=True))
+    else:
+        for f in findings:
+            print(f.render(root))
+        for f in linter.fixed:
+            print(f"fixed: {f.render(root)}")
+        if findings:
+            print(f"cpla-lint: {len(findings)} finding(s)", file=sys.stderr)
+
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
