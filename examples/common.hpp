@@ -1,0 +1,60 @@
+#pragma once
+
+// Boilerplate shared by the example binaries: flag parsing, the design
+// banner, and the Table-2 metric table every example ends with. Examples
+// are documentation first — keeping the scaffolding here keeps each
+// example's main() focused on the API it demonstrates.
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "src/core/flow.hpp"
+#include "src/grid/design.hpp"
+#include "src/util/table.hpp"
+
+namespace cpla::examples {
+
+/// Value of `--flag <value>` in argv, or nullptr when absent.
+inline const char* arg_value(int argc, char** argv, const char* flag) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], flag) == 0) return argv[i + 1];
+  }
+  return nullptr;
+}
+
+inline bool has_flag(int argc, char** argv, const char* flag) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], flag) == 0) return true;
+  }
+  return false;
+}
+
+inline void print_design_summary(const grid::Design& design) {
+  std::printf("benchmark %s: %dx%d grid, %d layers, %zu nets\n", design.name.c_str(),
+              design.grid.xsize(), design.grid.ysize(), design.grid.num_layers(),
+              design.nets.size());
+}
+
+/// One row per flow stage, Table-2 columns. Usage:
+///   MetricTable table;
+///   table.add("initial", before, 0.0);
+///   table.add("CPLA-SDP", after, seconds);
+///   table.print();
+class MetricTable {
+ public:
+  MetricTable() : table_({"flow", "Avg(Tcp)", "Max(Tcp)", "OV#", "via#", "wire_ov", "CPU(s)"}) {}
+
+  void add(const std::string& name, const core::LaMetrics& m, double seconds) {
+    table_.add_row({name, fmt_num(m.avg_tcp, 1), fmt_num(m.max_tcp, 1),
+                    std::to_string(m.via_overflow), std::to_string(m.via_count),
+                    std::to_string(m.wire_overflow), fmt_num(seconds, 2)});
+  }
+
+  void print() { table_.print(stdout); }
+
+ private:
+  Table table_;
+};
+
+}  // namespace cpla::examples

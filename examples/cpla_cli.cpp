@@ -1,6 +1,8 @@
 // Command-line driver: the downstream-integration entry point. Runs the
 // full pipeline on a generated suite benchmark or a real ISPD'08 file and
-// emits the Table-2 metric row for the chosen flow.
+// emits the Table-2 metric row for the chosen flow. With --eco it switches
+// to the incremental engine: the initial solve opens an EcoSession, then a
+// line-based edit script streams deltas through it.
 //
 //   cpla_cli [options]
 //     --bench <name>      suite benchmark to generate (default adaptec1)
@@ -9,39 +11,103 @@
 //     --engine <sdp|ilp|tila>  optimizer (default sdp)
 //     --rounds <n>        max CPLA rounds (default 8)
 //     --max-segs <n>      partition cap (default 10)
+//     --eco <script>      ECO mode: apply an edit script incrementally
 //     --write-gr <path>   dump the (generated) benchmark in ISPD'08 syntax
 //     --write-routes <p>  dump the routed solution (contest output format)
 //     --validate          audit the solution with the independent checker
 //     --antenna           antenna-ratio report
 //     --quiet             warnings only
+//
+// ECO script format (one op per line, '#' comments):
+//     capacity <layer> <x> <y> <cap>   set a directional edge's wire capacity
+//     release <net>                    promote a net into the critical set
+//     demote <net>                     drop a net from the critical set
+//     reroute <net>                    flip the net's two-segment L
+//     add <x1> <y1> <x2> <y2>          new 2-pin net (virtual: not in the
+//                                      design netlist, so --write-routes and
+//                                      --validate are skipped after one)
+//     remove <net>                     delete a net added earlier
+//     resolve                          incremental re-optimization
+// A trailing resolve is implied when the script ends with pending edits.
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <optional>
 #include <sstream>
 #include <string>
 
 #include "bench/harness.hpp"
+#include "examples/common.hpp"
 #include "src/assign/antenna.hpp"
 #include "src/assign/route_io.hpp"
 #include "src/assign/validate.hpp"
+#include "src/eco/eco_session.hpp"
+#include "src/eco/reroute.hpp"
 #include "src/parser/ispd08.hpp"
 
 namespace {
 
-const char* arg_value(int argc, char** argv, const char* flag) {
-  for (int i = 1; i + 1 < argc; ++i) {
-    if (std::strcmp(argv[i], flag) == 0) return argv[i + 1];
-  }
-  return nullptr;
-}
+using cpla::examples::arg_value;
+using cpla::examples::has_flag;
 
-bool has_flag(int argc, char** argv, const char* flag) {
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], flag) == 0) return true;
+/// Streams one edit-script line into the session. Returns false (with a
+/// message) on a malformed line or a rejected delta.
+bool apply_script_line(const std::string& line, int lineno, cpla::eco::EcoSession* session,
+                       int* pending, double* resolve_s) {
+  using namespace cpla;
+  std::istringstream in(line);
+  std::string op;
+  if (!(in >> op) || op[0] == '#') return true;  // blank or comment
+
+  auto fail = [&](const char* why) {
+    std::fprintf(stderr, "eco script line %d: %s: %s\n", lineno, why, line.c_str());
+    return false;
+  };
+  auto apply = [&](const eco::Delta& delta) {
+    const Result<int> r = session->apply(delta);
+    if (!r.is_ok()) return fail(r.status().message().c_str());
+    ++*pending;
+    return true;
+  };
+
+  if (op == "resolve") {
+    WallTimer timer;
+    session->resolve();
+    *resolve_s += timer.seconds();
+    *pending = 0;
+    return true;
   }
-  return false;
+  if (op == "capacity") {
+    int layer, x, y, cap;
+    if (!(in >> layer >> x >> y >> cap)) return fail("expected: capacity LAYER X Y CAP");
+    return apply(eco::Delta::capacity_adjusted(layer, x, y, cap));
+  }
+  if (op == "release" || op == "demote") {
+    int net;
+    if (!(in >> net)) return fail("expected a net id");
+    return apply(eco::Delta::criticality_changed(net, op == "release"));
+  }
+  if (op == "reroute") {
+    int net;
+    if (!(in >> net)) return fail("expected a net id");
+    if (net < 0 || net >= session->state().num_nets()) return fail("net id out of range");
+    Result<route::SegTree> flipped = eco::alternate_route(session->state().tree(net));
+    if (!flipped.is_ok()) return fail("net is not a two-segment L");
+    return apply(eco::Delta::net_rerouted(net, flipped.take()));
+  }
+  if (op == "add") {
+    int x1, y1, x2, y2;
+    if (!(in >> x1 >> y1 >> x2 >> y2)) return fail("expected: add X1 Y1 X2 Y2");
+    return apply(eco::Delta::net_added(eco::make_two_pin_tree({x1, y1}, {x2, y2})));
+  }
+  if (op == "remove") {
+    int net;
+    if (!(in >> net)) return fail("expected a net id");
+    return apply(eco::Delta::net_removed(net));
+  }
+  return fail("unknown op");
 }
 
 }  // namespace
@@ -53,7 +119,7 @@ int main(int argc, char** argv) {
     std::printf(
         "usage: cpla_cli [--bench NAME | --file PATH] [--ratio R]\n"
         "                [--engine sdp|ilp|tila] [--rounds N] [--max-segs N]\n"
-        "                [--write-gr PATH] [--quiet]\n");
+        "                [--eco SCRIPT] [--write-gr PATH] [--quiet]\n");
     return 0;
   }
   if (has_flag(argc, argv, "--quiet")) set_log_level(LogLevel::kWarn);
@@ -66,6 +132,11 @@ int main(int argc, char** argv) {
       arg_value(argc, argv, "--ratio") ? std::atof(arg_value(argc, argv, "--ratio")) : 0.005;
   const std::string engine =
       arg_value(argc, argv, "--engine") ? arg_value(argc, argv, "--engine") : "sdp";
+  const char* eco_script = arg_value(argc, argv, "--eco");
+  if (eco_script != nullptr && engine == "tila") {
+    std::fprintf(stderr, "error: --eco drives the CPLA flow (use --engine sdp|ilp)\n");
+    return 1;
+  }
 
   std::optional<grid::Design> design;
   if (file != nullptr) {
@@ -83,41 +154,84 @@ int main(int argc, char** argv) {
   }
 
   core::Prepared prep = core::prepare(std::move(*design));
-  const core::CriticalSet critical = core::select_critical(*prep.state, *prep.rc, ratio);
-  const core::LaMetrics before = core::compute_metrics(*prep.state, *prep.rc, critical);
-
-  WallTimer timer;
-  if (engine == "tila") {
-    core::run_tila(prep.state.get(), *prep.rc, critical);
-  } else {
-    core::CplaOptions opt;
-    opt.engine = (engine == "ilp") ? core::Engine::kIlp : core::Engine::kSdp;
-    if (const char* rounds = arg_value(argc, argv, "--rounds")) {
-      opt.max_rounds = std::atoi(rounds);
-    }
-    if (const char* cap = arg_value(argc, argv, "--max-segs")) {
-      opt.partition.max_segments = std::atoi(cap);
-    }
-    core::run_cpla(prep.state.get(), *prep.rc, critical, opt);
+  core::CplaOptions cpla_opt;
+  cpla_opt.engine = (engine == "ilp") ? core::Engine::kIlp : core::Engine::kSdp;
+  if (const char* rounds = arg_value(argc, argv, "--rounds")) {
+    cpla_opt.max_rounds = std::atoi(rounds);
   }
-  const double seconds = timer.seconds();
-  const core::LaMetrics after = core::compute_metrics(*prep.state, *prep.rc, critical);
+  if (const char* cap = arg_value(argc, argv, "--max-segs")) {
+    cpla_opt.partition.max_segments = std::atoi(cap);
+  }
 
-  Table table({"stage", "Avg(Tcp)", "Max(Tcp)", "OV#", "via#", "wire_ov", "CPU(s)"});
-  auto row = [&](const char* name, const core::LaMetrics& m, double secs) {
-    table.add_row({name, fmt_num(m.avg_tcp, 1), fmt_num(m.max_tcp, 1),
-                   std::to_string(m.via_overflow), std::to_string(m.via_count),
-                   std::to_string(m.wire_overflow), fmt_num(secs, 2)});
-  };
-  row("initial", before, 0.0);
-  row(engine.c_str(), after, seconds);
-  table.print(stdout);
+  examples::MetricTable table;
+  bool virtual_nets = false;  // ECO-added nets are absent from the netlist
 
-  if (const char* out = arg_value(argc, argv, "--write-routes")) {
+  if (eco_script != nullptr) {
+    // ECO mode: initial solve opens the session, the script streams deltas.
+    std::ifstream script(eco_script);
+    if (!script) {
+      std::fprintf(stderr, "error: cannot open eco script %s\n", eco_script);
+      return 1;
+    }
+    eco::EcoOptions opt;
+    opt.flow = cpla_opt;
+    opt.critical_ratio = ratio;
+    eco::EcoSession session(prep.design.get(), prep.state.get(), prep.rc.get(), opt);
+    table.add("initial", core::compute_metrics(*prep.state, *prep.rc, session.critical()), 0.0);
+
+    WallTimer entry_timer;
+    session.resolve();
+    table.add(engine + " (entry)",
+              core::compute_metrics(*prep.state, *prep.rc, session.critical()),
+              entry_timer.seconds());
+
+    std::string line;
+    int lineno = 0, pending = 0;
+    double resolve_s = 0.0;
+    while (std::getline(script, line)) {
+      if (!apply_script_line(line, ++lineno, &session, &pending, &resolve_s)) return 1;
+    }
+    if (pending > 0) {  // implied trailing resolve
+      WallTimer timer;
+      session.resolve();
+      resolve_s += timer.seconds();
+    }
+
+    table.add("eco (final)", core::compute_metrics(*prep.state, *prep.rc, session.critical()),
+              resolve_s);
+    table.print();
+    const eco::EcoStats s = session.stats();
+    std::printf(
+        "eco: %ld deltas, %ld resolves (%ld fallbacks), cache %ld hits / %ld misses, "
+        "partitions %ld dirty / %ld clean\n",
+        s.deltas_applied, s.resolves, s.fallbacks, s.cache_hits, s.cache_misses,
+        s.dirty_partitions, s.clean_partitions);
+    virtual_nets = prep.state->num_nets() != static_cast<int>(prep.design->nets.size());
+  } else {
+    const core::CriticalSet critical = core::select_critical(*prep.state, *prep.rc, ratio);
+    table.add("initial", core::compute_metrics(*prep.state, *prep.rc, critical), 0.0);
+
+    WallTimer timer;
+    if (engine == "tila") {
+      core::run_tila(prep.state.get(), *prep.rc, critical);
+    } else {
+      core::run_cpla(prep.state.get(), *prep.rc, critical, cpla_opt);
+    }
+    table.add(engine, core::compute_metrics(*prep.state, *prep.rc, critical), timer.seconds());
+    table.print();
+  }
+
+  if (virtual_nets &&
+      (arg_value(argc, argv, "--write-routes") || has_flag(argc, argv, "--validate"))) {
+    std::fprintf(stderr,
+                 "warning: eco script added nets outside the design netlist; "
+                 "skipping --write-routes/--validate\n");
+  }
+  if (const char* out = arg_value(argc, argv, "--write-routes"); out != nullptr && !virtual_nets) {
     if (!assign::write_routes_file(*prep.state, out)) return 1;
     std::printf("wrote routed solution to %s\n", out);
   }
-  if (has_flag(argc, argv, "--validate")) {
+  if (has_flag(argc, argv, "--validate") && !virtual_nets) {
     std::stringstream buf;
     assign::write_routes(*prep.state, buf);
     const auto parsed = assign::read_routes(buf, prep.design->grid);

@@ -5,6 +5,7 @@
 
 #include <cstdio>
 
+#include "examples/common.hpp"
 #include "src/assign/initial_assign.hpp"
 #include "src/core/critical.hpp"
 #include "src/core/flow.hpp"
@@ -74,11 +75,11 @@ int main() {
   std::printf("released nets:");
   for (int net : critical.nets) std::printf(" %d", net);
   std::printf("\n");
-  std::printf("before: Avg(Tcp)=%.1f Max(Tcp)=%.1f vias=%ld\n", before.avg_tcp, before.max_tcp,
-              before.via_count);
-  std::printf("after:  Avg(Tcp)=%.1f Max(Tcp)=%.1f vias=%ld  (%d rounds, %d partitions)\n",
-              result.metrics.avg_tcp, result.metrics.max_tcp, result.metrics.via_count,
-              result.rounds, result.partitions_solved);
+  examples::MetricTable table;
+  table.add("initial", before, 0.0);
+  table.add("CPLA", result.metrics, 0.0);
+  table.print();
+  std::printf("(%d rounds, %d partitions)\n", result.rounds, result.partitions_solved);
 
   const double gain = 100.0 * (1.0 - result.metrics.avg_tcp / before.avg_tcp);
   std::printf("critical-path average improved by %.1f%%\n", gain);

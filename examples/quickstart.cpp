@@ -10,11 +10,11 @@
 #include <cstdlib>
 #include <string>
 
+#include "examples/common.hpp"
 #include "src/core/flow.hpp"
 #include "src/core/pipeline.hpp"
 #include "src/core/tila.hpp"
 #include "src/gen/synth.hpp"
-#include "src/util/table.hpp"
 #include "src/util/timer.hpp"
 
 int main(int argc, char** argv) {
@@ -25,9 +25,7 @@ int main(int argc, char** argv) {
 
   // 1. Generate (or parse — see parser::read_ispd08_file) a design.
   grid::Design design = gen::generate_suite(bench);
-  std::printf("benchmark %s: %dx%d grid, %d layers, %zu nets\n", design.name.c_str(),
-              design.grid.xsize(), design.grid.ysize(), design.grid.num_layers(),
-              design.nets.size());
+  examples::print_design_summary(design);
 
   // 2. Route + initial layer assignment (the CPLA problem's inputs).
   core::Prepared tila_run = core::prepare(design);
@@ -51,16 +49,11 @@ int main(int argc, char** argv) {
   const double cpla_s = cpla_timer.seconds();
 
   // 6. Report.
-  Table table({"flow", "Avg(Tcp)", "Max(Tcp)", "OV#", "via#", "CPU(s)"});
-  auto row = [&](const char* name, const core::LaMetrics& m, double secs) {
-    table.add_row({name, fmt_num(m.avg_tcp, 1), fmt_num(m.max_tcp, 1),
-                   std::to_string(m.via_overflow), std::to_string(m.via_count),
-                   fmt_num(secs, 2)});
-  };
-  row("initial", before, 0.0);
-  row("TILA", tila, tila_s);
-  row("CPLA-SDP", result.metrics, cpla_s);
-  table.print(stdout);
+  examples::MetricTable table;
+  table.add("initial", before, 0.0);
+  table.add("TILA", tila, tila_s);
+  table.add("CPLA-SDP", result.metrics, cpla_s);
+  table.print();
 
   std::printf("\nCPLA: %d rounds, %d partitions, quadtree depth %d\n", result.rounds,
               result.partitions_solved, result.max_partition_depth);

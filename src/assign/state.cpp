@@ -124,6 +124,42 @@ void AssignState::clear_net(int net) {
   layers_[net].clear();
 }
 
+void AssignState::replace_tree(int net, route::SegTree tree, std::vector<int> layers) {
+  clear_net(net);
+  tree.net_id = net;
+  trees_[net] = std::move(tree);
+  if (trees_[net].segs.empty()) return;
+  if (layers.empty()) layers = default_layers(trees_[net]);
+  set_layers(net, std::move(layers));
+}
+
+int AssignState::add_net(route::SegTree tree, std::vector<int> layers) {
+  const int net = static_cast<int>(trees_.size());
+  tree.net_id = net;
+  trees_.push_back(std::move(tree));
+  layers_.emplace_back();
+  if (!trees_[net].segs.empty()) {
+    if (layers.empty()) layers = default_layers(trees_[net]);
+    set_layers(net, std::move(layers));
+  }
+  return net;
+}
+
+void AssignState::remove_net(int net) {
+  clear_net(net);
+  route::SegTree empty;
+  empty.net_id = net;
+  trees_[net] = std::move(empty);
+}
+
+std::vector<int> AssignState::default_layers(const route::SegTree& tree) const {
+  std::vector<int> layers(tree.segs.size());
+  for (const route::Segment& s : tree.segs) {
+    layers[s.id] = allowed_layers(s.horizontal).front();
+  }
+  return layers;
+}
+
 long AssignState::wire_overflow() const {
   long sum = 0;
   for (std::size_t l = 0; l < wire_usage_.size(); ++l) {

@@ -35,6 +35,25 @@ class AssignState {
   /// Removes a net from the usage maps (leaves it unassigned).
   void clear_net(int net);
 
+  // --- ECO mutators (src/eco) ------------------------------------------
+  // Net ids are stable across all of these: remove_net leaves an empty
+  // placeholder tree behind instead of compacting the vector.
+
+  /// Replaces a net's routing tree (an ECO reroute): clears the old usage,
+  /// swaps the tree, and assigns `layers` (empty = default_layers).
+  void replace_tree(int net, route::SegTree tree, std::vector<int> layers = {});
+
+  /// Appends a brand-new net with its own tree and returns its id.
+  int add_net(route::SegTree tree, std::vector<int> layers = {});
+
+  /// Clears a net's usage and replaces its tree with an empty one. The id
+  /// stays valid (assigned() reports true for the empty placeholder).
+  void remove_net(int net);
+
+  /// The deterministic default assignment for a tree: the lowest allowed
+  /// layer of each segment's direction.
+  std::vector<int> default_layers(const route::SegTree& tree) const;
+
   // --- Usage queries --------------------------------------------------
   int wire_usage(int layer, int edge) const { return wire_usage_[layer][edge]; }
   int wire_cap(int layer, int edge) const { return design_->grid.edge_capacity(layer, edge); }

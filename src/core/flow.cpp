@@ -45,16 +45,37 @@ CplaResult run_cpla(assign::AssignState* state, const timing::RcTable& rc,
   auto score_of = [&](double avg, double max, double avg0, double max0) {
     return 0.5 * avg / std::max(1e-12, avg0) + 0.5 * max / std::max(1e-12, max0);
   };
+  // Per-net timing, optionally memoized through the ECO timing cache
+  // (bit-identical either way: critical_delay() is exactly
+  // compute_timing().max_sink_delay, and the cache replays compute_timing
+  // results keyed on the exact layer vector). Only called from sequential
+  // sections — the cache is not thread-safe.
+  auto net_delay = [&](int net) {
+    return options.timing_cache
+               ? options.timing_cache->get(net, state->tree(net), state->layers(net), rc)
+                     .max_sink_delay
+               : timing::critical_delay(state->tree(net), state->layers(net), rc);
+  };
   auto timing_now = [&]() {
     double sum = 0.0, worst = 0.0;
     for (int net : critical.nets) {
-      const double d = timing::critical_delay(state->tree(net), state->layers(net), rc);
+      const double d = net_delay(net);
       sum += d;
       worst = std::max(worst, d);
     }
     return std::pair<double, double>(
         critical.nets.empty() ? 0.0 : sum / static_cast<double>(critical.nets.size()), worst);
   };
+
+  // The per-partition solve, routed through the ECO hook when one is set.
+  const PartitionSolveFn solve_one =
+      options.partition_solver
+          ? options.partition_solver
+          : PartitionSolveFn([&options](const PartitionProblem& p, const assign::AssignState& s,
+                                        GuardStats* stats) {
+              return guarded_solve(p, s, options.engine, options.sdp, options.ilp,
+                                   options.guard, stats);
+            });
   const auto [avg0, max0] = timing_now();
   double best_score = 1.0;
   std::unordered_map<int, std::vector<int>> best_state;
@@ -72,7 +93,13 @@ CplaResult run_cpla(assign::AssignState* state, const timing::RcTable& rc,
     {
       obs::ScopedPhase phase("core.flow.timing_snapshot");
       for (int net : critical.nets) {
-        timings.emplace(net, timing::compute_timing(state->tree(net), state->layers(net), rc));
+        if (options.timing_cache) {
+          timings.emplace(
+              net, options.timing_cache->get(net, state->tree(net), state->layers(net), rc));
+        } else {
+          timings.emplace(net,
+                          timing::compute_timing(state->tree(net), state->layers(net), rc));
+        }
       }
     }
 
@@ -121,8 +148,7 @@ CplaResult run_cpla(assign::AssignState* state, const timing::RcTable& rc,
         ScopedFailureContext context(base + i, -1);
         problems[i] = build_partition_problem(*state, rc, timings, parts.leaves[base + i],
                                               model_options);
-        solutions[i] = guarded_solve(problems[i], *state, options.engine, options.sdp,
-                                     options.ilp, options.guard, &local_stats[i]);
+        solutions[i] = solve_one(problems[i], *state, &local_stats[i]);
       }
       solve_phase.stop();
       for (const GuardStats& s : local_stats) result.guard_stats.merge(s);
@@ -158,7 +184,7 @@ CplaResult run_cpla(assign::AssignState* state, const timing::RcTable& rc,
         for (const auto& [net, layers] : updates) {
           (void)layers;
           undo.emplace(net, state->layers(net));
-          const double d = timing::critical_delay(state->tree(net), state->layers(net), rc);
+          const double d = net_delay(net);
           before_sum += d;
           before_max = std::max(before_max, d);
         }
@@ -169,7 +195,7 @@ CplaResult run_cpla(assign::AssignState* state, const timing::RcTable& rc,
         double after_sum = 0.0, after_max = 0.0;
         for (const auto& [net, layers] : undo) {
           (void)layers;
-          const double d = timing::critical_delay(state->tree(net), state->layers(net), rc);
+          const double d = net_delay(net);
           after_sum += d;
           after_max = std::max(after_max, d);
         }
@@ -276,7 +302,11 @@ OptimizeResult optimize(assign::AssignState* state, const timing::RcTable& rc,
   auto timing_over_critical = [&]() {
     double sum = 0.0, worst = 0.0;
     for (int net : critical.nets) {
-      const double d = timing::critical_delay(state->tree(net), state->layers(net), rc);
+      const double d =
+          options.timing_cache
+              ? options.timing_cache->get(net, state->tree(net), state->layers(net), rc)
+                    .max_sink_delay
+              : timing::critical_delay(state->tree(net), state->layers(net), rc);
       sum += d;
       worst = std::max(worst, d);
     }

@@ -5,6 +5,7 @@
 // SDP relaxation (or the exact ILP) in parallel, post-map, commit, and
 // iterate until the critical-path timing stops improving.
 
+#include <functional>
 #include <unordered_map>
 
 #include "src/assign/state.hpp"
@@ -15,9 +16,19 @@
 #include "src/core/solve_guard.hpp"
 #include "src/ilp/branch_bound.hpp"
 #include "src/sdp/solver.hpp"
+#include "src/timing/incremental.hpp"
 #include "src/util/status.hpp"
 
 namespace cpla::core {
+
+/// The per-partition solve as a reusable callable: given a built problem
+/// and the live state, produce a guarded solution. The flow's default is
+/// guarded_solve() with the run's engine options; src/eco substitutes a
+/// caching wrapper. Implementations must honor the guarded_solve contract:
+/// never throw, always return a well-formed pick. Called concurrently from
+/// the OpenMP solve phase — capture only thread-safe state.
+using PartitionSolveFn = std::function<GuardedSolve(
+    const PartitionProblem& problem, const assign::AssignState& state, GuardStats* stats)>;
 
 /// The Table-2 metric set, computed over the released nets.
 struct LaMetrics {
@@ -58,6 +69,14 @@ struct CplaOptions {
   // Ablation: commit all partitions from one snapshot (Jacobi) instead of
   // committing each batch before building the next (Gauss-Seidel, default).
   bool jacobi_commits = false;
+  // ECO hooks (src/eco). When `partition_solver` is set, every partition
+  // solve routes through it instead of guarded_solve() directly. When
+  // `timing_cache` is set (not owned), per-net Elmore evaluations are
+  // memoized through it; results are bit-identical to direct evaluation
+  // (the cache is keyed on the exact layer vector). Both default to off,
+  // which is the stock flow.
+  PartitionSolveFn partition_solver;
+  timing::TimingCache* timing_cache = nullptr;
 };
 
 struct CplaResult {

@@ -50,6 +50,10 @@ PartitionProblem build_partition_problem(
   PartitionProblem p;
   p.rc = &rc;
   p.options = options;
+  p.region_x0 = region.x0;
+  p.region_y0 = region.y0;
+  p.region_x1 = region.x1;
+  p.region_y1 = region.y1;
   const auto& g = state.design().grid;
 
   // Global criticality: the worst released net anchors the weighting

@@ -64,6 +64,10 @@ struct PartitionProblem {
   std::vector<CapRow> cap_rows;
   const timing::RcTable* rc = nullptr;
   ModelOptions options;
+  // Extent of the partition region the problem was built from, half-open
+  // [x0,x1) x [y0,y1). The ECO dirty-set test intersects design-delta
+  // bounding boxes with these.
+  int region_x0 = 0, region_y0 = 0, region_x1 = 0, region_y1 = 0;
 
   /// Quadratic via cost tv for a pair when child sits on lc and parent on
   /// lp: via-stack resistance * frozen downstream cap * weight, plus the

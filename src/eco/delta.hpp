@@ -1,0 +1,77 @@
+#pragma once
+
+// Typed design deltas for the incremental ECO engine. An EcoSession (or a
+// test mirroring one) applies a stream of these to an AssignState + Design
+// + CriticalSet triple; each delta also yields a bounding region, which the
+// session intersects with partition extents to build the dirty-set for the
+// next resolve().
+//
+// The dirty-set is a performance hint only: correctness of cached
+// partition solutions comes from the content-addressed cache key (see
+// solution_cache.hpp), never from delta bookkeeping.
+
+#include <vector>
+
+#include "src/assign/state.hpp"
+#include "src/core/critical.hpp"
+#include "src/grid/design.hpp"
+#include "src/route/seg_tree.hpp"
+#include "src/util/status.hpp"
+
+namespace cpla::eco {
+
+enum class DeltaKind : int {
+  kNetRerouted,         // a net's 2-D routing tree changed
+  kCriticalityChanged,  // a net entered/left the released (critical) set
+  kCapacityAdjusted,    // one directional edge's wire capacity changed
+  kNetAdded,            // a brand-new net appeared
+  kNetRemoved,          // a net was deleted (its id stays a valid empty slot)
+};
+
+const char* to_string(DeltaKind kind);
+
+/// Half-open cell-coordinate rectangle [x0,x1) x [y0,y1).
+struct Rect {
+  int x0 = 0, y0 = 0, x1 = 0, y1 = 0;
+  bool empty() const { return x0 >= x1 || y0 >= y1; }
+};
+
+/// True when `r` overlaps the half-open region [px0,px1) x [py0,py1).
+bool intersects(const Rect& r, int px0, int py0, int px1, int py1);
+
+/// Bounding box of a tree's segments, half-open. Empty tree -> empty rect.
+Rect tree_bbox(const route::SegTree& tree);
+
+struct Delta {
+  DeltaKind kind = DeltaKind::kNetRerouted;
+  int net = -1;             // reroute / criticality / remove target
+  route::SegTree tree;      // reroute / add payload
+  std::vector<int> layers;  // optional explicit assignment (empty = default)
+  bool released = true;     // criticality payload: promote or demote
+  int layer = -1;           // capacity payload: metal layer
+  int x = 0, y = 0;         // capacity payload: edge origin cell
+  int cap = 0;              // capacity payload: new edge capacity
+
+  static Delta net_rerouted(int net, route::SegTree tree, std::vector<int> layers = {});
+  static Delta criticality_changed(int net, bool released);
+  /// The directional edge starting at (x,y) on `layer` (horizontal layers:
+  /// edge (x,y)-(x+1,y); vertical: (x,y)-(x,y+1)) gets capacity `cap`.
+  static Delta capacity_adjusted(int layer, int x, int y, int cap);
+  static Delta net_added(route::SegTree tree, std::vector<int> layers = {});
+  static Delta net_removed(int net);
+};
+
+/// Region of the state a delta can touch, evaluated against the
+/// *pre-application* state (a reroute covers the old and the new tree).
+Rect bounding_region(const Delta& delta, const assign::AssignState& state);
+
+/// Applies one delta to a design/state/critical-set triple — the single
+/// shared implementation used by EcoSession::apply and by equivalence
+/// tests mirroring a session onto a control state. Returns the id of the
+/// affected net (the new id for kNetAdded, -1 for kCapacityAdjusted), or a
+/// kBadInput status for out-of-range targets. On failure nothing was
+/// mutated.
+Result<int> apply_delta(const Delta& delta, grid::Design* design, assign::AssignState* state,
+                        core::CriticalSet* critical);
+
+}  // namespace cpla::eco

@@ -1,0 +1,175 @@
+#include "src/eco/edit_script.hpp"
+
+#include <algorithm>
+#include <map>
+#include <tuple>
+
+#include "src/eco/reroute.hpp"
+#include "src/util/rng.hpp"
+
+namespace cpla::eco {
+
+namespace {
+
+/// Shadow of the state the generated stream will have produced so far:
+/// enough to keep every generated delta valid without touching the real
+/// AssignState.
+struct Shadow {
+  const assign::AssignState* state;
+  std::map<int, route::SegTree> trees;     // overrides for rerouted nets
+  std::map<std::tuple<int, int, int>, int> caps;  // (layer,x,y) -> last cap
+  std::vector<char> released;
+  std::vector<int> released_nets;
+  std::vector<int> added_nets;  // ids we created and may later remove
+  int next_net_id;
+
+  const route::SegTree& tree(int net) const {
+    auto it = trees.find(net);
+    return it != trees.end() ? it->second : state->tree(net);
+  }
+};
+
+}  // namespace
+
+std::vector<Delta> make_edit_script(const assign::AssignState& state,
+                                    const core::CriticalSet& critical,
+                                    const EditScriptOptions& options) {
+  Rng rng(options.seed * 0x9e3779b97f4a7c15ull + 0xd1b54a32d192ed03ull);
+  const auto& g = state.design().grid;
+
+  Shadow shadow;
+  shadow.state = &state;
+  shadow.released = critical.released;
+  shadow.released.resize(static_cast<std::size_t>(state.num_nets()), 0);
+  shadow.released_nets = critical.nets;
+  shadow.next_net_id = state.num_nets();
+
+  std::vector<Delta> script;
+  script.reserve(static_cast<std::size_t>(options.count));
+
+  // An L-flip reroute of a released net: the bread-and-butter ECO edit.
+  auto try_reroute = [&]() -> bool {
+    if (shadow.released_nets.empty()) return false;
+    const std::size_t start = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(shadow.released_nets.size()) - 1));
+    for (std::size_t off = 0; off < shadow.released_nets.size(); ++off) {
+      const int net = shadow.released_nets[(start + off) % shadow.released_nets.size()];
+      Result<route::SegTree> flipped = alternate_route(shadow.tree(net));
+      if (!flipped.is_ok()) continue;
+      shadow.trees[net] = flipped.value();
+      script.push_back(Delta::net_rerouted(net, flipped.take()));
+      return true;
+    }
+    return false;
+  };
+
+  // Shrink or restore the wire capacity of an edge under released wire.
+  auto try_capacity = [&]() -> bool {
+    if (shadow.released_nets.empty()) return false;
+    const int net = shadow.released_nets[static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(shadow.released_nets.size()) - 1))];
+    const route::SegTree& tree = shadow.tree(net);
+    if (tree.segs.empty()) return false;
+    const route::Segment& seg =
+        tree.segs[static_cast<std::size_t>(rng.uniform_int(0, static_cast<std::int64_t>(tree.segs.size()) - 1))];
+    const std::vector<int>& allowed = state.allowed_layers(seg.horizontal);
+    const int layer = allowed[static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(allowed.size()) - 1))];
+    int x = std::min(seg.a.x, seg.b.x);
+    int y = std::min(seg.a.y, seg.b.y);
+    // Clamp the edge origin into range for the layer's direction.
+    if (g.is_horizontal(layer)) {
+      x = std::min(x, g.xsize() - 2);
+    } else {
+      y = std::min(y, g.ysize() - 2);
+    }
+    if (x < 0 || y < 0) return false;
+    const auto key = std::make_tuple(layer, x, y);
+    auto it = shadow.caps.find(key);
+    const int edge = g.is_horizontal(layer) ? g.h_edge_id(x, y) : g.v_edge_id(x, y);
+    const int current = it != shadow.caps.end() ? it->second : g.edge_capacity(layer, edge);
+    const int next = rng.chance(0.5) ? std::max(1, current - 1) : current + 1;
+    shadow.caps[key] = next;
+    script.push_back(Delta::capacity_adjusted(layer, x, y, next));
+    return true;
+  };
+
+  // Demote a released net or promote an unreleased one (rare: it reshapes
+  // the whole problem, which is exactly what should stress the cache).
+  auto try_criticality = [&]() -> bool {
+    if (rng.chance(0.5) && shadow.released_nets.size() > 2) {
+      const std::size_t i = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(shadow.released_nets.size()) - 1));
+      const int net = shadow.released_nets[i];
+      shadow.released[static_cast<std::size_t>(net)] = 0;
+      shadow.released_nets.erase(shadow.released_nets.begin() + static_cast<std::ptrdiff_t>(i));
+      script.push_back(Delta::criticality_changed(net, false));
+      return true;
+    }
+    const int start = static_cast<int>(rng.uniform_int(0, state.num_nets() - 1));
+    for (int off = 0; off < state.num_nets(); ++off) {
+      const int net = (start + off) % state.num_nets();
+      if (shadow.released[static_cast<std::size_t>(net)]) continue;
+      if (shadow.tree(net).segs.empty()) continue;
+      shadow.released[static_cast<std::size_t>(net)] = 1;
+      shadow.released_nets.push_back(net);
+      script.push_back(Delta::criticality_changed(net, true));
+      return true;
+    }
+    return false;
+  };
+
+  auto try_add = [&]() -> bool {
+    const grid::XY a{static_cast<int>(rng.uniform_int(0, g.xsize() - 1)),
+                     static_cast<int>(rng.uniform_int(0, g.ysize() - 1))};
+    grid::XY b{static_cast<int>(rng.uniform_int(0, g.xsize() - 1)),
+               static_cast<int>(rng.uniform_int(0, g.ysize() - 1))};
+    if (a == b) b.x = (b.x + 1) % g.xsize();
+    const int net = shadow.next_net_id++;
+    shadow.added_nets.push_back(net);
+    if (static_cast<int>(shadow.released.size()) <= net) {
+      shadow.released.resize(static_cast<std::size_t>(net) + 1, 0);
+    }
+    script.push_back(Delta::net_added(make_two_pin_tree(a, b)));
+    return true;
+  };
+
+  auto try_remove = [&]() -> bool {
+    if (shadow.added_nets.empty()) return false;
+    const int net = shadow.added_nets.back();
+    shadow.added_nets.pop_back();
+    shadow.trees.erase(net);
+    script.push_back(Delta::net_removed(net));
+    return true;
+  };
+
+  int attempts = 0;
+  while (static_cast<int>(script.size()) < options.count && attempts < options.count * 20) {
+    ++attempts;
+    switch (rng.uniform_int(0, 9)) {
+      case 0:
+      case 1:
+      case 2:
+      case 3:
+        try_reroute();
+        break;
+      case 4:
+      case 5:
+      case 6:
+        try_capacity();
+        break;
+      case 7:
+        try_criticality();
+        break;
+      case 8:
+        try_add();
+        break;
+      default:
+        if (!try_remove()) try_add();
+        break;
+    }
+  }
+  return script;
+}
+
+}  // namespace cpla::eco

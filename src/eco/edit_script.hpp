@@ -1,0 +1,32 @@
+#pragma once
+
+// Deterministic ECO edit-script generation: a seeded mix of L-flip
+// reroutes of released nets, capacity nudges under released wire,
+// criticality toggles, and net add/remove — the synthetic stand-in for
+// the edit stream a timing-closure loop would feed an EcoSession. Shared
+// by the equivalence tests, bench/eco_incremental, and the CLI demo so
+// they all exercise the same distribution.
+
+#include <cstdint>
+#include <vector>
+
+#include "src/assign/state.hpp"
+#include "src/core/critical.hpp"
+#include "src/eco/delta.hpp"
+
+namespace cpla::eco {
+
+struct EditScriptOptions {
+  int count = 50;
+  std::uint64_t seed = 1;
+};
+
+/// Builds `count` deltas against `state`/`critical` *as the stream will
+/// have mutated them*: later entries account for the trees, capacities,
+/// and criticality flips earlier entries introduce (tracked internally —
+/// neither argument is modified). Every delta is valid to apply in order.
+std::vector<Delta> make_edit_script(const assign::AssignState& state,
+                                    const core::CriticalSet& critical,
+                                    const EditScriptOptions& options);
+
+}  // namespace cpla::eco

@@ -1,0 +1,69 @@
+#include "src/eco/reroute.hpp"
+
+namespace cpla::eco {
+
+route::SegTree make_two_pin_tree(grid::XY a, grid::XY b, int root_pin_layer,
+                                 int sink_pin_layer, bool vertical_first) {
+  route::SegTree tree;
+  tree.root = a;
+  tree.root_pin_layer = root_pin_layer;
+
+  route::SinkAttach sink;
+  sink.pin_index = 1;
+  sink.pin_layer = sink_pin_layer;
+
+  auto add_seg = [&tree](grid::XY from, grid::XY to, bool horizontal, int parent) {
+    route::Segment s;
+    s.id = static_cast<int>(tree.segs.size());
+    s.a = from;
+    s.b = to;
+    s.horizontal = horizontal;
+    s.parent = parent;
+    if (parent >= 0) tree.segs[parent].children.push_back(s.id);
+    tree.segs.push_back(std::move(s));
+    return tree.segs.back().id;
+  };
+
+  if (a == b) {
+    sink.seg_id = -1;  // same cell as the driver
+    tree.sinks.push_back(sink);
+    return tree;
+  }
+  if (a.y == b.y) {
+    sink.seg_id = add_seg(a, b, /*horizontal=*/true, -1);
+  } else if (a.x == b.x) {
+    sink.seg_id = add_seg(a, b, /*horizontal=*/false, -1);
+  } else if (vertical_first) {
+    const grid::XY corner{a.x, b.y};
+    const int first = add_seg(a, corner, /*horizontal=*/false, -1);
+    sink.seg_id = add_seg(corner, b, /*horizontal=*/true, first);
+  } else {
+    const grid::XY corner{b.x, a.y};
+    const int first = add_seg(a, corner, /*horizontal=*/true, -1);
+    sink.seg_id = add_seg(corner, b, /*horizontal=*/false, first);
+  }
+  tree.sinks.push_back(sink);
+  return tree;
+}
+
+Result<route::SegTree> alternate_route(const route::SegTree& tree) {
+  CPLA_CHECK(tree.segs.size() == 2 && tree.sinks.size() == 1,
+             Status(StatusCode::kBadInput, "eco: not a two-segment single-sink tree"));
+  const route::Segment& first = tree.segs[0];
+  const route::Segment& second = tree.segs[1];
+  CPLA_CHECK(first.parent == -1 && second.parent == 0 && tree.sinks[0].seg_id == 1,
+             Status(StatusCode::kBadInput, "eco: unexpected tree topology"));
+  const grid::XY a = first.a;
+  const grid::XY b = second.b;
+  CPLA_CHECK(a.x != b.x && a.y != b.y,
+             Status(StatusCode::kBadInput, "eco: degenerate L cannot be flipped"));
+
+  route::SegTree flipped =
+      make_two_pin_tree(a, b, tree.root_pin_layer, tree.sinks[0].pin_layer,
+                        /*vertical_first=*/first.horizontal);
+  flipped.net_id = tree.net_id;
+  flipped.sinks[0].pin_index = tree.sinks[0].pin_index;
+  return flipped;
+}
+
+}  // namespace cpla::eco

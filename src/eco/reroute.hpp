@@ -1,0 +1,25 @@
+#pragma once
+
+// Deterministic reroute helpers for ECO scripts, tests, and benches: build
+// the payload trees for NetRerouted / NetAdded deltas without dragging the
+// full 2-D router into an edit loop.
+
+#include "src/grid/grid_graph.hpp"
+#include "src/route/seg_tree.hpp"
+#include "src/util/status.hpp"
+
+namespace cpla::eco {
+
+/// Builds a minimal one- or two-segment tree from `a` (the driver) to `b`.
+/// A straight span yields a single segment; an L yields horizontal-first
+/// by default, vertical-first when `vertical_first` is set. `a == b`
+/// yields an empty tree (sink attached at the root).
+route::SegTree make_two_pin_tree(grid::XY a, grid::XY b, int root_pin_layer = 0,
+                                 int sink_pin_layer = 0, bool vertical_first = false);
+
+/// The canonical small ECO edit: flips a two-segment L through its other
+/// corner (pins fixed, wirelength preserved). Fails with kBadInput when
+/// the tree is not a strict two-segment, single-sink L.
+Result<route::SegTree> alternate_route(const route::SegTree& tree);
+
+}  // namespace cpla::eco

@@ -1,0 +1,81 @@
+#include "src/eco/solution_cache.hpp"
+
+#include <bit>
+
+#include "src/obs/metrics.hpp"
+#include "src/util/fault_inject.hpp"
+
+namespace cpla::eco {
+
+void CacheKey::push_double(double d) { words.push_back(std::bit_cast<std::uint64_t>(d)); }
+
+void CacheKey::finalize() {
+  // FNV-1a over the word stream (bucket selection only; equality always
+  // compares the full word vector).
+  std::uint64_t h = 1469598103934665603ull;
+  for (std::uint64_t w : words) {
+    for (int shift = 0; shift < 64; shift += 8) {
+      h ^= (w >> shift) & 0xffu;
+      h *= 1099511628211ull;
+    }
+  }
+  hash = h;
+}
+
+PartitionSolutionCache::PartitionSolutionCache(std::size_t capacity)
+    : capacity_(capacity > 0 ? capacity : 1) {}
+
+bool PartitionSolutionCache::lookup(const CacheKey& key, core::GuardedSolve* out) {
+  if (CPLA_FAULT_POINT("eco.cache.lookup")) {
+    poisoned_.store(true, std::memory_order_relaxed);
+    obs::metrics().counter("eco.cache.lookup_failures").add();
+    return false;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = map_.find(key);
+  if (it == map_.end()) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    obs::metrics().counter("eco.cache.misses").add();
+    return false;
+  }
+  lru_.splice(lru_.begin(), lru_, it->second);
+  *out = it->second->second;
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  obs::metrics().counter("eco.cache.hits").add();
+  return true;
+}
+
+void PartitionSolutionCache::insert(const CacheKey& key, const core::GuardedSolve& solve) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = map_.find(key);
+  if (it != map_.end()) {
+    lru_.splice(lru_.begin(), lru_, it->second);
+    it->second->second = solve;
+    return;
+  }
+  lru_.emplace_front(key, solve);
+  map_.emplace(key, lru_.begin());
+  insertions_.fetch_add(1, std::memory_order_relaxed);
+  obs::metrics().counter("eco.cache.insertions").add();
+  while (map_.size() > capacity_) {
+    map_.erase(lru_.back().first);
+    lru_.pop_back();
+    evictions_.fetch_add(1, std::memory_order_relaxed);
+    obs::metrics().counter("eco.cache.evictions").add();
+  }
+  obs::metrics().gauge("eco.cache.entries").set(static_cast<double>(map_.size()));
+}
+
+void PartitionSolutionCache::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  lru_.clear();
+  map_.clear();
+  obs::metrics().gauge("eco.cache.entries").set(0.0);
+}
+
+std::size_t PartitionSolutionCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return map_.size();
+}
+
+}  // namespace cpla::eco

@@ -1,0 +1,89 @@
+#pragma once
+
+// Content-addressed LRU cache of guarded partition solutions. The key is
+// the *complete* serialized input of a partition solve: the built
+// PartitionProblem plus every live-state value the solver tiers read
+// beyond it (wire usage/capacity along each var's edges per allowed layer,
+// via load/capacity at pair junctions, the partition nets' full layer
+// vectors and tree versions — see EcoSession::build_key). Because solvers
+// are deterministic functions of exactly that input, a hit replays the
+// bit-identical GuardedSolve a fresh solve would produce.
+//
+// Lookups byte-compare the full key (the 64-bit hash only picks the
+// bucket), so a hash collision degrades to a miss, never a wrong answer.
+// Entries cannot go stale — a state change alters the key, and the old
+// entry simply stops being found until LRU eviction reclaims it.
+//
+// Thread-safe: the flow's OpenMP solve phase looks up and inserts
+// concurrently; all map/list state sits behind one mutex (the guarded
+// solve dwarfs the critical section). Covered by the tsan ctest label.
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "src/core/solve_guard.hpp"
+
+namespace cpla::eco {
+
+struct CacheKey {
+  std::vector<std::uint64_t> words;
+  std::uint64_t hash = 0;  // FNV-1a over words; call finalize() after building
+
+  void push(std::uint64_t w) { words.push_back(w); }
+  void push_int(long long v) { words.push_back(static_cast<std::uint64_t>(v)); }
+  void push_double(double d);
+  void finalize();
+
+  friend bool operator==(const CacheKey& a, const CacheKey& b) { return a.words == b.words; }
+};
+
+struct CacheKeyHash {
+  std::size_t operator()(const CacheKey& k) const { return static_cast<std::size_t>(k.hash); }
+};
+
+class PartitionSolutionCache {
+ public:
+  explicit PartitionSolutionCache(std::size_t capacity = 4096);
+
+  /// True on a hit (copies the cached solution into `*out` and refreshes
+  /// LRU order). A fired `eco.cache.lookup` fault point poisons the cache
+  /// and reports a miss — the session then degrades to full_resolve().
+  bool lookup(const CacheKey& key, core::GuardedSolve* out);
+
+  /// Inserts (or refreshes) a solution, evicting least-recently-used
+  /// entries beyond capacity.
+  void insert(const CacheKey& key, const core::GuardedSolve& solve);
+
+  void clear();
+
+  std::size_t size() const;
+  std::size_t capacity() const { return capacity_; }
+
+  bool poisoned() const { return poisoned_.load(std::memory_order_relaxed); }
+  void clear_poison() { poisoned_.store(false, std::memory_order_relaxed); }
+
+  long hits() const { return hits_.load(std::memory_order_relaxed); }
+  long misses() const { return misses_.load(std::memory_order_relaxed); }
+  long evictions() const { return evictions_.load(std::memory_order_relaxed); }
+  long insertions() const { return insertions_.load(std::memory_order_relaxed); }
+
+ private:
+  using LruList = std::list<std::pair<CacheKey, core::GuardedSolve>>;
+
+  const std::size_t capacity_;
+  mutable std::mutex mu_;
+  LruList lru_;  // front = most recently used
+  std::unordered_map<CacheKey, LruList::iterator, CacheKeyHash> map_;
+  std::atomic<bool> poisoned_{false};
+  std::atomic<long> hits_{0};
+  std::atomic<long> misses_{0};
+  std::atomic<long> evictions_{0};
+  std::atomic<long> insertions_{0};
+};
+
+}  // namespace cpla::eco

@@ -1,0 +1,29 @@
+#include "src/timing/incremental.hpp"
+
+#include "src/obs/metrics.hpp"
+
+namespace cpla::timing {
+
+const NetTiming& TimingCache::get(int net, const route::SegTree& tree,
+                                  const std::vector<int>& layers, const RcTable& rc) {
+  auto it = entries_.find(net);
+  if (it != entries_.end() && it->second.layers == layers) {
+    ++hits_;
+    obs::metrics().counter("timing.incremental.hits").add();
+    return it->second.timing;
+  }
+  ++misses_;
+  obs::metrics().counter("timing.incremental.misses").add();
+  Entry entry;
+  entry.layers = layers;
+  entry.timing = compute_timing(tree, layers, rc);
+  auto [pos, inserted] = entries_.insert_or_assign(net, std::move(entry));
+  (void)inserted;
+  return pos->second.timing;
+}
+
+void TimingCache::invalidate(int net) { entries_.erase(net); }
+
+void TimingCache::clear() { entries_.clear(); }
+
+}  // namespace cpla::timing

@@ -1,0 +1,51 @@
+#pragma once
+
+// Incremental worst-sink re-evaluation for ECO loops: a per-net memo of the
+// full Elmore NetTiming, keyed by the exact layer vector it was computed
+// with. A lookup whose layers match returns the stored result verbatim —
+// the same bits a direct compute_timing() call would produce, because it
+// *was* produced by compute_timing() on identical inputs — so flows that
+// route their timing queries through the cache stay bit-identical to the
+// uncached path. Entries self-validate on the layer vector; only a change
+// of the underlying routing tree (an ECO reroute) requires an explicit
+// invalidate(net).
+//
+// Not thread-safe: the flow only evaluates timing from its sequential
+// sections (snapshots, commits, convergence checks).
+
+#include <unordered_map>
+#include <vector>
+
+#include "src/route/seg_tree.hpp"
+#include "src/timing/elmore.hpp"
+#include "src/timing/rc_table.hpp"
+
+namespace cpla::timing {
+
+class TimingCache {
+ public:
+  /// Returns the NetTiming of `net` under `layers`, computing and storing
+  /// it on a miss. The reference stays valid until the next non-const call.
+  const NetTiming& get(int net, const route::SegTree& tree, const std::vector<int>& layers,
+                       const RcTable& rc);
+
+  /// Drops the entry for `net` (required after the net's tree changed; a
+  /// pure layer change is caught by the exact-vector compare instead).
+  void invalidate(int net);
+
+  void clear();
+
+  long hits() const { return hits_; }
+  long misses() const { return misses_; }
+
+ private:
+  struct Entry {
+    std::vector<int> layers;
+    NetTiming timing;
+  };
+  std::unordered_map<int, Entry> entries_;
+  long hits_ = 0;
+  long misses_ = 0;
+};
+
+}  // namespace cpla::timing

@@ -27,11 +27,18 @@ inline constexpr char kSdpSolveIterlimit[] = "sdp.solve.iterlimit";
 // core: solve-guard escalation triggers.
 inline constexpr char kSolveGuardDeadline[] = "solve_guard.deadline";
 
+// eco: incremental-resolve degradation triggers (EcoSession falls back to
+// full_resolve() when either fires).
+inline constexpr char kEcoCacheLookup[] = "eco.cache.lookup";
+inline constexpr char kEcoResolvePartition[] = "eco.resolve.partition";
+
 inline constexpr const char* kAll[] = {
     kLaCholeskyFactor,
     kSdpSolveNumerical,
     kSdpSolveIterlimit,
     kSolveGuardDeadline,
+    kEcoCacheLookup,
+    kEcoResolvePartition,
 };
 
 inline constexpr std::size_t kCount = sizeof(kAll) / sizeof(kAll[0]);

@@ -1,0 +1,326 @@
+// Unit tests for the ECO subsystem building blocks — deltas, reroute
+// helpers, the content-addressed solution cache, the assign-state ECO
+// mutators, the timing cache — plus EcoSession end-to-end behavior
+// (warm-cache hits, dirty/clean accounting, stats). Carries the `eco` and
+// `tsan` labels: the cache is hammered from an OpenMP region below.
+
+#include <gtest/gtest.h>
+
+#ifdef _OPENMP
+#include <omp.h>
+#endif
+
+#include <algorithm>
+#include <vector>
+
+#include "src/eco/delta.hpp"
+#include "src/eco/eco_session.hpp"
+#include "src/eco/edit_script.hpp"
+#include "src/eco/reroute.hpp"
+#include "src/eco/solution_cache.hpp"
+#include "src/timing/elmore.hpp"
+#include "src/timing/incremental.hpp"
+#include "tests/eco/eco_test_util.hpp"
+
+namespace cpla::eco {
+namespace {
+
+// --- Rect / region helpers -------------------------------------------
+
+TEST(RectTest, IntersectsIsHalfOpen) {
+  const Rect r{2, 3, 5, 6};
+  EXPECT_TRUE(intersects(r, 4, 5, 10, 10));
+  EXPECT_FALSE(intersects(r, 5, 3, 10, 10));  // touching edges don't overlap
+  EXPECT_FALSE(intersects(r, 0, 6, 10, 10));
+  EXPECT_TRUE(intersects(r, 0, 0, 3, 4));
+  EXPECT_FALSE(intersects(Rect{}, 0, 0, 10, 10));  // empty rect hits nothing
+}
+
+TEST(RectTest, TreeBboxCoversAllSegments) {
+  const route::SegTree tree = make_two_pin_tree({2, 7}, {6, 3});
+  const Rect b = tree_bbox(tree);
+  EXPECT_EQ(b.x0, 2);
+  EXPECT_EQ(b.y0, 3);
+  EXPECT_EQ(b.x1, 7);  // half-open: max coordinate + 1
+  EXPECT_EQ(b.y1, 8);
+  EXPECT_TRUE(tree_bbox(route::SegTree{}).empty());
+}
+
+// --- Reroute helpers --------------------------------------------------
+
+TEST(RerouteTest, TwoPinTreeShapes) {
+  // Straight span: one segment, sink on it.
+  const route::SegTree straight = make_two_pin_tree({1, 4}, {5, 4});
+  ASSERT_EQ(straight.segs.size(), 1u);
+  EXPECT_TRUE(straight.segs[0].horizontal);
+  ASSERT_EQ(straight.sinks.size(), 1u);
+  EXPECT_EQ(straight.sinks[0].seg_id, 0);
+
+  // L: two segments, child hangs off the root, sink at the far end.
+  const route::SegTree ell = make_two_pin_tree({1, 1}, {4, 6});
+  ASSERT_EQ(ell.segs.size(), 2u);
+  EXPECT_EQ(ell.segs[0].parent, -1);
+  EXPECT_EQ(ell.segs[1].parent, 0);
+  EXPECT_EQ(ell.sinks[0].seg_id, 1);
+
+  // Degenerate: same cell, empty tree.
+  EXPECT_TRUE(make_two_pin_tree({3, 3}, {3, 3}).segs.empty());
+}
+
+TEST(RerouteTest, AlternateRouteFlipsTheCorner) {
+  const route::SegTree ell = make_two_pin_tree({1, 1}, {4, 6});
+  Result<route::SegTree> flipped = alternate_route(ell);
+  ASSERT_TRUE(flipped.is_ok());
+  ASSERT_EQ(flipped.value().segs.size(), 2u);
+  // Orientation of the first segment flips; pins stay fixed.
+  EXPECT_NE(flipped.value().segs[0].horizontal, ell.segs[0].horizontal);
+
+  // Flipping twice restores the original shape.
+  Result<route::SegTree> back = alternate_route(flipped.value());
+  ASSERT_TRUE(back.is_ok());
+  EXPECT_EQ(back.value().segs[0].horizontal, ell.segs[0].horizontal);
+  EXPECT_EQ(back.value().segs[0].a.x, ell.segs[0].a.x);
+  EXPECT_EQ(back.value().segs[0].a.y, ell.segs[0].a.y);
+
+  // A straight tree has no alternate corner.
+  EXPECT_FALSE(alternate_route(make_two_pin_tree({1, 4}, {5, 4})).is_ok());
+}
+
+// --- AssignState ECO mutators ----------------------------------------
+
+TEST(StateMutatorTest, ReplaceAddRemoveKeepIdsStable) {
+  core::Prepared bench = make_bench(11, 12, 40);
+  assign::AssignState& state = *bench.state;
+  const int n = state.num_nets();
+
+  const int added = state.add_net(make_two_pin_tree({1, 1}, {5, 5}));
+  EXPECT_EQ(added, n);
+  EXPECT_EQ(state.num_nets(), n + 1);
+  EXPECT_TRUE(state.assigned(added));
+  EXPECT_EQ(state.layers(added).size(), state.tree(added).segs.size());
+
+  // Replacing the tree re-derives the default assignment for the new shape.
+  state.replace_tree(added, make_two_pin_tree({5, 1}, {1, 5}));
+  EXPECT_EQ(state.layers(added).size(), state.tree(added).segs.size());
+
+  const long wire_before = state.wire_overflow();
+  state.remove_net(added);
+  EXPECT_EQ(state.num_nets(), n + 1);  // id survives as an empty slot
+  EXPECT_TRUE(state.tree(added).segs.empty());
+  EXPECT_LE(state.wire_overflow(), wire_before);
+}
+
+// --- Delta application ------------------------------------------------
+
+TEST(DeltaTest, CapacityAdjustedWritesThroughTheDesign) {
+  core::Prepared bench = make_bench(12, 12, 40);
+  core::CriticalSet critical = core::select_critical(*bench.state, *bench.rc, 0.05);
+  const auto& g = bench.design->grid;
+
+  int layer = 0;
+  while (!g.is_horizontal(layer)) ++layer;
+  const int edge = g.h_edge_id(2, 3);
+  const int before = g.edge_capacity(layer, edge);
+
+  Result<int> r = apply_delta(Delta::capacity_adjusted(layer, 2, 3, before + 2),
+                              bench.design.get(), bench.state.get(), &critical);
+  ASSERT_TRUE(r.is_ok());
+  EXPECT_EQ(r.value(), -1);
+  EXPECT_EQ(g.edge_capacity(layer, edge), before + 2);
+  EXPECT_EQ(bench.state->wire_cap(layer, edge), before + 2);
+}
+
+TEST(DeltaTest, CriticalityToggleMaintainsTheReleasedSet) {
+  core::Prepared bench = make_bench(13, 12, 40);
+  core::CriticalSet critical = core::select_critical(*bench.state, *bench.rc, 0.05);
+  ASSERT_FALSE(critical.nets.empty());
+  const int net = critical.nets.front();
+
+  ASSERT_TRUE(apply_delta(Delta::criticality_changed(net, false), bench.design.get(),
+                          bench.state.get(), &critical)
+                  .is_ok());
+  EXPECT_FALSE(critical.released[net]);
+  EXPECT_EQ(std::count(critical.nets.begin(), critical.nets.end(), net), 0);
+
+  ASSERT_TRUE(apply_delta(Delta::criticality_changed(net, true), bench.design.get(),
+                          bench.state.get(), &critical)
+                  .is_ok());
+  EXPECT_TRUE(critical.released[net]);
+  EXPECT_EQ(std::count(critical.nets.begin(), critical.nets.end(), net), 1);
+}
+
+TEST(DeltaTest, InvalidDeltasRejectWithoutMutation) {
+  core::Prepared bench = make_bench(14, 12, 40);
+  core::CriticalSet critical = core::select_critical(*bench.state, *bench.rc, 0.05);
+  const auto& g = bench.design->grid;
+
+  // Out-of-range net.
+  EXPECT_FALSE(apply_delta(Delta::net_removed(bench.state->num_nets() + 7), bench.design.get(),
+                           bench.state.get(), &critical)
+                   .is_ok());
+  // Out-of-grid capacity target.
+  EXPECT_FALSE(apply_delta(Delta::capacity_adjusted(0, g.xsize() + 1, 0, 4), bench.design.get(),
+                           bench.state.get(), &critical)
+                   .is_ok());
+  // Out-of-grid tree.
+  route::SegTree bad = make_two_pin_tree({0, 0}, {g.xsize() + 3, 0});
+  EXPECT_FALSE(
+      apply_delta(Delta::net_added(bad), bench.design.get(), bench.state.get(), &critical)
+          .is_ok());
+}
+
+// --- PartitionSolutionCache -------------------------------------------
+
+CacheKey key_of(std::uint64_t a, std::uint64_t b) {
+  CacheKey k;
+  k.push(a);
+  k.push(b);
+  k.finalize();
+  return k;
+}
+
+core::GuardedSolve solve_of(int tag) {
+  core::GuardedSolve s;
+  s.result.pick = {tag};
+  s.tier = core::GuardTier::kPrimary;
+  return s;
+}
+
+TEST(SolutionCacheTest, LruEvictsTheColdestEntry) {
+  PartitionSolutionCache cache(2);
+  cache.insert(key_of(1, 1), solve_of(1));
+  cache.insert(key_of(2, 2), solve_of(2));
+
+  core::GuardedSolve out;
+  ASSERT_TRUE(cache.lookup(key_of(1, 1), &out));  // refresh 1 -> 2 is coldest
+  cache.insert(key_of(3, 3), solve_of(3));        // evicts 2
+
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_FALSE(cache.lookup(key_of(2, 2), &out));
+  ASSERT_TRUE(cache.lookup(key_of(1, 1), &out));
+  EXPECT_EQ(out.result.pick, std::vector<int>{1});
+  EXPECT_EQ(cache.evictions(), 1);
+}
+
+TEST(SolutionCacheTest, HashCollisionIsAMissNeverAWrongAnswer) {
+  PartitionSolutionCache cache(8);
+  CacheKey a = key_of(10, 20);
+  CacheKey b = key_of(30, 40);
+  b.hash = a.hash;  // force the two keys into the same bucket
+
+  cache.insert(a, solve_of(1));
+  core::GuardedSolve out;
+  EXPECT_FALSE(cache.lookup(b, &out));  // full word compare rejects it
+  ASSERT_TRUE(cache.lookup(a, &out));
+  EXPECT_EQ(out.result.pick, std::vector<int>{1});
+}
+
+TEST(SolutionCacheTest, InsertRefreshesAnExistingKey) {
+  PartitionSolutionCache cache(4);
+  cache.insert(key_of(1, 1), solve_of(1));
+  cache.insert(key_of(1, 1), solve_of(9));
+  EXPECT_EQ(cache.size(), 1u);
+  core::GuardedSolve out;
+  ASSERT_TRUE(cache.lookup(key_of(1, 1), &out));
+  EXPECT_EQ(out.result.pick, std::vector<int>{9});
+}
+
+TEST(SolutionCacheTest, ConcurrentMixedAccessIsRaceFree) {
+  // Shape mirrors the flow's OpenMP solve phase: many threads looking up
+  // and inserting overlapping keys. Run under the tsan preset this is the
+  // race-detector's stand over the cache's one-mutex design.
+  PartitionSolutionCache cache(64);
+  const int kIters = 2000;
+#ifdef _OPENMP
+#pragma omp parallel for
+#endif
+  for (int i = 0; i < kIters; ++i) {
+    const CacheKey key = key_of(static_cast<std::uint64_t>(i % 97), 5);
+    core::GuardedSolve out;
+    if (!cache.lookup(key, &out)) cache.insert(key, solve_of(i % 97));
+  }
+  EXPECT_LE(cache.size(), 64u);
+  EXPECT_GT(cache.hits() + cache.misses(), 0);
+}
+
+// --- TimingCache ------------------------------------------------------
+
+TEST(TimingCacheTest, HitIsBitIdenticalAndInvalidateForcesRecompute) {
+  core::Prepared bench = make_bench(15, 12, 40);
+  timing::TimingCache cache;
+  int net = 0;
+  while (bench.state->tree(net).segs.empty()) ++net;
+
+  const auto& first = cache.get(net, bench.state->tree(net), bench.state->layers(net), *bench.rc);
+  const timing::NetTiming direct =
+      timing::compute_timing(bench.state->tree(net), bench.state->layers(net), *bench.rc);
+  EXPECT_EQ(first.max_sink_delay, direct.max_sink_delay);
+  EXPECT_EQ(cache.misses(), 1);
+
+  const auto& again = cache.get(net, bench.state->tree(net), bench.state->layers(net), *bench.rc);
+  EXPECT_EQ(again.max_sink_delay, direct.max_sink_delay);
+  EXPECT_EQ(cache.hits(), 1);
+
+  cache.invalidate(net);
+  cache.get(net, bench.state->tree(net), bench.state->layers(net), *bench.rc);
+  EXPECT_EQ(cache.misses(), 2);
+}
+
+// --- EcoSession end-to-end --------------------------------------------
+
+TEST(EcoSessionTest, ApplyRecordsDeltasAndInvalidatesTiming) {
+  core::Prepared bench = make_bench(16);
+  EcoOptions opt;
+  opt.critical_ratio = 0.03;
+  EcoSession session(bench.design.get(), bench.state.get(), bench.rc.get(), opt);
+  ASSERT_FALSE(session.critical().nets.empty());
+
+  const std::vector<Delta> script =
+      make_edit_script(*bench.state, session.critical(), {.count = 10, .seed = 3});
+  ASSERT_EQ(script.size(), 10u);
+  for (const Delta& d : script) ASSERT_TRUE(session.apply(d).is_ok()) << to_string(d.kind);
+  EXPECT_EQ(session.stats().deltas_applied, 10);
+}
+
+TEST(EcoSessionTest, SecondResolveIsServedFromTheCache) {
+  core::Prepared bench = make_bench(17);
+  EcoOptions opt;
+  opt.critical_ratio = 0.03;
+  EcoSession session(bench.design.get(), bench.state.get(), bench.rc.get(), opt);
+
+  core::OptimizeResult first = session.resolve();
+  EXPECT_TRUE(first.status.is_ok());
+  const EcoStats after_first = session.stats();
+  EXPECT_GT(after_first.cache_misses, 0);  // cold cache: everything misses
+  EXPECT_EQ(after_first.fallbacks, 0);
+
+  // No deltas in between: the converged final round of the first resolve
+  // re-appears as the first round of the second, so keys match and replay.
+  core::OptimizeResult second = session.resolve();
+  EXPECT_TRUE(second.status.is_ok());
+  const EcoStats after_second = session.stats();
+  EXPECT_GT(after_second.cache_hits, 0);
+  EXPECT_EQ(after_second.resolves, 2);
+  EXPECT_EQ(after_second.full_resolves, 0);
+}
+
+TEST(EcoSessionTest, DirtyAndCleanPartitionsAreBothAccounted) {
+  core::Prepared bench = make_bench(18);
+  EcoOptions opt;
+  opt.critical_ratio = 0.03;
+  EcoSession session(bench.design.get(), bench.state.get(), bench.rc.get(), opt);
+  session.resolve();  // warm the cache with a clean baseline pass
+
+  const std::vector<Delta> script =
+      make_edit_script(session.state(), session.critical(), {.count = 4, .seed = 7});
+  for (const Delta& d : script) ASSERT_TRUE(session.apply(d).is_ok());
+  session.resolve();
+
+  const EcoStats s = session.stats();
+  EXPECT_GT(s.dirty_partitions, 0);  // delta regions marked someone dirty
+  EXPECT_GT(s.clean_partitions, 0);  // but far from everyone
+  EXPECT_EQ(s.fallbacks, 0);
+}
+
+}  // namespace
+}  // namespace cpla::eco

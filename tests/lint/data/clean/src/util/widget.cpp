@@ -5,4 +5,5 @@ bool widget_solve() {
 }
 void instrument() {
   obs::metrics().counter("widget.solves").add();
+  obs::metrics().counter("eco.cache.hits").add();
 }

@@ -3,5 +3,7 @@ void test_widget() {
   auto reg = LocalRegistry();
   reg.counter("test.local.name").add();  // local registry: exempt
   auto v = obs::metrics().counter("widget.solves").value();
+  auto h = obs::metrics().counter("eco.cache.hits").value();
   (void)v;
+  (void)h;
 }

@@ -1,3 +1,4 @@
 void instrument() {
   obs::metrics().counter("core.widget.solves").add();
+  obs::metrics().counter("eco.cache.hits").add();
 }

@@ -1,4 +1,6 @@
 void check_counters() {
   auto v = obs::metrics().counter("core.widget.sloves").value();  // typo'd name
+  auto h = obs::metrics().counter("eco.cache.hit").value();  // missing trailing s
   (void)v;
+  (void)h;
 }
