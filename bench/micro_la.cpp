@@ -1,0 +1,111 @@
+// Dense linear-algebra micro-benchmarks (google-benchmark): the blocked
+// kernels under src/la and the BlockMatrix operations the SDP solver leans
+// on. Sizes bracket the partition-scale regime (tens to ~200) and include
+// the odd tails the blocking scheme must handle.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/micro_main.hpp"
+
+#include "src/la/cholesky.hpp"
+#include "src/sdp/blockmat.hpp"
+#include "src/util/rng.hpp"
+
+namespace {
+
+using namespace cpla;
+
+la::Matrix random_dense(std::size_t rows, std::size_t cols, Rng* rng) {
+  la::Matrix m(rows, cols);
+  for (std::size_t r = 0; r < rows; ++r)
+    for (std::size_t c = 0; c < cols; ++c) m(r, c) = rng->normal();
+  return m;
+}
+
+la::Matrix random_spd(std::size_t n, Rng* rng) {
+  la::Matrix g = random_dense(n, n, rng);
+  la::Matrix a = g * g.transposed();
+  for (std::size_t i = 0; i < n; ++i) a(i, i) += static_cast<double>(n);
+  return a;
+}
+
+sdp::BlockMatrix random_block_spd(std::size_t blocks, std::size_t dim, Rng* rng) {
+  sdp::BlockStructure structure(
+      blocks, sdp::BlockSpec{sdp::BlockSpec::Kind::kDense, static_cast<int>(dim)});
+  sdp::BlockMatrix m(structure);
+  for (std::size_t k = 0; k < blocks; ++k) m.dense(k) = random_spd(dim, rng);
+  return m;
+}
+
+void BM_Gemm(benchmark::State& state) {
+  Rng rng(11);
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const la::Matrix a = random_dense(n, n, &rng);
+  const la::Matrix b = random_dense(n, n, &rng);
+  for (auto _ : state) {
+    la::Matrix c = a * b;
+    benchmark::DoNotOptimize(c);
+  }
+}
+BENCHMARK(BM_Gemm)->Arg(32)->Arg(64)->Arg(128)->Arg(192);
+
+void BM_CholeskyFactor(benchmark::State& state) {
+  Rng rng(12);
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const la::Matrix a = random_spd(n, &rng);
+  for (auto _ : state) {
+    auto chol = la::Cholesky::factor(a);
+    benchmark::DoNotOptimize(chol);
+  }
+}
+BENCHMARK(BM_CholeskyFactor)->Arg(32)->Arg(64)->Arg(128)->Arg(192);
+
+void BM_CholeskySolveMatrix(benchmark::State& state) {
+  Rng rng(13);
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto chol = la::Cholesky::factor(random_spd(n, &rng));
+  const la::Matrix b = random_dense(n, n, &rng);
+  for (auto _ : state) {
+    la::Matrix x = chol->solve(b);
+    benchmark::DoNotOptimize(x);
+  }
+}
+BENCHMARK(BM_CholeskySolveMatrix)->Arg(32)->Arg(64)->Arg(128);
+
+void BM_CholeskyInverse(benchmark::State& state) {
+  Rng rng(14);
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto chol = la::Cholesky::factor(random_spd(n, &rng));
+  for (auto _ : state) {
+    la::Matrix inv = chol->inverse();
+    benchmark::DoNotOptimize(inv);
+  }
+}
+BENCHMARK(BM_CholeskyInverse)->Arg(32)->Arg(64)->Arg(128);
+
+void BM_BlockMultiply(benchmark::State& state) {
+  Rng rng(15);
+  const auto dim = static_cast<std::size_t>(state.range(0));
+  const sdp::BlockMatrix a = random_block_spd(8, dim, &rng);
+  const sdp::BlockMatrix b = random_block_spd(8, dim, &rng);
+  for (auto _ : state) {
+    sdp::BlockMatrix c = multiply(a, b);
+    benchmark::DoNotOptimize(c);
+  }
+}
+BENCHMARK(BM_BlockMultiply)->Arg(32)->Arg(64);
+
+void BM_BlockCholeskyFactor(benchmark::State& state) {
+  Rng rng(16);
+  const auto dim = static_cast<std::size_t>(state.range(0));
+  const sdp::BlockMatrix a = random_block_spd(8, dim, &rng);
+  for (auto _ : state) {
+    auto chol = sdp::BlockCholesky::factor(a);
+    benchmark::DoNotOptimize(chol);
+  }
+}
+BENCHMARK(BM_BlockCholeskyFactor)->Arg(32)->Arg(64);
+
+}  // namespace
+
+CPLA_MICRO_BENCH_MAIN("micro_la")

@@ -101,6 +101,60 @@ void BM_SdpMinEigenvalue(benchmark::State& state) {
 }
 BENCHMARK(BM_SdpMinEigenvalue)->Arg(8)->Arg(24)->Arg(48);
 
+// A lifted-partition-style instance shaped like the SDPs core/sdp_engine.cpp
+// emits: dense block of 1 + vars*layers binary-relaxation variables, a diag
+// slack block, and the characteristic constraint mix (Y00 pin, diagonal
+// linkage, one-layer-per-segment rows, capacity rows with slack). This is
+// the solver's production workload; m grows with the dense dimension, so it
+// exercises the Schur assembly much harder than the single-constraint
+// min-eigenvalue case above.
+sdp::SdpProblem lifted_partition_problem(int vars, int layers, Rng* rng) {
+  const int dense_dim = 1 + vars * layers;
+  const int caps = vars;
+  sdp::SdpProblem p({sdp::BlockSpec{sdp::BlockSpec::Kind::kDense, dense_dim},
+                     sdp::BlockSpec{sdp::BlockSpec::Kind::kDiag, caps}});
+  for (int k = 1; k < dense_dim; ++k) {
+    p.add_objective_entry(0, 0, k, 0.5 * rng->uniform(0.1, 1.0));
+  }
+  for (int k = 1; k + layers < dense_dim; ++k) {
+    p.add_objective_entry(0, k, k + layers, rng->uniform(-0.2, 0.2));
+  }
+  const int c0 = p.add_constraint(1.0);
+  p.add_entry(c0, 0, 0, 0, 1.0);
+  for (int k = 1; k < dense_dim; ++k) {
+    const int c = p.add_constraint(0.0);
+    p.add_entry(c, 0, k, k, 1.0);
+    p.add_entry(c, 0, 0, k, -0.5);
+  }
+  for (int v = 0; v < vars; ++v) {
+    const int c = p.add_constraint(1.0);
+    for (int l = 0; l < layers; ++l) {
+      p.add_entry(c, 0, 0, 1 + v * layers + l, 0.5);
+    }
+  }
+  for (int r = 0; r < caps; ++r) {
+    const int c = p.add_constraint(rng->uniform(1.0, 2.0));
+    for (int v = 0; v < vars; ++v) {
+      if (!rng->chance(0.4)) continue;
+      const int l = static_cast<int>(rng->uniform_int(0, layers - 1));
+      p.add_entry(c, 0, 0, 1 + v * layers + l, 0.5 * rng->uniform(0.5, 1.0));
+    }
+    p.add_entry(c, 1, r, r, 1.0);
+  }
+  return p;
+}
+
+void BM_SdpLiftedPartition(benchmark::State& state) {
+  Rng rng(6);
+  const int vars = static_cast<int>(state.range(0));
+  const sdp::SdpProblem p = lifted_partition_problem(vars, /*layers=*/4, &rng);
+  for (auto _ : state) {
+    auto r = sdp::solve(p);
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_SdpLiftedPartition)->Arg(8)->Arg(16)->Arg(24);
+
 }  // namespace
 
 CPLA_MICRO_BENCH_MAIN("micro_solvers")

@@ -68,12 +68,17 @@ CplaResult run_cpla(assign::AssignState* state, const timing::RcTable& rc,
   };
 
   // The per-partition solve, routed through the ECO hook when one is set.
+  // A serial run (options.parallel == false) must stay serial all the way
+  // down, so the flow-level flag also gates the SDP solver's inner OpenMP.
+  sdp::SdpOptions sdp_opts = options.sdp;
+  sdp_opts.parallel = sdp_opts.parallel && options.parallel;
   const PartitionSolveFn solve_one =
       options.partition_solver
           ? options.partition_solver
-          : PartitionSolveFn([&options](const PartitionProblem& p, const assign::AssignState& s,
-                                        GuardStats* stats) {
-              return guarded_solve(p, s, options.engine, options.sdp, options.ilp,
+          : PartitionSolveFn([&options, sdp_opts](const PartitionProblem& p,
+                                                  const assign::AssignState& s,
+                                                  GuardStats* stats) {
+              return guarded_solve(p, s, options.engine, sdp_opts, options.ilp,
                                    options.guard, stats);
             });
   const auto [avg0, max0] = timing_now();

@@ -257,6 +257,7 @@ EngineResult solve_partition_sdp(const PartitionProblem& p, const assign::Assign
     case sdp::SdpStatus::kNumerical: result.code = StatusCode::kNumericalFailure; break;
     case sdp::SdpStatus::kDeadline: result.code = StatusCode::kDeadlineExceeded; break;
     case sdp::SdpStatus::kIterLimit: result.code = StatusCode::kIterationLimit; break;
+    case sdp::SdpStatus::kBadProblem: result.code = StatusCode::kBadInput; break;
     default: break;
   }
 

@@ -1,5 +1,6 @@
 #include "src/la/cholesky.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "src/obs/metrics.hpp"
@@ -16,23 +17,60 @@ std::optional<Cholesky> Cholesky::factor(const Matrix& a) {
     failures.add();
     return std::nullopt;
   }
+  // Blocked right-looking factorization: factor a kNb-wide diagonal panel,
+  // solve the rows below it, then fold the panel into the trailing
+  // submatrix with row-dot updates. The panel width is a compile-time
+  // constant, so the reduction order per entry is fixed and the factor is
+  // bit-identical run to run.
+  constexpr std::size_t kNb = 48;
   const std::size_t n = a.rows();
   Matrix l(n, n);
-  for (std::size_t j = 0; j < n; ++j) {
-    double diag = a(j, j);
-    for (std::size_t k = 0; k < j; ++k) diag -= l(j, k) * l(j, k);
-    if (!(diag > 0.0) || !std::isfinite(diag)) {
-      failures.add();
-      return std::nullopt;
-    }
-    const double ljj = std::sqrt(diag);
-    l(j, j) = ljj;
-    for (std::size_t i = j + 1; i < n; ++i) {
-      double sum = a(i, j);
-      const double* li = l.row_ptr(i);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double* arow = a.row_ptr(i);
+    double* lrow = l.row_ptr(i);
+    for (std::size_t j = 0; j <= i; ++j) lrow[j] = arow[j];
+  }
+  for (std::size_t j0 = 0; j0 < n; j0 += kNb) {
+    const std::size_t jb = std::min(kNb, n - j0);
+    // Factor the diagonal block in place (unblocked; contributions from
+    // columns < j0 were already subtracted by earlier trailing updates).
+    for (std::size_t j = j0; j < j0 + jb; ++j) {
       const double* lj = l.row_ptr(j);
-      for (std::size_t k = 0; k < j; ++k) sum -= li[k] * lj[k];
-      l(i, j) = sum / ljj;
+      double diag = lj[j];
+      for (std::size_t k = j0; k < j; ++k) diag -= lj[k] * lj[k];
+      if (!(diag > 0.0) || !std::isfinite(diag)) {
+        failures.add();
+        return std::nullopt;
+      }
+      const double ljj = std::sqrt(diag);
+      l(j, j) = ljj;
+      for (std::size_t i = j + 1; i < j0 + jb; ++i) {
+        double* li = l.row_ptr(i);
+        double sum = li[j];
+        for (std::size_t k = j0; k < j; ++k) sum -= li[k] * lj[k];
+        li[j] = sum / ljj;
+      }
+    }
+    // Panel solve: L21 = A21 L11^{-T} for the rows below the block.
+    for (std::size_t i = j0 + jb; i < n; ++i) {
+      double* li = l.row_ptr(i);
+      for (std::size_t j = j0; j < j0 + jb; ++j) {
+        const double* lj = l.row_ptr(j);
+        double sum = li[j];
+        for (std::size_t k = j0; k < j; ++k) sum -= li[k] * lj[k];
+        li[j] = sum / lj[j];
+      }
+    }
+    // Trailing update: A22 -= L21 L21^T (lower triangle only), as dot
+    // products of contiguous panel rows.
+    for (std::size_t i = j0 + jb; i < n; ++i) {
+      const double* li = l.row_ptr(i) + j0;
+      for (std::size_t j = j0 + jb; j <= i; ++j) {
+        const double* lj = l.row_ptr(j) + j0;
+        double sum = 0.0;
+        for (std::size_t k = 0; k < jb; ++k) sum += li[k] * lj[k];
+        l(i, j) -= sum;
+      }
     }
   }
   return Cholesky(std::move(l));
@@ -60,18 +98,76 @@ Vector Cholesky::solve(const Vector& b) const {
 }
 
 Matrix Cholesky::solve(const Matrix& b) const {
-  CPLA_ASSERT(b.rows() == dim());
-  Matrix x(b.rows(), b.cols());
-  Vector col(b.rows());
-  for (std::size_t c = 0; c < b.cols(); ++c) {
-    for (std::size_t r = 0; r < b.rows(); ++r) col[r] = b(r, c);
-    Vector sol = solve(col);
-    for (std::size_t r = 0; r < b.rows(); ++r) x(r, c) = sol[r];
+  const std::size_t n = dim();
+  CPLA_ASSERT(b.rows() == n);
+  const std::size_t m = b.cols();
+  // True multi-RHS substitution: all columns move through the forward and
+  // backward sweeps together as contiguous row operations, instead of
+  // copying out one column at a time. Per column the arithmetic order is
+  // identical to the single-RHS path.
+  Matrix x = b;
+  for (std::size_t i = 0; i < n; ++i) {
+    double* xi = x.row_ptr(i);
+    const double* li = l_.row_ptr(i);
+    for (std::size_t k = 0; k < i; ++k) {
+      const double lik = li[k];
+      if (lik == 0.0) continue;
+      const double* xk = x.row_ptr(k);
+      for (std::size_t c = 0; c < m; ++c) xi[c] -= lik * xk[c];
+    }
+    const double lii = li[i];
+    for (std::size_t c = 0; c < m; ++c) xi[c] /= lii;
+  }
+  for (std::size_t i = n; i-- > 0;) {
+    double* xi = x.row_ptr(i);
+    for (std::size_t k = i + 1; k < n; ++k) {
+      const double lki = l_(k, i);
+      if (lki == 0.0) continue;
+      const double* xk = x.row_ptr(k);
+      for (std::size_t c = 0; c < m; ++c) xi[c] -= lki * xk[c];
+    }
+    const double lii = l_(i, i);
+    for (std::size_t c = 0; c < m; ++c) xi[c] /= lii;
   }
   return x;
 }
 
-Matrix Cholesky::inverse() const { return solve(Matrix::identity(dim())); }
+Matrix Cholesky::inverse() const {
+  const std::size_t n = dim();
+  // Triangular inverse route: forward-substitute L R = I exploiting that
+  // row i of R = L^{-1} has support [0..i], then form A^{-1} = R^T R from
+  // R's rows (lower triangle only, mirrored at the end). Roughly 2n^3/3
+  // flops with contiguous row access, versus the n^3 general solve this
+  // replaced.
+  Matrix r(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    double* ri = r.row_ptr(i);
+    const double* li = l_.row_ptr(i);
+    ri[i] = 1.0;
+    for (std::size_t k = 0; k < i; ++k) {
+      const double lik = li[k];
+      if (lik == 0.0) continue;
+      const double* rk = r.row_ptr(k);
+      for (std::size_t c = 0; c <= k; ++c) ri[c] -= lik * rk[c];
+    }
+    const double lii = li[i];
+    for (std::size_t c = 0; c <= i; ++c) ri[c] /= lii;
+  }
+  Matrix out(n, n);
+  for (std::size_t k = 0; k < n; ++k) {
+    const double* rk = r.row_ptr(k);
+    for (std::size_t i = 0; i <= k; ++i) {
+      const double v = rk[i];
+      if (v == 0.0) continue;
+      double* oi = out.row_ptr(i);
+      for (std::size_t c = 0; c <= i; ++c) oi[c] += v * rk[c];
+    }
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t c = 0; c < i; ++c) out(c, i) = out(i, c);
+  }
+  return out;
+}
 
 double Cholesky::log_det() const {
   double sum = 0.0;

@@ -20,10 +20,10 @@ class Cholesky {
   /// Solves A x = b.
   Vector solve(const Vector& b) const;
 
-  /// Solves A X = B column-by-column.
+  /// Solves A X = B for all columns at once (multi-RHS substitution).
   Matrix solve(const Matrix& b) const;
 
-  /// A^{-1} (dense).
+  /// A^{-1} (dense, symmetric) via the triangular inverse of L.
   Matrix inverse() const;
 
   /// log det(A) = 2 sum log L_ii.

@@ -16,6 +16,14 @@ EigenSym eigen_sym(const Matrix& a, int max_sweeps, double tol) {
   Matrix d = a;
   Matrix v = Matrix::identity(n);
 
+  // Normalize to unit max magnitude before sweeping. Without this, inputs
+  // scaled far from 1 break both stopping rules: the `1 +` floor in the
+  // convergence test swamps a tiny-norm matrix (it "converges" unrotated),
+  // and huge entries overflow the off-diagonal sum of squares. Eigenvalues
+  // are scaled back on exit; eigenvectors are scale-invariant.
+  const double input_scale = d.max_abs();
+  if (input_scale > 0.0 && input_scale != 1.0) d.scale(1.0 / input_scale);
+
   for (int sweep = 0; sweep < max_sweeps; ++sweep) {
     double off = 0.0;
     for (std::size_t p = 0; p < n; ++p) {
@@ -26,7 +34,12 @@ EigenSym eigen_sym(const Matrix& a, int max_sweeps, double tol) {
     for (std::size_t p = 0; p < n; ++p) {
       for (std::size_t q = p + 1; q < n; ++q) {
         const double apq = d(p, q);
-        if (std::fabs(apq) < 1e-300) continue;
+        // Skip rotations that cannot change d relative to the local
+        // diagonal (an absolute threshold misfires once the whole matrix
+        // is uniformly tiny or huge). Also catches apq == 0 exactly, where
+        // the rotation angle below would divide by zero.
+        const double local = std::fabs(d(p, p)) + std::fabs(d(q, q));
+        if (std::fabs(apq) <= 1e-18 * local) continue;
         const double theta = (d(q, q) - d(p, p)) / (2.0 * apq);
         const double t = (theta >= 0.0 ? 1.0 : -1.0) /
                          (std::fabs(theta) + std::sqrt(theta * theta + 1.0));
@@ -64,8 +77,9 @@ EigenSym eigen_sym(const Matrix& a, int max_sweeps, double tol) {
   EigenSym out;
   out.values.resize(n);
   out.vectors = Matrix(n, n);
+  const double unscale = (input_scale > 0.0 && input_scale != 1.0) ? input_scale : 1.0;
   for (std::size_t j = 0; j < n; ++j) {
-    out.values[j] = d(order[j], order[j]);
+    out.values[j] = d(order[j], order[j]) * unscale;
     for (std::size_t i = 0; i < n; ++i) out.vectors(i, j) = v(i, order[j]);
   }
   return out;

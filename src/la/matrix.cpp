@@ -1,5 +1,6 @@
 #include "src/la/matrix.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 namespace cpla::la {
@@ -54,16 +55,57 @@ bool Matrix::is_symmetric(double tol) const {
   return true;
 }
 
+namespace {
+
+// Register-tile shape for the GEMM micro-kernel: each (i0, j0) tile keeps a
+// kMr x kNr accumulator block in registers and streams the full k range
+// through it. Accumulation is always over ascending k for every output
+// entry, so the result is independent of the tile shape and bit-identical
+// run to run.
+constexpr std::size_t kMr = 4;
+constexpr std::size_t kNr = 8;
+
+}  // namespace
+
 Matrix operator*(const Matrix& a, const Matrix& b) {
   CPLA_ASSERT(a.cols_ == b.rows_);
-  Matrix out(a.rows_, b.cols_);
-  for (std::size_t i = 0; i < a.rows_; ++i) {
-    for (std::size_t k = 0; k < a.cols_; ++k) {
-      const double aik = a(i, k);
-      if (aik == 0.0) continue;
-      const double* brow = b.row_ptr(k);
-      double* orow = out.row_ptr(i);
-      for (std::size_t j = 0; j < b.cols_; ++j) orow[j] += aik * brow[j];
+  const std::size_t m = a.rows_;
+  const std::size_t kk = a.cols_;
+  const std::size_t n = b.cols_;
+  Matrix out(m, n);
+  for (std::size_t i0 = 0; i0 < m; i0 += kMr) {
+    const std::size_t mr = std::min(kMr, m - i0);
+    for (std::size_t j0 = 0; j0 < n; j0 += kNr) {
+      const std::size_t nr = std::min(kNr, n - j0);
+      if (mr == kMr && nr == kNr) {
+        // Full tile: fixed-size accumulator the compiler keeps in registers.
+        double acc[kMr][kNr] = {};
+        for (std::size_t k = 0; k < kk; ++k) {
+          const double* brow = b.row_ptr(k) + j0;
+          for (std::size_t r = 0; r < kMr; ++r) {
+            const double av = a(i0 + r, k);
+            for (std::size_t c = 0; c < kNr; ++c) acc[r][c] += av * brow[c];
+          }
+        }
+        for (std::size_t r = 0; r < kMr; ++r) {
+          double* orow = out.row_ptr(i0 + r) + j0;
+          for (std::size_t c = 0; c < kNr; ++c) orow[c] = acc[r][c];
+        }
+      } else {
+        // Edge tile: same k-ascending order, variable extents.
+        double acc[kMr][kNr] = {};
+        for (std::size_t k = 0; k < kk; ++k) {
+          const double* brow = b.row_ptr(k) + j0;
+          for (std::size_t r = 0; r < mr; ++r) {
+            const double av = a(i0 + r, k);
+            for (std::size_t c = 0; c < nr; ++c) acc[r][c] += av * brow[c];
+          }
+        }
+        for (std::size_t r = 0; r < mr; ++r) {
+          double* orow = out.row_ptr(i0 + r) + j0;
+          for (std::size_t c = 0; c < nr; ++c) orow[c] = acc[r][c];
+        }
+      }
     }
   }
   return out;

@@ -1,8 +1,10 @@
 #pragma once
 
-// Dense row-major matrix and vector helpers. Sized for the partition-scale
-// problems this project solves (dimensions in the tens to low hundreds), so
-// the implementation favors clarity over blocking/vectorization tricks.
+// Dense row-major matrix and vector helpers, sized for the partition-scale
+// problems this project solves (dimensions in the tens to low hundreds).
+// The multiply kernel is register-tiled with a fixed, input-independent
+// blocking schedule: results are bit-identical run to run (see DESIGN.md,
+// "Dense kernel architecture").
 
 #include <cstddef>
 #include <vector>

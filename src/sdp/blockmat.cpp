@@ -1,6 +1,11 @@
 #include "src/sdp/blockmat.hpp"
 
+#ifdef _OPENMP
+#include <omp.h>
+#endif
+
 #include <cmath>
+#include <cstdint>
 
 #include "src/util/check.hpp"
 
@@ -74,15 +79,30 @@ void BlockMatrix::scale(double alpha) {
   }
 }
 
-void BlockMatrix::axpy(double alpha, const BlockMatrix& other) {
+void BlockMatrix::axpy(double alpha, const BlockMatrix& other, bool parallel) {
   CPLA_ASSERT(structure_.size() == other.structure_.size());
-  for (std::size_t k = 0; k < structure_.size(); ++k) {
+  const auto nb = static_cast<std::int64_t>(structure_.size());
+  const auto body = [&](std::size_t k) {
     if (is_dense(k)) {
       dense_[k].axpy(alpha, other.dense_[k]);
     } else {
       for (std::size_t i = 0; i < diag_[k].size(); ++i) diag_[k][i] += alpha * other.diag_[k][i];
     }
+  };
+  // Explicit branch (not an `if` clause on the pragma): a serial call must
+  // never enter the OpenMP runtime — team setup costs dominate on the tiny
+  // blocks the step backtracker hammers.
+#ifdef _OPENMP
+  if (parallel && nb > 1) {
+#pragma omp parallel for schedule(static)
+    for (std::int64_t kk = 0; kk < nb; ++kk) body(static_cast<std::size_t>(kk));
+    return;
   }
+#else
+  (void)parallel;
+  (void)nb;
+#endif
+  for (std::size_t k = 0; k < structure_.size(); ++k) body(k);
 }
 
 void BlockMatrix::symmetrize() {
@@ -91,15 +111,30 @@ void BlockMatrix::symmetrize() {
   }
 }
 
-double BlockMatrix::inner(const BlockMatrix& other) const {
-  double sum = 0.0;
-  for (std::size_t k = 0; k < structure_.size(); ++k) {
-    if (is_dense(k)) {
-      sum += la::dot(dense_[k], other.dense_[k]);
-    } else {
-      sum += la::dot(diag_[k], other.diag_[k]);
-    }
+double BlockMatrix::inner(const BlockMatrix& other, bool parallel) const {
+  // Per-block partial sums, reduced serially in block order: the total is
+  // bit-identical regardless of thread count (an OpenMP `reduction` clause
+  // would combine partials in a thread-dependent order).
+  const auto nb = static_cast<std::int64_t>(structure_.size());
+  la::Vector partial(structure_.size(), 0.0);
+  const auto body = [&](std::size_t k) {
+    partial[k] = is_dense(k) ? la::dot(dense_[k], other.dense_[k])
+                             : la::dot(diag_[k], other.diag_[k]);
+  };
+#ifdef _OPENMP
+  if (parallel && nb > 1) {
+#pragma omp parallel for schedule(static)
+    for (std::int64_t kk = 0; kk < nb; ++kk) body(static_cast<std::size_t>(kk));
+  } else {
+    for (std::size_t k = 0; k < structure_.size(); ++k) body(k);
   }
+#else
+  (void)parallel;
+  (void)nb;
+  for (std::size_t k = 0; k < structure_.size(); ++k) body(k);
+#endif
+  double sum = 0.0;
+  for (double v : partial) sum += v;
   return sum;
 }
 
@@ -115,7 +150,7 @@ double BlockMatrix::trace() const {
   return sum;
 }
 
-double BlockMatrix::frob_norm() const { return std::sqrt(inner(*this)); }
+double BlockMatrix::frob_norm(bool parallel) const { return std::sqrt(inner(*this, parallel)); }
 
 double BlockMatrix::max_abs() const {
   double best = 0.0;
@@ -129,10 +164,11 @@ double BlockMatrix::max_abs() const {
   return best;
 }
 
-BlockMatrix multiply(const BlockMatrix& a, const BlockMatrix& b) {
+BlockMatrix multiply(const BlockMatrix& a, const BlockMatrix& b, bool parallel) {
   CPLA_ASSERT(a.structure().size() == b.structure().size());
   BlockMatrix out(a.structure());
-  for (std::size_t k = 0; k < a.num_blocks(); ++k) {
+  const auto nb = static_cast<std::int64_t>(a.num_blocks());
+  const auto body = [&](std::size_t k) {
     if (a.is_dense(k)) {
       out.dense(k) = a.dense(k) * b.dense(k);
     } else {
@@ -140,26 +176,63 @@ BlockMatrix multiply(const BlockMatrix& a, const BlockMatrix& b) {
         out.diag(k)[i] = a.diag(k)[i] * b.diag(k)[i];
       }
     }
+  };
+#ifdef _OPENMP
+  if (parallel && nb > 1) {
+#pragma omp parallel for schedule(static)
+    for (std::int64_t kk = 0; kk < nb; ++kk) body(static_cast<std::size_t>(kk));
+    return out;
   }
+#else
+  (void)parallel;
+  (void)nb;
+#endif
+  for (std::size_t k = 0; k < a.num_blocks(); ++k) body(k);
   return out;
 }
 
-std::optional<BlockCholesky> BlockCholesky::factor(const BlockMatrix& a) {
+std::optional<BlockCholesky> BlockCholesky::factor(const BlockMatrix& a, bool parallel) {
   BlockCholesky out;
   out.structure_ = a.structure();
   out.chol_.resize(a.num_blocks());
   out.diag_.resize(a.num_blocks());
-  for (std::size_t k = 0; k < a.num_blocks(); ++k) {
+  const auto nb = static_cast<std::int64_t>(a.num_blocks());
+  // Parallel runs factor every block (no early exit) so metric counts and
+  // results stay independent of thread timing; blocks are written only by
+  // their owning iteration.
+  std::vector<char> ok(a.num_blocks(), 1);
+  const auto body = [&](std::size_t k) {
     if (a.is_dense(k)) {
       auto c = la::Cholesky::factor(a.dense(k));
-      if (!c) return std::nullopt;
-      out.chol_[k] = std::move(c);
+      if (!c) {
+        ok[k] = 0;
+      } else {
+        out.chol_[k] = std::move(c);
+      }
     } else {
       for (double v : a.diag(k)) {
-        if (!(v > 0.0) || !std::isfinite(v)) return std::nullopt;
+        if (!(v > 0.0) || !std::isfinite(v)) {
+          ok[k] = 0;
+          break;
+        }
       }
-      out.diag_[k] = a.diag(k);
+      if (ok[k] != 0) out.diag_[k] = a.diag(k);
     }
+  };
+#ifdef _OPENMP
+  if (parallel && nb > 1) {
+#pragma omp parallel for schedule(static)
+    for (std::int64_t kk = 0; kk < nb; ++kk) body(static_cast<std::size_t>(kk));
+  } else {
+    for (std::size_t k = 0; k < a.num_blocks(); ++k) body(k);
+  }
+#else
+  (void)parallel;
+  (void)nb;
+  for (std::size_t k = 0; k < a.num_blocks(); ++k) body(k);
+#endif
+  for (char v : ok) {
+    if (v == 0) return std::nullopt;
   }
   return out;
 }

@@ -45,14 +45,18 @@ class BlockMatrix {
 
   void set_zero();
   void scale(double alpha);
-  void axpy(double alpha, const BlockMatrix& other);  // this += alpha * other
+  /// this += alpha * other. `parallel` distributes blocks across OpenMP
+  /// threads; every block is owned by exactly one thread, so the result is
+  /// bit-identical to the serial path.
+  void axpy(double alpha, const BlockMatrix& other, bool parallel = false);
   void symmetrize();
 
-  /// Frobenius inner product.
-  double inner(const BlockMatrix& other) const;
+  /// Frobenius inner product. Parallel runs reduce per-block partial sums
+  /// in block order, independent of thread count.
+  double inner(const BlockMatrix& other, bool parallel = false) const;
 
   double trace() const;
-  double frob_norm() const;
+  double frob_norm(bool parallel = false) const;
   double max_abs() const;
 
  private:
@@ -63,13 +67,17 @@ class BlockMatrix {
 
 /// Blockwise product a*b (dense blocks: full matrix product; diag blocks:
 /// elementwise). Result is generally nonsymmetric for dense blocks.
-BlockMatrix multiply(const BlockMatrix& a, const BlockMatrix& b);
+/// `parallel` distributes blocks across OpenMP threads (deterministic:
+/// blocks are independent).
+BlockMatrix multiply(const BlockMatrix& a, const BlockMatrix& b, bool parallel = false);
 
 /// Blockwise Cholesky; nullopt unless positive definite (diag blocks: all
 /// entries strictly positive).
 class BlockCholesky {
  public:
-  static std::optional<BlockCholesky> factor(const BlockMatrix& a);
+  /// `parallel` factors dense blocks across OpenMP threads; each block's
+  /// factorization is serial, so the factor is thread-count independent.
+  static std::optional<BlockCholesky> factor(const BlockMatrix& a, bool parallel = false);
 
   /// A^{-1}, dense per block.
   BlockMatrix inverse() const;

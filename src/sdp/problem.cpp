@@ -1,17 +1,20 @@
 #include "src/sdp/problem.hpp"
 
+#include <string>
+
 #include "src/util/check.hpp"
 
 namespace cpla::sdp {
 
 namespace {
 
+// Index-range violations are programmer bugs and still assert. An
+// off-diagonal entry on a diagonal block, however, is an input-shape error
+// a caller can plausibly construct; it is rejected recoverably by
+// validate() instead of aborting here.
 void check_entry(const BlockStructure& structure, int block, int row, int col) {
   CPLA_ASSERT(block >= 0 && block < static_cast<int>(structure.size()));
   CPLA_ASSERT(row >= 0 && col >= 0 && row <= col && col < structure[block].dim);
-  if (structure[block].kind == BlockSpec::Kind::kDiag) {
-    CPLA_ASSERT_MSG(row == col, "diag blocks only have diagonal entries");
-  }
 }
 
 void add_into(const ConstraintEntry& e, double scale, BlockMatrix* out) {
@@ -47,6 +50,35 @@ void SdpProblem::add_entry(int constraint, int block, int row, int col, double v
   CPLA_ASSERT(constraint >= 0 && constraint < num_constraints());
   check_entry(structure_, block, row, col);
   constraints_[constraint].entries.push_back(ConstraintEntry{block, row, col, value});
+}
+
+namespace {
+
+Status check_diag_entry(const BlockStructure& structure, const ConstraintEntry& e,
+                        const std::string& where) {
+  if (structure[e.block].kind == BlockSpec::Kind::kDiag && e.row != e.col) {
+    return Status(StatusCode::kBadInput,
+                  "off-diagonal entry (" + std::to_string(e.row) + "," + std::to_string(e.col) +
+                      ") on diagonal block " + std::to_string(e.block) + " in " + where);
+  }
+  return Status::ok();
+}
+
+}  // namespace
+
+Status SdpProblem::validate() const {
+  for (const auto& e : objective_) {
+    if (Status s = check_diag_entry(structure_, e, "objective"); !s.is_ok()) return s;
+  }
+  for (std::size_t i = 0; i < constraints_.size(); ++i) {
+    for (const auto& e : constraints_[i].entries) {
+      if (Status s = check_diag_entry(structure_, e, "constraint " + std::to_string(i));
+          !s.is_ok()) {
+        return s;
+      }
+    }
+  }
+  return Status::ok();
 }
 
 BlockMatrix SdpProblem::objective_matrix() const {

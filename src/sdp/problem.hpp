@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "src/sdp/blockmat.hpp"
+#include "src/util/status.hpp"
 
 namespace cpla::sdp {
 
@@ -43,6 +44,14 @@ class SdpProblem {
   /// Starts a new constraint; returns its index. Add entries, then set rhs.
   int add_constraint(double rhs);
   void add_entry(int constraint, int block, int row, int col, double value);
+
+  /// Checks input-shape invariants that out-of-range asserts cannot: today,
+  /// that no objective or constraint entry puts an off-diagonal coefficient
+  /// on a diagonal (LP) block — the solver's sparse kernels would silently
+  /// drop its symmetric mirror and mis-solve. Returns kBadInput with the
+  /// offending entry named. solve() calls this up front and refuses the
+  /// problem (SdpStatus::kBadProblem) on failure.
+  Status validate() const;
 
   /// Materializes C as a BlockMatrix.
   BlockMatrix objective_matrix() const;

@@ -20,38 +20,12 @@ const char* to_string(SdpStatus status) {
     case SdpStatus::kIterLimit: return "iteration-limit";
     case SdpStatus::kNumerical: return "numerical-failure";
     case SdpStatus::kDeadline: return "deadline-exceeded";
+    case SdpStatus::kBadProblem: return "bad-problem";
   }
   return "?";
 }
 
 namespace {
-
-/// A_j * X as a (generally nonsymmetric) block matrix, computed sparsely
-/// from the constraint entries.
-BlockMatrix constraint_times(const SdpProblem& p, int j, const BlockMatrix& x) {
-  BlockMatrix out(p.structure());
-  for (const auto& e : p.constraint(j).entries) {
-    if (out.is_dense(e.block)) {
-      const auto& xb = x.dense(e.block);
-      auto& ob = out.dense(e.block);
-      const std::size_t n = xb.cols();
-      // row e.row of A has value at column e.col (and vice versa).
-      {
-        const double* xrow = xb.row_ptr(e.col);
-        double* orow = ob.row_ptr(e.row);
-        for (std::size_t c = 0; c < n; ++c) orow[c] += e.value * xrow[c];
-      }
-      if (e.row != e.col) {
-        const double* xrow = xb.row_ptr(e.row);
-        double* orow = ob.row_ptr(e.col);
-        for (std::size_t c = 0; c < n; ++c) orow[c] += e.value * xrow[c];
-      }
-    } else {
-      out.diag(e.block)[e.row] += e.value * x.diag(e.block)[e.row];
-    }
-  }
-  return out;
-}
 
 /// tr(A_i W) for a general (possibly nonsymmetric) W.
 double constraint_trace(const SdpProblem& p, int i, const BlockMatrix& w) {
@@ -68,14 +42,54 @@ double constraint_trace(const SdpProblem& p, int i, const BlockMatrix& w) {
   return sum;
 }
 
+/// One Schur-complement entry M_ij = tr(A_i Z^{-1} A_j X), assembled
+/// directly from the two constraints' sparse entries. Writing A as a sum of
+/// symmetrized units S(r,c) = E_rc + [r!=c] E_cr, each pair of entries
+/// contributes at most four Zi(.,.)*X(.,.) products:
+///
+///   tr(S(a,b) Zi S(c,d) X) =            Zi(b,c) X(d,a)
+///                            + [a!=b]   Zi(a,c) X(d,b)
+///                            + [c!=d]   Zi(b,d) X(c,a)
+///                            + [a!=b && c!=d] Zi(a,d) X(c,b)
+///
+/// so the cost is O(nnz_i * nnz_j) — no dense n^3 product per column. Diag
+/// blocks contribute elementwise products on matching rows.
+double schur_entry(const SdpProblem& p, int i, int j, const BlockMatrix& zinv,
+                   const BlockMatrix& x) {
+  double sum = 0.0;
+  for (const auto& e : p.constraint(i).entries) {
+    for (const auto& f : p.constraint(j).entries) {
+      if (e.block != f.block) continue;
+      if (zinv.is_dense(e.block)) {
+        const auto& zi = zinv.dense(e.block);
+        const auto& xb = x.dense(e.block);
+        double t = zi(e.col, f.row) * xb(f.col, e.row);
+        if (e.row != e.col) t += zi(e.row, f.row) * xb(f.col, e.col);
+        if (f.row != f.col) t += zi(e.col, f.col) * xb(f.row, e.row);
+        if (e.row != e.col && f.row != f.col) t += zi(e.row, f.col) * xb(f.row, e.col);
+        sum += e.value * f.value * t;
+      } else if (e.row == f.row) {
+        sum += e.value * f.value * zinv.diag(e.block)[e.row] * x.diag(e.block)[e.row];
+      }
+    }
+  }
+  return sum;
+}
+
 /// Largest alpha in (0, 1] with base + alpha*dir positive definite, times
-/// `fraction`. Backtracking on the Cholesky test.
-double max_step(const BlockMatrix& base, const BlockMatrix& dir, double fraction) {
+/// `fraction`. Backtracking on the Cholesky test. One scratch copy total:
+/// each try adjusts the trial in place by the alpha delta (the previous
+/// version re-copied the full BlockMatrix on every one of up to 60 tries).
+double max_step(const BlockMatrix& base, const BlockMatrix& dir, double fraction,
+                bool parallel) {
+  BlockMatrix trial = base;
+  double applied = 0.0;
   double alpha = 1.0;
   for (int tries = 0; tries < 60; ++tries) {
-    BlockMatrix trial = base;
-    trial.axpy(fraction * alpha, dir);
-    if (BlockCholesky::factor(trial).has_value()) return fraction * alpha;
+    const double step = fraction * alpha;
+    trial.axpy(step - applied, dir, parallel);
+    applied = step;
+    if (BlockCholesky::factor(trial, parallel).has_value()) return step;
     alpha *= 0.7;
   }
   return 0.0;
@@ -117,8 +131,6 @@ static SdpResult solve_impl(const SdpProblem& p, const SdpOptions& opt) {
   }
 
   for (int iter = 0; iter < opt.max_iterations; ++iter) {
-    res.iterations = iter;
-
     if (opt.time_limit_ms > 0.0 && timer.milliseconds() > opt.time_limit_ms) {
       res.status = SdpStatus::kDeadline;
       return res;
@@ -163,20 +175,43 @@ static SdpResult solve_impl(const SdpProblem& p, const SdpOptions& opt) {
     }
     prev_gap = gap;
 
-    auto zchol = BlockCholesky::factor(res.z);
+    auto zchol = BlockCholesky::factor(res.z, opt.parallel);
     if (!zchol) {
       res.status = SdpStatus::kNumerical;
       return res;
     }
     const BlockMatrix zinv = zchol->inverse();
 
-    // Schur complement M_ij = tr(A_i Z^{-1} A_j X), built column by column.
+    // Schur complement M_ij = tr(A_i Z^{-1} A_j X), assembled sparsely per
+    // entry pair (see schur_entry). Columns are independent, so the j loop
+    // parallelizes without any shared reduction: the matrix is bit-identical
+    // at any thread count. M is symmetric exactly (trace cyclicity), so only
+    // the upper triangle is computed and mirrored.
     la::Matrix schur(static_cast<std::size_t>(m), static_cast<std::size_t>(m));
-    for (int j = 0; j < m; ++j) {
-      const BlockMatrix w = multiply(zinv, constraint_times(p, j, res.x));
-      for (int i = 0; i < m; ++i) schur(i, j) = constraint_trace(p, i, w);
+    const auto schur_column = [&](int j) {
+      for (int i = 0; i <= j; ++i) {
+        schur(static_cast<std::size_t>(i), static_cast<std::size_t>(j)) =
+            schur_entry(p, i, j, zinv, res.x);
+      }
+    };
+    // Explicit branch, not an `if` clause on the pragma: serial solves of
+    // tiny problems must not pay OpenMP team setup every iteration.
+#ifdef _OPENMP
+    if (opt.parallel && m > 8) {
+#pragma omp parallel for schedule(static, 1)
+      for (int j = 0; j < m; ++j) schur_column(j);
+    } else {
+      for (int j = 0; j < m; ++j) schur_column(j);
     }
-    schur.symmetrize();
+#else
+    for (int j = 0; j < m; ++j) schur_column(j);
+#endif
+    for (int j = 0; j < m; ++j) {
+      for (int i = 0; i < j; ++i) {
+        schur(static_cast<std::size_t>(j), static_cast<std::size_t>(i)) =
+            schur(static_cast<std::size_t>(i), static_cast<std::size_t>(j));
+      }
+    }
 
     std::optional<la::Cholesky> mchol;
     double ridge = 0.0;
@@ -196,7 +231,8 @@ static SdpResult solve_impl(const SdpProblem& p, const SdpOptions& opt) {
     }
 
     // Shared pieces of the Schur rhs.
-    const BlockMatrix u = multiply(zinv, multiply(rd, res.x));  // Z^{-1} Rd X
+    const BlockMatrix u =
+        multiply(zinv, multiply(rd, res.x, opt.parallel), opt.parallel);  // Z^{-1} Rd X
     la::Vector a_zinv(static_cast<std::size_t>(m));
     la::Vector a_u(static_cast<std::size_t>(m));
     for (int i = 0; i < m; ++i) {
@@ -224,7 +260,7 @@ static SdpResult solve_impl(const SdpProblem& p, const SdpOptions& opt) {
       *dx = zinv;
       dx->scale(sigma_mu);
       dx->axpy(-1.0, res.x);
-      dx->axpy(-1.0, multiply(zinv, multiply(*dz, res.x)));
+      dx->axpy(-1.0, multiply(zinv, multiply(*dz, res.x, opt.parallel), opt.parallel));
       if (second_order != nullptr) dx->axpy(-1.0, *second_order);
       dx->symmetrize();
     };
@@ -234,8 +270,8 @@ static SdpResult solve_impl(const SdpProblem& p, const SdpOptions& opt) {
     BlockMatrix dz_aff, dx_aff;
     solve_direction(0.0, nullptr, &dy_aff, &dz_aff, &dx_aff);
 
-    const double ap_aff = max_step(res.x, dx_aff, 1.0);
-    const double ad_aff = max_step(res.z, dz_aff, 1.0);
+    const double ap_aff = max_step(res.x, dx_aff, 1.0, opt.parallel);
+    const double ad_aff = max_step(res.z, dz_aff, 1.0, opt.parallel);
     BlockMatrix x_aff = res.x;
     x_aff.axpy(ap_aff, dx_aff);
     BlockMatrix z_aff = res.z;
@@ -245,13 +281,14 @@ static SdpResult solve_impl(const SdpProblem& p, const SdpOptions& opt) {
     sigma = std::clamp(sigma, 1e-4, 0.9);
 
     // Corrector with Mehrotra second-order term Z^{-1} dZaff dXaff.
-    const BlockMatrix second = multiply(zinv, multiply(dz_aff, dx_aff));
+    const BlockMatrix second =
+        multiply(zinv, multiply(dz_aff, dx_aff, opt.parallel), opt.parallel);
     la::Vector dy;
     BlockMatrix dz, dx;
     solve_direction(sigma * mu, &second, &dy, &dz, &dx);
 
-    double ap = max_step(res.x, dx, opt.step_fraction);
-    double ad = max_step(res.z, dz, opt.step_fraction);
+    double ap = max_step(res.x, dx, opt.step_fraction, opt.parallel);
+    double ad = max_step(res.z, dz, opt.step_fraction, opt.parallel);
     ap = std::min(ap, 1.0);
     ad = std::min(ad, 1.0);
     if (ap <= 1e-10 && ad <= 1e-10) {
@@ -262,6 +299,11 @@ static SdpResult solve_impl(const SdpProblem& p, const SdpOptions& opt) {
     res.x.axpy(ap, dx);
     res.z.axpy(ad, dz);
     for (int i = 0; i < m; ++i) res.y[i] += ad * dy[i];
+    // Count only fully completed iterations: every early return above
+    // (deadline, converged, stalled, numerical) reports the work actually
+    // finished, and the iteration-limit path reports max_iterations instead
+    // of max_iterations - 1.
+    res.iterations = iter + 1;
   }
 
   res.status = SdpStatus::kIterLimit;
@@ -272,12 +314,27 @@ SdpResult solve(const SdpProblem& p, const SdpOptions& opt) {
   static obs::Counter& calls = obs::metrics().counter("sdp.solve.calls");
   static obs::Counter& iterations = obs::metrics().counter("sdp.solve.iterations");
   static obs::Counter& failures = obs::metrics().counter("sdp.solve.failures");
+  static obs::Counter& stalls = obs::metrics().counter("sdp.solve.stalls");
   static obs::Histogram& wall = obs::metrics().histogram("sdp.solve.ms");
   WallTimer timer;
-  SdpResult res = solve_impl(p, opt);
   calls.add();
+  if (Status vs = p.validate(); !vs.is_ok()) {
+    LOG_WARN("sdp: refusing malformed problem: %s", vs.to_string().c_str());
+    failures.add();
+    SdpResult res;
+    res.status = SdpStatus::kBadProblem;
+    wall.record(timer.milliseconds());
+    return res;
+  }
+  SdpResult res = solve_impl(p, opt);
   iterations.add(res.iterations);
+  // Failure accounting: kNumerical/kDeadline/kBadProblem produced no usable
+  // answer and count as failures. kStalled deliberately does NOT — a stall
+  // still returns the best iterate and downstream picks routinely accept
+  // it; it is tracked separately so dashboards can watch stall rates
+  // without polluting the failure signal.
   if (res.status == SdpStatus::kNumerical || res.status == SdpStatus::kDeadline) failures.add();
+  if (res.status == SdpStatus::kStalled) stalls.add();
   wall.record(timer.milliseconds());
   return res;
 }

@@ -16,12 +16,14 @@
 namespace cpla::sdp {
 
 enum class [[nodiscard]] SdpStatus {
-  kOptimal,    // primal/dual feasible within tolerance, gap closed
-  kStalled,    // progress stopped before tolerance; solution still returned
-  kIterLimit,  // iteration cap reached
-  kNumerical,  // Schur factorization failed beyond recovery, or a
-               // non-finite iterate was detected
-  kDeadline,   // wall-clock budget (time_limit_ms) exhausted
+  kOptimal,     // primal/dual feasible within tolerance, gap closed
+  kStalled,     // progress stopped before tolerance; solution still returned
+  kIterLimit,   // iteration cap reached
+  kNumerical,   // Schur factorization failed beyond recovery, or a
+                // non-finite iterate was detected
+  kDeadline,    // wall-clock budget (time_limit_ms) exhausted
+  kBadProblem,  // SdpProblem::validate() rejected the input (e.g. an
+                // off-diagonal entry on a diagonal block); nothing solved
 };
 
 const char* to_string(SdpStatus status);
@@ -31,6 +33,10 @@ struct SdpOptions {
   double tol = 1e-7;         // relative feasibility + gap tolerance
   double step_fraction = 0.98;
   double time_limit_ms = 0.0;  // wall-clock budget; 0 = unlimited
+  // Enables the deterministic OpenMP paths (Schur columns, per-block
+  // BlockMatrix work). Results are bit-identical to a serial solve at any
+  // thread count; see DESIGN.md "Dense kernel architecture".
+  bool parallel = true;
 };
 
 struct SdpResult {
@@ -43,7 +49,7 @@ struct SdpResult {
   double rel_gap = 0.0;
   double primal_infeas = 0.0;
   double dual_infeas = 0.0;
-  int iterations = 0;
+  int iterations = 0;  // fully completed interior-point iterations
 };
 
 SdpResult solve(const SdpProblem& problem, const SdpOptions& options = {});

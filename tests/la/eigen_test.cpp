@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "src/util/rng.hpp"
 
 namespace cpla::la {
@@ -75,6 +77,56 @@ TEST(Eigen, TraceEqualsSumOfEigenvalues) {
 TEST(Eigen, EmptyMatrixMinEigenvalue) {
   EXPECT_DOUBLE_EQ(min_eigenvalue(Matrix(0, 0)), 0.0);
 }
+
+// Badly scaled inputs: eigenvalues must track the input scale with full
+// relative accuracy. The pre-fix solver compared the off-diagonal norm
+// against an absolute `1 + frob` floor and skipped rotations below an
+// absolute 1e-300, so a matrix scaled by 1e-150 "converged" immediately to
+// its unrotated diagonal.
+class EigenScaled : public ::testing::TestWithParam<double> {};
+
+TEST_P(EigenScaled, EigenvaluesTrackInputScale) {
+  Rng rng(12);
+  const std::size_t n = 6;
+  const Matrix base = random_sym(n, &rng);
+  const EigenSym ref = eigen_sym(base);
+  const double s = GetParam();
+  Matrix scaled = base;
+  scaled.scale(s);
+  const EigenSym e = eigen_sym(scaled);
+  ASSERT_EQ(e.values.size(), n);
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(e.values[i], s * ref.values[i], 1e-9 * s * (1.0 + std::fabs(ref.values[i])))
+        << "scale " << s << " index " << i;
+  }
+}
+
+TEST_P(EigenScaled, MinEigenvalueTracksInputScale) {
+  Rng rng(13);
+  const Matrix base = random_sym(8, &rng);
+  const double ref = min_eigenvalue(base);
+  const double s = GetParam();
+  Matrix scaled = base;
+  scaled.scale(s);
+  EXPECT_NEAR(min_eigenvalue(scaled), s * ref, 1e-9 * s * (1.0 + std::fabs(ref)));
+}
+
+TEST_P(EigenScaled, ReconstructionSurvivesScaling) {
+  Rng rng(14);
+  const std::size_t n = 5;
+  Matrix a = random_sym(n, &rng);
+  const double s = GetParam();
+  a.scale(s);
+  const EigenSym e = eigen_sym(a);
+  Matrix d(n, n);
+  for (std::size_t i = 0; i < n; ++i) d(i, i) = e.values[i];
+  const Matrix rebuilt = e.vectors * d * e.vectors.transposed();
+  for (std::size_t r = 0; r < n; ++r)
+    for (std::size_t c = 0; c < n; ++c)
+      EXPECT_NEAR(rebuilt(r, c), a(r, c), 1e-9 * s) << "scale " << s;
+}
+
+INSTANTIATE_TEST_SUITE_P(Scales, EigenScaled, ::testing::Values(1e-150, 1.0, 1e+150));
 
 }  // namespace
 }  // namespace cpla::la

@@ -6,4 +6,6 @@ bool widget_solve() {
 void instrument() {
   obs::metrics().counter("widget.solves").add();
   obs::metrics().counter("eco.cache.hits").add();
+  obs::metrics().counter("la.cholesky.factors").add();
+  obs::metrics().counter("sdp.solve.stalls").add();
 }

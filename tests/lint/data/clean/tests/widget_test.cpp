@@ -4,6 +4,10 @@ void test_widget() {
   reg.counter("test.local.name").add();  // local registry: exempt
   auto v = obs::metrics().counter("widget.solves").value();
   auto h = obs::metrics().counter("eco.cache.hits").value();
+  auto f = obs::metrics().counter("la.cholesky.factors").value();
+  auto s = obs::metrics().counter("sdp.solve.stalls").value();
   (void)v;
   (void)h;
+  (void)f;
+  (void)s;
 }

@@ -1,4 +1,6 @@
 void instrument() {
   obs::metrics().counter("core.widget.solves").add();
   obs::metrics().counter("eco.cache.hits").add();
+  obs::metrics().counter("la.cholesky.factors").add();
+  obs::metrics().counter("sdp.solve.stalls").add();
 }

@@ -1,6 +1,10 @@
 void check_counters() {
   auto v = obs::metrics().counter("core.widget.sloves").value();  // typo'd name
   auto h = obs::metrics().counter("eco.cache.hit").value();  // missing trailing s
+  auto f = obs::metrics().counter("la.cholesky.factorizations").value();  // renamed
+  auto s = obs::metrics().counter("sdp.solve.stalled").value();  // tense drift
   (void)v;
   (void)h;
+  (void)f;
+  (void)s;
 }

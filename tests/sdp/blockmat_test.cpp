@@ -4,6 +4,8 @@
 
 #include <cmath>
 
+#include "src/util/rng.hpp"
+
 namespace cpla::sdp {
 namespace {
 
@@ -80,6 +82,78 @@ TEST(BlockMatrix, SymmetrizeDenseOnly) {
   a.symmetrize();
   EXPECT_DOUBLE_EQ(a.dense(0)(0, 1), 2.0);
   EXPECT_DOUBLE_EQ(a.dense(0)(1, 0), 2.0);
+}
+
+// The parallel per-block paths must produce the same bits as the serial
+// ones (per-block ownership, serial partial-sum reduction in block order).
+TEST(BlockMatrix, ParallelFlagDoesNotChangeBits) {
+  const BlockStructure structure = {BlockSpec{BlockSpec::Kind::kDense, 7},
+                                    BlockSpec{BlockSpec::Kind::kDiag, 5},
+                                    BlockSpec{BlockSpec::Kind::kDense, 4}};
+  cpla::Rng rng(11);
+  BlockMatrix a(structure), b(structure);
+  for (std::size_t k = 0; k < a.num_blocks(); ++k) {
+    if (a.is_dense(k)) {
+      auto& ma = a.dense(k);
+      auto& mb = b.dense(k);
+      for (std::size_t i = 0; i < ma.rows(); ++i) {
+        for (std::size_t j = i; j < ma.cols(); ++j) {
+          ma(i, j) = ma(j, i) = rng.uniform(-1.0, 1.0);
+          mb(i, j) = mb(j, i) = rng.uniform(-1.0, 1.0);
+        }
+      }
+      for (std::size_t i = 0; i < ma.rows(); ++i) {
+        ma(i, i) += static_cast<double>(ma.rows());  // diagonally dominant -> SPD
+        mb(i, i) += static_cast<double>(mb.rows());
+      }
+    } else {
+      for (std::size_t i = 0; i < a.diag(k).size(); ++i) {
+        a.diag(k)[i] = rng.uniform(0.5, 2.0);
+        b.diag(k)[i] = rng.uniform(0.5, 2.0);
+      }
+    }
+  }
+
+  EXPECT_EQ(a.inner(b, /*parallel=*/false), a.inner(b, /*parallel=*/true));
+  EXPECT_EQ(a.frob_norm(false), a.frob_norm(true));
+
+  const BlockMatrix ps = multiply(a, b, /*parallel=*/false);
+  const BlockMatrix pp = multiply(a, b, /*parallel=*/true);
+  BlockMatrix as = a, ap = a;
+  as.axpy(0.37, b, /*parallel=*/false);
+  ap.axpy(0.37, b, /*parallel=*/true);
+  const auto fs = BlockCholesky::factor(a, /*parallel=*/false);
+  const auto fp = BlockCholesky::factor(a, /*parallel=*/true);
+  ASSERT_TRUE(fs.has_value());
+  ASSERT_TRUE(fp.has_value());
+  for (std::size_t k = 0; k < a.num_blocks(); ++k) {
+    if (a.is_dense(k)) {
+      for (std::size_t i = 0; i < a.dense(k).rows(); ++i) {
+        for (std::size_t j = 0; j < a.dense(k).cols(); ++j) {
+          ASSERT_EQ(ps.dense(k)(i, j), pp.dense(k)(i, j));
+          ASSERT_EQ(as.dense(k)(i, j), ap.dense(k)(i, j));
+        }
+      }
+    } else {
+      for (std::size_t i = 0; i < a.diag(k).size(); ++i) {
+        ASSERT_EQ(ps.diag(k)[i], pp.diag(k)[i]);
+        ASSERT_EQ(as.diag(k)[i], ap.diag(k)[i]);
+      }
+    }
+  }
+  const BlockMatrix is = fs->inverse();
+  const BlockMatrix ip = fp->inverse();
+  for (std::size_t k = 0; k < a.num_blocks(); ++k) {
+    if (a.is_dense(k)) {
+      for (std::size_t i = 0; i < a.dense(k).rows(); ++i) {
+        for (std::size_t j = 0; j < a.dense(k).cols(); ++j) {
+          ASSERT_EQ(is.dense(k)(i, j), ip.dense(k)(i, j));
+        }
+      }
+    } else {
+      for (std::size_t i = 0; i < a.diag(k).size(); ++i) ASSERT_EQ(is.diag(k)[i], ip.diag(k)[i]);
+    }
+  }
 }
 
 }  // namespace

@@ -2,9 +2,15 @@
 
 #include <gtest/gtest.h>
 
+#ifdef _OPENMP
+#include <omp.h>
+#endif
+
 #include "src/la/eigen.hpp"
+#include "src/obs/metrics.hpp"
 #include "src/util/fault_inject.hpp"
 #include "src/util/rng.hpp"
+#include "src/util/status.hpp"
 
 namespace cpla::sdp {
 namespace {
@@ -187,6 +193,7 @@ TEST(SdpStatusNames, AllValues) {
   EXPECT_STREQ(to_string(SdpStatus::kIterLimit), "iteration-limit");
   EXPECT_STREQ(to_string(SdpStatus::kNumerical), "numerical-failure");
   EXPECT_STREQ(to_string(SdpStatus::kDeadline), "deadline-exceeded");
+  EXPECT_STREQ(to_string(SdpStatus::kBadProblem), "bad-problem");
 }
 
 TEST(SdpSolver, DeadlineExhaustionReportsStatus) {
@@ -210,6 +217,165 @@ TEST(SdpSolver, InjectedIterationLimitReportsStatus) {
   EXPECT_EQ(r.status, SdpStatus::kIterLimit);
   FaultInjector::instance().reset();
 }
+
+// Regression: res.iterations used to be set at the top of the loop, so the
+// iteration-limit path under-reported by one (max_iterations - 1 instead of
+// max_iterations completed iterations).
+TEST(SdpSolver, IterationLimitReportsCompletedIterations) {
+  SdpOptions opt;
+  opt.max_iterations = 3;
+  opt.tol = 1e-30;  // unreachable: force the iteration-limit path
+  const SdpResult r = solve(min_eig_instance(), opt);
+  ASSERT_EQ(r.status, SdpStatus::kIterLimit);
+  EXPECT_EQ(r.iterations, 3);
+}
+
+// Regression: an off-diagonal entry on a diagonal block used to abort the
+// process via CPLA_ASSERT inside add_entry. It is an input-shape error, not
+// a programmer invariant: validate() rejects it recoverably and solve()
+// refuses with kBadProblem instead of silently mis-solving (the diag block
+// storage would have dropped the off-diagonal coefficient).
+TEST(SdpSolver, RejectsOffDiagonalEntryOnDiagBlock) {
+  SdpProblem p({BlockSpec{BlockSpec::Kind::kDiag, 2}});
+  p.add_objective_entry(0, 0, 0, 1.0);
+  const int c = p.add_constraint(1.0);
+  p.add_entry(c, 0, 0, 1, 1.0);  // off-diagonal on a diagonal block
+
+  const Status vs = p.validate();
+  ASSERT_FALSE(vs.is_ok());
+  EXPECT_EQ(vs.code(), StatusCode::kBadInput);
+
+  const SdpResult r = solve(p);
+  EXPECT_EQ(r.status, SdpStatus::kBadProblem);
+  EXPECT_EQ(r.iterations, 0);
+}
+
+TEST(SdpSolver, RejectsOffDiagonalObjectiveEntryOnDiagBlock) {
+  SdpProblem p({BlockSpec{BlockSpec::Kind::kDiag, 3}});
+  p.add_objective_entry(0, 1, 2, 0.5);
+  EXPECT_FALSE(p.validate().is_ok());
+  EXPECT_EQ(solve(p).status, SdpStatus::kBadProblem);
+}
+
+// Failure accounting contract: kStalled is NOT a failure (the best iterate
+// is still returned and downstream accepts it); it is tracked in the
+// separate sdp.solve.stalls counter. A rejected problem IS a failure.
+TEST(SdpSolverCounters, StallsAreNotFailures) {
+  obs::Counter& failures = obs::metrics().counter("sdp.solve.failures");
+  obs::Counter& stalls = obs::metrics().counter("sdp.solve.stalls");
+
+  const std::int64_t f0 = failures.value();
+  const std::int64_t s0 = stalls.value();
+  const SdpResult ok = solve(min_eig_instance());
+  ASSERT_EQ(ok.status, SdpStatus::kOptimal);
+  EXPECT_EQ(failures.value(), f0);
+  EXPECT_EQ(stalls.value(), s0);
+
+  SdpProblem bad({BlockSpec{BlockSpec::Kind::kDiag, 2}});
+  const int c = bad.add_constraint(1.0);
+  bad.add_entry(c, 0, 0, 1, 1.0);
+  ASSERT_EQ(solve(bad).status, SdpStatus::kBadProblem);
+  EXPECT_EQ(failures.value(), f0 + 1);
+  EXPECT_EQ(stalls.value(), s0);
+}
+
+// A lifted assignment relaxation in the shape the CPLA engine emits: a
+// moment-style dense block Y = [[1, x'],[x, X]] plus a diagonal slack
+// block, with x^2 = x linkage, one-layer-per-segment, and capacity rows.
+// Large enough (m > 8) to engage the parallel Schur path.
+SdpProblem lifted_instance(int vars, int layers, cpla::Rng* rng) {
+  const int dim = 1 + vars * layers;
+  SdpProblem p({BlockSpec{BlockSpec::Kind::kDense, dim},
+                BlockSpec{BlockSpec::Kind::kDiag, vars}});
+  for (int k = 1; k < dim; ++k) {
+    p.add_objective_entry(0, 0, k, 0.5 * rng->uniform(0.1, 1.0));
+    if (k + layers < dim) p.add_objective_entry(0, k, k + layers, rng->uniform(-0.2, 0.2));
+  }
+  const int corner = p.add_constraint(1.0);
+  p.add_entry(corner, 0, 0, 0, 1.0);
+  for (int k = 1; k < dim; ++k) {
+    const int link = p.add_constraint(0.0);
+    p.add_entry(link, 0, k, k, 1.0);
+    p.add_entry(link, 0, 0, k, -0.5);  // off-diag counts twice
+  }
+  for (int v = 0; v < vars; ++v) {
+    const int pick = p.add_constraint(1.0);
+    for (int l = 0; l < layers; ++l) p.add_entry(pick, 0, 1 + v * layers + l, 1 + v * layers + l, 1.0);
+  }
+  for (int v = 0; v < vars; ++v) {
+    const int cap = p.add_constraint(1.0);
+    for (int l = 0; l < layers; ++l) {
+      if (rng->chance(0.5)) p.add_entry(cap, 0, 1 + v * layers + l, 1 + v * layers + l, 1.0);
+    }
+    p.add_entry(cap, 1, v, v, 1.0);  // slack keeps the row an equality
+  }
+  return p;
+}
+
+void expect_bits_equal(const BlockMatrix& a, const BlockMatrix& b) {
+  ASSERT_EQ(a.num_blocks(), b.num_blocks());
+  for (std::size_t k = 0; k < a.num_blocks(); ++k) {
+    if (a.is_dense(k)) {
+      const la::Matrix& ma = a.dense(k);
+      const la::Matrix& mb = b.dense(k);
+      for (std::size_t i = 0; i < ma.rows(); ++i) {
+        for (std::size_t j = 0; j < ma.cols(); ++j) ASSERT_EQ(ma(i, j), mb(i, j));
+      }
+    } else {
+      for (std::size_t i = 0; i < a.diag(k).size(); ++i) ASSERT_EQ(a.diag(k)[i], b.diag(k)[i]);
+    }
+  }
+}
+
+void expect_results_bit_identical(const SdpResult& a, const SdpResult& b) {
+  ASSERT_EQ(a.status, b.status);
+  ASSERT_EQ(a.iterations, b.iterations);
+  EXPECT_EQ(a.primal_obj, b.primal_obj);
+  EXPECT_EQ(a.dual_obj, b.dual_obj);
+  ASSERT_EQ(a.y.size(), b.y.size());
+  for (std::size_t i = 0; i < a.y.size(); ++i) ASSERT_EQ(a.y[i], b.y[i]);
+  expect_bits_equal(a.x, b.x);
+  expect_bits_equal(a.z, b.z);
+}
+
+// The ECO cache replays solutions byte-for-byte, so the solver must be
+// bit-identical run to run.
+TEST(SdpDeterminism, RepeatedRunsBitIdentical) {
+  cpla::Rng rng(42);
+  const SdpProblem p = lifted_instance(4, 3, &rng);
+  const SdpResult a = solve(p);
+  const SdpResult b = solve(p);
+  expect_results_bit_identical(a, b);
+}
+
+// The parallel paths use a fixed blocking schedule with no
+// reduction-order nondeterminism, so a parallel solve is bit-identical to
+// a serial one — at any thread count.
+TEST(SdpDeterminism, ParallelMatchesSerialBitwise) {
+  cpla::Rng rng(43);
+  const SdpProblem p = lifted_instance(5, 3, &rng);
+  SdpOptions par;
+  par.parallel = true;
+  SdpOptions ser;
+  ser.parallel = false;
+  expect_results_bit_identical(solve(p, par), solve(p, ser));
+}
+
+#ifdef _OPENMP
+TEST(SdpDeterminism, ThreadCountDoesNotChangeBits) {
+  cpla::Rng rng(44);
+  const SdpProblem p = lifted_instance(5, 4, &rng);
+  SdpOptions opt;
+  opt.parallel = true;
+  const int saved = omp_get_max_threads();
+  omp_set_num_threads(1);
+  const SdpResult one = solve(p, opt);
+  omp_set_num_threads(4);
+  const SdpResult four = solve(p, opt);
+  omp_set_num_threads(saved);
+  expect_results_bit_identical(one, four);
+}
+#endif
 
 }  // namespace
 }  // namespace cpla::sdp
