@@ -1,0 +1,269 @@
+// ECO service load generator: drives one in-process EcoService (journal +
+// checkpoints on, the production configuration) with concurrent sessions
+// streaming capacity edits, durability syncs, and resolves, then proves the
+// run back: the journal must replay to the exact final snapshot hash, the
+// final resolve must be never-worse than the warmed entry state, and the
+// p99 resolve latency under load must stay within a generous multiple of a
+// quiescent solo resolve (a machine-relative gate, so it survives CI
+// hardware churn where absolute wall clocks cannot).
+//
+// Artifact notes (cpla-bench-v1): latency percentiles ride the `phases`
+// section so CI's --no-time skips them; the gates and the service's
+// deterministic totals ride `values` where the 5% one-sided tolerance
+// applies. Load-phase obs counters (batch counts, journal records) depend
+// on thread interleaving, so the registry is zeroed — registration kept,
+// presence still checked — before the artifact is written.
+//
+// Exit status: nonzero when replay diverges, the final state regresses, or
+// the relative latency gate trips.
+//
+// Usage: eco_serve [--quick] [--seed N] [--metrics-out FILE]
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <filesystem>
+#include <thread>
+#include <vector>
+
+#include "bench/harness.hpp"
+#include "src/eco/delta.hpp"
+#include "src/serve/service.hpp"
+
+namespace {
+
+double percentile(std::vector<double> sorted_ms, double pct) {
+  if (sorted_ms.empty()) return 0.0;
+  std::sort(sorted_ms.begin(), sorted_ms.end());
+  const double rank = pct / 100.0 * static_cast<double>(sorted_ms.size() - 1);
+  return sorted_ms[static_cast<std::size_t>(rank + 0.5)];
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace cpla;
+  const bench::BenchArgs args = bench::parse_bench_args(&argc, argv);
+  bench::BenchReport report("eco_serve", args);
+  set_log_level(LogLevel::kWarn);
+
+  const int kSessions = args.quick ? 4 : 8;
+  const int kEditsPerSession = args.quick ? 30 : 90;
+  const int kSyncEvery = 10;
+  const int kResolveEvery = 30;
+  const int kWarmupEdits = 12;
+  std::printf("=== ECO service: %d sessions x %d edits (journal + checkpoints on) ===\n\n",
+              kSessions, kEditsPerSession);
+
+  gen::SynthSpec spec;
+  spec.name = "eco_serve";
+  spec.xsize = spec.ysize = 16;
+  spec.num_nets = 140;
+  spec.num_layers = 6;
+  spec.seed = 11 + (args.seed - 1) * 0x9e3779b97f4a7c15ull;
+  core::Prepared live = core::prepare(gen::generate(spec));
+
+  // Pre-compute every delta while the state is quiescent — client threads
+  // must never read the live grid (that is the worker's job). All edits are
+  // capacity raises over the *original* capacities, warmup confined to the
+  // top row and load to the rows below it, so whatever interleaving wins,
+  // every edge ends at or above its capacity at the entry resolve — the
+  // precondition for the never-worse gate.
+  const auto& g = live.design->grid;
+  int h_layer = 0;
+  while (!g.is_horizontal(h_layer)) ++h_layer;
+  const int load_rows = g.ysize() - 1;
+  std::vector<eco::Delta> warmup;
+  for (int i = 0; i < kWarmupEdits; ++i) {
+    const int x = (i * 5) % (g.xsize() - 1);
+    const int cap = g.edge_capacity(h_layer, g.h_edge_id(x, load_rows));
+    warmup.push_back(eco::Delta::capacity_adjusted(h_layer, x, load_rows, cap + 1 + i % 3));
+  }
+  std::vector<std::vector<eco::Delta>> scripts(kSessions);
+  for (int s = 0; s < kSessions; ++s) {
+    for (int i = 0; i < kEditsPerSession; ++i) {
+      const int x = (s * 11 + i * 7) % (g.xsize() - 1);
+      const int y = (s + i * 3) % load_rows;
+      const int cap = g.edge_capacity(h_layer, g.h_edge_id(x, y));
+      scripts[s].push_back(eco::Delta::capacity_adjusted(h_layer, x, y, cap + 1 + (s + i) % 4));
+    }
+  }
+
+  namespace fs = std::filesystem;
+  std::string workdir = (fs::temp_directory_path() / "cpla_eco_serve_XXXXXX").string();
+  if (mkdtemp(workdir.data()) == nullptr) {
+    std::fprintf(stderr, "eco_serve: cannot create a journal directory\n");
+    return 1;
+  }
+
+  serve::ServeOptions opt;
+  opt.eco.critical_ratio = 0.03;
+  opt.journal_path = workdir + "/journal.wal";
+  opt.checkpoint_path = workdir + "/state.ckpt";
+  // Every 2: resolve executions under load vary with marker folding, but
+  // the standalone warmup + final resolves guarantee at least one multiple
+  // of 2, so serve.checkpoint.writes is always registered (presence-stable
+  // artifacts).
+  opt.checkpoint_every = 2;
+  opt.max_sessions = kSessions + 1;
+  // Coalescing folds same-edge edits per batch, and batch composition is
+  // an interleaving accident — off, so applied == submitted exactly.
+  opt.coalesce = false;
+  opt.max_queue = static_cast<std::size_t>(kSessions * kEditsPerSession + kWarmupEdits + 64);
+  serve::EcoService service(live.design.get(), live.state.get(), live.rc.get(), opt);
+  if (!service.start().is_ok()) {
+    std::fprintf(stderr, "eco_serve: service start failed\n");
+    return 1;
+  }
+
+  // Warmup: a quiescent edit burst + resolve. Its wall time is the solo
+  // reference the loaded p99 is gated against, and its metrics are the
+  // entry state for the never-worse check.
+  const Result<int> warm_session = service.open_session();
+  for (const eco::Delta& d : warmup) {
+    if (!service.submit(warm_session.value(), d).is_ok()) {
+      std::fprintf(stderr, "eco_serve: warmup edit shed\n");
+      return 1;
+    }
+  }
+  WallTimer solo_timer;
+  const serve::ResolveOutcome entry = service.resolve(warm_session.value());
+  const double solo_ms = solo_timer.seconds() * 1e3;
+  if (!entry.status.is_ok()) {
+    std::fprintf(stderr, "eco_serve: warmup resolve failed\n");
+    return 1;
+  }
+  report.record_phase("warmup.resolve", solo_ms);
+
+  std::atomic<int> failures{0};
+  std::atomic<int> resolves_ok{1};  // the warmup resolve, already checked
+  std::vector<std::vector<double>> resolve_ms(kSessions), sync_ms(kSessions);
+  std::vector<std::thread> clients;
+  clients.reserve(kSessions);
+  WallTimer load_timer;
+  for (int s = 0; s < kSessions; ++s) {
+    clients.emplace_back([&, s] {
+      const Result<int> session = service.open_session();
+      if (!session.is_ok()) {
+        failures.fetch_add(1);
+        return;
+      }
+      for (int e = 0; e < kEditsPerSession; ++e) {
+        if (!service.submit(session.value(), scripts[s][e]).is_ok()) failures.fetch_add(1);
+        if ((e + 1) % kSyncEvery == 0) {
+          WallTimer timer;
+          if (!service.sync(session.value()).is_ok()) failures.fetch_add(1);
+          sync_ms[s].push_back(timer.seconds() * 1e3);
+        }
+        if ((e + 1) % kResolveEvery == 0) {
+          WallTimer timer;
+          if (service.resolve(session.value()).status.is_ok()) resolves_ok.fetch_add(1);
+          resolve_ms[s].push_back(timer.seconds() * 1e3);
+        }
+      }
+      service.close_session(session.value());
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  const double load_s = load_timer.seconds();
+  report.record_phase("load.wall", load_s * 1e3);
+
+  // Settle: one final resolve covers any edits behind the last in-load one.
+  WallTimer final_timer;
+  const serve::ResolveOutcome fin = service.resolve(warm_session.value());
+  report.record_phase("final.resolve", final_timer.seconds() * 1e3);
+  if (fin.status.is_ok()) resolves_ok.fetch_add(1);
+  service.close_session(warm_session.value());
+
+  const std::uint64_t final_hash = service.snapshot()->hash;
+  const serve::ServeStats stats = service.stats();
+  service.stop();
+
+  // Recovery proof: the journal alone, replayed against a freshly
+  // generated base, must land on the published final bits.
+  core::Prepared fresh = core::prepare(gen::generate(spec));
+  const Result<std::uint64_t> replayed = serve::replay_journal(
+      opt.journal_path, fresh.design.get(), fresh.state.get(), fresh.rc.get(), opt.eco);
+  const bool equivalence_ok = replayed.is_ok() && replayed.value() == final_hash;
+  fs::remove_all(workdir);
+
+  const bool never_worse_ok =
+      fin.metrics.avg_tcp <= entry.metrics.avg_tcp * (1.0 + 1e-9) &&
+      fin.metrics.max_tcp <= entry.metrics.max_tcp * (1.0 + 1e-9) &&
+      fin.metrics.wire_overflow + fin.metrics.via_overflow <=
+          entry.metrics.wire_overflow + entry.metrics.via_overflow;
+
+  std::vector<double> all_resolve, all_sync;
+  for (int s = 0; s < kSessions; ++s) {
+    all_resolve.insert(all_resolve.end(), resolve_ms[s].begin(), resolve_ms[s].end());
+    all_sync.insert(all_sync.end(), sync_ms[s].begin(), sync_ms[s].end());
+  }
+  const double p50 = percentile(all_resolve, 50.0);
+  const double p99 = percentile(all_resolve, 99.0);
+  // Relative latency gate: a loaded resolve waits behind at most the other
+  // sessions' resolves, each costing about one solo resolve, so 50x solo
+  // (plus slack for scheduler noise on busy CI runners) is room to spare —
+  // it trips on serialization collapse, not on a slow machine.
+  const double budget_ms = 50.0 * std::max(solo_ms, 1.0) + 500.0;
+  const bool latency_ok = p99 <= budget_ms;
+
+  Table table({"metric", "value"});
+  table.add_row({"sessions", std::to_string(kSessions)});
+  table.add_row({"edits submitted", std::to_string(stats.submitted)});
+  table.add_row({"edits applied", std::to_string(stats.applied)});
+  table.add_row({"resolves ok", std::to_string(resolves_ok.load())});
+  table.add_row({"load wall (s)", fmt_num(load_s, 2)});
+  table.add_row({"solo resolve (ms)", fmt_num(solo_ms, 1)});
+  table.add_row({"resolve p50 (ms)", fmt_num(p50, 1)});
+  table.add_row({"resolve p99 (ms)", fmt_num(p99, 1)});
+  table.add_row({"sync p99 (ms)", fmt_num(percentile(all_sync, 99.0), 1)});
+  table.add_row({"replay agrees", equivalence_ok ? "yes" : "NO"});
+  table.add_row({"never worse", never_worse_ok ? "yes" : "NO"});
+  table.print(stdout);
+
+  report.record_phase("resolve.p50", p50);
+  report.record_phase("resolve.p99", p99);
+  report.record_phase("resolve.max", percentile(all_resolve, 100.0));
+  report.record_phase("sync.p50", percentile(all_sync, 50.0));
+  report.record_phase("sync.p99", percentile(all_sync, 99.0));
+
+  const int expected_resolves = kSessions * (kEditsPerSession / kResolveEvery) + 2;
+  report.record_value("serve.equivalence_ok", equivalence_ok ? 1.0 : 0.0);
+  report.record_value("serve.never_worse_ok", never_worse_ok ? 1.0 : 0.0);
+  report.record_value("serve.latency_gate_ok", latency_ok ? 1.0 : 0.0);
+  report.record_value("serve.submitted", static_cast<double>(stats.submitted));
+  report.record_value("serve.applied", static_cast<double>(stats.applied));
+  report.record_value("serve.rejected", static_cast<double>(stats.rejected));
+  report.record_value("serve.shed", static_cast<double>(stats.shed));
+  report.record_value("serve.coalesced", static_cast<double>(stats.coalesced));
+  report.record_value("serve.client_failures", static_cast<double>(failures.load()));
+  report.record_value("serve.resolves_ok", static_cast<double>(resolves_ok.load()));
+  report.record_value("serve.resolves_expected", static_cast<double>(expected_resolves));
+
+  // Zero the obs registry (registration survives, so the comparator still
+  // checks presence): batch and journal-record counts vary with thread
+  // interleaving, and the deterministic totals are already in `values`.
+  obs::metrics().reset();
+
+  bool ok = true;
+  if (failures.load() > 0 || resolves_ok.load() != expected_resolves) {
+    std::fprintf(stderr, "eco_serve: FAIL - %d client failures, %d/%d resolves ok\n",
+                 failures.load(), resolves_ok.load(), expected_resolves);
+    ok = false;
+  }
+  if (!equivalence_ok) {
+    std::fprintf(stderr, "eco_serve: FAIL - journal replay does not match the final state\n");
+    ok = false;
+  }
+  if (!never_worse_ok) {
+    std::fprintf(stderr, "eco_serve: FAIL - final resolve worse than the entry state\n");
+    ok = false;
+  }
+  if (!latency_ok) {
+    std::fprintf(stderr, "eco_serve: FAIL - resolve p99 %.1fms over the %.1fms budget\n", p99,
+                 budget_ms);
+    ok = false;
+  }
+  if (!report.write()) ok = false;
+  return ok ? 0 : 1;
+}

@@ -44,8 +44,8 @@
 #include "src/assign/route_io.hpp"
 #include "src/assign/validate.hpp"
 #include "src/eco/eco_session.hpp"
-#include "src/eco/reroute.hpp"
 #include "src/parser/ispd08.hpp"
+#include "src/serve/protocol.hpp"
 
 namespace {
 
@@ -53,61 +53,41 @@ using cpla::examples::arg_value;
 using cpla::examples::has_flag;
 
 /// Streams one edit-script line into the session. Returns false (with a
-/// message) on a malformed line or a rejected delta.
+/// message) on a malformed line or a rejected delta. The grammar is
+/// serve::parse_request — the same parser the ECO socket server speaks, so
+/// a script that works here replays verbatim against a live server.
 bool apply_script_line(const std::string& line, int lineno, cpla::eco::EcoSession* session,
                        int* pending, double* resolve_s) {
   using namespace cpla;
-  std::istringstream in(line);
-  std::string op;
-  if (!(in >> op) || op[0] == '#') return true;  // blank or comment
-
   auto fail = [&](const char* why) {
     std::fprintf(stderr, "eco script line %d: %s: %s\n", lineno, why, line.c_str());
     return false;
   };
-  auto apply = [&](const eco::Delta& delta) {
-    const Result<int> r = session->apply(delta);
-    if (!r.is_ok()) return fail(r.status().message().c_str());
-    ++*pending;
-    return true;
-  };
 
-  if (op == "resolve") {
+  const Result<serve::Request> parsed = serve::parse_request(line);
+  if (!parsed.is_ok()) return fail(parsed.status().message().c_str());
+  const serve::Request& req = parsed.value();
+
+  if (req.kind == serve::RequestKind::kEmpty) return true;  // blank or comment
+  if (req.kind == serve::RequestKind::kResolve) {
     WallTimer timer;
-    session->resolve();
+    eco::ResolveOptions ro;
+    ro.deadline_ms = req.deadline_ms;
+    session->resolve(ro);
     *resolve_s += timer.seconds();
     *pending = 0;
     return true;
   }
-  if (op == "capacity") {
-    int layer, x, y, cap;
-    if (!(in >> layer >> x >> y >> cap)) return fail("expected: capacity LAYER X Y CAP");
-    return apply(eco::Delta::capacity_adjusted(layer, x, y, cap));
-  }
-  if (op == "release" || op == "demote") {
-    int net;
-    if (!(in >> net)) return fail("expected a net id");
-    return apply(eco::Delta::criticality_changed(net, op == "release"));
-  }
-  if (op == "reroute") {
-    int net;
-    if (!(in >> net)) return fail("expected a net id");
-    if (net < 0 || net >= session->state().num_nets()) return fail("net id out of range");
-    Result<route::SegTree> flipped = eco::alternate_route(session->state().tree(net));
-    if (!flipped.is_ok()) return fail("net is not a two-segment L");
-    return apply(eco::Delta::net_rerouted(net, flipped.take()));
-  }
-  if (op == "add") {
-    int x1, y1, x2, y2;
-    if (!(in >> x1 >> y1 >> x2 >> y2)) return fail("expected: add X1 Y1 X2 Y2");
-    return apply(eco::Delta::net_added(eco::make_two_pin_tree({x1, y1}, {x2, y2})));
-  }
-  if (op == "remove") {
-    int net;
-    if (!(in >> net)) return fail("expected a net id");
-    return apply(eco::Delta::net_removed(net));
-  }
-  return fail("unknown op");
+  // Script mode has no journal: a durability barrier is a no-op here.
+  if (req.kind == serve::RequestKind::kSync) return true;
+  if (!serve::is_edit(req.kind)) return fail("server-only op in a script");
+
+  Result<eco::Delta> delta = serve::materialize(req, session->state());
+  if (!delta.is_ok()) return fail(delta.status().message().c_str());
+  const Result<int> r = session->apply(delta.take());
+  if (!r.is_ok()) return fail(r.status().message().c_str());
+  ++*pending;
+  return true;
 }
 
 }  // namespace

@@ -38,6 +38,12 @@ CplaResult run_cpla(assign::AssignState* state, const timing::RcTable& rc,
   CplaResult result;
   const auto& g = state->design().grid;
 
+  // Cooperative cancellation, polled at round and commit-batch boundaries
+  // (never inside a partition solve, so every committed batch is complete).
+  auto cancel_requested = [&options]() {
+    return options.cancel != nullptr && options.cancel->load(std::memory_order_relaxed);
+  };
+
   // Best-state tracking: rounds optimize the weighted-sum model, which can
   // trade the worst path against the average; the flow returns the best
   // state seen under an equal-weight (Avg, Max) score, so neither metric
@@ -141,6 +147,10 @@ CplaResult run_cpla(assign::AssignState* state, const timing::RcTable& rc,
 #endif
     if (options.jacobi_commits) batch = num_parts;
     for (int base = 0; base < num_parts; base += batch) {
+      if (cancel_requested()) {
+        result.cancelled = true;
+        break;
+      }
       const int count = std::min(batch, num_parts - base);
       std::vector<PartitionProblem> problems(static_cast<std::size_t>(count));
       std::vector<GuardedSolve> solutions(static_cast<std::size_t>(count));
@@ -225,6 +235,10 @@ CplaResult run_cpla(assign::AssignState* state, const timing::RcTable& rc,
 
   double prev_avg = 1e300;
   for (int round = 0; round < options.max_rounds; ++round) {
+    if (cancel_requested()) {
+      result.cancelled = true;
+      break;
+    }
     result.rounds = round + 1;
 
     if (options.displace_victims) {
@@ -262,10 +276,15 @@ CplaResult run_cpla(assign::AssignState* state, const timing::RcTable& rc,
   // Max-shaving refinement: restart from the best state with the weights
   // collapsed onto the globally-worst nets, keeping only score improvements.
   for (auto& [net, layers] : best_state) state->set_layers(net, layers);
-  if (options.max_refine_rounds > 0 && options.model.max_focus_gamma > 0.0) {
+  if (!result.cancelled && options.max_refine_rounds > 0 &&
+      options.model.max_focus_gamma > 0.0) {
     ModelOptions refine = options.model;
     refine.max_focus_gamma = options.refine_gamma;
     for (int round = 0; round < options.max_refine_rounds; ++round) {
+      if (cancel_requested()) {
+        result.cancelled = true;
+        break;
+      }
       if (!run_round(refine)) break;
       const auto [avg, worst] = timing_now();
       const double score = score_of(avg, worst, avg0, max0);

@@ -5,6 +5,7 @@
 // SDP relaxation (or the exact ILP) in parallel, post-map, commit, and
 // iterate until the critical-path timing stops improving.
 
+#include <atomic>
 #include <functional>
 #include <unordered_map>
 
@@ -77,6 +78,14 @@ struct CplaOptions {
   // which is the stock flow.
   PartitionSolveFn partition_solver;
   timing::TimingCache* timing_cache = nullptr;
+  // Cooperative cancellation (src/serve): when set and it becomes true, the
+  // flow stops at the next round/batch boundary and returns with
+  // CplaResult::cancelled set. A cancelled run still lands on the tracked
+  // best state — all committed work remains capacity-valid and never-worse
+  // — but it is a *partial* optimization; callers wanting replay-identical
+  // results must either roll back to the entry state or treat the run as
+  // complete. Not owned; may be flipped from another thread.
+  const std::atomic<bool>* cancel = nullptr;
 };
 
 struct CplaResult {
@@ -84,6 +93,7 @@ struct CplaResult {
   int rounds = 0;
   int partitions_solved = 0;
   int max_partition_depth = 0;
+  bool cancelled = false;  // CplaOptions::cancel fired mid-run
   GuardStats guard_stats;  // per-tier escalation counts across all solves
 };
 

@@ -1,6 +1,8 @@
 #include "src/eco/eco_session.hpp"
 
 #include <algorithm>
+#include <functional>
+#include <utility>
 
 #include "src/obs/metrics.hpp"
 #include "src/util/fault_inject.hpp"
@@ -46,7 +48,105 @@ Result<int> EcoSession::apply(const Delta& delta) {
   return applied;
 }
 
-core::OptimizeResult EcoSession::resolve() {
+Result<std::vector<int>> EcoSession::apply_batch(const std::vector<Delta>& batch) {
+  // Undo entries accumulate as deltas apply; on a failure they run in
+  // reverse and the critical set snapshot is restored wholesale (promote/
+  // demote change the *order* of critical_.nets, which matters for flow
+  // determinism, so membership-level undo would not be exact). Session
+  // bookkeeping (regions, version bumps, cache invalidations, counters) is
+  // deferred until the whole batch has applied.
+  const core::CriticalSet critical_snapshot = critical_;
+  std::vector<std::function<void()>> undo;
+  undo.reserve(batch.size());
+
+  std::vector<int> applied_nets;
+  std::vector<Rect> regions;
+  std::vector<int> retree_nets;  // nets needing a version bump on commit
+  applied_nets.reserve(batch.size());
+
+  auto rollback = [&]() {
+    for (auto it = undo.rbegin(); it != undo.rend(); ++it) (*it)();
+    critical_ = critical_snapshot;
+  };
+
+  for (const Delta& delta : batch) {
+    const Rect region = bounding_region(delta, *state_);
+    // Capture state-level undo *before* the mutation. Criticality changes
+    // are covered by the critical-set snapshot alone.
+    const std::size_t undo_before = undo.size();
+    switch (delta.kind) {
+      case DeltaKind::kNetRerouted:
+      case DeltaKind::kNetRemoved:
+        if (delta.net >= 0 && delta.net < state_->num_nets()) {
+          undo.push_back([this, net = delta.net, tree = state_->tree(delta.net),
+                          layers = state_->layers(delta.net)]() mutable {
+            state_->replace_tree(net, std::move(tree), std::move(layers));
+          });
+        }
+        break;
+      case DeltaKind::kCapacityAdjusted: {
+        const auto& g = design_->grid;
+        if (delta.layer >= 0 && delta.layer < g.num_layers()) {
+          const bool horizontal = g.is_horizontal(delta.layer);
+          const bool in_range =
+              horizontal ? (delta.x >= 0 && delta.x < g.xsize() - 1 && delta.y >= 0 &&
+                            delta.y < g.ysize())
+                         : (delta.x >= 0 && delta.x < g.xsize() && delta.y >= 0 &&
+                            delta.y < g.ysize() - 1);
+          if (in_range) {
+            const int edge =
+                horizontal ? g.h_edge_id(delta.x, delta.y) : g.v_edge_id(delta.x, delta.y);
+            undo.push_back([this, layer = delta.layer, edge,
+                            cap = g.edge_capacity(delta.layer, edge)]() {
+              design_->grid.set_edge_capacity(layer, edge, cap);
+            });
+          }
+        }
+        break;
+      }
+      case DeltaKind::kNetAdded:
+      case DeltaKind::kCriticalityChanged:
+        break;  // add is undone via pop_net below; criticality via snapshot
+    }
+
+    Result<int> applied = apply_delta(delta, design_, state_, &critical_);
+    if (!applied.is_ok()) {
+      // The failed delta itself mutated nothing (apply_delta validates
+      // first): drop *its* pre-captured undo — if it pushed one at all (an
+      // out-of-range target skips the capture) — then unwind the earlier
+      // ones.
+      undo.resize(undo_before);
+      rollback();
+      obs::metrics().counter("eco.batch.rollbacks").add();
+      return applied.status();
+    }
+    if (delta.kind == DeltaKind::kNetAdded) {
+      undo.push_back([this, net = applied.value()]() { state_->pop_net(net); });
+    }
+    if (delta.kind == DeltaKind::kNetRerouted || delta.kind == DeltaKind::kNetAdded ||
+        delta.kind == DeltaKind::kNetRemoved) {
+      retree_nets.push_back(applied.value());
+    }
+    applied_nets.push_back(applied.value());
+    if (!region.empty()) regions.push_back(region);
+  }
+
+  // Commit: only now does the session bookkeeping observe the batch.
+  for (int net : retree_nets) {
+    if (net < 0) continue;
+    if (net >= static_cast<int>(tree_version_.size())) {
+      tree_version_.resize(static_cast<std::size_t>(net) + 1, 0);
+    }
+    tree_version_[net] = next_version_++;
+    timing_cache_.invalidate(net);
+  }
+  for (const Rect& r : regions) pending_.push_back(r);
+  deltas_applied_ += static_cast<long>(batch.size());
+  obs::metrics().counter("eco.deltas.applied").add(static_cast<long>(batch.size()));
+  return applied_nets;
+}
+
+core::OptimizeResult EcoSession::resolve(const ResolveOptions& request) {
   ++resolves_;
   obs::metrics().counter("eco.resolve.calls").add();
   degraded_.store(false, std::memory_order_relaxed);
@@ -58,6 +158,8 @@ core::OptimizeResult EcoSession::resolve() {
                                  const assign::AssignState& state, core::GuardStats* stats) {
     return solve_partition(problem, state, stats);
   };
+  if (request.deadline_ms > 0.0) opts.guard.deadline_ms = request.deadline_ms;
+  opts.cancel = request.cancel;
 
   // Entry snapshot: a degraded run restores it before full_resolve() so the
   // fallback optimizes the same input state a fresh core::optimize() would
@@ -67,6 +169,12 @@ core::OptimizeResult EcoSession::resolve() {
   for (int net = 0; net < state_->num_nets(); ++net) entry_layers[net] = state_->layers(net);
 
   core::OptimizeResult out = core::optimize(state_, *rc_, critical_, opts);
+  if (out.result.cancelled) {
+    // The caller owns the decision to keep or roll back a partial run;
+    // pending regions stay queued so the next resolve re-covers them.
+    obs::metrics().counter("eco.resolve.cancelled").add();
+    return out;
+  }
   if (degraded_.load(std::memory_order_relaxed) || cache_.poisoned()) {
     // A fault fired inside the incremental machinery. The run above was
     // still valid (degraded partitions fell back to plain guarded solves,
@@ -92,6 +200,18 @@ core::OptimizeResult EcoSession::full_resolve() {
   core::OptimizeResult out = core::optimize(state_, *rc_, critical_, options_.flow);
   pending_.clear();
   return out;
+}
+
+void EcoSession::restore_critical(core::CriticalSet critical) {
+  critical_ = std::move(critical);
+  if (critical_.released.size() < static_cast<std::size_t>(state_->num_nets())) {
+    critical_.released.resize(static_cast<std::size_t>(state_->num_nets()), 0);
+  }
+  tree_version_.resize(static_cast<std::size_t>(state_->num_nets()), 0);
+  for (std::uint64_t& v : tree_version_) v = next_version_++;
+  pending_.clear();
+  timing_cache_.clear();
+  cache_.clear();
 }
 
 EcoStats EcoSession::stats() const {

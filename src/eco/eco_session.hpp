@@ -45,6 +45,22 @@ struct EcoOptions {
   std::size_t cache_capacity = 4096;  // LRU entries in the solution cache
 };
 
+/// Per-resolve controls layered on top of the session-wide EcoOptions.
+struct ResolveOptions {
+  /// Wall-clock budget per partition solve, routed into the solve-guard
+  /// escalation chain (GuardOptions::deadline_ms); 0 keeps the session
+  /// default. A deadline-bounded resolve trades replay determinism for
+  /// latency — whether a solve hits its deadline depends on the wall
+  /// clock, so journal replay of such a resolve is not guaranteed
+  /// bit-identical (see DESIGN.md, ECO service failure semantics).
+  double deadline_ms = 0.0;
+  /// Cooperative cancellation, polled at round/batch granularity inside
+  /// the flow. A cancelled resolve returns with result.cancelled set and
+  /// the state still valid and never-worse, but only partially optimized;
+  /// the caller decides whether to keep it or restore its own snapshot.
+  const std::atomic<bool>* cancel = nullptr;
+};
+
 /// Snapshot of session counters (stats() assembles it on demand).
 struct EcoStats {
   long deltas_applied = 0;
@@ -71,16 +87,38 @@ class EcoSession {
   /// nothing was mutated.
   Result<int> apply(const Delta& delta);
 
+  /// Applies a batch of deltas transactionally: either every delta applies
+  /// (returns the per-delta affected net ids, in order) or — on the first
+  /// failure — everything already applied is undone and the session is
+  /// byte-identical to its pre-batch self (no dirty regions, no version
+  /// bumps, no counter changes). Requires every targeted net to be in the
+  /// assigned state (the post-initial-assignment invariant): undo restores
+  /// trees through replace_tree(), which always re-assigns.
+  Result<std::vector<int>> apply_batch(const std::vector<Delta>& batch);
+
   /// Incremental re-optimization: dirty partitions re-solve, clean ones
   /// are served from the solution cache when their content key matches.
   /// Bit-identical to full_resolve() on the same state by construction.
-  core::OptimizeResult resolve();
+  core::OptimizeResult resolve() { return resolve(ResolveOptions{}); }
+
+  /// resolve() with a per-request deadline and/or cancellation hook. A
+  /// cancelled run skips the degraded-fallback pass and leaves the dirty
+  /// regions pending (the next resolve still covers them).
+  core::OptimizeResult resolve(const ResolveOptions& request);
 
   /// From-scratch guarded optimize (no caches, no hooks) — the fallback
   /// target and the equivalence baseline.
   core::OptimizeResult full_resolve();
 
   const core::CriticalSet& critical() const { return critical_; }
+
+  /// Recovery hook (src/serve): after the underlying design/state have been
+  /// restored from a checkpoint *outside* the session's apply() path,
+  /// installs the checkpointed critical set and resynchronizes per-net
+  /// bookkeeping — version counters are resized to the restored net count
+  /// and freshly bumped, the dirty-region list and both caches are cleared.
+  void restore_critical(core::CriticalSet critical);
+
   EcoStats stats() const;
   PartitionSolutionCache& cache() { return cache_; }
   timing::TimingCache& timing_cache() { return timing_cache_; }

@@ -1,0 +1,112 @@
+#include "src/serve/checkpoint.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "src/serve/codec.hpp"
+#include "src/util/fault_inject.hpp"
+
+namespace cpla::serve {
+
+namespace {
+
+constexpr std::uint32_t kCheckpointMagic = 0x504b5043u;  // "CPKP"
+constexpr std::uint32_t kCheckpointVersion = 1;
+
+}  // namespace
+
+Status write_checkpoint(const std::string& path, const Checkpoint& ckpt) {
+  if (CPLA_FAULT_POINT("serve.checkpoint.write")) {
+    return Status(StatusCode::kInternal, "serve: injected checkpoint write failure");
+  }
+
+  ByteWriter body;  // CRC-covered span: everything after the magic
+  body.u32(kCheckpointVersion);
+  body.u64(ckpt.seq);
+  body.u64(ckpt.record_count);
+  body.u64(ckpt.base_hash);
+  body.u64(ckpt.state_hash);
+  body.u32(static_cast<std::uint32_t>(ckpt.state_blob.size()));
+  body.bytes(ckpt.state_blob);
+
+  ByteWriter file;
+  file.u32(kCheckpointMagic);
+  file.bytes(body.data());
+  file.u32(crc32(body.data().data(), body.data().size()));
+
+  const std::string tmp = path + ".tmp";
+  {
+    const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+    if (fd < 0) {
+      return Status(StatusCode::kInternal,
+                    "serve: cannot open checkpoint tmp " + tmp + ": " + std::strerror(errno));
+    }
+    const std::string& bytes = file.data();
+    std::size_t off = 0;
+    while (off < bytes.size()) {
+      const ssize_t n = ::write(fd, bytes.data() + off, bytes.size() - off);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        const Status st(StatusCode::kInternal,
+                        std::string("serve: checkpoint write failed: ") + std::strerror(errno));
+        ::close(fd);
+        return st;
+      }
+      off += static_cast<std::size_t>(n);
+    }
+    if (::fsync(fd) != 0) {
+      const Status st(StatusCode::kInternal,
+                      std::string("serve: checkpoint fsync failed: ") + std::strerror(errno));
+      ::close(fd);
+      return st;
+    }
+    ::close(fd);
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    return Status(StatusCode::kInternal,
+                  "serve: cannot rename checkpoint into place: " + std::string(std::strerror(errno)));
+  }
+  return Status::ok();
+}
+
+Result<Checkpoint> load_checkpoint(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  CPLA_CHECK(in.is_open(), Status(StatusCode::kBadInput, "serve: no checkpoint at " + path));
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const std::string data = buf.str();
+
+  CPLA_CHECK(data.size() >= 8,
+             Status(StatusCode::kBadInput, "serve: checkpoint too short"));
+  ByteReader header(data);
+  CPLA_CHECK(header.u32() == kCheckpointMagic,
+             Status(StatusCode::kBadInput, "serve: bad checkpoint magic"));
+
+  const std::string_view body(data.data() + 4, data.size() - 8);
+  const std::uint32_t stored_crc =
+      ByteReader(std::string_view(data.data() + data.size() - 4, 4)).u32();
+  CPLA_CHECK(crc32(body.data(), body.size()) == stored_crc,
+             Status(StatusCode::kBadInput, "serve: checkpoint CRC mismatch"));
+
+  ByteReader r(body);
+  CPLA_CHECK(r.u32() == kCheckpointVersion,
+             Status(StatusCode::kBadInput, "serve: unsupported checkpoint version"));
+  Checkpoint ckpt;
+  ckpt.seq = r.u64();
+  ckpt.record_count = r.u64();
+  ckpt.base_hash = r.u64();
+  ckpt.state_hash = r.u64();
+  const std::uint32_t blob_len = r.u32();
+  CPLA_CHECK(r.ok() && blob_len == body.size() - (4 + 8 * 4 + 4),
+             Status(StatusCode::kBadInput, "serve: checkpoint length mismatch"));
+  ckpt.state_blob.assign(body.substr(4 + 8 * 4 + 4));
+  return ckpt;
+}
+
+}  // namespace cpla::serve

@@ -1,0 +1,35 @@
+#pragma once
+
+// Periodic full-state checkpoints for the ECO service. A checkpoint bounds
+// recovery time: restore the blob, then replay only the journal records
+// past `record_count` instead of the whole history. Written atomically
+// (tmp file + rename) and CRC-verified on load, so a crash mid-write
+// leaves the previous checkpoint intact and a corrupt file is simply
+// ignored (recovery falls back to full journal replay).
+
+#include <cstdint>
+#include <string>
+
+#include "src/util/status.hpp"
+
+namespace cpla::serve {
+
+struct Checkpoint {
+  std::uint64_t seq = 0;           // last delta seq folded into the state
+  std::uint64_t record_count = 0;  // journal records consumed when taken
+  std::uint64_t base_hash = 0;     // genesis hash of the journal it pairs with
+  std::uint64_t state_hash = 0;    // hash_state() of the serialized state
+  std::string state_blob;          // serialize_state() bytes
+};
+
+/// Writes `ckpt` atomically to `path`. A fired `serve.checkpoint.write`
+/// fault skips the write (kUnavailable) — recovery replays a longer
+/// journal suffix, nothing is lost.
+Status write_checkpoint(const std::string& path, const Checkpoint& ckpt);
+
+/// Loads and CRC-verifies `path`. Any failure (missing, truncated,
+/// corrupt) comes back as a non-ok status; callers treat every failure
+/// the same way — ignore the checkpoint and replay the full journal.
+Result<Checkpoint> load_checkpoint(const std::string& path);
+
+}  // namespace cpla::serve

@@ -1,0 +1,94 @@
+#pragma once
+
+// Byte-level codec for the ECO service's durability layer: little-endian
+// primitive packing, CRC-32 framing, and serializers for the delta /
+// journal / checkpoint payloads. Recovery's bit-identity proof rides on
+// these bytes, so every encoding is platform-independent and fully
+// deterministic — nothing here may depend on pointer values, container
+// hash order, or locale.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "src/assign/state.hpp"
+#include "src/core/critical.hpp"
+#include "src/eco/delta.hpp"
+#include "src/grid/design.hpp"
+#include "src/route/seg_tree.hpp"
+#include "src/util/status.hpp"
+
+namespace cpla::serve {
+
+/// CRC-32 (IEEE 802.3, reflected polynomial) over `size` bytes; chainable
+/// through `seed` for multi-buffer frames.
+std::uint32_t crc32(const void* data, std::size_t size, std::uint32_t seed = 0);
+
+/// Appends little-endian primitives to a growing byte buffer.
+class ByteWriter {
+ public:
+  void u8(std::uint8_t v) { out_.push_back(static_cast<char>(v)); }
+  void u32(std::uint32_t v);
+  void u64(std::uint64_t v);
+  void i32(std::int32_t v) { u32(static_cast<std::uint32_t>(v)); }
+  void f64(double v);  // IEEE-754 bit pattern via u64
+  void bytes(std::string_view v) { out_.append(v.data(), v.size()); }
+
+  const std::string& data() const { return out_; }
+  std::string take() { return std::move(out_); }
+
+ private:
+  std::string out_;
+};
+
+/// Reads little-endian primitives back. Any out-of-bounds read latches the
+/// fail flag and yields zeros, so decoders can run optimistically and
+/// check ok() once at the end.
+class ByteReader {
+ public:
+  explicit ByteReader(std::string_view data) : data_(data) {}
+
+  std::uint8_t u8();
+  std::uint32_t u32();
+  std::uint64_t u64();
+  std::int32_t i32() { return static_cast<std::int32_t>(u32()); }
+  double f64();
+
+  bool ok() const { return ok_; }
+  bool at_end() const { return pos_ == data_.size(); }
+
+ private:
+  std::string_view data_;
+  std::size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+// --- Structured payloads -------------------------------------------------
+
+void write_tree(ByteWriter* w, const route::SegTree& tree);
+route::SegTree read_tree(ByteReader* r);
+
+void write_delta(ByteWriter* w, const eco::Delta& delta);
+eco::Delta read_delta(ByteReader* r);
+
+/// Serializes everything recovery needs to rebuild the live triple: grid
+/// edge capacities, every net's tree + explicit layer vector, and the
+/// critical set (exact net order — it feeds flow determinism).
+std::string serialize_state(const assign::AssignState& state,
+                            const core::CriticalSet& critical);
+
+/// Restores a serialize_state() blob into a triple prepared from the same
+/// base design: existing nets are overwritten in place (ids are stable),
+/// nets beyond the current count are appended.
+Status restore_state(std::string_view blob, grid::Design* design, assign::AssignState* state,
+                     core::CriticalSet* critical);
+
+/// FNV-1a over serialize_state(): the bit-identity fingerprint used by the
+/// journal genesis record, recovery verification, and the chaos harness.
+std::uint64_t hash_state(const assign::AssignState& state, const core::CriticalSet& critical);
+
+/// FNV-1a 64 over raw bytes (exposed so tests can fingerprint blobs).
+std::uint64_t fnv1a64(std::string_view bytes);
+
+}  // namespace cpla::serve

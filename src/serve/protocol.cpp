@@ -1,0 +1,121 @@
+#include "src/serve/protocol.hpp"
+
+#include <sstream>
+
+#include "src/eco/reroute.hpp"
+
+namespace cpla::serve {
+
+bool is_edit(RequestKind kind) {
+  switch (kind) {
+    case RequestKind::kCapacity:
+    case RequestKind::kRelease:
+    case RequestKind::kDemote:
+    case RequestKind::kReroute:
+    case RequestKind::kAdd:
+    case RequestKind::kRemove:
+      return true;
+    case RequestKind::kEmpty:
+    case RequestKind::kResolve:
+    case RequestKind::kSync:
+    case RequestKind::kQuery:
+    case RequestKind::kQuit:
+      return false;
+  }
+  return false;
+}
+
+Result<Request> parse_request(std::string_view line) {
+  std::istringstream in{std::string(line)};
+  std::string op;
+  Request req;
+  if (!(in >> op) || op[0] == '#') return req;  // kEmpty
+
+  auto fail = [](const char* why) { return Status(StatusCode::kBadInput, why); };
+
+  if (op == "capacity") {
+    req.kind = RequestKind::kCapacity;
+    if (!(in >> req.layer >> req.x >> req.y >> req.cap)) {
+      return fail("expected: capacity LAYER X Y CAP");
+    }
+    return req;
+  }
+  if (op == "release" || op == "demote") {
+    req.kind = op == "release" ? RequestKind::kRelease : RequestKind::kDemote;
+    if (!(in >> req.net)) return fail("expected a net id");
+    return req;
+  }
+  if (op == "reroute") {
+    req.kind = RequestKind::kReroute;
+    if (!(in >> req.net)) return fail("expected a net id");
+    return req;
+  }
+  if (op == "add") {
+    req.kind = RequestKind::kAdd;
+    if (!(in >> req.x >> req.y >> req.x2 >> req.y2)) return fail("expected: add X1 Y1 X2 Y2");
+    return req;
+  }
+  if (op == "remove") {
+    req.kind = RequestKind::kRemove;
+    if (!(in >> req.net)) return fail("expected a net id");
+    return req;
+  }
+  if (op == "resolve") {
+    req.kind = RequestKind::kResolve;
+    in >> req.deadline_ms;  // optional; absent leaves the service default
+    if (req.deadline_ms < 0.0) return fail("resolve deadline must be >= 0");
+    return req;
+  }
+  if (op == "sync") {
+    req.kind = RequestKind::kSync;
+    return req;
+  }
+  if (op == "query") {
+    req.kind = RequestKind::kQuery;
+    if (!(in >> req.query)) return fail("expected: query hash|seq|metrics|stats|net");
+    if (req.query == "net") {
+      if (!(in >> req.net)) return fail("expected: query net NET");
+    } else if (req.query != "hash" && req.query != "seq" && req.query != "metrics" &&
+               req.query != "stats") {
+      return fail("expected: query hash|seq|metrics|stats|net");
+    }
+    return req;
+  }
+  if (op == "quit") {
+    req.kind = RequestKind::kQuit;
+    return req;
+  }
+  return fail("unknown op");
+}
+
+Result<eco::Delta> materialize(const Request& request, const assign::AssignState& state) {
+  switch (request.kind) {
+    case RequestKind::kCapacity:
+      return eco::Delta::capacity_adjusted(request.layer, request.x, request.y, request.cap);
+    case RequestKind::kRelease:
+      return eco::Delta::criticality_changed(request.net, true);
+    case RequestKind::kDemote:
+      return eco::Delta::criticality_changed(request.net, false);
+    case RequestKind::kReroute: {
+      CPLA_CHECK(request.net >= 0 && request.net < state.num_nets(),
+                 Status(StatusCode::kBadInput, "net id out of range"));
+      Result<route::SegTree> flipped = eco::alternate_route(state.tree(request.net));
+      CPLA_CHECK(flipped.is_ok(), Status(StatusCode::kBadInput, "net is not a two-segment L"));
+      return eco::Delta::net_rerouted(request.net, flipped.take());
+    }
+    case RequestKind::kAdd:
+      return eco::Delta::net_added(
+          eco::make_two_pin_tree({request.x, request.y}, {request.x2, request.y2}));
+    case RequestKind::kRemove:
+      return eco::Delta::net_removed(request.net);
+    case RequestKind::kEmpty:
+    case RequestKind::kResolve:
+    case RequestKind::kSync:
+    case RequestKind::kQuery:
+    case RequestKind::kQuit:
+      break;
+  }
+  return Status(StatusCode::kBadInput, "request is not an edit");
+}
+
+}  // namespace cpla::serve

@@ -1,0 +1,72 @@
+#pragma once
+
+// AF_UNIX line-protocol front end for EcoService. One connection = one
+// edit session: the acceptor opens a service session per connection (a
+// refused open — session limit — is answered with "err unavailable: ..."
+// and an immediate close, which is the connection-level admission
+// control), then a dedicated thread reads newline-terminated requests and
+// writes one reply line per request.
+//
+// handle_line() — the request dispatcher — is a free function so the
+// in-process tests and the chaos harness exercise byte-identical protocol
+// behavior without a socket in the loop.
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "src/serve/service.hpp"
+#include "src/util/status.hpp"
+
+namespace cpla::serve {
+
+struct LineReply {
+  std::string text;   // one reply line, no trailing newline; empty = no reply
+  bool quit = false;  // close the connection after replying
+};
+
+/// Executes one protocol line against a service session. Edits reply
+/// "ok SEQ", resolve replies "ok hash=<16-hex> seq=N", queries answer off
+/// the published snapshot; every failure is "err <code>: <message>".
+LineReply handle_line(EcoService* service, int session, std::string_view line);
+
+class SocketServer {
+ public:
+  /// Borrows `service`, which must outlive the server and be start()ed
+  /// before the server is.
+  SocketServer(EcoService* service, std::string path);
+  ~SocketServer();
+  SocketServer(const SocketServer&) = delete;
+  SocketServer& operator=(const SocketServer&) = delete;
+
+  /// Binds and listens on the unix-domain path (an existing socket file is
+  /// replaced) and starts the acceptor thread.
+  Status start();
+  /// Shuts every connection down, joins all threads, unlinks the socket.
+  void stop();
+
+  const std::string& path() const { return path_; }
+
+ private:
+  struct Conn {
+    int fd = -1;
+    std::thread thread;
+  };
+
+  void accept_loop();
+  void serve_connection(Conn* conn);
+
+  EcoService* service_;
+  std::string path_;
+  int listen_fd_ = -1;
+  std::thread acceptor_;
+  std::atomic<bool> stopping_{false};
+  std::mutex mu_;
+  std::vector<std::shared_ptr<Conn>> conns_;
+};
+
+}  // namespace cpla::serve

@@ -32,6 +32,15 @@ inline constexpr char kSolveGuardDeadline[] = "solve_guard.deadline";
 inline constexpr char kEcoCacheLookup[] = "eco.cache.lookup";
 inline constexpr char kEcoResolvePartition[] = "eco.resolve.partition";
 
+// serve: durability failure origins of the ECO service. A fired journal
+// site simulates a torn/short append or a failed fsync (the service
+// degrades to read-only, never corrupts the on-disk journal prefix); a
+// fired checkpoint site skips the checkpoint (recovery replays a longer
+// journal suffix instead).
+inline constexpr char kServeJournalAppend[] = "serve.journal.append";
+inline constexpr char kServeJournalFsync[] = "serve.journal.fsync";
+inline constexpr char kServeCheckpointWrite[] = "serve.checkpoint.write";
+
 inline constexpr const char* kAll[] = {
     kLaCholeskyFactor,
     kSdpSolveNumerical,
@@ -39,6 +48,9 @@ inline constexpr const char* kAll[] = {
     kSolveGuardDeadline,
     kEcoCacheLookup,
     kEcoResolvePartition,
+    kServeJournalAppend,
+    kServeJournalFsync,
+    kServeCheckpointWrite,
 };
 
 inline constexpr std::size_t kCount = sizeof(kAll) / sizeof(kAll[0]);

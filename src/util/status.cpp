@@ -13,6 +13,7 @@ const char* to_string(StatusCode code) {
     case StatusCode::kInfeasible: return "infeasible";
     case StatusCode::kBadInput: return "bad-input";
     case StatusCode::kInternal: return "internal";
+    case StatusCode::kUnavailable: return "unavailable";
   }
   return "?";
 }

@@ -24,6 +24,7 @@ enum class [[nodiscard]] StatusCode : int {
   kInfeasible,         // no feasible point exists (or was found)
   kBadInput,           // malformed external input (parser, config)
   kInternal,           // caught exception / unclassified failure
+  kUnavailable,        // service refused the request (shed, read-only, stopped)
 };
 
 const char* to_string(StatusCode code);

@@ -2,7 +2,9 @@
 // Example in a comment must not count: CPLA_FAULT_POINT("comment.site")
 namespace cpla::fault_sites {
 inline constexpr char kWidgetSolveOverflow[] = "widget.solve.overflow";
+inline constexpr char kServeJournalFsync[] = "serve.journal.fsync";
 inline constexpr const char* kAll[] = {
     kWidgetSolveOverflow,
+    kServeJournalFsync,
 };
 }  // namespace cpla::fault_sites

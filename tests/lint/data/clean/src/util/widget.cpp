@@ -1,6 +1,7 @@
 #include "src/util/fault_sites.hpp"
 bool widget_solve() {
   if (CPLA_FAULT_POINT("widget.solve.overflow")) return false;
+  if (CPLA_FAULT_POINT("serve.journal.fsync")) return false;
   return true;
 }
 void instrument() {
@@ -8,4 +9,5 @@ void instrument() {
   obs::metrics().counter("eco.cache.hits").add();
   obs::metrics().counter("la.cholesky.factors").add();
   obs::metrics().counter("sdp.solve.stalls").add();
+  obs::metrics().counter("serve.deltas.applied").add();
 }

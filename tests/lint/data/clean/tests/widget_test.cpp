@@ -1,13 +1,16 @@
 void test_widget() {
   FaultInjector::instance().arm_always("widget.solve.overflow");
+  FaultInjector::instance().arm("serve.journal.fsync", 2);
   auto reg = LocalRegistry();
   reg.counter("test.local.name").add();  // local registry: exempt
   auto v = obs::metrics().counter("widget.solves").value();
   auto h = obs::metrics().counter("eco.cache.hits").value();
   auto f = obs::metrics().counter("la.cholesky.factors").value();
   auto s = obs::metrics().counter("sdp.solve.stalls").value();
+  auto d = obs::metrics().counter("serve.deltas.applied").value();
   (void)v;
   (void)h;
   (void)f;
   (void)s;
+  (void)d;
 }

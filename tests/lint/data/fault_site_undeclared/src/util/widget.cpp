@@ -1,5 +1,6 @@
 #include "src/util/fault_sites.hpp"
 bool widget_solve() {
   if (CPLA_FAULT_POINT("widget.solve.overflow")) return false;
+  if (CPLA_FAULT_POINT("serve.journal.fsync")) return false;
   return true;
 }

@@ -1,3 +1,4 @@
 void test_degradation() {
   FaultInjector::instance().arm_always("no.such.site");
+  FaultInjector::instance().arm("serve.journal.fsnyc", 2);  // transposed
 }

@@ -1,7 +1,9 @@
 #pragma once
 namespace cpla::fault_sites {
 inline constexpr char kGhostSite[] = "ghost.site.never_used";
+inline constexpr char kServeStale[] = "serve.journal.stale";
 inline constexpr const char* kAll[] = {
     kGhostSite,
+    kServeStale,
 };
 }  // namespace cpla::fault_sites

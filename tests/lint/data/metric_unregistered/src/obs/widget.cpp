@@ -3,4 +3,5 @@ void instrument() {
   obs::metrics().counter("eco.cache.hits").add();
   obs::metrics().counter("la.cholesky.factors").add();
   obs::metrics().counter("sdp.solve.stalls").add();
+  obs::metrics().counter("serve.deltas.applied").add();
 }

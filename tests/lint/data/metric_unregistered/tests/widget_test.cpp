@@ -3,8 +3,10 @@ void check_counters() {
   auto h = obs::metrics().counter("eco.cache.hit").value();  // missing trailing s
   auto f = obs::metrics().counter("la.cholesky.factorizations").value();  // renamed
   auto s = obs::metrics().counter("sdp.solve.stalled").value();  // tense drift
+  auto d = obs::metrics().counter("serve.deltas.appled").value();  // dropped letter
   (void)v;
   (void)h;
   (void)f;
   (void)s;
+  (void)d;
 }

@@ -1,0 +1,51 @@
+#pragma once
+
+// Shared fixtures for the serve suites: the eco bench makers plus a
+// self-cleaning scratch directory for journal and checkpoint files.
+
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+
+#include "src/serve/service.hpp"
+#include "tests/eco/eco_test_util.hpp"
+
+namespace cpla::serve {
+
+class TempDir {
+ public:
+  TempDir() {
+    std::string tmpl =
+        (std::filesystem::temp_directory_path() / "cpla_serve_test.XXXXXX").string();
+    const char* made = ::mkdtemp(tmpl.data());
+    dir_ = made != nullptr ? made : std::filesystem::temp_directory_path().string();
+  }
+  ~TempDir() {
+    std::error_code ec;
+    std::filesystem::remove_all(dir_, ec);
+  }
+  TempDir(const TempDir&) = delete;
+  TempDir& operator=(const TempDir&) = delete;
+
+  std::string path(const std::string& name) const {
+    return (std::filesystem::path(dir_) / name).string();
+  }
+
+ private:
+  std::string dir_;
+};
+
+/// Durability-enabled options rooted in `dir` (journal + per-resolve
+/// checkpoints) over a small critical set, suitable for the small benches.
+inline ServeOptions durable_options(const TempDir& dir, int checkpoint_every = 0) {
+  ServeOptions opt;
+  opt.eco.critical_ratio = 0.03;
+  opt.journal_path = dir.path("journal.wal");
+  if (checkpoint_every > 0) {
+    opt.checkpoint_path = dir.path("state.ckpt");
+    opt.checkpoint_every = checkpoint_every;
+  }
+  return opt;
+}
+
+}  // namespace cpla::serve

@@ -1,0 +1,332 @@
+#!/usr/bin/env python3
+"""Chaos harness for the ECO service daemon (examples/eco_served).
+
+Four campaigns, each run over a fixed seed budget:
+
+  kill    SIGKILL the server mid-resolve. The two independent recovery
+          paths — a service restart (checkpoint + journal suffix) and the
+          journal-only reference replay — must land on bit-identical
+          state, a second restart must be stable, and the recovered
+          resolve must be never-worse than the acknowledged pre-resolve
+          state (avg/max Tcp within 1e-9 relative, total overflow not up).
+  fault   Arm journal fsync/append fault sites. The server must degrade
+          to read-only — refusing mutations with `err unavailable`, still
+          answering queries, never crashing or deadlocking — and a clean
+          restart must agree with the reference replay.
+  torn    SIGKILL, then truncate the journal mid-record. Recovery must
+          repair the tail and both paths must agree on the valid prefix.
+  hammer  Concurrent sessions race edits, syncs, and resolves; SIGKILL
+          mid-flight; both recovery paths must agree.
+
+Stdlib only. Exit code 0 iff every campaign passed for every seed.
+"""
+
+from __future__ import annotations
+
+import argparse
+import random
+import shutil
+import signal
+import socket
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+from pathlib import Path
+from typing import Optional
+
+START_TIMEOUT_S = 300.0  # recovery replays a resolve; generous for slow CI
+IO_TIMEOUT_S = 300.0
+
+
+class ChaosFailure(AssertionError):
+    """A campaign invariant did not hold."""
+
+
+def expect(cond: bool, message: str) -> None:
+    if not cond:
+        raise ChaosFailure(message)
+
+
+def server_args(binary: Path, workdir: Path, seed: int) -> list[str]:
+    return [
+        str(binary),
+        "--quiet",
+        "--size", "14",
+        "--nets", "90",
+        "--seed", str(seed),
+        "--journal", str(workdir / "journal.wal"),
+        "--checkpoint", str(workdir / "state.ckpt"),
+        "--checkpoint-every", "2",
+    ]
+
+
+class Server:
+    """One eco_served process; waits for the listening banner on start."""
+
+    def __init__(self, binary: Path, workdir: Path, seed: int,
+                 extra: Optional[list[str]] = None) -> None:
+        self.sock_path = workdir / "eco.sock"
+        args = server_args(binary, workdir, seed)
+        args += ["--socket", str(self.sock_path), "--print-hash"]
+        args += list(extra or [])
+        self.proc: subprocess.Popen[str] = subprocess.Popen(
+            args, stdout=subprocess.PIPE, stderr=subprocess.DEVNULL, text=True)
+        self.start_hash = ""
+        stdout = self.proc.stdout
+        assert stdout is not None
+        for line in stdout:  # a wedged start is caught by the outer timeout
+            if line.startswith("hash "):
+                self.start_hash = line.split()[1]
+            if line.startswith("listening on"):
+                return
+        code = self.proc.wait(timeout=IO_TIMEOUT_S)
+        raise ChaosFailure(f"server exited with {code} before listening")
+
+    def kill(self) -> None:
+        if self.proc.poll() is None:
+            self.proc.kill()  # SIGKILL: the crash the journal exists for
+        self.proc.wait(timeout=IO_TIMEOUT_S)
+
+    def terminate(self) -> None:
+        if self.proc.poll() is None:
+            self.proc.send_signal(signal.SIGTERM)
+        expect(self.proc.wait(timeout=IO_TIMEOUT_S) == 0, "clean shutdown exited nonzero")
+
+
+class Client:
+    """One line-protocol connection."""
+
+    def __init__(self, sock_path: Path) -> None:
+        self.sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        self.sock.settimeout(IO_TIMEOUT_S)
+        self.sock.connect(str(sock_path))
+        self.buf = b""
+
+    def send(self, line: str) -> str:
+        self.sock.sendall((line + "\n").encode())
+        while b"\n" not in self.buf:
+            chunk = self.sock.recv(4096)
+            if not chunk:
+                raise ConnectionError("server closed the connection")
+            self.buf += chunk
+        reply, _, self.buf = self.buf.partition(b"\n")
+        return reply.decode()
+
+    def close(self) -> None:
+        self.sock.close()
+
+
+def reply_int(reply: str, key: str) -> int:
+    return int(reply_tok(reply, key))
+
+
+def reply_float(reply: str, key: str) -> float:
+    return float(reply_tok(reply, key))
+
+
+def reply_tok(reply: str, key: str) -> str:
+    for tok in reply.split():
+        if tok.startswith(key + "="):
+            return tok.split("=", 1)[1]
+    raise ChaosFailure(f"no '{key}=' in reply: {reply}")
+
+
+def replay_hash(binary: Path, workdir: Path, seed: int) -> str:
+    """The journal-only reference recovery path (checkpoints ignored)."""
+    args = server_args(binary, workdir, seed) + ["--replay"]
+    out = subprocess.run(args, capture_output=True, text=True,
+                         timeout=START_TIMEOUT_S, check=False)
+    for line in out.stdout.splitlines():
+        if line.startswith("hash "):
+            return line.split()[1]
+    raise ChaosFailure(f"replay failed: {out.stderr.strip()[-400:]}")
+
+
+def submit_edits(client: Client, rng: random.Random, count: int) -> None:
+    """Capacity raises only: monotone in capacity, so overflow cannot grow."""
+    for _ in range(count):
+        x, y = rng.randint(1, 11), rng.randint(1, 11)
+        cap = rng.randint(8, 14)
+        reply = client.send(f"capacity 0 {x} {y} {cap}")
+        expect(reply.startswith("ok "), f"edit refused: {reply}")
+
+
+def expect_recovery_agrees(binary: Path, workdir: Path, seed: int) -> Server:
+    """Restart + reference replay must agree; returns the live restart."""
+    replayed = replay_hash(binary, workdir, seed)
+    server = Server(binary, workdir, seed)
+    expect(server.start_hash == replayed,
+           f"restart hash {server.start_hash} != replay hash {replayed}")
+    return server
+
+
+def campaign_kill(binary: Path, workdir: Path, seed: int) -> None:
+    rng = random.Random(seed)
+    server = Server(binary, workdir, seed)
+    client = Client(server.sock_path)
+    submit_edits(client, rng, 12)
+    expect(client.send("sync") == "ok", "sync must ack")
+    pre = client.send("query metrics")
+    avg0, max0 = reply_float(pre, "avg_tcp"), reply_float(pre, "max_tcp")
+    overflow0 = reply_int(pre, "wire_overflow") + reply_int(pre, "via_overflow")
+
+    def fire_resolve() -> None:
+        try:
+            client.send("resolve")
+        except (ConnectionError, OSError):
+            pass  # the kill races the reply; either outcome is legal
+
+    resolver = threading.Thread(target=fire_resolve)
+    resolver.start()
+    time.sleep(rng.uniform(0.0, 0.2))  # lands before, during, or after the solve
+    server.kill()
+    resolver.join(timeout=IO_TIMEOUT_S)
+    expect(not resolver.is_alive(), "resolve client wedged after SIGKILL")
+    client.close()
+
+    recovered = expect_recovery_agrees(binary, workdir, seed)
+    first_hash = recovered.start_hash
+    probe = Client(recovered.sock_path)
+    post = probe.send("query metrics")
+    expect(reply_float(post, "avg_tcp") <= avg0 * (1.0 + 1e-9), "avg_tcp worse after recovery")
+    expect(reply_float(post, "max_tcp") <= max0 * (1.0 + 1e-9), "max_tcp worse after recovery")
+    post_overflow = reply_int(post, "wire_overflow") + reply_int(post, "via_overflow")
+    expect(post_overflow <= overflow0, "overflow worse after recovery")
+    probe.close()
+    recovered.terminate()
+
+    # Stability: recovering the recovered store changes nothing.
+    second = Server(binary, workdir, seed)
+    expect(second.start_hash == first_hash, "second restart moved the state")
+    second.terminate()
+
+
+def campaign_fault(binary: Path, workdir: Path, seed: int) -> None:
+    rng = random.Random(seed)
+    site = rng.choice(["serve.journal.fsync", "serve.journal.append"])
+    # Occurrence 0 of either site happens during start() (genesis record),
+    # so arm strictly later to fault a client-visible operation.
+    server = Server(binary, workdir, seed,
+                    extra=["--fault", f"{site}:{rng.randint(1, 3)}"])
+    client = Client(server.sock_path)
+
+    refused = False
+    for _ in range(10):
+        x, y = rng.randint(1, 11), rng.randint(1, 11)
+        edit = client.send(f"capacity 0 {x} {y} {rng.randint(8, 14)}")
+        barrier = client.send("sync")
+        if edit.startswith("err unavailable") or barrier.startswith("err unavailable"):
+            refused = True
+            break
+    expect(refused, "armed journal fault never surfaced as err unavailable")
+
+    # Read-only, not dead: queries answer, mutations are refused, and the
+    # snapshot hash is still serveable.
+    stats = client.send("query stats")
+    expect(reply_int(stats, "read_only") == 1, f"read_only not reported: {stats}")
+    expect(client.send("query hash").startswith("ok "), "query refused in read-only mode")
+    expect(client.send("resolve").startswith("err unavailable"),
+           "resolve not refused in read-only mode")
+    client.close()
+    server.terminate()
+
+    # A fault-free restart recovers every acknowledged record.
+    expect_recovery_agrees(binary, workdir, seed).terminate()
+
+
+def campaign_torn(binary: Path, workdir: Path, seed: int) -> None:
+    rng = random.Random(seed)
+    server = Server(binary, workdir, seed)
+    client = Client(server.sock_path)
+    submit_edits(client, rng, 8)
+    expect(client.send("sync") == "ok", "sync must ack")
+    server.kill()
+    client.close()
+
+    # A power cut mid-append: shear off part of the journal tail.
+    journal = workdir / "journal.wal"
+    size = journal.stat().st_size
+    cut = rng.randint(1, 20)
+    with journal.open("rb+") as f:
+        f.truncate(max(size - cut, 0))
+
+    expect_recovery_agrees(binary, workdir, seed).terminate()
+
+
+def campaign_hammer(binary: Path, workdir: Path, seed: int) -> None:
+    rng = random.Random(seed)
+    server = Server(binary, workdir, seed)
+
+    def worker(worker_seed: int, resolver: bool) -> None:
+        wrng = random.Random(worker_seed)
+        try:
+            mine = Client(server.sock_path)
+            for _ in range(10):
+                x, y = wrng.randint(1, 11), wrng.randint(1, 11)
+                mine.send(f"capacity 0 {x} {y} {wrng.randint(8, 14)}")
+                mine.send("resolve" if resolver else "sync")
+            mine.close()
+        except (ConnectionError, OSError):
+            pass  # expected once the kill lands
+
+    threads = [threading.Thread(target=worker, args=(seed * 31 + i, i % 4 == 0))
+               for i in range(8)]
+    for t in threads:
+        t.start()
+    time.sleep(rng.uniform(0.1, 0.6))
+    server.kill()
+    for t in threads:
+        t.join(timeout=IO_TIMEOUT_S)
+        expect(not t.is_alive(), "hammer client wedged after SIGKILL")
+
+    expect_recovery_agrees(binary, workdir, seed).terminate()
+
+
+CAMPAIGNS = {
+    "kill": campaign_kill,
+    "fault": campaign_fault,
+    "torn": campaign_torn,
+    "hammer": campaign_hammer,
+}
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__,
+                                     formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("--binary", type=Path, default=Path("build/examples/eco_served"),
+                        help="path to the eco_served binary")
+    parser.add_argument("--budget", type=int, default=3,
+                        help="seeds per campaign (fixed: 1..budget)")
+    parser.add_argument("--campaign", choices=sorted(CAMPAIGNS), action="append",
+                        help="run only these campaigns (default: all)")
+    args = parser.parse_args(argv)
+
+    binary: Path = args.binary
+    if not binary.exists():
+        print(f"error: {binary} not found (build eco_served first)", file=sys.stderr)
+        return 2
+
+    names = args.campaign or sorted(CAMPAIGNS)
+    failures = 0
+    for name in names:
+        for seed in range(1, args.budget + 1):
+            workdir = Path(tempfile.mkdtemp(prefix=f"chaos_{name}_{seed}_"))
+            started = time.monotonic()
+            try:
+                CAMPAIGNS[name](binary, workdir, seed)
+            except ChaosFailure as failure:
+                failures += 1
+                print(f"FAIL {name} seed={seed}: {failure} (artifacts kept: {workdir})")
+                continue
+            print(f"ok   {name} seed={seed} ({time.monotonic() - started:.1f}s)")
+            shutil.rmtree(workdir, ignore_errors=True)
+
+    total = len(names) * args.budget
+    print(f"chaos: {total - failures}/{total} passed")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
