@@ -1,0 +1,193 @@
+// Batched-SDP throughput harness: solves a population of lifted
+// partition SDPs (the shape core/sdp_engine.cpp emits) once through the
+// scalar sdp::solve loop and once through sdp::solve_batch, verifies the
+// two result sets are bit-identical, and reports the throughput ratio.
+//
+// Flags beyond the common harness set (bench/harness.hpp):
+//   --gate <ratio>   exit nonzero unless batch speedup >= ratio (CI uses
+//                    3.0; wall-ratios are asserted here, in-binary, because
+//                    bench_compare.py's one-sided bigger-is-worse rule
+//                    cannot express "this value must be large")
+//
+// The bitwise-equality check always runs — a fast batch that diverges
+// from the scalar path is a correctness bug, not a win.
+
+#include <algorithm>
+#include <bit>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench/harness.hpp"
+
+#include "src/sdp/batch_solver.hpp"
+#include "src/sdp/solver.hpp"
+#include "src/util/rng.hpp"
+#include "src/util/timer.hpp"
+
+namespace {
+
+using namespace cpla;
+
+// Same instance family as bench/micro_solvers.cpp BM_SdpLiftedPartition:
+// dense moment block of 1 + vars*layers, a diag slack block, and the
+// pin / linkage / one-hot / capacity constraint mix.
+sdp::SdpProblem lifted_partition_problem(int vars, int layers, Rng* rng) {
+  const int dense_dim = 1 + vars * layers;
+  const int caps = vars;
+  sdp::SdpProblem p({sdp::BlockSpec{sdp::BlockSpec::Kind::kDense, dense_dim},
+                     sdp::BlockSpec{sdp::BlockSpec::Kind::kDiag, caps}});
+  for (int k = 1; k < dense_dim; ++k) {
+    p.add_objective_entry(0, 0, k, 0.5 * rng->uniform(0.1, 1.0));
+  }
+  for (int k = 1; k + layers < dense_dim; ++k) {
+    p.add_objective_entry(0, k, k + layers, rng->uniform(-0.2, 0.2));
+  }
+  const int c0 = p.add_constraint(1.0);
+  p.add_entry(c0, 0, 0, 0, 1.0);
+  for (int k = 1; k < dense_dim; ++k) {
+    const int c = p.add_constraint(0.0);
+    p.add_entry(c, 0, k, k, 1.0);
+    p.add_entry(c, 0, 0, k, -0.5);
+  }
+  for (int v = 0; v < vars; ++v) {
+    const int c = p.add_constraint(1.0);
+    for (int l = 0; l < layers; ++l) p.add_entry(c, 0, 0, 1 + v * layers + l, 0.5);
+  }
+  for (int r = 0; r < caps; ++r) {
+    const int c = p.add_constraint(rng->uniform(1.0, 2.0));
+    for (int v = 0; v < vars; ++v) {
+      if (!rng->chance(0.4)) continue;
+      const int l = static_cast<int>(rng->uniform_int(0, layers - 1));
+      p.add_entry(c, 0, 0, 1 + v * layers + l, 0.5 * rng->uniform(0.5, 1.0));
+    }
+    p.add_entry(c, 1, r, r, 1.0);
+  }
+  return p;
+}
+
+std::uint64_t bits(double v) { return std::bit_cast<std::uint64_t>(v); }
+
+bool block_bits_equal(const sdp::BlockMatrix& a, const sdp::BlockMatrix& b) {
+  if (a.num_blocks() != b.num_blocks()) return false;
+  for (std::size_t k = 0; k < a.num_blocks(); ++k) {
+    if (a.is_dense(k) != b.is_dense(k)) return false;
+    if (a.is_dense(k)) {
+      const la::Matrix& ma = a.dense(k);
+      const la::Matrix& mb = b.dense(k);
+      if (ma.rows() != mb.rows() || ma.cols() != mb.cols()) return false;
+      for (std::size_t r = 0; r < ma.rows(); ++r) {
+        for (std::size_t c = 0; c < ma.cols(); ++c) {
+          if (bits(ma(r, c)) != bits(mb(r, c))) return false;
+        }
+      }
+    } else {
+      if (a.diag(k).size() != b.diag(k).size()) return false;
+      for (std::size_t i = 0; i < a.diag(k).size(); ++i) {
+        if (bits(a.diag(k)[i]) != bits(b.diag(k)[i])) return false;
+      }
+    }
+  }
+  return true;
+}
+
+bool results_bit_identical(const sdp::SdpResult& got, const sdp::SdpResult& want) {
+  if (got.status != want.status || got.iterations != want.iterations) return false;
+  if (bits(got.primal_obj) != bits(want.primal_obj)) return false;
+  if (bits(got.dual_obj) != bits(want.dual_obj)) return false;
+  if (bits(got.rel_gap) != bits(want.rel_gap)) return false;
+  if (got.y.size() != want.y.size()) return false;
+  for (std::size_t i = 0; i < got.y.size(); ++i) {
+    if (bits(got.y[i]) != bits(want.y[i])) return false;
+  }
+  return block_bits_equal(got.x, want.x) && block_bits_equal(got.z, want.z);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::BenchArgs args = bench::parse_bench_args(&argc, argv);
+  double gate = 0.0;  // 0 = report only
+  for (int r = 1; r < argc; ++r) {
+    if (std::strcmp(argv[r], "--gate") == 0 && r + 1 < argc) {
+      gate = std::strtod(argv[++r], nullptr);
+    }
+  }
+
+  // Population: the small-partition sizes the flow's batch tier actually
+  // packs (dense dims 17/25/33 at 4 layers), many problems per size class
+  // so every class fills several kLanes-wide slabs.
+  const int per_class = args.quick ? 16 : 48;
+  const int reps = args.quick ? 3 : 5;
+  Rng rng(args.seed * 977 + 6);
+  std::vector<sdp::SdpProblem> problems;
+  for (int vars : {4, 6, 8}) {
+    for (int i = 0; i < per_class; ++i) {
+      problems.push_back(lifted_partition_problem(vars, /*layers=*/4, &rng));
+    }
+  }
+  std::vector<const sdp::SdpProblem*> ptrs;
+  ptrs.reserve(problems.size());
+  for (const sdp::SdpProblem& p : problems) ptrs.push_back(&p);
+
+  sdp::SdpOptions opt;
+  opt.parallel = false;  // throughput comes from the lanes, not threads
+
+  // Warm-up + correctness reference: one scalar pass, one batch pass.
+  std::vector<sdp::SdpResult> scalar_results;
+  scalar_results.reserve(ptrs.size());
+  for (const sdp::SdpProblem* p : ptrs) scalar_results.push_back(sdp::solve(*p, opt));
+  sdp::BatchSolveStats stats;
+  const std::vector<sdp::SdpResult> batch_results = sdp::solve_batch(ptrs, opt, {}, &stats);
+
+  for (std::size_t i = 0; i < ptrs.size(); ++i) {
+    if (!results_bit_identical(batch_results[i], scalar_results[i])) {
+      std::fprintf(stderr, "micro_batch: FAIL problem %zu: batch result diverges from scalar\n",
+                   i);
+      return 1;
+    }
+  }
+
+  // Timed passes: best-of-reps on each side (single machine, CI noise).
+  double scalar_ms = 1e300;
+  double batch_ms = 1e300;
+  for (int r = 0; r < reps; ++r) {
+    WallTimer t;
+    for (const sdp::SdpProblem* p : ptrs) {
+      sdp::SdpResult res = sdp::solve(*p, opt);
+      if (res.iterations < 0) return 1;  // keep the solve observable
+    }
+    scalar_ms = std::min(scalar_ms, t.seconds() * 1e3);
+  }
+  for (int r = 0; r < reps; ++r) {
+    WallTimer t;
+    const std::vector<sdp::SdpResult> res = sdp::solve_batch(ptrs, opt);
+    if (res.size() != ptrs.size()) return 1;
+    batch_ms = std::min(batch_ms, t.seconds() * 1e3);
+  }
+  const double speedup = batch_ms > 0.0 ? scalar_ms / batch_ms : 0.0;
+
+  std::printf("micro_batch: %zu problems  scalar %.1f ms  batch %.1f ms  speedup %.2fx\n",
+              ptrs.size(), scalar_ms, batch_ms, speedup);
+  std::printf("micro_batch: chunks=%d batched_lanes=%d scalar_fallback=%d aborted=%d\n",
+              stats.chunks, stats.batched_lanes, stats.scalar, stats.aborted);
+
+  bench::BenchReport report("micro_batch", args);
+  report.record_phase("scalar_loop", scalar_ms);
+  report.record_phase("batched", batch_ms);
+  report.record_value("batch.problems", static_cast<double>(ptrs.size()));
+  report.record_value("batch.speedup", speedup);
+  report.record_value("batch.chunks", static_cast<double>(stats.chunks));
+  report.record_value("batch.batched_lanes", static_cast<double>(stats.batched_lanes));
+  report.record_value("batch.scalar_fallback", static_cast<double>(stats.scalar));
+  report.record_value("batch.aborted", static_cast<double>(stats.aborted));
+  if (!report.write()) return 1;
+
+  if (gate > 0.0 && speedup < gate) {
+    std::fprintf(stderr, "micro_batch: FAIL speedup %.2fx below gate %.2fx\n", speedup, gate);
+    return 1;
+  }
+  return 0;
+}

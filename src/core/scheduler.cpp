@@ -1,0 +1,165 @@
+#include "src/core/scheduler.hpp"
+
+#include <algorithm>
+#include <queue>
+
+#include "src/util/check.hpp"
+
+namespace cpla::core {
+
+Scheduler::Scheduler(int threads)
+    : threads_(std::max(1, threads > 0 ? threads
+                                       : static_cast<int>(std::thread::hardware_concurrency()))) {
+  queues_.reserve(static_cast<std::size_t>(threads_));
+  for (int i = 0; i < threads_; ++i) queues_.push_back(std::make_unique<WorkerQueue>());
+  // Worker 0 is the caller; only the remaining workers get pool threads.
+  pool_.reserve(static_cast<std::size_t>(threads_ - 1));
+  for (int w = 1; w < threads_; ++w) {
+    pool_.emplace_back([this, w] { worker_loop(w); });
+  }
+}
+
+Scheduler::~Scheduler() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : pool_) t.join();
+}
+
+void Scheduler::run(TaskGraph* graph) {
+  CPLA_ASSERT(graph != nullptr);
+  if (graph->nodes_.empty()) return;
+  if (threads_ == 1) {
+    run_inline(graph);
+    return;
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    graph_ = graph;
+    remaining_ = graph->size();
+    // Seed the initially-ready nodes round-robin so every worker starts
+    // with local work instead of stampeding one queue.
+    int w = 0;
+    int ready = 0;
+    for (int i = 0; i < graph->size(); ++i) {
+      if (graph->nodes_[static_cast<std::size_t>(i)].deps != 0) continue;
+      {
+        std::lock_guard<std::mutex> qlock(queues_[static_cast<std::size_t>(w)]->mu);
+        queues_[static_cast<std::size_t>(w)]->tasks.push_back(i);
+      }
+      w = (w + 1) % threads_;
+      ++ready;
+    }
+    pending_ = ready;
+    CPLA_ASSERT_MSG(ready > 0, "task graph has a dependency cycle (no ready node)");
+    ++generation_;
+  }
+  work_cv_.notify_all();
+
+  participate(0);
+
+  std::lock_guard<std::mutex> lock(mu_);
+  graph_ = nullptr;
+}
+
+void Scheduler::run_inline(TaskGraph* graph) {
+  // Deterministic single-thread path: Kahn's algorithm with an id-ordered
+  // ready set, so the execution order is a pure function of the graph.
+  std::priority_queue<int, std::vector<int>, std::greater<int>> ready;
+  for (int i = 0; i < graph->size(); ++i) {
+    if (graph->nodes_[static_cast<std::size_t>(i)].deps == 0) ready.push(i);
+  }
+  int executed = 0;
+  while (!ready.empty()) {
+    const int id = ready.top();
+    ready.pop();
+    TaskGraph::Node& node = graph->nodes_[static_cast<std::size_t>(id)];
+    node.fn();
+    ++executed;
+    for (int succ : node.out) {
+      if (--graph->nodes_[static_cast<std::size_t>(succ)].deps == 0) ready.push(succ);
+    }
+  }
+  CPLA_ASSERT_MSG(executed == graph->size(), "task graph has a dependency cycle");
+}
+
+void Scheduler::worker_loop(int worker) {
+  long seen = 0;
+  std::unique_lock<std::mutex> lock(mu_);
+  while (true) {
+    work_cv_.wait(lock, [&] { return shutdown_ || generation_ != seen; });
+    if (shutdown_) return;
+    seen = generation_;
+    lock.unlock();
+    participate(worker);
+    lock.lock();
+  }
+}
+
+void Scheduler::participate(int worker) {
+  while (true) {
+    int node = -1;
+    if (try_pop(worker, &node)) {
+      execute(node, worker);
+      continue;
+    }
+    std::unique_lock<std::mutex> lock(mu_);
+    if (remaining_ == 0) return;
+    if (pending_ == 0) {
+      // No claimable work right now: park until a finishing node enqueues
+      // successors or the run completes. (pending_ only moves under mu_,
+      // so the missed-wakeup window is closed.)
+      work_cv_.wait(lock, [&] { return remaining_ == 0 || pending_ > 0 || shutdown_; });
+      if (remaining_ == 0 || shutdown_) return;
+    }
+  }
+}
+
+bool Scheduler::try_pop(int worker, int* node) {
+  // Own queue first (back = most recently pushed, cache-hot), then steal
+  // from the front of the others in ring order.
+  for (int k = 0; k < threads_; ++k) {
+    const int q = (worker + k) % threads_;
+    WorkerQueue& wq = *queues_[static_cast<std::size_t>(q)];
+    std::unique_lock<std::mutex> qlock(wq.mu);
+    if (wq.tasks.empty()) continue;
+    if (k == 0) {
+      *node = wq.tasks.back();
+      wq.tasks.pop_back();
+    } else {
+      *node = wq.tasks.front();
+      wq.tasks.pop_front();
+    }
+    qlock.unlock();
+    std::lock_guard<std::mutex> lock(mu_);
+    --pending_;
+    return true;
+  }
+  return false;
+}
+
+void Scheduler::execute(int node, int worker) {
+  TaskGraph::Node& n = graph_->nodes_[static_cast<std::size_t>(node)];
+  n.fn();
+
+  std::vector<int> ready;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (int succ : n.out) {
+    if (--graph_->nodes_[static_cast<std::size_t>(succ)].deps == 0) ready.push_back(succ);
+  }
+  if (!ready.empty()) {
+    std::lock_guard<std::mutex> qlock(queues_[static_cast<std::size_t>(worker)]->mu);
+    for (int r : ready) queues_[static_cast<std::size_t>(worker)]->tasks.push_back(r);
+  }
+  pending_ += static_cast<int>(ready.size());
+  if (--remaining_ == 0) {
+    work_cv_.notify_all();
+  } else if (!ready.empty()) {
+    work_cv_.notify_all();
+  }
+}
+
+}  // namespace cpla::core

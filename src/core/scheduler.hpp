@@ -1,0 +1,114 @@
+#pragma once
+
+// Persistent work-stealing task-graph scheduler for the flow's solve phase.
+//
+// A TaskGraph is a DAG of closures with explicit dependencies; Scheduler
+// executes one graph at a time over a persistent worker pool (threads are
+// created once and parked between run() calls, so per-round scheduling
+// costs no thread churn). Each worker owns a deque guarded by its own
+// mutex: the owner pushes and pops at the back (LIFO keeps the working set
+// hot), thieves steal from the front (FIFO steals the oldest — largest —
+// subtrees). The calling thread participates as worker 0, so run() uses
+// `threads` CPUs with only `threads - 1` pool threads.
+//
+// Determinism contract: the scheduler never adds nondeterminism of its
+// own — it only reorders *independent* nodes across threads. Nodes that
+// write disjoint slots (the flow's per-partition builds/solves) therefore
+// produce identical bits at any thread count. With threads == 1 there is
+// no pool at all and run() executes inline in node-id topological order
+// (Kahn's algorithm with an id-ordered ready set).
+//
+// run() blocks until every node has executed. Nodes must not throw (the
+// flow's solve contract already guarantees this); a node that does throw
+// terminates via noexcept propagation rather than deadlocking the pool.
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace cpla::core {
+
+class Scheduler;
+
+/// A DAG of tasks. Build with add() + depend(), hand to Scheduler::run().
+/// A TaskGraph is single-use state-wise: run() consumes the dependency
+/// counters (re-running requires rebuilding the graph).
+class TaskGraph {
+ public:
+  /// Adds a node; returns its id (dense, starting at 0).
+  int add(std::function<void()> fn) {
+    nodes_.push_back(Node{std::move(fn), {}, 0});
+    return static_cast<int>(nodes_.size()) - 1;
+  }
+
+  /// Declares that `node` must not start before `on` has finished.
+  void depend(int node, int on) {
+    nodes_[static_cast<std::size_t>(on)].out.push_back(node);
+    ++nodes_[static_cast<std::size_t>(node)].deps;
+  }
+
+  int size() const { return static_cast<int>(nodes_.size()); }
+
+ private:
+  friend class Scheduler;
+  struct Node {
+    std::function<void()> fn;
+    std::vector<int> out;  // successors
+    int deps = 0;          // unmet-dependency count (consumed by run())
+  };
+  std::vector<Node> nodes_;
+};
+
+class Scheduler {
+ public:
+  /// `threads` <= 0 selects the hardware concurrency. One pool thread per
+  /// worker beyond the caller; `threads == 1` runs everything inline.
+  explicit Scheduler(int threads = 0);
+  ~Scheduler();
+
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
+  int threads() const { return threads_; }
+
+  /// Executes every node of `graph` respecting its dependencies; blocks
+  /// until the last node has finished. Not reentrant: one run() at a time
+  /// per Scheduler (the flow calls it from its single orchestration
+  /// thread).
+  void run(TaskGraph* graph);
+
+ private:
+  struct WorkerQueue {
+    std::mutex mu;
+    std::deque<int> tasks;  // node ids; owner: back, thieves: front
+  };
+
+  void worker_loop(int worker);
+  void participate(int worker);
+  bool try_pop(int worker, int* node);
+  void execute(int node, int worker);
+  void run_inline(TaskGraph* graph);
+
+  const int threads_;
+  std::vector<std::unique_ptr<WorkerQueue>> queues_;
+  std::vector<std::thread> pool_;
+
+  // Run lifecycle: run() installs the graph, bumps the generation, and
+  // wakes the pool; workers drain until `remaining_` hits zero, then park
+  // waiting for the next generation. All shared counters sit behind mu_
+  // (the per-queue mutexes only guard their deques).
+  std::mutex mu_;
+  std::condition_variable work_cv_;  // new generation, new tasks, or run done
+  TaskGraph* graph_ = nullptr;
+  long generation_ = 0;
+  int remaining_ = 0;  // nodes not yet finished in the current run
+  int pending_ = 0;    // nodes queued but not yet claimed by a worker
+  bool shutdown_ = false;
+};
+
+}  // namespace cpla::core

@@ -1,0 +1,434 @@
+#include "src/la/batch.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+// This translation unit may be compiled with a wider -m ISA than the rest
+// of the project (see CPLA_BATCH_SIMD in src/la/CMakeLists.txt), always
+// together with -ffp-contract=off so no FMA contraction can change the
+// rounding sequence relative to the scalar kernels.
+//
+// ±0.0 bookkeeping used throughout (IEEE-754 round-to-nearest):
+//   * x - (+0.0) == x bitwise for every x, so a scalar zero-skip inside a
+//     subtraction chain is replicated by blending the skipped term to +0.0.
+//   * x + (-0.0) == x bitwise for every x, so a scalar zero-skip inside an
+//     addition chain is replicated by blending the skipped term to -0.0.
+//   * An accumulator that starts at literal 0.0 and only receives += can
+//     never become -0.0 (exact cancellation rounds to +0.0, and
+//     (+0.0) + (-0.0) == +0.0), so appending padded +0.0 product terms to
+//     such a chain is also a bitwise no-op.
+// Padded entries are kept at exactly +0.0 (or 1.0 on padded Cholesky
+// diagonals) by every kernel here, which is what makes the full-extent
+// sweeps below legal without per-entry masks.
+
+namespace cpla::la::batch {
+
+namespace {
+constexpr int kL = kLanes;
+}  // namespace
+
+void pack_lane(Slab* slab, int lane, const Matrix& m) {
+  const std::size_t rows = slab->rows();
+  const std::size_t cols = slab->cols();
+  CPLA_ASSERT(m.rows() <= rows && m.cols() <= cols);
+  for (std::size_t r = 0; r < rows; ++r) {
+    const double* src = r < m.rows() ? m.row_ptr(r) : nullptr;
+    for (std::size_t c = 0; c < cols; ++c) {
+      slab->at(r, c)[lane] = (src != nullptr && c < m.cols()) ? src[c] : 0.0;
+    }
+  }
+}
+
+void unpack_lane(const Slab& slab, int lane, Matrix* m) {
+  CPLA_ASSERT(m->rows() <= slab.rows() && m->cols() <= slab.cols());
+  for (std::size_t r = 0; r < m->rows(); ++r) {
+    double* dst = m->row_ptr(r);
+    for (std::size_t c = 0; c < m->cols(); ++c) dst[c] = slab.at(r, c)[lane];
+  }
+}
+
+namespace {
+
+// One output row tile of T lane-groups, accumulated in registers. Every
+// output entry still accumulates over ascending k starting from 0.0 with
+// one product and one add per step — the same per-entry chain as
+// la::operator*'s register-tiled kernel — but the accumulators live in T
+// vector registers for the whole k loop instead of round-tripping through
+// the output row (the saxpy form was store-bound: two loads and a store
+// per multiply-add).
+template <int T>
+void gemm_row_tile(const Slab& a, const Slab& b, std::size_t i, std::size_t c0,
+                   std::size_t kk, double* orow) {
+  double acc[T][kL];
+  for (int t = 0; t < T; ++t) {
+    for (int lane = 0; lane < kL; ++lane) acc[t][lane] = 0.0;
+  }
+  for (std::size_t k = 0; k < kk; ++k) {
+    const double* av = a.at(i, k);
+    const double* brow = b.at(k, c0);
+    for (int t = 0; t < T; ++t) {
+      for (int lane = 0; lane < kL; ++lane) {
+        acc[t][lane] += av[lane] * brow[t * kL + lane];
+      }
+    }
+  }
+  for (int t = 0; t < T; ++t) {
+    for (int lane = 0; lane < kL; ++lane) orow[(c0 + t) * kL + lane] = acc[t][lane];
+  }
+}
+
+}  // namespace
+
+void gemm(const Slab& a, const Slab& b, Slab* out) {
+  CPLA_ASSERT(a.cols() == b.rows() && out->rows() == a.rows() && out->cols() == b.cols());
+  const std::size_t m = a.rows();
+  const std::size_t kk = a.cols();
+  const std::size_t n = b.cols();
+  for (std::size_t i = 0; i < m; ++i) {
+    double* orow = out->at(i, 0);
+    std::size_t c = 0;
+    for (; c + 8 <= n; c += 8) gemm_row_tile<8>(a, b, i, c, kk, orow);
+    if (c + 4 <= n) {
+      gemm_row_tile<4>(a, b, i, c, kk, orow);
+      c += 4;
+    }
+    if (c + 2 <= n) {
+      gemm_row_tile<2>(a, b, i, c, kk, orow);
+      c += 2;
+    }
+    if (c < n) gemm_row_tile<1>(a, b, i, c, kk, orow);
+  }
+}
+
+void axpy(const double* alpha, const Slab& x, Slab* y) {
+  CPLA_ASSERT(x.size() == y->size());
+  const double* xs = x.data();
+  double* ys = y->data();
+  const std::size_t groups = x.size() / kL;
+  for (std::size_t g = 0; g < groups; ++g) {
+    for (int lane = 0; lane < kL; ++lane) {
+      ys[g * kL + lane] += alpha[lane] * xs[g * kL + lane];
+    }
+  }
+}
+
+void axpy_uniform(double alpha, const Slab& x, Slab* y) {
+  CPLA_ASSERT(x.size() == y->size());
+  const double* xs = x.data();
+  double* ys = y->data();
+  const std::size_t total = x.size();
+  for (std::size_t i = 0; i < total; ++i) ys[i] += alpha * xs[i];
+}
+
+void scale(const double* alpha, Slab* m) {
+  double* ms = m->data();
+  const std::size_t groups = m->size() / kL;
+  for (std::size_t g = 0; g < groups; ++g) {
+    for (int lane = 0; lane < kL; ++lane) ms[g * kL + lane] *= alpha[lane];
+  }
+}
+
+void copy(const Slab& src, Slab* dst) {
+  CPLA_ASSERT(src.size() == dst->size());
+  std::copy(src.data(), src.data() + src.size(), dst->data());
+}
+
+void copy_lane(const Slab& src, int lane, Slab* dst) {
+  CPLA_ASSERT(src.size() == dst->size());
+  const double* ss = src.data();
+  double* ds = dst->data();
+  for (std::size_t i = static_cast<std::size_t>(lane); i < src.size();
+       i += static_cast<std::size_t>(kL)) {
+    ds[i] = ss[i];
+  }
+}
+
+void symmetrize(Slab* m) {
+  CPLA_ASSERT(m->rows() == m->cols());
+  const std::size_t n = m->rows();
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t c = r + 1; c < n; ++c) {
+      double* up = m->at(r, c);
+      double* lo = m->at(c, r);
+      for (int l = 0; l < kL; ++l) {
+        const double avg = 0.5 * (up[l] + lo[l]);
+        up[l] = avg;
+        lo[l] = avg;
+      }
+    }
+  }
+}
+
+void cholesky_factor(const Slab& a, const int* n, const bool* active, Slab* l, bool* ok) {
+  CPLA_ASSERT(a.rows() == a.cols() && l->rows() == a.rows() && l->cols() == a.cols());
+  constexpr std::size_t kNb = 48;  // must match la::Cholesky::factor
+  const std::size_t nn = a.rows();
+  bool failed[kL];
+  // keep[lane]: this lane's region of l must be preserved untouched.
+  bool keep[kL];
+  for (int lane = 0; lane < kL; ++lane) {
+    keep[lane] = !active[lane];
+    failed[lane] = false;
+  }
+  // Seed l: lower triangle from a, strict upper zeroed (the scalar path
+  // starts from a zero matrix), inactive lanes preserved.
+  for (std::size_t i = 0; i < nn; ++i) {
+    for (std::size_t j = 0; j < nn; ++j) {
+      const double* av = a.at(i, j);
+      double* lv = l->at(i, j);
+      for (int lane = 0; lane < kL; ++lane) {
+        if (!keep[lane]) lv[lane] = j <= i ? av[lane] : 0.0;
+      }
+    }
+  }
+  for (std::size_t j0 = 0; j0 < nn; j0 += kNb) {
+    const std::size_t jb = std::min(kNb, nn - j0);
+    // Diagonal panel, unblocked.
+    for (std::size_t j = j0; j < j0 + jb; ++j) {
+      const double* lj = l->at(j, 0);
+      double diag[kL];
+      for (int lane = 0; lane < kL; ++lane) diag[lane] = lj[j * kL + lane];
+      for (std::size_t k = j0; k < j; ++k) {
+        const double* ljk = lj + k * kL;
+        for (int lane = 0; lane < kL; ++lane) diag[lane] -= ljk[lane] * ljk[lane];
+      }
+      double ljj[kL];
+      for (int lane = 0; lane < kL; ++lane) {
+        const bool real =
+            active[lane] && !failed[lane] && j < static_cast<std::size_t>(n[lane]);
+        if (real && (!(diag[lane] > 0.0) || !std::isfinite(diag[lane]))) {
+          failed[lane] = true;
+          ok[lane] = false;
+        }
+        const bool live = real && !failed[lane];
+        // Padded columns and failed lanes get a 1.0 pivot: identity
+        // padding for the former, a safe finite divisor for the latter.
+        ljj[lane] = live ? std::sqrt(diag[lane]) : 1.0;
+      }
+      {
+        double* ldj = l->at(j, j);
+        for (int lane = 0; lane < kL; ++lane) {
+          if (!keep[lane]) ldj[lane] = ljj[lane];
+        }
+      }
+      for (std::size_t i = j + 1; i < j0 + jb; ++i) {
+        double* li = l->at(i, 0);
+        double sum[kL];
+        for (int lane = 0; lane < kL; ++lane) sum[lane] = li[j * kL + lane];
+        for (std::size_t k = j0; k < j; ++k) {
+          const double* lik = li + k * kL;
+          const double* ljk = lj + k * kL;
+          for (int lane = 0; lane < kL; ++lane) sum[lane] -= lik[lane] * ljk[lane];
+        }
+        for (int lane = 0; lane < kL; ++lane) {
+          if (!keep[lane]) li[j * kL + lane] = sum[lane] / ljj[lane];
+        }
+      }
+    }
+    // Panel solve for the rows below the diagonal block.
+    for (std::size_t i = j0 + jb; i < nn; ++i) {
+      double* li = l->at(i, 0);
+      for (std::size_t j = j0; j < j0 + jb; ++j) {
+        const double* lj = l->at(j, 0);
+        double sum[kL];
+        for (int lane = 0; lane < kL; ++lane) sum[lane] = li[j * kL + lane];
+        for (std::size_t k = j0; k < j; ++k) {
+          const double* lik = li + k * kL;
+          const double* ljk = lj + k * kL;
+          for (int lane = 0; lane < kL; ++lane) sum[lane] -= lik[lane] * ljk[lane];
+        }
+        const double* ljd = lj + j * kL;
+        for (int lane = 0; lane < kL; ++lane) {
+          if (!keep[lane]) li[j * kL + lane] = sum[lane] / ljd[lane];
+        }
+      }
+    }
+    // Trailing update (lower triangle only), dot products of panel rows.
+    for (std::size_t i = j0 + jb; i < nn; ++i) {
+      const double* li = l->at(i, j0);
+      for (std::size_t j = j0 + jb; j <= i; ++j) {
+        const double* lj = l->at(j, j0);
+        double sum[kL] = {};
+        for (std::size_t k = 0; k < jb; ++k) {
+          for (int lane = 0; lane < kL; ++lane) {
+            sum[lane] += li[k * kL + lane] * lj[k * kL + lane];
+          }
+        }
+        double* lij = l->at(i, j);
+        for (int lane = 0; lane < kL; ++lane) {
+          if (!keep[lane]) lij[lane] -= sum[lane];
+        }
+      }
+    }
+  }
+}
+
+void cholesky_solve_vec(const Slab& l, const Slab& b, Slab* x) {
+  CPLA_ASSERT(l.rows() == l.cols() && b.rows() == l.rows() && b.cols() == 1 &&
+              x->rows() == l.rows() && x->cols() == 1);
+  const std::size_t n = l.rows();
+  // Forward substitution L y = b, y materialized in x's storage first.
+  Slab& y = *x;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double* li = l.at(i, 0);
+    double sum[kL];
+    const double* bi = b.at(i, 0);
+    for (int lane = 0; lane < kL; ++lane) sum[lane] = bi[lane];
+    for (std::size_t k = 0; k < i; ++k) {
+      const double* yk = y.at(k, 0);
+      const double* lik = li + k * kL;
+      for (int lane = 0; lane < kL; ++lane) sum[lane] -= lik[lane] * yk[lane];
+    }
+    double* yi = y.at(i, 0);
+    const double* lii = li + i * kL;
+    for (int lane = 0; lane < kL; ++lane) yi[lane] = sum[lane] / lii[lane];
+  }
+  // Back substitution L^T x = y, in place.
+  for (std::size_t ii = n; ii-- > 0;) {
+    double sum[kL];
+    const double* yi = y.at(ii, 0);
+    for (int lane = 0; lane < kL; ++lane) sum[lane] = yi[lane];
+    for (std::size_t k = ii + 1; k < n; ++k) {
+      const double* lki = l.at(k, ii);
+      const double* xk = x->at(k, 0);
+      for (int lane = 0; lane < kL; ++lane) sum[lane] -= lki[lane] * xk[lane];
+    }
+    double* xi = x->at(ii, 0);
+    const double* lii = l.at(ii, ii);
+    for (int lane = 0; lane < kL; ++lane) xi[lane] = sum[lane] / lii[lane];
+  }
+}
+
+void cholesky_inverse(const Slab& l, const int* n, Slab* out) {
+  CPLA_ASSERT(l.rows() == l.cols() && out->rows() == l.rows() && out->cols() == l.cols());
+  const std::size_t nn = l.rows();
+  // Row i of R = L^{-1} has support [0..i]. Padded rows are forced to all
+  // zeros (not identity) so the product R^T R keeps the padded region of
+  // out at exact +0.0.
+  Slab r(nn, nn);
+  for (std::size_t i = 0; i < nn; ++i) {
+    double* ri = r.at(i, 0);
+    const double* li = l.at(i, 0);
+    for (int lane = 0; lane < kL; ++lane) {
+      ri[i * kL + lane] = i < static_cast<std::size_t>(n[lane]) ? 1.0 : 0.0;
+    }
+    for (std::size_t k = 0; k < i; ++k) {
+      const double* rk = r.at(k, 0);
+      const double* likv = li + k * kL;
+      for (std::size_t c = 0; c <= k; ++c) {
+        for (int lane = 0; lane < kL; ++lane) {
+          const double lik = likv[lane];
+          // Scalar path skips the whole update when lik == 0.0; blending
+          // the term to +0.0 makes the subtraction a bitwise no-op.
+          ri[c * kL + lane] -= lik == 0.0 ? 0.0 : lik * rk[c * kL + lane];
+        }
+      }
+    }
+    const double* lii = li + i * kL;
+    for (std::size_t c = 0; c <= i; ++c) {
+      for (int lane = 0; lane < kL; ++lane) ri[c * kL + lane] /= lii[lane];
+    }
+  }
+  out->zero();
+  for (std::size_t k = 0; k < nn; ++k) {
+    const double* rk = r.at(k, 0);
+    for (std::size_t i = 0; i <= k; ++i) {
+      const double* vv = rk + i * kL;
+      double* oi = out->at(i, 0);
+      for (std::size_t c = 0; c <= i; ++c) {
+        for (int lane = 0; lane < kL; ++lane) {
+          const double v = vv[lane];
+          // Scalar path skips v == 0.0 rows; adding -0.0 is the additive
+          // bitwise no-op.
+          oi[c * kL + lane] += v == 0.0 ? -0.0 : v * rk[c * kL + lane];
+        }
+      }
+    }
+  }
+  for (std::size_t i = 0; i < nn; ++i) {
+    for (std::size_t c = 0; c < i; ++c) {
+      const double* lo = out->at(i, c);
+      double* up = out->at(c, i);
+      for (int lane = 0; lane < kL; ++lane) up[lane] = lo[lane];
+    }
+  }
+}
+
+double lane_dot(const Slab& a, const Slab& b, int lane, int n) {
+  double sum = 0.0;
+  for (int rr = 0; rr < n; ++rr) {
+    const double* ar = a.at(static_cast<std::size_t>(rr), 0);
+    const double* br = b.at(static_cast<std::size_t>(rr), 0);
+    for (int c = 0; c < n; ++c) sum += ar[c * kL + lane] * br[c * kL + lane];
+  }
+  return sum;
+}
+
+void lane_dot_all(const Slab& a, const Slab& b, const int* n, double* out) {
+  int nmax = 0;
+  for (int lane = 0; lane < kL; ++lane) nmax = std::max(nmax, n[lane]);
+  double acc[kL];
+  for (int lane = 0; lane < kL; ++lane) acc[lane] = 0.0;
+  bool uniform = true;
+  for (int lane = 0; lane < kL; ++lane) uniform = uniform && n[lane] == nmax;
+  if (uniform) {
+    // Every lane covers the full sweep: straight vertical FMA columns.
+    for (int rr = 0; rr < nmax; ++rr) {
+      const double* ar = a.at(static_cast<std::size_t>(rr), 0);
+      const double* br = b.at(static_cast<std::size_t>(rr), 0);
+      for (int c = 0; c < nmax; ++c) {
+        for (int lane = 0; lane < kL; ++lane) {
+          acc[lane] += ar[c * kL + lane] * br[c * kL + lane];
+        }
+      }
+    }
+  } else {
+    for (int rr = 0; rr < nmax; ++rr) {
+      const double* ar = a.at(static_cast<std::size_t>(rr), 0);
+      const double* br = b.at(static_cast<std::size_t>(rr), 0);
+      for (int c = 0; c < nmax; ++c) {
+        for (int lane = 0; lane < kL; ++lane) {
+          // The product is masked (not the add): out-of-block entries may
+          // be Inf/NaN and must never reach the accumulator.
+          const double p = rr < n[lane] && c < n[lane]
+                               ? ar[c * kL + lane] * br[c * kL + lane]
+                               : 0.0;
+          acc[lane] += p;
+        }
+      }
+    }
+  }
+  for (int lane = 0; lane < kL; ++lane) out[lane] = acc[lane];
+}
+
+double lane_dot_affine(const Slab& a, const Slab& da, double ea, const Slab& b,
+                       const Slab& db, double eb, int lane, int n) {
+  double sum = 0.0;
+  for (int rr = 0; rr < n; ++rr) {
+    const std::size_t r = static_cast<std::size_t>(rr);
+    const double* ar = a.at(r, 0);
+    const double* dar = da.at(r, 0);
+    const double* br = b.at(r, 0);
+    const double* dbr = db.at(r, 0);
+    for (int c = 0; c < n; ++c) {
+      const int o = c * kL + lane;
+      // Each element is formed exactly as Matrix::axpy would form it (one
+      // product, one add) before entering the row-major reduction chain.
+      const double av = ar[o] + ea * dar[o];
+      const double bv = br[o] + eb * dbr[o];
+      sum += av * bv;
+    }
+  }
+  return sum;
+}
+
+double lane_max_abs(const Slab& a, int lane, int n) {
+  double best = 0.0;
+  for (int rr = 0; rr < n; ++rr) {
+    const double* ar = a.at(static_cast<std::size_t>(rr), 0);
+    for (int c = 0; c < n; ++c) best = std::max(best, std::fabs(ar[c * kL + lane]));
+  }
+  return best;
+}
+
+}  // namespace cpla::la::batch

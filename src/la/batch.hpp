@@ -1,0 +1,149 @@
+#pragma once
+
+// Lane-batched dense kernels: structure-of-arrays slabs holding kLanes
+// same-shape matrices interleaved lane-innermost (entry (r,c) of lane l
+// lives at data[(r*cols + c)*kLanes + l]), plus Cholesky/GEMM/axpy kernels
+// that sweep every lane per step so the compiler vectorizes *across the
+// lane dimension* instead of within one problem.
+//
+// Determinism contract (the whole point of this layer): every kernel
+// performs, per lane, the exact floating-point operation sequence of its
+// scalar counterpart in matrix.cpp / cholesky.cpp — same accumulation
+// order (ascending k), same blocking schedule (kNb = 48 panels), same
+// zero-skip semantics (replicated with per-lane selects that force an
+// exact +0.0 term, which is a bitwise no-op to subtract) — so a batched
+// solve is bit-identical to kLanes scalar solves. Lanes may carry
+// different real dimensions n <= rows: the padding region beyond a lane's
+// n is kept at zero, which is algebraically inert for every kernel here
+// (products of padded zeros contribute exact-zero terms that cannot
+// change a partial sum's bits), and per-lane reductions iterate only the
+// real extent so not even a zero term is appended to a reduction chain.
+//
+// This TU may be compiled with a wider SIMD ISA than the rest of the
+// project (see src/la/CMakeLists.txt): -ffp-contract=off is forced there
+// so no FMA contraction can perturb the scalar-path bit contract.
+
+#include <cstddef>
+#include <vector>
+
+#include "src/la/matrix.hpp"
+
+namespace cpla::la::batch {
+
+/// Number of problems interleaved per slab. Eight doubles = one AVX-512
+/// vector (two AVX2 vectors); also the unroll factor of every kernel loop.
+inline constexpr int kLanes = 8;
+
+/// A rows x cols x kLanes structure-of-arrays slab, lane-innermost.
+class Slab {
+ public:
+  Slab() = default;
+  Slab(std::size_t rows, std::size_t cols) { resize(rows, cols); }
+
+  void resize(std::size_t rows, std::size_t cols) {
+    rows_ = rows;
+    cols_ = cols;
+    data_.assign(rows * cols * static_cast<std::size_t>(kLanes), 0.0);
+  }
+  void zero() { std::fill(data_.begin(), data_.end(), 0.0); }
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+
+  /// Pointer to the kLanes-wide group of entry (r, c).
+  double* at(std::size_t r, std::size_t c) {
+    return data_.data() + (r * cols_ + c) * static_cast<std::size_t>(kLanes);
+  }
+  const double* at(std::size_t r, std::size_t c) const {
+    return data_.data() + (r * cols_ + c) * static_cast<std::size_t>(kLanes);
+  }
+  double& at(std::size_t r, std::size_t c, int lane) { return at(r, c)[lane]; }
+  double at(std::size_t r, std::size_t c, int lane) const { return at(r, c)[lane]; }
+
+  double* data() { return data_.data(); }
+  const double* data() const { return data_.data(); }
+  std::size_t size() const { return data_.size(); }
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// Copies a lane's leading rows x cols block in from a scalar matrix
+/// (entries beyond the matrix extent are zeroed) / out to one.
+void pack_lane(Slab* slab, int lane, const Matrix& m);
+void unpack_lane(const Slab& slab, int lane, Matrix* m);
+
+/// out = a * b per lane over the full padded dimension. Per-entry
+/// accumulation is ascending-k from 0.0 — bit-identical per lane to
+/// la::operator*'s register-tiled kernel, whose tiles accumulate in the
+/// same per-entry order.
+void gemm(const Slab& a, const Slab& b, Slab* out);
+
+/// y += alpha[lane] * x elementwise (alpha may differ per lane).
+void axpy(const double* alpha, const Slab& x, Slab* y);
+/// y += alpha * x elementwise, one alpha for all lanes.
+void axpy_uniform(double alpha, const Slab& x, Slab* y);
+/// m *= alpha[lane] elementwise.
+void scale(const double* alpha, Slab* m);
+/// dst = src (full slab copy; shapes must match).
+void copy(const Slab& src, Slab* dst);
+/// Copies one lane of src into the same lane of dst (shapes must match).
+void copy_lane(const Slab& src, int lane, Slab* dst);
+/// A = (A + A^T)/2 per lane, in la::Matrix::symmetrize's entry order.
+void symmetrize(Slab* m);
+
+/// Blocked right-looking Cholesky of each lane's leading n[lane] x n[lane]
+/// block, bit-identical per lane to la::Cholesky::factor (same kNb = 48
+/// panel schedule). Lanes with active[lane] == false are untouched: their
+/// region of l is preserved bit-for-bit and their ok[] entry is not
+/// written — so a retry loop (e.g. ridge escalation) can refactor only
+/// the lanes that still need it while keeping finished factors in the
+/// same slab. A lane whose pivot fails the scalar test
+/// (!(diag > 0) || !isfinite) gets ok[lane] = false and a dummy 1.0
+/// pivot so the remaining lanes finish undisturbed. Callers seed
+/// ok[lane] = true for the lanes they activate; the kernel only ever
+/// clears it. Columns beyond an active lane's n get a unit diagonal
+/// (identity padding), so downstream substitutions can sweep the full
+/// padded range without masks.
+void cholesky_factor(const Slab& a, const int* n, const bool* active, Slab* l, bool* ok);
+
+/// Solves L L^T x = b per lane (b, x are rows x 1 slabs), replicating
+/// la::Cholesky::solve(Vector)'s forward/backward substitution order.
+/// Needs no per-lane dimension: identity padding in l and +0.0 padding in
+/// b make the padded rows yield exact zeros, and the extra loop terms for
+/// real rows are exact +0.0 subtractions, which are bitwise no-ops.
+void cholesky_solve_vec(const Slab& l, const Slab& b, Slab* x);
+
+/// out = (L L^T)^{-1} per lane, replicating la::Cholesky::inverse()
+/// (triangular inverse then R^T R, including its exact-zero skips, which
+/// are reproduced with per-lane selects). The padded region of out stays
+/// zero. Does NOT symmetrize; call symmetrize() after to mirror
+/// BlockCholesky::inverse().
+void cholesky_inverse(const Slab& l, const int* n, Slab* out);
+
+/// Frobenius dot of two lanes' leading n x n blocks, in la::dot(Matrix)'s
+/// row-major order. Only real entries enter the reduction chain.
+double lane_dot(const Slab& a, const Slab& b, int lane, int n);
+
+/// lane_dot for every lane in one slab sweep: out[l] = lane_dot(a, b, l,
+/// n[l]). Bit-identical to the per-lane calls — each lane's products enter
+/// its accumulator in the same ascending row-major order, and entries at or
+/// beyond that lane's n contribute a literal +0.0, which never changes an
+/// accumulator that started from +0.0 (sums of +0.0-seeded chains cannot
+/// round to -0.0). Entries outside a lane's block may hold garbage
+/// (including Inf/NaN); their products are masked out before the add.
+void lane_dot_all(const Slab& a, const Slab& b, const int* n, double* out);
+
+/// dot(a + ea*da, b + eb*db) over a lane's leading n x n block: each
+/// element is formed exactly as Matrix::axpy would ((a + ea*da) in one
+/// rounding) and reduced in row-major order, so the result is bit-equal
+/// to materializing both sums and calling la::dot.
+double lane_dot_affine(const Slab& a, const Slab& da, double ea, const Slab& b,
+                       const Slab& db, double eb, int lane, int n);
+
+/// Largest |entry| over a lane's leading n x n block.
+double lane_max_abs(const Slab& a, int lane, int n);
+
+}  // namespace cpla::la::batch

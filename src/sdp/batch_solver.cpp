@@ -1,0 +1,959 @@
+#include "src/sdp/batch_solver.hpp"
+
+// Lane-batched interior-point solver. One Chunk packs up to kLanes
+// same-size-class problems into SoA slabs (src/la/batch.hpp) and runs
+// solve_impl's iteration once for all of them, dense kernels sweeping
+// every lane per step. Per lane the floating-point operation sequence is
+// solver.cpp's verbatim: same accumulation orders, same parse trees for
+// compound expressions (each one is reproduced with the same rounding
+// schedule), same per-lane control flow (a lane that converges or fails
+// "finishes" immediately with exactly the state the scalar early return
+// would have reported, while the other lanes keep iterating). Slab
+// padding beyond a lane's real extent is exact +0.0 (unit diagonal for
+// Cholesky factors), which the kernels keep algebraically inert — see
+// batch.cpp for the signed-zero rules that make that bit-exact.
+//
+// The sparse per-constraint work (apply / adjoint / trace / Schur
+// assembly) cannot vectorize across heterogeneous lanes, so it runs as
+// per-lane *programs*: each constraint's entry walk is flattened at pack
+// time into offset/weight streams against a row-major mirror of the
+// lane's dense block, preserving entry order and every zero-skip branch.
+//
+// Intentional observability divergence from the scalar path: batched
+// lanes mirror sdp.solve.{calls,iterations,failures,stalls} on chunk
+// completion but do not record per-problem sdp.solve.ms (batch.solve.ms
+// is per chunk), and the batched Cholesky kernels neither bump
+// la.cholesky.factors nor check the la.cholesky.factor fault point —
+// chaos suites exercising that site run with batching off.
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "src/la/batch.hpp"
+#include "src/obs/metrics.hpp"
+#include "src/util/check.hpp"
+#include "src/util/fault_inject.hpp"
+#include "src/util/timer.hpp"
+
+namespace cpla::sdp {
+namespace {
+
+namespace lb = la::batch;
+constexpr int kL = lb::kLanes;
+
+// ---------------------------------------------------------------------
+// Per-lane constraint programs: the sparse entry walks of problem.cpp /
+// solver.cpp flattened into streams. Offsets into the "unified mirror"
+// (a lane's dense block row-major, ndr*ndr entries, followed by its diag
+// block) unless noted. Streams preserve source entry order exactly.
+
+struct TraceOp {
+  double v = 0.0;        // entry coefficient
+  std::int32_t o1 = 0;   // mirror offset
+  std::int32_t o2 = -1;  // < 0: s += v*w[o1]; else s += v*(w[o1]+w[o2])
+};
+
+struct SchurOp {
+  double coeff = 0.0;     // e.value * f.value, pre-rounded like the scalar
+  std::int32_t count = 0; // 0: diag kind; 1/2/4: dense zi*x product count
+};
+
+struct LaneProgram {
+  // apply: A_i . X, one (offset, weight) pair per entry; weight folds the
+  // off-diagonal doubling (2.0*e.value, same parse as entry_dot).
+  std::vector<std::int32_t> apply_start;
+  std::vector<std::int32_t> apply_off;
+  std::vector<double> apply_w;
+  // adjoint: out += y_i * A_i. Dense stream uses absolute slab offsets
+  // (lane baked in) with the symmetric mirror emitted as its own op,
+  // matching add_into's two stores; diag stream indexes the lane's diag
+  // vector. Splitting dense/diag per constraint is safe: the two never
+  // alias, and same-cell collisions keep their relative order per stream.
+  std::vector<std::int32_t> adjd_start;
+  std::vector<std::int32_t> adjd_off;
+  std::vector<double> adjd_v;
+  std::vector<std::int32_t> adjg_start;
+  std::vector<std::int32_t> adjg_idx;
+  std::vector<double> adjg_v;
+  // trace: tr(A_i W) for nonsymmetric W (constraint_trace's formula).
+  std::vector<std::int32_t> trace_start;
+  std::vector<TraceOp> trace_ops;
+  // schur: ops for every (i <= j) pair in (j outer, i inner) order; pairs
+  // consumed sequentially, two mirror offsets (zi, x) per product.
+  std::vector<std::int64_t> schur_start;
+  std::vector<SchurOp> schur_ops;
+  std::vector<std::int32_t> schur_pairs;
+};
+
+void build_program(const SdpProblem& p, int lane, int ndr, int nd, LaneProgram* pg) {
+  const int m = p.num_constraints();
+  const std::int32_t diag_base = static_cast<std::int32_t>(ndr) * ndr;
+  pg->apply_start.assign(1, 0);
+  pg->adjd_start.assign(1, 0);
+  pg->adjg_start.assign(1, 0);
+  pg->trace_start.assign(1, 0);
+  pg->schur_start.assign(1, 0);
+  // Exact-upper-bound reserves: the op streams grow by hundreds of
+  // thousands of push_backs for larger classes, and reallocation churn
+  // was the dominant pack cost before these.
+  std::size_t total_entries = 0;
+  std::int64_t s = 0;
+  std::int64_t q = 0;
+  for (int i = 0; i < m; ++i) {
+    const auto nnz = static_cast<std::int64_t>(p.constraint(i).entries.size());
+    total_entries += static_cast<std::size_t>(nnz);
+    s += nnz;
+    q += nnz * nnz;
+  }
+  const auto schur_cap = static_cast<std::size_t>((s * s + q) / 2);
+  pg->apply_start.reserve(static_cast<std::size_t>(m) + 1);
+  pg->apply_off.reserve(total_entries);
+  pg->apply_w.reserve(total_entries);
+  pg->adjd_start.reserve(static_cast<std::size_t>(m) + 1);
+  pg->adjd_off.reserve(2 * total_entries);
+  pg->adjd_v.reserve(2 * total_entries);
+  pg->adjg_start.reserve(static_cast<std::size_t>(m) + 1);
+  pg->trace_start.reserve(static_cast<std::size_t>(m) + 1);
+  pg->trace_ops.reserve(total_entries);
+  pg->schur_start.reserve(static_cast<std::size_t>(m) * (m + 1) / 2 + 1);
+  pg->schur_ops.reserve(schur_cap);
+  pg->schur_pairs.reserve(4 * schur_cap);
+  for (int i = 0; i < m; ++i) {
+    for (const auto& e : p.constraint(i).entries) {
+      if (e.block == 0) {
+        const std::int32_t off = static_cast<std::int32_t>(e.row) * ndr + e.col;
+        pg->apply_off.push_back(off);
+        pg->apply_w.push_back(e.row == e.col ? e.value : 2.0 * e.value);
+        pg->adjd_off.push_back(
+            static_cast<std::int32_t>((e.row * nd + e.col) * kL + lane));
+        pg->adjd_v.push_back(e.value);
+        if (e.row != e.col) {
+          pg->adjd_off.push_back(
+              static_cast<std::int32_t>((e.col * nd + e.row) * kL + lane));
+          pg->adjd_v.push_back(e.value);
+        }
+        TraceOp t;
+        t.v = e.value;
+        if (e.row == e.col) {
+          t.o1 = static_cast<std::int32_t>(e.row) * ndr + e.row;
+          t.o2 = -1;
+        } else {
+          t.o1 = off;
+          t.o2 = static_cast<std::int32_t>(e.col) * ndr + e.row;
+        }
+        pg->trace_ops.push_back(t);
+      } else {
+        pg->apply_off.push_back(diag_base + e.row);
+        pg->apply_w.push_back(e.value);
+        pg->adjg_idx.push_back(e.row);
+        pg->adjg_v.push_back(e.value);
+        pg->trace_ops.push_back({e.value, diag_base + e.row, -1});
+      }
+    }
+    pg->apply_start.push_back(static_cast<std::int32_t>(pg->apply_off.size()));
+    pg->adjd_start.push_back(static_cast<std::int32_t>(pg->adjd_off.size()));
+    pg->adjg_start.push_back(static_cast<std::int32_t>(pg->adjg_idx.size()));
+    pg->trace_start.push_back(static_cast<std::int32_t>(pg->trace_ops.size()));
+  }
+  // Schur ops: the four-product expansion of schur_entry, one op per
+  // contributing (e, f) entry pair, products in the scalar's branch order.
+  const auto moff = [ndr](int r, int c) {
+    return static_cast<std::int32_t>(r) * ndr + c;
+  };
+  for (int j = 0; j < m; ++j) {
+    for (int i = 0; i <= j; ++i) {
+      for (const auto& e : p.constraint(i).entries) {
+        for (const auto& f : p.constraint(j).entries) {
+          if (e.block != f.block) continue;
+          if (e.block == 0) {
+            SchurOp op;
+            op.coeff = e.value * f.value;
+            op.count = 1;
+            pg->schur_pairs.push_back(moff(e.col, f.row));
+            pg->schur_pairs.push_back(moff(f.col, e.row));
+            if (e.row != e.col) {
+              ++op.count;
+              pg->schur_pairs.push_back(moff(e.row, f.row));
+              pg->schur_pairs.push_back(moff(f.col, e.col));
+            }
+            if (f.row != f.col) {
+              ++op.count;
+              pg->schur_pairs.push_back(moff(e.col, f.col));
+              pg->schur_pairs.push_back(moff(f.row, e.row));
+            }
+            if (e.row != e.col && f.row != f.col) {
+              ++op.count;
+              pg->schur_pairs.push_back(moff(e.row, f.col));
+              pg->schur_pairs.push_back(moff(f.row, e.col));
+            }
+            pg->schur_ops.push_back(op);
+          } else if (e.row == f.row) {
+            pg->schur_ops.push_back({e.value * f.value, 0});
+            pg->schur_pairs.push_back(diag_base + e.row);
+            pg->schur_pairs.push_back(diag_base + e.row);
+          }
+        }
+      }
+      pg->schur_start.push_back(static_cast<std::int64_t>(pg->schur_ops.size()));
+    }
+  }
+}
+
+double apply_exec(const LaneProgram& pg, int i, const std::vector<double>& w) {
+  double s = 0.0;
+  for (std::int32_t t = pg.apply_start[i]; t < pg.apply_start[i + 1]; ++t) {
+    s += pg.apply_w[t] * w[pg.apply_off[t]];
+  }
+  return s;
+}
+
+void adjoint_exec(const LaneProgram& pg, const la::Vector& yv, double* slab_data,
+                  la::Vector* g) {
+  const int m = static_cast<int>(pg.adjd_start.size()) - 1;
+  for (int i = 0; i < m; ++i) {
+    const double yi = yv[static_cast<std::size_t>(i)];
+    if (yi == 0.0) continue;  // accumulate_adjoint's skip (matches -0.0 too)
+    for (std::int32_t t = pg.adjd_start[i]; t < pg.adjd_start[i + 1]; ++t) {
+      slab_data[pg.adjd_off[t]] += yi * pg.adjd_v[t];
+    }
+    for (std::int32_t t = pg.adjg_start[i]; t < pg.adjg_start[i + 1]; ++t) {
+      (*g)[static_cast<std::size_t>(pg.adjg_idx[t])] += yi * pg.adjg_v[t];
+    }
+  }
+}
+
+double trace_exec(const LaneProgram& pg, int i, const std::vector<double>& w) {
+  double s = 0.0;
+  for (std::int32_t t = pg.trace_start[i]; t < pg.trace_start[i + 1]; ++t) {
+    const TraceOp& op = pg.trace_ops[t];
+    s += (op.o2 < 0) ? op.v * w[op.o1] : op.v * (w[op.o1] + w[op.o2]);
+  }
+  return s;
+}
+
+/// Fills `out` (m x m row-major) with the full Schur matrix: upper
+/// triangle assembled from the op stream, then mirrored like solver.cpp.
+void schur_exec(const LaneProgram& pg, int m, const std::vector<double>& zu,
+                const std::vector<double>& xu, la::Vector* out) {
+  std::size_t pp = 0;  // running pair cursor (full sweep every call)
+  std::int64_t t = 0;
+  for (int j = 0; j < m; ++j) {
+    for (int i = 0; i <= j; ++i, ++t) {
+      double s = 0.0;
+      for (std::int64_t o = pg.schur_start[t]; o < pg.schur_start[t + 1]; ++o) {
+        const SchurOp& op = pg.schur_ops[static_cast<std::size_t>(o)];
+        if (op.count == 0) {
+          s += (op.coeff * zu[pg.schur_pairs[pp]]) * xu[pg.schur_pairs[pp + 1]];
+          pp += 2;
+        } else {
+          double acc = zu[pg.schur_pairs[pp]] * xu[pg.schur_pairs[pp + 1]];
+          pp += 2;
+          for (std::int32_t q = 1; q < op.count; ++q) {
+            acc += zu[pg.schur_pairs[pp]] * xu[pg.schur_pairs[pp + 1]];
+            pp += 2;
+          }
+          s += op.coeff * acc;
+        }
+      }
+      (*out)[static_cast<std::size_t>(i) * m + j] = s;
+    }
+  }
+  for (int j = 0; j < m; ++j) {
+    for (int i = 0; i < j; ++i) {
+      (*out)[static_cast<std::size_t>(j) * m + i] =
+          (*out)[static_cast<std::size_t>(i) * m + j];
+    }
+  }
+}
+
+// ---------------------------------------------------------------------
+// Chunk state. Dense state lives in shared slabs (lane-interleaved);
+// diagonal-block and constraint-space state is tiny and stays as plain
+// per-lane vectors (its elementwise arithmetic is order-free per element,
+// so scalar loops are already bit-exact).
+
+struct Lane {
+  const SdpProblem* prob = nullptr;
+  std::size_t src = 0;  // index into the caller's problems/results
+  int ndr = 0;          // real dense dimension
+  int gd = 0;           // diag block dimension (0 if absent)
+  int m = 0;            // constraints
+  int ntot = 0;         // total_dim
+  double bnorm = 0.0;
+  double cnorm = 1.0;
+  la::Vector b;
+  LaneProgram prog;
+  // iterate state
+  la::Vector y, negy, ax, rp, azinv, au, rhs, schur_m;
+  std::vector<double> xu, zu, wu;  // unified mirrors (ndr*ndr + gd)
+  // control (mirrors solve_impl's locals and SdpResult fields)
+  double prev_gap = std::numeric_limits<double>::infinity();
+  int stall = 0;
+  int iters = 0;
+  double gap = 0.0, pobj = 0.0, dobj = 0.0, relgap = 0.0, pinf = 0.0, dinf = 0.0;
+  bool running = false;
+  SdpStatus status = SdpStatus::kIterLimit;
+};
+
+struct Chunk {
+  int lanes = 0;  // occupied lane count
+  int nd = 0;     // padded dense dim (max ndr)
+  int md = 0;     // padded Schur dim (max m)
+  Lane ln[kL];
+  int nn[kL] = {};  // per-lane ndr, 0 for empty lanes
+  int nm[kL] = {};  // per-lane m
+  // dense slabs (nd x nd)
+  lb::Slab c, x, z, rd, zinv, t1, t2, second, dxa, dza, dxc, dzc, trial, lden;
+  // Schur slabs
+  lb::Slab regS, lm;        // md x md
+  lb::Slab rhsS, dyS;       // md x 1
+  // per-lane diag-block scratch (each sized to that lane's gd)
+  la::Vector cg[kL], xg[kL], zg[kL], rdg[kL], zig[kL];
+  la::Vector t1g[kL], t2g[kL], secondg[kL];
+  la::Vector dxag[kL], dzag[kL], dxcg[kL], dzcg[kL], trialg[kL];
+  // per-lane dy (sized m)
+  la::Vector dyva[kL], dyvv[kL];
+};
+
+/// Rebuilds a lane's row-major unified mirror from a slab + diag vector.
+void refresh_mirror(const lb::Slab& s, const la::Vector& g, int lane, int ndr,
+                    std::vector<double>* u) {
+  for (int r = 0; r < ndr; ++r) {
+    for (int c = 0; c < ndr; ++c) {
+      (*u)[static_cast<std::size_t>(r) * ndr + c] =
+          s.at(static_cast<std::size_t>(r), static_cast<std::size_t>(c), lane);
+    }
+  }
+  const std::size_t base = static_cast<std::size_t>(ndr) * ndr;
+  for (std::size_t i = 0; i < g.size(); ++i) (*u)[base + i] = g[i];
+}
+
+void pack_chunk(const std::vector<const SdpProblem*>& problems,
+                const std::vector<std::size_t>& members, Chunk* ck) {
+  ck->lanes = static_cast<int>(members.size());
+  ck->nd = 1;
+  ck->md = 1;
+  for (std::size_t l = 0; l < members.size(); ++l) {
+    const SdpProblem& p = *problems[members[l]];
+    ck->nd = std::max(ck->nd, p.structure()[0].dim);
+    ck->md = std::max(ck->md, p.num_constraints());
+  }
+  const auto nd = static_cast<std::size_t>(ck->nd);
+  const auto md = static_cast<std::size_t>(ck->md);
+  for (lb::Slab* s : {&ck->c, &ck->x, &ck->z, &ck->rd, &ck->zinv, &ck->t1,
+                      &ck->t2, &ck->second, &ck->dxa, &ck->dza, &ck->dxc,
+                      &ck->dzc, &ck->trial, &ck->lden}) {
+    s->resize(nd, nd);
+  }
+  ck->regS.resize(md, md);
+  ck->lm.resize(md, md);
+  ck->rhsS.resize(md, 1);
+  ck->dyS.resize(md, 1);
+
+  for (std::size_t l = 0; l < members.size(); ++l) {
+    Lane& la_ = ck->ln[l];
+    const int lane = static_cast<int>(l);
+    la_.prob = problems[members[l]];
+    la_.src = members[l];
+    const SdpProblem& p = *la_.prob;
+    la_.ndr = p.structure()[0].dim;
+    la_.gd = p.structure().size() == 2 ? p.structure()[1].dim : 0;
+    la_.m = p.num_constraints();
+    la_.ntot = total_dim(p.structure());
+    ck->nn[l] = la_.ndr;
+    ck->nm[l] = la_.m;
+
+    // Scalar preamble of solve_impl, verbatim on scalar objects.
+    const BlockMatrix cmat = p.objective_matrix();
+    la_.b = p.rhs_vector();
+    la_.bnorm = la::norm2(la_.b);
+    la_.cnorm = std::max(1.0, cmat.frob_norm());
+    double max_b = 1.0;
+    for (double v : la_.b) max_b = std::max(max_b, std::fabs(v));
+    const double tau_p = std::max(
+        {10.0, std::sqrt(static_cast<double>(la_.ntot)), 2.0 * max_b});
+    const double tau_d = std::max(
+        {10.0, std::sqrt(static_cast<double>(la_.ntot)), 2.0 * cmat.max_abs()});
+
+    lb::pack_lane(&ck->c, lane, cmat.dense(0));
+    const auto gsz = static_cast<std::size_t>(la_.gd);
+    ck->cg[l] = la_.gd > 0 ? cmat.diag(1) : la::Vector();
+    for (int i = 0; i < la_.ndr; ++i) {
+      ck->x.at(static_cast<std::size_t>(i), static_cast<std::size_t>(i), lane) = tau_p;
+      ck->z.at(static_cast<std::size_t>(i), static_cast<std::size_t>(i), lane) = tau_d;
+    }
+    ck->xg[l].assign(gsz, tau_p);
+    ck->zg[l].assign(gsz, tau_d);
+    for (la::Vector* v : {&ck->rdg[l], &ck->zig[l], &ck->t1g[l], &ck->t2g[l],
+                          &ck->secondg[l], &ck->dxag[l], &ck->dzag[l],
+                          &ck->dxcg[l], &ck->dzcg[l], &ck->trialg[l]}) {
+      v->assign(gsz, 0.0);
+    }
+    const auto msz = static_cast<std::size_t>(la_.m);
+    la_.y.assign(msz, 0.0);
+    la_.negy.assign(msz, 0.0);
+    la_.ax.assign(msz, 0.0);
+    la_.rp.assign(msz, 0.0);
+    la_.azinv.assign(msz, 0.0);
+    la_.au.assign(msz, 0.0);
+    la_.rhs.assign(msz, 0.0);
+    la_.schur_m.assign(msz * msz, 0.0);
+    ck->dyva[l].assign(msz, 0.0);
+    ck->dyvv[l].assign(msz, 0.0);
+    const std::size_t usz = static_cast<std::size_t>(la_.ndr) * la_.ndr + gsz;
+    la_.xu.assign(usz, 0.0);
+    la_.zu.assign(usz, 0.0);
+    la_.wu.assign(usz, 0.0);
+    build_program(p, lane, la_.ndr, ck->nd, &la_.prog);
+    la_.running = true;
+  }
+}
+
+/// Marks a lane finished: builds its SdpResult exactly as the matching
+/// scalar early return would (current iterate + current diagnostics).
+void finish_lane(Chunk* ck, int l, SdpStatus status, std::vector<SdpResult>* results) {
+  Lane& la_ = ck->ln[l];
+  SdpResult res;
+  res.status = status;
+  res.x = BlockMatrix(la_.prob->structure());
+  res.z = BlockMatrix(la_.prob->structure());
+  la::Matrix& xd = res.x.dense(0);
+  la::Matrix& zd = res.z.dense(0);
+  for (int r = 0; r < la_.ndr; ++r) {
+    for (int c = 0; c < la_.ndr; ++c) {
+      xd(static_cast<std::size_t>(r), static_cast<std::size_t>(c)) =
+          ck->x.at(static_cast<std::size_t>(r), static_cast<std::size_t>(c), l);
+      zd(static_cast<std::size_t>(r), static_cast<std::size_t>(c)) =
+          ck->z.at(static_cast<std::size_t>(r), static_cast<std::size_t>(c), l);
+    }
+  }
+  if (la_.gd > 0) {
+    res.x.diag(1) = ck->xg[l];
+    res.z.diag(1) = ck->zg[l];
+  }
+  res.y = la_.y;
+  res.primal_obj = la_.pobj;
+  res.dual_obj = la_.dobj;
+  res.rel_gap = la_.relgap;
+  res.primal_infeas = la_.pinf;
+  res.dual_infeas = la_.dinf;
+  res.iterations = la_.iters;
+  (*results)[la_.src] = std::move(res);
+  la_.status = status;
+  la_.running = false;
+}
+
+bool any_running(const Chunk& ck) {
+  for (int l = 0; l < ck.lanes; ++l) {
+    if (ck.ln[l].running) return true;
+  }
+  return false;
+}
+
+/// solve_impl's solve_direction, batched. `sig` is per-lane sigma*mu;
+/// when `use_second`, each lane's wu mirror must already hold the
+/// second-order term (also subtracted via the `second` slab). Outputs go
+/// to the given slabs / per-lane arrays. Reuses t1/t2 as scratch.
+void solve_direction(Chunk& ck, const double* sig, bool use_second, lb::Slab* dxs,
+                     lb::Slab* dzs, la::Vector* dxg, la::Vector* dzg,
+                     la::Vector* dy) {
+  for (int l = 0; l < ck.lanes; ++l) {
+    Lane& la_ = ck.ln[l];
+    if (!la_.running) continue;
+    for (int i = 0; i < la_.m; ++i) {
+      double r = la_.b[static_cast<std::size_t>(i)] - sig[l] * la_.azinv[static_cast<std::size_t>(i)] +
+                 la_.au[static_cast<std::size_t>(i)];
+      if (use_second) r += trace_exec(la_.prog, i, la_.wu);
+      la_.rhs[static_cast<std::size_t>(i)] = r;
+      ck.rhsS.at(static_cast<std::size_t>(i), 0, l) = r;
+    }
+  }
+  lb::cholesky_solve_vec(ck.lm, ck.rhsS, &ck.dyS);
+  for (int l = 0; l < ck.lanes; ++l) {
+    Lane& la_ = ck.ln[l];
+    if (!la_.running) continue;
+    for (int i = 0; i < la_.m; ++i) {
+      dy[l][static_cast<std::size_t>(i)] = ck.dyS.at(static_cast<std::size_t>(i), 0, l);
+    }
+  }
+  // dZ = Rd - A'(dy)
+  lb::copy(ck.rd, dzs);
+  for (int l = 0; l < ck.lanes; ++l) {
+    Lane& la_ = ck.ln[l];
+    if (!la_.running) continue;
+    dzg[l] = ck.rdg[l];
+    for (int i = 0; i < la_.m; ++i) {
+      la_.negy[static_cast<std::size_t>(i)] = -dy[l][static_cast<std::size_t>(i)];
+    }
+    adjoint_exec(la_.prog, la_.negy, dzs->data(), &dzg[l]);
+  }
+  // dX = sigma*mu*Z^{-1} - X - Z^{-1} dZ X (- second)
+  lb::copy(ck.zinv, dxs);
+  lb::scale(sig, dxs);
+  lb::axpy_uniform(-1.0, ck.x, dxs);
+  lb::gemm(*dzs, ck.x, &ck.t1);
+  lb::gemm(ck.zinv, ck.t1, &ck.t2);
+  lb::axpy_uniform(-1.0, ck.t2, dxs);
+  if (use_second) lb::axpy_uniform(-1.0, ck.second, dxs);
+  lb::symmetrize(dxs);
+  for (int l = 0; l < ck.lanes; ++l) {
+    Lane& la_ = ck.ln[l];
+    if (!la_.running) continue;
+    for (int i = 0; i < la_.gd; ++i) {
+      const auto s = static_cast<std::size_t>(i);
+      dxg[l][s] = ck.zig[l][s];
+      dxg[l][s] *= sig[l];
+      dxg[l][s] += -1.0 * ck.xg[l][s];
+      ck.t1g[l][s] = dzg[l][s] * ck.xg[l][s];
+      ck.t2g[l][s] = ck.zig[l][s] * ck.t1g[l][s];
+      dxg[l][s] += -1.0 * ck.t2g[l][s];
+      if (use_second) dxg[l][s] += -1.0 * ck.secondg[l][s];
+    }
+  }
+}
+
+/// max_step batched: per lane, the same backtracking ladder over the
+/// same trial matrices. Finished-and-empty lanes stay inactive (their
+/// slab regions may accumulate in-lane garbage, which is never read).
+void batch_max_step(Chunk& ck, const lb::Slab& base, const la::Vector* baseg,
+                    const lb::Slab& dir, const la::Vector* dirg, double fraction,
+                    double* step) {
+  lb::copy(base, &ck.trial);
+  bool done[kL];
+  double applied[kL];
+  double alpha[kL];
+  for (int l = 0; l < kL; ++l) {
+    done[l] = l >= ck.lanes || !ck.ln[l].running;
+    applied[l] = 0.0;
+    alpha[l] = 1.0;
+    step[l] = 0.0;
+    if (!done[l]) ck.trialg[l] = baseg[l];
+  }
+  for (int tries = 0; tries < 60; ++tries) {
+    bool all_done = true;
+    for (int l = 0; l < kL; ++l) all_done = all_done && done[l];
+    if (all_done) break;
+    double stepv[kL];
+    double delta[kL];
+    for (int l = 0; l < kL; ++l) {
+      stepv[l] = done[l] ? 0.0 : fraction * alpha[l];
+      delta[l] = done[l] ? 0.0 : stepv[l] - applied[l];
+    }
+    lb::axpy(delta, dir, &ck.trial);
+    bool ok[kL];
+    bool act[kL];
+    for (int l = 0; l < kL; ++l) {
+      ok[l] = true;
+      act[l] = !done[l];
+      if (done[l]) continue;
+      Lane& la_ = ck.ln[l];
+      for (int i = 0; i < la_.gd; ++i) {
+        ck.trialg[l][static_cast<std::size_t>(i)] +=
+            delta[l] * dirg[l][static_cast<std::size_t>(i)];
+      }
+      applied[l] = stepv[l];
+    }
+    lb::cholesky_factor(ck.trial, ck.nn, act, &ck.lden, ok);
+    for (int l = 0; l < kL; ++l) {
+      if (done[l]) continue;
+      bool good = ok[l];
+      if (good) {
+        for (int i = 0; i < ck.ln[l].gd; ++i) {
+          const double v = ck.trialg[l][static_cast<std::size_t>(i)];
+          if (!(v > 0.0) || !std::isfinite(v)) {
+            good = false;
+            break;
+          }
+        }
+      }
+      if (good) {
+        step[l] = stepv[l];
+        done[l] = true;
+      } else {
+        alpha[l] *= 0.7;
+      }
+    }
+  }
+}
+
+/// Runs one chunk to completion. Returns false on a batch-infrastructure
+/// fault (chunk aborted; caller re-solves every member scalar).
+bool solve_chunk(const std::vector<const SdpProblem*>& problems,
+                 const std::vector<std::size_t>& members, const SdpOptions& opt,
+                 std::vector<SdpResult>* results) {
+  static obs::Counter& s_calls = obs::metrics().counter("sdp.solve.calls");
+  static obs::Counter& s_iters = obs::metrics().counter("sdp.solve.iterations");
+  static obs::Counter& s_failures = obs::metrics().counter("sdp.solve.failures");
+  static obs::Counter& s_stalls = obs::metrics().counter("sdp.solve.stalls");
+  static obs::Histogram& wall = obs::metrics().histogram("batch.solve.ms");
+  WallTimer timer;
+  if (CPLA_FAULT_POINT("batch.pack")) return false;
+
+  auto ck_ptr = std::make_unique<Chunk>();
+  Chunk& ck = *ck_ptr;
+  pack_chunk(problems, members, &ck);
+
+  // Init-time fault points, one lane at a time in pack order: the scalar
+  // solver checks these per problem right after building its start point.
+  for (int l = 0; l < ck.lanes; ++l) {
+    if (CPLA_FAULT_POINT("sdp.solve.numerical")) {
+      finish_lane(&ck, l, SdpStatus::kNumerical, results);
+      continue;
+    }
+    if (CPLA_FAULT_POINT("sdp.solve.iterlimit")) {
+      finish_lane(&ck, l, SdpStatus::kIterLimit, results);
+    }
+  }
+
+  bool ok[kL];
+  bool act[kL];
+  double sigma[kL];
+  double mu[kL];
+  double max_diag[kL];
+  for (int iter = 0; iter < opt.max_iterations && any_running(ck); ++iter) {
+    if (CPLA_FAULT_POINT("batch.solve.step")) return false;
+
+    // Residuals: rp = b - A(X); Rd = C - A'(y) - Z.
+    for (int l = 0; l < ck.lanes; ++l) {
+      Lane& la_ = ck.ln[l];
+      if (!la_.running) continue;
+      refresh_mirror(ck.x, ck.xg[l], l, la_.ndr, &la_.xu);
+      for (int i = 0; i < la_.m; ++i) {
+        la_.ax[static_cast<std::size_t>(i)] = apply_exec(la_.prog, i, la_.xu);
+      }
+      for (std::size_t i = 0; i < la_.b.size(); ++i) la_.rp[i] = la_.b[i] - la_.ax[i];
+    }
+    lb::copy(ck.c, &ck.rd);
+    for (int l = 0; l < ck.lanes; ++l) {
+      Lane& la_ = ck.ln[l];
+      if (!la_.running) continue;
+      ck.rdg[l] = ck.cg[l];
+      for (std::size_t i = 0; i < la_.y.size(); ++i) la_.negy[i] = -la_.y[i];
+      adjoint_exec(la_.prog, la_.negy, ck.rd.data(), &ck.rdg[l]);
+    }
+    lb::axpy_uniform(-1.0, ck.z, &ck.rd);
+    for (int l = 0; l < ck.lanes; ++l) {
+      if (!ck.ln[l].running) continue;
+      for (std::size_t i = 0; i < ck.rdg[l].size(); ++i) {
+        ck.rdg[l][i] += -1.0 * ck.zg[l][i];
+      }
+    }
+
+    // Convergence / stall / non-finite checks, per lane. The three dense
+    // Frobenius dots for all lanes come from single slab sweeps
+    // (bit-identical per lane to lane_dot); finished lanes' values are
+    // computed-but-ignored garbage.
+    double gap_all[kL];
+    double pobj_all[kL];
+    double dfn_all[kL];
+    lb::lane_dot_all(ck.x, ck.z, ck.nn, gap_all);
+    lb::lane_dot_all(ck.c, ck.x, ck.nn, pobj_all);
+    lb::lane_dot_all(ck.rd, ck.rd, ck.nn, dfn_all);
+    for (int l = 0; l < ck.lanes; ++l) {
+      Lane& la_ = ck.ln[l];
+      if (!la_.running) continue;
+      double gap = gap_all[l];
+      gap += la::dot(ck.xg[l], ck.zg[l]);
+      la_.gap = gap;
+      la_.pobj = pobj_all[l];
+      la_.pobj += la::dot(ck.cg[l], ck.xg[l]);
+      la_.dobj = la::dot(la_.b, la_.y);
+      la_.pinf = la::norm2(la_.rp) / (1.0 + la_.bnorm);
+      double dfn = dfn_all[l];
+      dfn += la::dot(ck.rdg[l], ck.rdg[l]);
+      la_.dinf = std::sqrt(dfn) / la_.cnorm;
+      la_.relgap = std::fabs(gap) / (1.0 + std::fabs(la_.pobj) + std::fabs(la_.dobj));
+      if (!std::isfinite(gap) || !std::isfinite(la_.pobj) ||
+          !std::isfinite(la_.pinf) || !std::isfinite(la_.dinf)) {
+        finish_lane(&ck, l, SdpStatus::kNumerical, results);
+        continue;
+      }
+      if (la_.pinf < opt.tol && la_.dinf < opt.tol && la_.relgap < opt.tol) {
+        finish_lane(&ck, l, SdpStatus::kOptimal, results);
+        continue;
+      }
+      if (gap > la_.prev_gap * 0.9999 && la_.relgap < 1e-4) {
+        if (++la_.stall >= 8) {
+          finish_lane(&ck, l, SdpStatus::kStalled, results);
+          continue;
+        }
+      } else {
+        la_.stall = 0;
+      }
+      la_.prev_gap = gap;
+    }
+    if (!any_running(ck)) break;
+
+    // Factor Z (+ diag positivity), invert, symmetrize.
+    for (int l = 0; l < kL; ++l) {
+      act[l] = l < ck.lanes && ck.ln[l].running;
+      ok[l] = true;
+    }
+    lb::cholesky_factor(ck.z, ck.nn, act, &ck.lden, ok);
+    for (int l = 0; l < ck.lanes; ++l) {
+      Lane& la_ = ck.ln[l];
+      if (!la_.running) continue;
+      bool good = ok[l];
+      if (good) {
+        for (std::size_t i = 0; i < ck.zg[l].size(); ++i) {
+          const double v = ck.zg[l][i];
+          if (!(v > 0.0) || !std::isfinite(v)) {
+            good = false;
+            break;
+          }
+        }
+      }
+      if (!good) finish_lane(&ck, l, SdpStatus::kNumerical, results);
+    }
+    if (!any_running(ck)) break;
+    lb::cholesky_inverse(ck.lden, ck.nn, &ck.zinv);
+    lb::symmetrize(&ck.zinv);
+    for (int l = 0; l < ck.lanes; ++l) {
+      Lane& la_ = ck.ln[l];
+      if (!la_.running) continue;
+      for (std::size_t i = 0; i < ck.zg[l].size(); ++i) ck.zig[l][i] = 1.0 / ck.zg[l][i];
+      refresh_mirror(ck.zinv, ck.zig[l], l, la_.ndr, &la_.zu);
+    }
+
+    // Schur matrix + ridge-escalated factorization.
+    for (int l = 0; l < ck.lanes; ++l) {
+      Lane& la_ = ck.ln[l];
+      if (!la_.running) continue;
+      schur_exec(la_.prog, la_.m, la_.zu, la_.xu, &la_.schur_m);
+      max_diag[l] = 1e-12;
+      for (int i = 0; i < la_.m; ++i) {
+        max_diag[l] = std::max(
+            max_diag[l], la_.schur_m[static_cast<std::size_t>(i) * la_.m + i]);
+      }
+    }
+    bool factored[kL];
+    double ridge[kL];
+    for (int l = 0; l < kL; ++l) {
+      factored[l] = l >= ck.lanes || !ck.ln[l].running;
+      ridge[l] = 0.0;
+    }
+    for (int tries = 0; tries < 12; ++tries) {
+      bool any = false;
+      for (int l = 0; l < kL; ++l) any = any || !factored[l];
+      if (!any) break;
+      for (int l = 0; l < kL; ++l) {
+        act[l] = !factored[l];
+        ok[l] = true;
+        if (factored[l]) continue;
+        Lane& la_ = ck.ln[l];
+        for (int i = 0; i < la_.m; ++i) {
+          for (int j = 0; j < i; ++j) {
+            ck.regS.at(static_cast<std::size_t>(i), static_cast<std::size_t>(j), l) =
+                la_.schur_m[static_cast<std::size_t>(i) * la_.m + j];
+          }
+          const double d = la_.schur_m[static_cast<std::size_t>(i) * la_.m + i];
+          ck.regS.at(static_cast<std::size_t>(i), static_cast<std::size_t>(i), l) =
+              ridge[l] > 0.0 ? d + ridge[l] : d;
+        }
+      }
+      lb::cholesky_factor(ck.regS, ck.nm, act, &ck.lm, ok);
+      for (int l = 0; l < kL; ++l) {
+        if (factored[l]) continue;
+        if (ok[l]) factored[l] = true;
+        ridge[l] = ridge[l] == 0.0 ? 1e-12 * max_diag[l] : ridge[l] * 100.0;
+      }
+    }
+    for (int l = 0; l < ck.lanes; ++l) {
+      if (ck.ln[l].running && !factored[l]) {
+        finish_lane(&ck, l, SdpStatus::kNumerical, results);
+      }
+    }
+    if (!any_running(ck)) break;
+
+    // Shared rhs pieces: U = Z^{-1} Rd X, then a_zinv / a_u traces.
+    lb::gemm(ck.rd, ck.x, &ck.t1);
+    lb::gemm(ck.zinv, ck.t1, &ck.t2);
+    for (int l = 0; l < ck.lanes; ++l) {
+      Lane& la_ = ck.ln[l];
+      if (!la_.running) continue;
+      for (std::size_t i = 0; i < ck.rdg[l].size(); ++i) {
+        ck.t1g[l][i] = ck.rdg[l][i] * ck.xg[l][i];
+        ck.t2g[l][i] = ck.zig[l][i] * ck.t1g[l][i];
+      }
+      refresh_mirror(ck.t2, ck.t2g[l], l, la_.ndr, &la_.wu);
+      for (int i = 0; i < la_.m; ++i) {
+        la_.azinv[static_cast<std::size_t>(i)] = trace_exec(la_.prog, i, la_.zu);
+        la_.au[static_cast<std::size_t>(i)] = trace_exec(la_.prog, i, la_.wu);
+      }
+      mu[l] = la_.gap / static_cast<double>(la_.ntot);
+    }
+
+    // Predictor (sigma = 0).
+    const double zeros[kL] = {};
+    solve_direction(ck, zeros, false, &ck.dxa, &ck.dza, ck.dxag, ck.dzag, ck.dyva);
+    double ap_aff[kL];
+    double ad_aff[kL];
+    batch_max_step(ck, ck.x, ck.xg, ck.dxa, ck.dxag, 1.0, ap_aff);
+    batch_max_step(ck, ck.z, ck.zg, ck.dza, ck.dzag, 1.0, ad_aff);
+    for (int l = 0; l < ck.lanes; ++l) {
+      Lane& la_ = ck.ln[l];
+      if (!la_.running) continue;
+      double ga = lb::lane_dot_affine(ck.x, ck.dxa, ap_aff[l], ck.z, ck.dza,
+                                      ad_aff[l], l, la_.ndr);
+      double pg = 0.0;
+      for (std::size_t i = 0; i < ck.xg[l].size(); ++i) {
+        pg += (ck.xg[l][i] + ap_aff[l] * ck.dxag[l][i]) *
+              (ck.zg[l][i] + ad_aff[l] * ck.dzag[l][i]);
+      }
+      ga += pg;
+      const double gap_aff = std::max(0.0, ga);
+      sigma[l] = la_.gap > 1e-300 ? std::pow(gap_aff / la_.gap, 3.0) : 0.1;
+      sigma[l] = std::clamp(sigma[l], 1e-4, 0.9);
+    }
+
+    // Corrector with the Mehrotra second-order term Z^{-1} dZaff dXaff.
+    lb::gemm(ck.dza, ck.dxa, &ck.t1);
+    lb::gemm(ck.zinv, ck.t1, &ck.second);
+    double sigmu[kL] = {};
+    for (int l = 0; l < ck.lanes; ++l) {
+      Lane& la_ = ck.ln[l];
+      if (!la_.running) continue;
+      for (std::size_t i = 0; i < ck.dzag[l].size(); ++i) {
+        ck.t1g[l][i] = ck.dzag[l][i] * ck.dxag[l][i];
+        ck.secondg[l][i] = ck.zig[l][i] * ck.t1g[l][i];
+      }
+      refresh_mirror(ck.second, ck.secondg[l], l, la_.ndr, &la_.wu);
+      sigmu[l] = sigma[l] * mu[l];
+    }
+    solve_direction(ck, sigmu, true, &ck.dxc, &ck.dzc, ck.dxcg, ck.dzcg, ck.dyvv);
+    double ap[kL];
+    double ad[kL];
+    batch_max_step(ck, ck.x, ck.xg, ck.dxc, ck.dxcg, opt.step_fraction, ap);
+    batch_max_step(ck, ck.z, ck.zg, ck.dzc, ck.dzcg, opt.step_fraction, ad);
+    for (int l = 0; l < ck.lanes; ++l) {
+      if (!ck.ln[l].running) continue;
+      ap[l] = std::min(ap[l], 1.0);
+      ad[l] = std::min(ad[l], 1.0);
+      if (ap[l] <= 1e-10 && ad[l] <= 1e-10) {
+        finish_lane(&ck, l, SdpStatus::kStalled, results);
+      }
+    }
+
+    // Step: X += ap dX, Z += ad dZ, y += ad dy.
+    double apv[kL] = {};
+    double adv[kL] = {};
+    for (int l = 0; l < ck.lanes; ++l) {
+      if (!ck.ln[l].running) continue;
+      apv[l] = ap[l];
+      adv[l] = ad[l];
+    }
+    lb::axpy(apv, ck.dxc, &ck.x);
+    lb::axpy(adv, ck.dzc, &ck.z);
+    for (int l = 0; l < ck.lanes; ++l) {
+      Lane& la_ = ck.ln[l];
+      if (!la_.running) continue;
+      for (std::size_t i = 0; i < ck.xg[l].size(); ++i) {
+        ck.xg[l][i] += ap[l] * ck.dxcg[l][i];
+        ck.zg[l][i] += ad[l] * ck.dzcg[l][i];
+      }
+      for (int i = 0; i < la_.m; ++i) {
+        la_.y[static_cast<std::size_t>(i)] += ad[l] * ck.dyvv[l][static_cast<std::size_t>(i)];
+      }
+      la_.iters = iter + 1;
+    }
+  }
+  for (int l = 0; l < ck.lanes; ++l) {
+    if (ck.ln[l].running) finish_lane(&ck, l, SdpStatus::kIterLimit, results);
+  }
+
+  // Mirror the scalar wrapper's per-problem accounting (except
+  // sdp.solve.ms; batch.solve.ms below is per chunk).
+  for (int l = 0; l < ck.lanes; ++l) {
+    s_calls.add();
+    s_iters.add(ck.ln[l].iters);
+    if (ck.ln[l].status == SdpStatus::kNumerical) s_failures.add();
+    if (ck.ln[l].status == SdpStatus::kStalled) s_stalls.add();
+  }
+  wall.record(timer.milliseconds());
+  return true;
+}
+
+}  // namespace
+
+bool batch_eligible(const SdpProblem& p, const SdpOptions& opt,
+                    const BatchLimits& limits) {
+  if (opt.time_limit_ms > 0.0) return false;  // wall clock needs scalar pacing
+  const BlockStructure& st = p.structure();
+  if (st.empty() || st.size() > 2) return false;
+  if (st[0].kind != BlockSpec::Kind::kDense) return false;
+  if (st[0].dim < 1 || st[0].dim > limits.max_dense_dim) return false;
+  if (st.size() == 2 && st[1].kind != BlockSpec::Kind::kDiag) return false;
+  const int m = p.num_constraints();
+  if (m < 1 || m > limits.max_constraints) return false;
+  // Schur program size: sum over i<=j of nnz_i*nnz_j = (S^2 + Q) / 2.
+  std::int64_t s = 0;
+  std::int64_t q = 0;
+  for (int i = 0; i < m; ++i) {
+    const auto nnz = static_cast<std::int64_t>(p.constraint(i).entries.size());
+    s += nnz;
+    q += nnz * nnz;
+  }
+  if ((s * s + q) / 2 > limits.max_schur_ops) return false;
+  return p.validate().is_ok();
+}
+
+std::vector<SdpResult> solve_batch(const std::vector<const SdpProblem*>& problems,
+                                   const SdpOptions& opt, const BatchLimits& limits,
+                                   BatchSolveStats* stats) {
+  static obs::Counter& calls = obs::metrics().counter("batch.solve.calls");
+  static obs::Counter& chunks = obs::metrics().counter("batch.solve.chunks");
+  static obs::Counter& lanes = obs::metrics().counter("batch.solve.lanes");
+  static obs::Counter& scalar = obs::metrics().counter("batch.solve.scalar");
+  static obs::Counter& aborts = obs::metrics().counter("batch.solve.aborts");
+  static obs::Histogram& occupancy = obs::metrics().histogram("batch.chunk.occupancy");
+  calls.add();
+  BatchSolveStats local;
+  BatchSolveStats* st = stats != nullptr ? stats : &local;
+  *st = BatchSolveStats{};
+  std::vector<SdpResult> results(problems.size());
+  // Size-class bins, keyed (dense dim / 8, constraints / 32) so lanes in a
+  // chunk share similar padded dims. std::map keeps flush order (and so
+  // fault-site occurrence order) deterministic.
+  std::map<std::pair<int, int>, std::vector<std::size_t>> bins;
+  const auto flush = [&](std::vector<std::size_t>* members) {
+    if (members->empty()) return;
+    if (solve_chunk(problems, *members, opt, &results)) {
+      st->chunks += 1;
+      st->batched_lanes += static_cast<int>(members->size());
+      chunks.add();
+      lanes.add(static_cast<long>(members->size()));
+      occupancy.record(static_cast<double>(members->size()));
+    } else {
+      // Batch infrastructure fault: degrade to scalar re-solves, which
+      // produce bit-identical results (and their own sdp.solve metrics).
+      for (const std::size_t idx : *members) results[idx] = solve(*problems[idx], opt);
+      st->aborted += static_cast<int>(members->size());
+      aborts.add();
+    }
+    members->clear();
+  };
+  for (std::size_t i = 0; i < problems.size(); ++i) {
+    CPLA_ASSERT(problems[i] != nullptr);
+    const SdpProblem& p = *problems[i];
+    if (!batch_eligible(p, opt, limits)) {
+      results[i] = solve(p, opt);
+      st->scalar += 1;
+      scalar.add();
+      continue;
+    }
+    auto& bin = bins[{(p.structure()[0].dim + 7) / 8, (p.num_constraints() + 31) / 32}];
+    bin.push_back(i);
+    if (static_cast<int>(bin.size()) == kL) flush(&bin);
+  }
+  for (auto& [key, bin] : bins) flush(&bin);
+  return results;
+}
+
+}  // namespace cpla::sdp

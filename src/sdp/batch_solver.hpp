@@ -1,0 +1,57 @@
+#pragma once
+
+// Batched SDP tier: solves many small partition SDPs as one
+// structure-of-arrays batch. Problems are binned into size classes,
+// packed kLanes at a time into padded slabs (`cpla::la::batch`), and the
+// interior-point loop from solver.cpp runs once per batch with every
+// dense kernel sweeping all lanes per step. Each lane's floating-point
+// operation sequence is the scalar solve_impl's, verbatim — same
+// accumulation orders, same blend/skip semantics, same control flow per
+// lane — so results are bit-identical to calling sdp::solve on each
+// problem individually (see DESIGN.md, "Batched SDP backend").
+//
+// Problems the batch tier cannot take (unsupported block structure,
+// oversized dimensions, a wall-clock deadline, or a batch-infrastructure
+// fault) are solved through the scalar sdp::solve path inside
+// solve_batch, so callers always get one result per problem either way.
+
+#include <cstdint>
+#include <vector>
+
+#include "src/sdp/solver.hpp"
+
+namespace cpla::sdp {
+
+struct BatchLimits {
+  int max_dense_dim = 160;     // lanes above this solve scalar
+  int max_constraints = 512;   // Schur dimension ceiling per lane
+  // Per-lane Schur program ceiling (entry-pair products); guards against
+  // pathological constraint density blowing up precomputed program memory.
+  std::int64_t max_schur_ops = 4'000'000;
+};
+
+struct BatchSolveStats {
+  int chunks = 0;        // batch chunks executed
+  int batched_lanes = 0; // problems solved in a batch lane
+  int scalar = 0;        // problems that fell back to scalar sdp::solve
+  int aborted = 0;       // lanes re-solved scalar after a batch fault
+};
+
+/// True iff `p` fits the batched tier under `opt` and `limits` (block
+/// structure = one dense block optionally followed by one diagonal
+/// block, sizes within limits, no wall-clock deadline).
+bool batch_eligible(const SdpProblem& p, const SdpOptions& opt,
+                    const BatchLimits& limits = {});
+
+/// Solves every problem, batching the eligible ones kLanes at a time per
+/// size class and solving the rest scalar. problems[i] must outlive the
+/// call; results are returned in input order. `opt` applies to every
+/// problem (the flow solves all partitions of a round under one option
+/// set). opt.parallel is ignored inside the batch (lanes are the
+/// parallelism); scalar fallbacks receive `opt` unchanged.
+std::vector<SdpResult> solve_batch(const std::vector<const SdpProblem*>& problems,
+                                   const SdpOptions& opt,
+                                   const BatchLimits& limits = {},
+                                   BatchSolveStats* stats = nullptr);
+
+}  // namespace cpla::sdp

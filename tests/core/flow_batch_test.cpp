@@ -1,0 +1,150 @@
+// Batched solve phase: running the flow with CplaOptions::batch enabled
+// must land on exactly the same assignment bits as the scalar per-partition
+// path at equal commit-batch size — the batched SDP tier, the task-graph
+// scheduler, and the scalar-route fallback nodes are all transparent to the
+// result. Also covers the fallback switches (deadline, ILP engine) and the
+// oversized-partition scalar route.
+
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/core/flow.hpp"
+#include "src/core/pipeline.hpp"
+#include "src/gen/synth.hpp"
+
+namespace cpla::core {
+namespace {
+
+Prepared small_bench(std::uint64_t seed) {
+  gen::SynthSpec spec;
+  spec.xsize = spec.ysize = 24;
+  spec.num_nets = 300;
+  spec.num_layers = 6;
+  spec.seed = seed;
+  return prepare(gen::generate(spec));
+}
+
+std::vector<std::vector<int>> all_layers(const assign::AssignState& state) {
+  std::vector<std::vector<int>> out;
+  out.reserve(static_cast<std::size_t>(state.num_nets()));
+  for (int net = 0; net < state.num_nets(); ++net) out.push_back(state.layers(net));
+  return out;
+}
+
+CplaOptions base_options() {
+  CplaOptions opt;
+  // Serial + fixed commit batch: the Gauss-Seidel granularity is then
+  // identical in both modes, which the bit-identity contract requires.
+  opt.parallel = false;
+  opt.commit_batch = 16;
+  opt.max_rounds = 2;
+  opt.max_refine_rounds = 1;
+  return opt;
+}
+
+TEST(FlowBatch, BatchedFlowIsBitIdenticalToScalarFlow) {
+  Prepared scalar_bench = small_bench(71);
+  Prepared batch_bench = small_bench(71);
+  const CriticalSet critical = select_critical(*scalar_bench.state, *scalar_bench.rc, 0.03);
+
+  CplaOptions scalar_opt = base_options();
+  const CplaResult scalar_result =
+      run_cpla(scalar_bench.state.get(), *scalar_bench.rc, critical, scalar_opt);
+
+  CplaOptions batch_opt = base_options();
+  batch_opt.batch.enabled = true;
+  const CplaResult batch_result =
+      run_cpla(batch_bench.state.get(), *batch_bench.rc, critical, batch_opt);
+
+  EXPECT_EQ(scalar_result.rounds, batch_result.rounds);
+  EXPECT_EQ(scalar_result.partitions_solved, batch_result.partitions_solved);
+  EXPECT_EQ(scalar_result.metrics.avg_tcp, batch_result.metrics.avg_tcp);
+  EXPECT_EQ(scalar_result.metrics.max_tcp, batch_result.metrics.max_tcp);
+  EXPECT_EQ(scalar_result.metrics.via_count, batch_result.metrics.via_count);
+  EXPECT_EQ(all_layers(*scalar_bench.state), all_layers(*batch_bench.state));
+  // The escalation profile must match too: the batch only replaces how the
+  // primary tier is computed, never which tier wins.
+  for (int t = 0; t < kNumGuardTiers; ++t) {
+    EXPECT_EQ(scalar_result.guard_stats.tier_used[t], batch_result.guard_stats.tier_used[t])
+        << "tier " << t;
+  }
+}
+
+TEST(FlowBatch, TinyDenseLimitRoutesEverythingScalarAndStaysIdentical) {
+  // With max_dense_dim = 2 every partition takes the scalar-route nodes on
+  // the scheduler; the result must still match the stock flow exactly.
+  Prepared scalar_bench = small_bench(72);
+  Prepared batch_bench = small_bench(72);
+  const CriticalSet critical = select_critical(*scalar_bench.state, *scalar_bench.rc, 0.03);
+
+  CplaOptions scalar_opt = base_options();
+  scalar_opt.max_rounds = 1;
+  run_cpla(scalar_bench.state.get(), *scalar_bench.rc, critical, scalar_opt);
+
+  CplaOptions batch_opt = scalar_opt;
+  batch_opt.batch.enabled = true;
+  batch_opt.batch.limits.max_dense_dim = 2;
+  run_cpla(batch_bench.state.get(), *batch_bench.rc, critical, batch_opt);
+
+  EXPECT_EQ(all_layers(*scalar_bench.state), all_layers(*batch_bench.state));
+}
+
+TEST(FlowBatch, ParallelSchedulerMatchesSerialBatchedFlow) {
+  // The scheduler only reorders independent nodes, so the batched flow is
+  // thread-count-invariant (exercised under the tsan label via test_core).
+  Prepared serial_bench = small_bench(73);
+  Prepared parallel_bench = small_bench(73);
+  const CriticalSet critical = select_critical(*serial_bench.state, *serial_bench.rc, 0.03);
+
+  CplaOptions serial_opt = base_options();
+  serial_opt.batch.enabled = true;
+  serial_opt.max_rounds = 1;
+  run_cpla(serial_bench.state.get(), *serial_bench.rc, critical, serial_opt);
+
+  CplaOptions parallel_opt = serial_opt;
+  parallel_opt.parallel = true;
+  parallel_opt.sdp.parallel = false;  // keep the inner SDP kernels serial
+  run_cpla(parallel_bench.state.get(), *parallel_bench.rc, critical, parallel_opt);
+
+  EXPECT_EQ(all_layers(*serial_bench.state), all_layers(*parallel_bench.state));
+}
+
+TEST(FlowBatch, DeadlineDisablesBatchingButFlowStaysValid) {
+  Prepared bench = small_bench(74);
+  const CriticalSet critical = select_critical(*bench.state, *bench.rc, 0.03);
+  const LaMetrics before = compute_metrics(*bench.state, *bench.rc, critical);
+
+  CplaOptions opt = base_options();
+  opt.batch.enabled = true;
+  opt.guard.deadline_ms = 60'000.0;  // generous: solves succeed, batching is off
+  const CplaResult result = run_cpla(bench.state.get(), *bench.rc, critical, opt);
+
+  EXPECT_GT(result.partitions_solved, 0);
+  EXPECT_LE(result.metrics.avg_tcp, before.avg_tcp * 1.0001);
+  EXPECT_LE(result.metrics.wire_overflow, before.wire_overflow);
+}
+
+TEST(FlowBatch, IlpEngineIgnoresBatchFlag) {
+  gen::SynthSpec spec;
+  spec.xsize = spec.ysize = 16;
+  spec.num_nets = 120;
+  spec.num_layers = 4;
+  spec.seed = 75;
+  Prepared bench = prepare(gen::generate(spec));
+  const CriticalSet critical = select_critical(*bench.state, *bench.rc, 0.03);
+  const LaMetrics before = compute_metrics(*bench.state, *bench.rc, critical);
+
+  CplaOptions opt = base_options();
+  opt.engine = Engine::kIlp;
+  opt.batch.enabled = true;
+  opt.partition.max_segments = 6;
+  opt.max_rounds = 1;
+  opt.ilp.time_limit_s = 10.0;
+  const CplaResult result = run_cpla(bench.state.get(), *bench.rc, critical, opt);
+  EXPECT_LE(result.metrics.avg_tcp, before.avg_tcp * 1.0001);
+}
+
+}  // namespace
+}  // namespace cpla::core

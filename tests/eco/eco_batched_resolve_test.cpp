@@ -1,0 +1,131 @@
+// The batched SDP backend under the ECO cache: resolve() with
+// CplaOptions::batch enabled must be bit-identical to the scalar session —
+// same assignments AND the same cache traffic (hits, misses, dirty/clean
+// splits), pinning that solution-cache keys are content-addressed and
+// independent of batch composition: whether a partition was solved in a
+// slab or alone never changes what later resolves replay. Also covers the
+// fault-degradation path with batching on.
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <vector>
+
+#include "src/eco/delta.hpp"
+#include "src/eco/eco_session.hpp"
+#include "src/eco/edit_script.hpp"
+#include "src/util/fault_inject.hpp"
+#include "tests/eco/eco_test_util.hpp"
+
+namespace cpla::eco {
+namespace {
+
+EcoOptions session_options(bool batch) {
+  EcoOptions opt;
+  opt.critical_ratio = 0.03;
+  // Equal Gauss-Seidel granularity in both modes: batch mode widens the
+  // auto commit batch, so equivalence requires pinning it explicitly.
+  opt.flow.commit_batch = 16;
+  opt.flow.batch.enabled = batch;
+  return opt;
+}
+
+TEST(EcoBatchedResolve, BatchedSessionMatchesScalarSessionBitForBit) {
+  core::Prepared scalar_bench = make_bench(91, 16, 150);
+  core::Prepared batch_bench = make_bench(91, 16, 150);
+
+  EcoSession scalar(scalar_bench.design.get(), scalar_bench.state.get(), scalar_bench.rc.get(),
+                    session_options(false));
+  EcoSession batched(batch_bench.design.get(), batch_bench.state.get(), batch_bench.rc.get(),
+                     session_options(true));
+
+  const std::vector<Delta> script =
+      make_edit_script(*scalar_bench.state, scalar.critical(), {.count = 12, .seed = 91});
+  ASSERT_FALSE(script.empty());
+
+  std::size_t next = 0;
+  for (int round = 0; round < 3; ++round) {
+    const std::size_t end = round == 2 ? script.size() : next + script.size() / 3;
+    for (; next < end; ++next) {
+      ASSERT_TRUE(scalar.apply(script[next]).is_ok()) << "delta " << next;
+      ASSERT_TRUE(batched.apply(script[next]).is_ok()) << "delta " << next;
+    }
+    ASSERT_TRUE(scalar.resolve().status.is_ok());
+    ASSERT_TRUE(batched.resolve().status.is_ok());
+    expect_assignments_equal(*scalar_bench.state, *batch_bench.state);
+    if (::testing::Test::HasFailure()) FAIL() << "divergence after round " << round;
+  }
+
+  // One more resolve with nothing dirty: every partition is clean, so any
+  // replay comes straight out of entries the *batched* miss-solver
+  // inserted — and must land where the scalar session lands.
+  const EcoStats warm = batched.stats();
+  ASSERT_TRUE(scalar.resolve().status.is_ok());
+  ASSERT_TRUE(batched.resolve().status.is_ok());
+  expect_assignments_equal(*scalar_bench.state, *batch_bench.state);
+  expect_metrics_equal(*scalar_bench.state, *batch_bench.state, *scalar_bench.rc,
+                       scalar.critical());
+
+  const EcoStats ss = scalar.stats();
+  const EcoStats bs = batched.stats();
+  EXPECT_EQ(ss.dirty_partitions, bs.dirty_partitions);
+  EXPECT_EQ(ss.clean_partitions, bs.clean_partitions);
+  EXPECT_EQ(ss.cache_hits, bs.cache_hits);
+  EXPECT_EQ(ss.cache_misses, bs.cache_misses);
+  EXPECT_EQ(ss.fallbacks, 0);
+  EXPECT_EQ(bs.fallbacks, 0);
+  EXPECT_GT(bs.cache_hits, warm.cache_hits) << "warm batched resolve never replayed a partition";
+}
+
+TEST(EcoBatchedResolve, BatchedResolveMatchesFreshOptimizeOnControlCopy) {
+  core::Prepared live = make_bench(92, 16, 150);
+  core::Prepared control = make_bench(92, 16, 150);
+
+  const EcoOptions opt = session_options(true);
+  EcoSession session(live.design.get(), live.state.get(), live.rc.get(), opt);
+  core::CriticalSet control_critical = session.critical();
+  ASSERT_FALSE(control_critical.nets.empty());
+
+  const std::vector<Delta> script =
+      make_edit_script(*live.state, session.critical(), {.count = 8, .seed = 92});
+  for (std::size_t i = 0; i < script.size(); ++i) {
+    ASSERT_TRUE(session.apply(script[i]).is_ok()) << "delta " << i;
+    ASSERT_TRUE(
+        apply_delta(script[i], control.design.get(), control.state.get(), &control_critical)
+            .is_ok())
+        << "delta " << i;
+  }
+
+  const core::OptimizeResult inc = session.resolve();
+  const core::OptimizeResult ref =
+      core::optimize(control.state.get(), *control.rc, control_critical, opt.flow);
+  ASSERT_TRUE(inc.status.is_ok());
+  ASSERT_TRUE(ref.status.is_ok());
+  expect_assignments_equal(*live.state, *control.state);
+  expect_metrics_equal(*live.state, *control.state, *live.rc, control_critical);
+  EXPECT_EQ(session.stats().fallbacks, 0);
+}
+
+TEST(EcoBatchedResolve, FaultedBatchedResolveDegradesToStock) {
+  FaultInjector::instance().reset();
+  core::Prepared live = make_bench(93, 16, 150);
+  core::Prepared control = make_bench(93, 16, 150);
+
+  const EcoOptions opt = session_options(true);
+  EcoSession session(live.design.get(), live.state.get(), live.rc.get(), opt);
+  const core::CriticalSet critical = session.critical();
+
+  FaultInjector::instance().arm_always("eco.resolve.partition");
+  const core::OptimizeResult out = session.resolve();
+  FaultInjector::instance().reset();
+  EXPECT_TRUE(out.status.is_ok());
+  EXPECT_EQ(session.stats().fallbacks, 1);
+
+  const core::OptimizeResult ref =
+      core::optimize(control.state.get(), *control.rc, critical, opt.flow);
+  ASSERT_TRUE(ref.status.is_ok());
+  expect_assignments_equal(*live.state, *control.state);
+}
+
+}  // namespace
+}  // namespace cpla::eco

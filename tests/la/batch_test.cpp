@@ -1,0 +1,288 @@
+#include "src/la/batch.hpp"
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdint>
+#include <vector>
+
+#include "src/la/cholesky.hpp"
+#include "src/la/matrix.hpp"
+#include "src/util/rng.hpp"
+
+// Kernel-level golden contract: every lane-batched kernel reproduces its
+// scalar counterpart bit-for-bit per lane, with lanes carrying different
+// real dimensions (including ones straddling the kNb = 48 Cholesky panel
+// boundary) packed into one padded slab.
+
+namespace cpla::la::batch {
+namespace {
+
+std::uint64_t bits(double v) { return std::bit_cast<std::uint64_t>(v); }
+
+Matrix random_spd(std::size_t n, Rng* rng) {
+  Matrix a(n, n);
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t c = 0; c <= r; ++c) {
+      a(r, c) = a(c, r) = rng->uniform(-1.0, 1.0);
+    }
+    a(r, r) += static_cast<double>(n);  // diagonally dominant => SPD
+  }
+  return a;
+}
+
+Matrix random_matrix(std::size_t rows, std::size_t cols, Rng* rng) {
+  Matrix m(rows, cols);
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) m(r, c) = rng->uniform(-2.0, 2.0);
+  }
+  return m;
+}
+
+void expect_lane_eq(const Slab& s, int lane, const Matrix& want, std::size_t n) {
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t c = 0; c < n; ++c) {
+      ASSERT_EQ(bits(s.at(r, c, lane)), bits(want(r, c)))
+          << "lane " << lane << " entry (" << r << "," << c << ")";
+    }
+  }
+}
+
+// Mixed per-lane dims: below, at, and beyond one kNb=48 panel.
+constexpr int kDims[kLanes] = {8, 16, 24, 33, 47, 48, 49, 65};
+constexpr std::size_t kPad = 65;
+
+TEST(BatchKernels, GemmMatchesScalarOperatorPerLane) {
+  Rng rng(1);
+  Slab a(kPad, kPad), b(kPad, kPad), out(kPad, kPad);
+  std::vector<Matrix> am, bm;
+  for (int l = 0; l < kLanes; ++l) {
+    // Pack at full padded dim so every lane exercises the same loop
+    // bounds; scalar reference at the padded dim must match exactly.
+    am.push_back(random_matrix(kPad, kPad, &rng));
+    bm.push_back(random_matrix(kPad, kPad, &rng));
+    pack_lane(&a, l, am.back());
+    pack_lane(&b, l, bm.back());
+  }
+  gemm(a, b, &out);
+  for (int l = 0; l < kLanes; ++l) {
+    const Matrix want = am[static_cast<std::size_t>(l)] * bm[static_cast<std::size_t>(l)];
+    expect_lane_eq(out, l, want, kPad);
+  }
+}
+
+TEST(BatchKernels, CholeskyFactorMatchesScalarAtMixedDims) {
+  Rng rng(2);
+  Slab a(kPad, kPad), l_slab(kPad, kPad);
+  std::vector<Matrix> am;
+  int n[kLanes];
+  bool active[kLanes];
+  bool ok[kLanes];
+  for (int l = 0; l < kLanes; ++l) {
+    n[l] = kDims[l];
+    active[l] = true;
+    ok[l] = true;
+    am.push_back(random_spd(static_cast<std::size_t>(n[l]), &rng));
+    pack_lane(&a, l, am.back());
+  }
+  cholesky_factor(a, n, active, &l_slab, ok);
+  for (int l = 0; l < kLanes; ++l) {
+    ASSERT_TRUE(ok[l]) << "lane " << l;
+    const auto chol = Cholesky::factor(am[static_cast<std::size_t>(l)]);
+    ASSERT_TRUE(chol.has_value());
+    // Lower triangle must match bit-for-bit; padded diagonal is identity.
+    for (int r = 0; r < n[l]; ++r) {
+      for (int c = 0; c <= r; ++c) {
+        ASSERT_EQ(bits(l_slab.at(static_cast<std::size_t>(r), static_cast<std::size_t>(c), l)),
+                  bits(chol->l()(static_cast<std::size_t>(r), static_cast<std::size_t>(c))))
+            << "lane " << l << " (" << r << "," << c << ")";
+      }
+    }
+    for (std::size_t r = static_cast<std::size_t>(n[l]); r < kPad; ++r) {
+      ASSERT_EQ(l_slab.at(r, r, l), 1.0);
+    }
+  }
+}
+
+TEST(BatchKernels, CholeskyFailedPivotFlagsLaneAndPreservesOthers) {
+  Rng rng(3);
+  Slab a(kPad, kPad), l_slab(kPad, kPad);
+  std::vector<Matrix> am;
+  int n[kLanes];
+  bool active[kLanes];
+  bool ok[kLanes];
+  for (int l = 0; l < kLanes; ++l) {
+    n[l] = kDims[l];
+    active[l] = true;
+    ok[l] = true;
+    Matrix m = random_spd(static_cast<std::size_t>(n[l]), &rng);
+    if (l == 3) m(2, 2) = -100.0;  // indefinite: pivot 2 must fail
+    am.push_back(std::move(m));
+    pack_lane(&a, l, am.back());
+  }
+  cholesky_factor(a, n, active, &l_slab, ok);
+  for (int l = 0; l < kLanes; ++l) {
+    if (l == 3) {
+      EXPECT_FALSE(ok[l]);
+      continue;
+    }
+    ASSERT_TRUE(ok[l]) << "lane " << l;
+    const auto chol = Cholesky::factor(am[static_cast<std::size_t>(l)]);
+    ASSERT_TRUE(chol.has_value());
+    for (int r = 0; r < n[l]; ++r) {
+      for (int c = 0; c <= r; ++c) {
+        ASSERT_EQ(bits(l_slab.at(static_cast<std::size_t>(r), static_cast<std::size_t>(c), l)),
+                  bits(chol->l()(static_cast<std::size_t>(r), static_cast<std::size_t>(c))));
+      }
+    }
+  }
+}
+
+TEST(BatchKernels, InactiveLanesArePreservedBitForBit) {
+  Rng rng(4);
+  Slab a(kPad, kPad), l_slab(kPad, kPad);
+  int n[kLanes];
+  bool active[kLanes];
+  bool ok[kLanes];
+  std::vector<Matrix> am;
+  for (int l = 0; l < kLanes; ++l) {
+    n[l] = kDims[l];
+    active[l] = true;
+    ok[l] = true;
+    am.push_back(random_spd(static_cast<std::size_t>(n[l]), &rng));
+    pack_lane(&a, l, am.back());
+  }
+  cholesky_factor(a, n, active, &l_slab, ok);
+  const std::vector<double> snapshot(l_slab.data(), l_slab.data() + l_slab.size());
+  // Refactor only lanes 0 and 5 from perturbed inputs; every other lane's
+  // factor region must be byte-stable (the ridge-retry invariant).
+  for (int l : {0, 5}) {
+    Matrix m = random_spd(static_cast<std::size_t>(n[l]), &rng);
+    pack_lane(&a, l, m);
+  }
+  for (int l = 0; l < kLanes; ++l) active[l] = (l == 0 || l == 5);
+  cholesky_factor(a, n, active, &l_slab, ok);
+  for (std::size_t i = 0; i < l_slab.size(); ++i) {
+    const int lane = static_cast<int>(i % kLanes);
+    if (lane == 0 || lane == 5) continue;
+    ASSERT_EQ(bits(l_slab.data()[i]), bits(snapshot[i])) << "flat index " << i;
+  }
+}
+
+TEST(BatchKernels, SolveAndInverseMatchScalarCholesky) {
+  Rng rng(5);
+  Slab a(kPad, kPad), l_slab(kPad, kPad), inv(kPad, kPad);
+  Slab rhs(kPad, 1), x(kPad, 1);
+  int n[kLanes];
+  bool active[kLanes];
+  bool ok[kLanes];
+  std::vector<Matrix> am;
+  std::vector<Vector> bv;
+  for (int l = 0; l < kLanes; ++l) {
+    n[l] = kDims[l];
+    active[l] = true;
+    ok[l] = true;
+    am.push_back(random_spd(static_cast<std::size_t>(n[l]), &rng));
+    pack_lane(&a, l, am.back());
+    Vector b(static_cast<std::size_t>(n[l]));
+    for (double& v : b) v = rng.uniform(-1.0, 1.0);
+    for (int i = 0; i < n[l]; ++i) rhs.at(static_cast<std::size_t>(i), 0, l) = b[static_cast<std::size_t>(i)];
+    bv.push_back(std::move(b));
+  }
+  cholesky_factor(a, n, active, &l_slab, ok);
+  cholesky_solve_vec(l_slab, rhs, &x);
+  cholesky_inverse(l_slab, n, &inv);
+  for (int l = 0; l < kLanes; ++l) {
+    const auto chol = Cholesky::factor(am[static_cast<std::size_t>(l)]);
+    ASSERT_TRUE(chol.has_value());
+    const Vector want = chol->solve(bv[static_cast<std::size_t>(l)]);
+    for (int i = 0; i < n[l]; ++i) {
+      ASSERT_EQ(bits(x.at(static_cast<std::size_t>(i), 0, l)), bits(want[static_cast<std::size_t>(i)]))
+          << "lane " << l << " x[" << i << "]";
+    }
+    // Padded solution rows are exact zero.
+    for (std::size_t i = static_cast<std::size_t>(n[l]); i < kPad; ++i) {
+      ASSERT_EQ(bits(x.at(i, 0, l)), bits(0.0));
+    }
+    const Matrix want_inv = chol->inverse();
+    for (int r = 0; r < n[l]; ++r) {
+      for (int c = 0; c < n[l]; ++c) {
+        ASSERT_EQ(bits(inv.at(static_cast<std::size_t>(r), static_cast<std::size_t>(c), l)),
+                  bits(want_inv(static_cast<std::size_t>(r), static_cast<std::size_t>(c))))
+            << "lane " << l << " inv(" << r << "," << c << ")";
+      }
+    }
+  }
+}
+
+TEST(BatchKernels, AxpyScaleSymmetrizeAndReductionsMatchScalar) {
+  Rng rng(6);
+  constexpr std::size_t kN = 20;
+  Slab a(kN, kN), b(kN, kN);
+  std::vector<Matrix> am, bm;
+  double alpha[kLanes];
+  for (int l = 0; l < kLanes; ++l) {
+    am.push_back(random_matrix(kN, kN, &rng));
+    bm.push_back(random_matrix(kN, kN, &rng));
+    alpha[l] = rng.uniform(-1.5, 1.5);
+    pack_lane(&a, l, am.back());
+    pack_lane(&b, l, bm.back());
+  }
+  Slab y = a;
+  axpy(alpha, b, &y);
+  Slab u = a;
+  axpy_uniform(-1.0, b, &u);
+  Slab s = a;
+  scale(alpha, &s);
+  Slab sym = a;
+  symmetrize(&sym);
+  for (int l = 0; l < kLanes; ++l) {
+    const auto lu = static_cast<std::size_t>(l);
+    Matrix wy = am[lu];
+    wy.axpy(alpha[l], bm[lu]);
+    expect_lane_eq(y, l, wy, kN);
+    Matrix wu = am[lu];
+    wu.axpy(-1.0, bm[lu]);
+    expect_lane_eq(u, l, wu, kN);
+    Matrix ws = am[lu];
+    ws.scale(alpha[l]);
+    expect_lane_eq(s, l, ws, kN);
+    Matrix wsym = am[lu];
+    wsym.symmetrize();
+    expect_lane_eq(sym, l, wsym, kN);
+
+    EXPECT_EQ(bits(lane_dot(a, b, l, static_cast<int>(kN))), bits(dot(am[lu], bm[lu])));
+    EXPECT_EQ(bits(lane_max_abs(a, l, static_cast<int>(kN))), bits(am[lu].max_abs()));
+    // Affine dot == materialize both axpys, then dot.
+    Matrix xa = am[lu];
+    xa.axpy(0.25, bm[lu]);
+    Matrix zb = bm[lu];
+    zb.axpy(-0.5, am[lu]);
+    EXPECT_EQ(bits(lane_dot_affine(a, b, 0.25, b, a, -0.5, l, static_cast<int>(kN))),
+              bits(dot(xa, zb)));
+  }
+}
+
+TEST(BatchKernels, PackUnpackRoundTripsAndZeroFillsPadding) {
+  Rng rng(7);
+  Slab s(10, 10);
+  const Matrix m = random_matrix(6, 6, &rng);
+  pack_lane(&s, 2, m);
+  for (std::size_t r = 0; r < 10; ++r) {
+    for (std::size_t c = 0; c < 10; ++c) {
+      if (r < 6 && c < 6) {
+        EXPECT_EQ(bits(s.at(r, c, 2)), bits(m(r, c)));
+      } else {
+        EXPECT_EQ(bits(s.at(r, c, 2)), bits(0.0));
+      }
+    }
+  }
+  Matrix out(6, 6);
+  unpack_lane(s, 2, &out);
+  for (std::size_t r = 0; r < 6; ++r) {
+    for (std::size_t c = 0; c < 6; ++c) EXPECT_EQ(bits(out(r, c)), bits(m(r, c)));
+  }
+}
+
+}  // namespace
+}  // namespace cpla::la::batch

@@ -10,4 +10,5 @@ void instrument() {
   obs::metrics().counter("la.cholesky.factors").add();
   obs::metrics().counter("sdp.solve.stalls").add();
   obs::metrics().counter("serve.deltas.applied").add();
+  obs::metrics().counter("batch.solve.lanes").add();
 }

@@ -8,9 +8,11 @@ void test_widget() {
   auto f = obs::metrics().counter("la.cholesky.factors").value();
   auto s = obs::metrics().counter("sdp.solve.stalls").value();
   auto d = obs::metrics().counter("serve.deltas.applied").value();
+  auto b = obs::metrics().counter("batch.solve.lanes").value();
   (void)v;
   (void)h;
   (void)f;
   (void)s;
   (void)d;
+  (void)b;
 }

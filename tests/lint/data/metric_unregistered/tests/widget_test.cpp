@@ -4,9 +4,11 @@ void check_counters() {
   auto f = obs::metrics().counter("la.cholesky.factorizations").value();  // renamed
   auto s = obs::metrics().counter("sdp.solve.stalled").value();  // tense drift
   auto d = obs::metrics().counter("serve.deltas.appled").value();  // dropped letter
+  auto b = obs::metrics().counter("batch.solve.lane").value();  // missing trailing s
   (void)v;
   (void)h;
   (void)f;
   (void)s;
   (void)d;
+  (void)b;
 }

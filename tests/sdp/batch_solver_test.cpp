@@ -1,0 +1,283 @@
+#include "src/sdp/batch_solver.hpp"
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdint>
+#include <vector>
+
+#include "src/obs/metrics.hpp"
+#include "src/util/fault_inject.hpp"
+#include "src/util/rng.hpp"
+
+// Golden contract of the batched tier: for every problem, solve_batch
+// returns byte-for-byte the SdpResult that sdp::solve returns — same
+// status, same iteration count, and bit-equal doubles in every iterate
+// entry and diagnostic. These tests compare across batch sizes that
+// exercise partial chunks (1, 2, 7), exact-fill (8 via 33 = 4*8+1), and
+// multiple chunks per size class (33), times partition sizes spanning
+// the blocked-Cholesky panel boundary (dense dims 33, 65, 97 vs kNb=48).
+
+namespace cpla::sdp {
+namespace {
+
+std::uint64_t bits(double v) { return std::bit_cast<std::uint64_t>(v); }
+
+// Same shape as bench/micro_solvers.cpp's lifted partition SDP: moment
+// relaxation of a partition's layer choice with capacity couplings.
+SdpProblem lifted_partition_problem(int vars, int layers, Rng* rng) {
+  const int dense_dim = 1 + vars * layers;
+  const int caps = vars;
+  SdpProblem p({BlockSpec{BlockSpec::Kind::kDense, dense_dim},
+                BlockSpec{BlockSpec::Kind::kDiag, caps}});
+  for (int k = 1; k < dense_dim; ++k) {
+    p.add_objective_entry(0, 0, k, 0.5 * rng->uniform(0.1, 1.0));
+  }
+  for (int k = 1; k + layers < dense_dim; ++k) {
+    p.add_objective_entry(0, k, k + layers, rng->uniform(-0.2, 0.2));
+  }
+  const int c0 = p.add_constraint(1.0);
+  p.add_entry(c0, 0, 0, 0, 1.0);
+  for (int k = 1; k < dense_dim; ++k) {
+    const int c = p.add_constraint(0.0);
+    p.add_entry(c, 0, k, k, 1.0);
+    p.add_entry(c, 0, 0, k, -0.5);
+  }
+  for (int v = 0; v < vars; ++v) {
+    const int c = p.add_constraint(1.0);
+    for (int l = 0; l < layers; ++l) p.add_entry(c, 0, 0, 1 + v * layers + l, 0.5);
+  }
+  for (int r = 0; r < caps; ++r) {
+    const int c = p.add_constraint(rng->uniform(1.0, 2.0));
+    for (int v = 0; v < vars; ++v) {
+      if (!rng->chance(0.4)) continue;
+      const int l = static_cast<int>(rng->uniform_int(0, layers - 1));
+      p.add_entry(c, 0, 0, 1 + v * layers + l, 0.5 * rng->uniform(0.5, 1.0));
+    }
+    p.add_entry(c, 1, r, r, 1.0);
+  }
+  return p;
+}
+
+void expect_matrix_bits_eq(const la::Matrix& a, const la::Matrix& b) {
+  ASSERT_EQ(a.rows(), b.rows());
+  ASSERT_EQ(a.cols(), b.cols());
+  for (std::size_t r = 0; r < a.rows(); ++r) {
+    for (std::size_t c = 0; c < a.cols(); ++c) {
+      ASSERT_EQ(bits(a(r, c)), bits(b(r, c))) << "entry (" << r << "," << c << ")";
+    }
+  }
+}
+
+void expect_block_bits_eq(const BlockMatrix& a, const BlockMatrix& b) {
+  ASSERT_EQ(a.num_blocks(), b.num_blocks());
+  for (std::size_t k = 0; k < a.num_blocks(); ++k) {
+    if (a.is_dense(k)) {
+      expect_matrix_bits_eq(a.dense(k), b.dense(k));
+    } else {
+      ASSERT_EQ(a.diag(k).size(), b.diag(k).size());
+      for (std::size_t i = 0; i < a.diag(k).size(); ++i) {
+        ASSERT_EQ(bits(a.diag(k)[i]), bits(b.diag(k)[i])) << "diag " << i;
+      }
+    }
+  }
+}
+
+void expect_result_bits_eq(const SdpResult& got, const SdpResult& want) {
+  EXPECT_EQ(got.status, want.status);
+  EXPECT_EQ(got.iterations, want.iterations);
+  EXPECT_EQ(bits(got.primal_obj), bits(want.primal_obj));
+  EXPECT_EQ(bits(got.dual_obj), bits(want.dual_obj));
+  EXPECT_EQ(bits(got.rel_gap), bits(want.rel_gap));
+  EXPECT_EQ(bits(got.primal_infeas), bits(want.primal_infeas));
+  EXPECT_EQ(bits(got.dual_infeas), bits(want.dual_infeas));
+  ASSERT_EQ(got.y.size(), want.y.size());
+  for (std::size_t i = 0; i < got.y.size(); ++i) {
+    ASSERT_EQ(bits(got.y[i]), bits(want.y[i])) << "y[" << i << "]";
+  }
+  expect_block_bits_eq(got.x, want.x);
+  expect_block_bits_eq(got.z, want.z);
+}
+
+std::vector<const SdpProblem*> ptrs(const std::vector<SdpProblem>& ps) {
+  std::vector<const SdpProblem*> out;
+  out.reserve(ps.size());
+  for (const auto& p : ps) out.push_back(&p);
+  return out;
+}
+
+class BatchBitIdentity : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(BatchBitIdentity, MatchesScalarSolveBitForBit) {
+  const int batch = std::get<0>(GetParam());
+  const int vars = std::get<1>(GetParam());
+  Rng rng(1234 + static_cast<std::uint64_t>(batch) * 100 + static_cast<std::uint64_t>(vars));
+  std::vector<SdpProblem> problems;
+  problems.reserve(static_cast<std::size_t>(batch));
+  for (int i = 0; i < batch; ++i) problems.push_back(lifted_partition_problem(vars, 4, &rng));
+
+  SdpOptions opt;
+  opt.max_iterations = 60;
+  BatchSolveStats stats;
+  const std::vector<SdpResult> batched = solve_batch(ptrs(problems), opt, {}, &stats);
+  ASSERT_EQ(batched.size(), problems.size());
+  EXPECT_EQ(stats.batched_lanes, batch);
+  EXPECT_EQ(stats.scalar, 0);
+  EXPECT_EQ(stats.aborted, 0);
+
+  for (int i = 0; i < batch; ++i) {
+    SCOPED_TRACE("problem " + std::to_string(i));
+    const SdpResult scalar = solve(problems[static_cast<std::size_t>(i)], opt);
+    EXPECT_EQ(scalar.status, SdpStatus::kOptimal);
+    expect_result_bits_eq(batched[static_cast<std::size_t>(i)], scalar);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SizesAndBatches, BatchBitIdentity,
+    ::testing::Combine(::testing::Values(1, 2, 7, 33), ::testing::Values(8, 16, 24)),
+    [](const auto& param_info) {
+      return "batch" + std::to_string(std::get<0>(param_info.param)) + "_vars" +
+             std::to_string(std::get<1>(param_info.param));
+    });
+
+TEST(BatchSolver, RepeatedRunsAreBitIdentical) {
+  Rng rng(77);
+  std::vector<SdpProblem> problems;
+  for (int i = 0; i < 5; ++i) problems.push_back(lifted_partition_problem(10, 4, &rng));
+  const SdpOptions opt;
+  const auto first = solve_batch(ptrs(problems), opt);
+  const auto second = solve_batch(ptrs(problems), opt);
+  for (std::size_t i = 0; i < problems.size(); ++i) {
+    SCOPED_TRACE("problem " + std::to_string(i));
+    expect_result_bits_eq(second[i], first[i]);
+  }
+}
+
+TEST(BatchSolver, MixedSizeClassesBinIntoSeparateChunks) {
+  Rng rng(42);
+  std::vector<SdpProblem> problems;
+  // Alternate two size classes; each must land in its own chunk.
+  for (int i = 0; i < 6; ++i) {
+    problems.push_back(lifted_partition_problem(i % 2 == 0 ? 6 : 14, 4, &rng));
+  }
+  SdpOptions opt;
+  BatchSolveStats stats;
+  const auto batched = solve_batch(ptrs(problems), opt, {}, &stats);
+  EXPECT_EQ(stats.chunks, 2);
+  EXPECT_EQ(stats.batched_lanes, 6);
+  for (std::size_t i = 0; i < problems.size(); ++i) {
+    SCOPED_TRACE("problem " + std::to_string(i));
+    expect_result_bits_eq(batched[i], solve(problems[i], opt));
+  }
+}
+
+TEST(BatchSolver, IneligibleProblemsFallBackToScalar) {
+  Rng rng(9);
+  std::vector<SdpProblem> problems;
+  problems.push_back(lifted_partition_problem(6, 4, &rng));   // eligible
+  problems.push_back(lifted_partition_problem(6, 4, &rng));   // eligible
+  // Diag-only structure: not batchable.
+  SdpProblem diag_only({BlockSpec{BlockSpec::Kind::kDiag, 3}});
+  const int c = diag_only.add_constraint(3.0);
+  diag_only.add_entry(c, 0, 0, 0, 1.0);
+  diag_only.add_entry(c, 0, 1, 1, 1.0);
+  diag_only.add_entry(c, 0, 2, 2, 1.0);
+  diag_only.add_objective_entry(0, 0, 0, 1.0);
+  diag_only.add_objective_entry(0, 1, 1, 2.0);
+  diag_only.add_objective_entry(0, 2, 2, 3.0);
+  problems.push_back(std::move(diag_only));
+
+  SdpOptions opt;
+  BatchSolveStats stats;
+  const auto batched = solve_batch(ptrs(problems), opt, {}, &stats);
+  EXPECT_EQ(stats.batched_lanes, 2);
+  EXPECT_EQ(stats.scalar, 1);
+  for (std::size_t i = 0; i < problems.size(); ++i) {
+    SCOPED_TRACE("problem " + std::to_string(i));
+    expect_result_bits_eq(batched[i], solve(problems[i], opt));
+  }
+}
+
+TEST(BatchSolver, DeadlineOptionDisablesBatching) {
+  Rng rng(5);
+  const SdpProblem p = lifted_partition_problem(6, 4, &rng);
+  SdpOptions opt;
+  opt.time_limit_ms = 1e9;  // any positive deadline needs scalar pacing
+  EXPECT_FALSE(batch_eligible(p, opt));
+  BatchSolveStats stats;
+  const auto res = solve_batch({&p}, opt, {}, &stats);
+  EXPECT_EQ(stats.scalar, 1);
+  EXPECT_EQ(stats.batched_lanes, 0);
+  EXPECT_EQ(res[0].status, SdpStatus::kOptimal);
+}
+
+TEST(BatchSolver, SizeLimitsRouteOversizedProblemsScalar) {
+  Rng rng(5);
+  const SdpProblem p = lifted_partition_problem(6, 4, &rng);
+  const SdpOptions opt;
+  EXPECT_TRUE(batch_eligible(p, opt));
+  BatchLimits tight;
+  tight.max_dense_dim = 10;
+  EXPECT_FALSE(batch_eligible(p, opt, tight));
+  tight = BatchLimits{};
+  tight.max_constraints = 5;
+  EXPECT_FALSE(batch_eligible(p, opt, tight));
+  tight = BatchLimits{};
+  tight.max_schur_ops = 10;
+  EXPECT_FALSE(batch_eligible(p, opt, tight));
+}
+
+// Batch-infrastructure faults degrade to scalar re-solves with
+// bit-identical results — armed or not, callers cannot tell apart from
+// the answers (only from stats/metrics).
+TEST(BatchSolver, PackFaultDegradesToScalarWithIdenticalResults) {
+  Rng rng(31);
+  std::vector<SdpProblem> problems;
+  for (int i = 0; i < 4; ++i) problems.push_back(lifted_partition_problem(8, 4, &rng));
+  const SdpOptions opt;
+  const auto clean = solve_batch(ptrs(problems), opt);
+
+  FaultInjector::instance().arm("batch.pack", 0);
+  BatchSolveStats stats;
+  const auto faulted = solve_batch(ptrs(problems), opt, {}, &stats);
+  FaultInjector::instance().reset();
+  EXPECT_EQ(stats.aborted, 4);
+  EXPECT_EQ(stats.batched_lanes, 0);
+  for (std::size_t i = 0; i < problems.size(); ++i) {
+    SCOPED_TRACE("problem " + std::to_string(i));
+    expect_result_bits_eq(faulted[i], clean[i]);
+  }
+}
+
+TEST(BatchSolver, MidSolveStepFaultDegradesToScalarWithIdenticalResults) {
+  Rng rng(32);
+  std::vector<SdpProblem> problems;
+  for (int i = 0; i < 4; ++i) problems.push_back(lifted_partition_problem(8, 4, &rng));
+  const SdpOptions opt;
+  const auto clean = solve_batch(ptrs(problems), opt);
+
+  FaultInjector::instance().arm("batch.solve.step", 3);  // abort mid-iteration
+  BatchSolveStats stats;
+  const auto faulted = solve_batch(ptrs(problems), opt, {}, &stats);
+  FaultInjector::instance().reset();
+  EXPECT_EQ(stats.aborted, 4);
+  for (std::size_t i = 0; i < problems.size(); ++i) {
+    SCOPED_TRACE("problem " + std::to_string(i));
+    expect_result_bits_eq(faulted[i], clean[i]);
+  }
+}
+
+TEST(BatchSolver, MirrorsScalarSolveCallMetrics) {
+  Rng rng(55);
+  std::vector<SdpProblem> problems;
+  for (int i = 0; i < 3; ++i) problems.push_back(lifted_partition_problem(6, 4, &rng));
+  const std::int64_t calls0 = obs::metrics().counter("sdp.solve.calls").value();
+  const std::int64_t lanes0 = obs::metrics().counter("batch.solve.lanes").value();
+  solve_batch(ptrs(problems), SdpOptions{});
+  EXPECT_EQ(obs::metrics().counter("sdp.solve.calls").value(), calls0 + 3);
+  EXPECT_EQ(obs::metrics().counter("batch.solve.lanes").value(), lanes0 + 3);
+}
+
+}  // namespace
+}  // namespace cpla::sdp
