@@ -65,8 +65,12 @@ int make_headroom(assign::AssignState* state, const timing::RcTable& rc,
     }
   }
   std::vector<std::pair<int, int>> victims(blocked_by.begin(), blocked_by.end());
-  std::sort(victims.begin(), victims.end(),
-            [](const auto& a, const auto& b) { return a.second > b.second; });
+  // Tie-break on net id: without it the sort inherits the unordered_map's
+  // bucket order and the victim sequence (hence the final assignment) stops
+  // being a pure function of the input.
+  std::sort(victims.begin(), victims.end(), [](const auto& a, const auto& b) {
+    return a.second != b.second ? a.second > b.second : a.first < b.first;
+  });
 
   // 3. Re-assign victims with the wanted slots priced as forbidden. A move
   //    that worsens global wire or via overflow is reverted outright — the

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <exception>
+#include <map>
 #include <optional>
 
 #include "src/core/ilp_engine.hpp"
@@ -113,7 +114,7 @@ CplaResult run_cpla(assign::AssignState* state, const timing::RcTable& rc,
 
   const auto [avg0, max0] = timing_now();
   double best_score = 1.0;
-  std::unordered_map<int, std::vector<int>> best_state;
+  std::map<int, std::vector<int>> best_state;
   for (int net : critical.nets) best_state.emplace(net, state->layers(net));
 
   // One full partition-solve-commit sweep under the given model options;
@@ -264,7 +265,10 @@ CplaResult run_cpla(assign::AssignState* state, const timing::RcTable& rc,
       for (int i = 0; i < count; ++i) {
         const PartitionProblem& p = problems[i];
         if (p.vars.empty()) continue;
-        std::unordered_map<int, std::vector<int>> updates;
+        // Ordered maps throughout the commit path: the guard's before/after
+        // sums accumulate in iteration order, so hash-bucket order would
+        // leak into the rollback decision bits.
+        std::map<int, std::vector<int>> updates;
         bool changed = false;
         for (std::size_t vi = 0; vi < p.vars.size(); ++vi) {
           const VarGroup& var = p.vars[vi];
@@ -281,7 +285,7 @@ CplaResult run_cpla(assign::AssignState* state, const timing::RcTable& rc,
           continue;
         }
 
-        std::unordered_map<int, std::vector<int>> undo;
+        std::map<int, std::vector<int>> undo;
         double before_sum = 0.0, before_max = 0.0;
         for (const auto& [net, layers] : updates) {
           (void)layers;
@@ -335,7 +339,7 @@ CplaResult run_cpla(assign::AssignState* state, const timing::RcTable& rc,
 
     // Snapshot the released nets so a regressing round can be rolled back
     // (the chaotic Gauss-Seidel sweep is not monotone).
-    std::unordered_map<int, std::vector<int>> snapshot;
+    std::map<int, std::vector<int>> snapshot;
     for (int net : critical.nets) snapshot.emplace(net, state->layers(net));
 
     if (!run_round(options.model)) break;

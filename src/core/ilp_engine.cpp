@@ -1,7 +1,7 @@
 #include "src/core/ilp_engine.hpp"
 
 #include <algorithm>
-#include <unordered_map>
+#include <map>
 
 #include "src/util/check.hpp"
 
@@ -70,8 +70,9 @@ EngineResult solve_partition_ilp(const PartitionProblem& p, const assign::Assign
   const int vo = m.add_var(0.0, lp::kInf, p.options.alpha);
   const auto& g = state.design().grid;
   const int nv = state.nv();
-  // Group pairs by junction cell.
-  std::unordered_map<int, std::vector<int>> cell_pairs;
+  // Group pairs by junction cell. Ordered map: the (4d) row order below is
+  // solver-visible (simplex pivot selection), so iterate in cell-id order.
+  std::map<int, std::vector<int>> cell_pairs;
   for (std::size_t pi = 0; pi < p.pairs.size(); ++pi) {
     cell_pairs[g.cell_id(p.pairs[pi].junction.x, p.pairs[pi].junction.y)].push_back(
         static_cast<int>(pi));

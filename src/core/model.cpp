@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdlib>
+#include <map>
 
 #include "src/util/check.hpp"
 
@@ -59,6 +60,7 @@ PartitionProblem build_partition_problem(
   // Global criticality: the worst released net anchors the weighting
   // (Problem 1 minimizes the maximum path timing).
   double global_max = 0.0;
+  // cpla-lint: allow(unordered-iteration) -- max over doubles is order-independent
   for (const auto& [net, t] : timings) {
     (void)net;
     global_max = std::max(global_max, t.max_sink_delay);
@@ -172,7 +174,10 @@ PartitionProblem build_partition_problem(
     std::vector<int> members;
     int self_usage = 0;  // in-partition members currently assigned to this layer
   };
-  std::unordered_map<long long, Bucket> buckets;  // (layer, edge) -> bucket
+  // Ordered map: the cap_rows emission order below is solver-visible (it
+  // feeds the SDP Schur assembly and the ILP row order), so iterate the
+  // buckets in (layer, edge) key order, not hash-bucket order.
+  std::map<long long, Bucket> buckets;  // (layer, edge) -> bucket
   auto ekey = [](int l, int e) { return (static_cast<long long>(l) << 32) | e; };
   for (std::size_t vi = 0; vi < p.vars.size(); ++vi) {
     const VarGroup& var = p.vars[vi];

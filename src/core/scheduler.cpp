@@ -21,7 +21,7 @@ Scheduler::Scheduler(int threads)
 
 Scheduler::~Scheduler() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     shutdown_ = true;
   }
   work_cv_.notify_all();
@@ -37,7 +37,7 @@ void Scheduler::run(TaskGraph* graph) {
   }
 
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     graph_ = graph;
     remaining_ = graph->size();
     // Seed the initially-ready nodes round-robin so every worker starts
@@ -47,8 +47,9 @@ void Scheduler::run(TaskGraph* graph) {
     for (int i = 0; i < graph->size(); ++i) {
       if (graph->nodes_[static_cast<std::size_t>(i)].deps != 0) continue;
       {
-        std::lock_guard<std::mutex> qlock(queues_[static_cast<std::size_t>(w)]->mu);
-        queues_[static_cast<std::size_t>(w)]->tasks.push_back(i);
+        WorkerQueue& wq = *queues_[static_cast<std::size_t>(w)];
+        MutexLock qlock(wq.mu);
+        wq.tasks.push_back(i);
       }
       w = (w + 1) % threads_;
       ++ready;
@@ -59,9 +60,9 @@ void Scheduler::run(TaskGraph* graph) {
   }
   work_cv_.notify_all();
 
-  participate(0);
+  participate(0, graph);
 
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   graph_ = nullptr;
 }
 
@@ -88,31 +89,34 @@ void Scheduler::run_inline(TaskGraph* graph) {
 
 void Scheduler::worker_loop(int worker) {
   long seen = 0;
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   while (true) {
-    work_cv_.wait(lock, [&] { return shutdown_ || generation_ != seen; });
+    while (!shutdown_ && generation_ == seen) work_cv_.wait(mu_);
     if (shutdown_) return;
     seen = generation_;
+    // Snapshot the graph for this generation under mu_; workers never read
+    // the guarded member again until they re-park.
+    TaskGraph* graph = graph_;
     lock.unlock();
-    participate(worker);
+    participate(worker, graph);
     lock.lock();
   }
 }
 
-void Scheduler::participate(int worker) {
+void Scheduler::participate(int worker, TaskGraph* graph) {
   while (true) {
     int node = -1;
     if (try_pop(worker, &node)) {
-      execute(node, worker);
+      execute(graph, node, worker);
       continue;
     }
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (remaining_ == 0) return;
     if (pending_ == 0) {
       // No claimable work right now: park until a finishing node enqueues
       // successors or the run completes. (pending_ only moves under mu_,
       // so the missed-wakeup window is closed.)
-      work_cv_.wait(lock, [&] { return remaining_ == 0 || pending_ > 0 || shutdown_; });
+      while (!(remaining_ == 0 || pending_ > 0 || shutdown_)) work_cv_.wait(mu_);
       if (remaining_ == 0 || shutdown_) return;
     }
   }
@@ -124,35 +128,37 @@ bool Scheduler::try_pop(int worker, int* node) {
   for (int k = 0; k < threads_; ++k) {
     const int q = (worker + k) % threads_;
     WorkerQueue& wq = *queues_[static_cast<std::size_t>(q)];
-    std::unique_lock<std::mutex> qlock(wq.mu);
-    if (wq.tasks.empty()) continue;
-    if (k == 0) {
-      *node = wq.tasks.back();
-      wq.tasks.pop_back();
-    } else {
-      *node = wq.tasks.front();
-      wq.tasks.pop_front();
+    {
+      MutexLock qlock(wq.mu);
+      if (wq.tasks.empty()) continue;
+      if (k == 0) {
+        *node = wq.tasks.back();
+        wq.tasks.pop_back();
+      } else {
+        *node = wq.tasks.front();
+        wq.tasks.pop_front();
+      }
     }
-    qlock.unlock();
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     --pending_;
     return true;
   }
   return false;
 }
 
-void Scheduler::execute(int node, int worker) {
-  TaskGraph::Node& n = graph_->nodes_[static_cast<std::size_t>(node)];
+void Scheduler::execute(TaskGraph* graph, int node, int worker) {
+  TaskGraph::Node& n = graph->nodes_[static_cast<std::size_t>(node)];
   n.fn();
 
   std::vector<int> ready;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   for (int succ : n.out) {
-    if (--graph_->nodes_[static_cast<std::size_t>(succ)].deps == 0) ready.push_back(succ);
+    if (--graph->nodes_[static_cast<std::size_t>(succ)].deps == 0) ready.push_back(succ);
   }
   if (!ready.empty()) {
-    std::lock_guard<std::mutex> qlock(queues_[static_cast<std::size_t>(worker)]->mu);
-    for (int r : ready) queues_[static_cast<std::size_t>(worker)]->tasks.push_back(r);
+    WorkerQueue& wq = *queues_[static_cast<std::size_t>(worker)];
+    MutexLock qlock(wq.mu);
+    for (int r : ready) wq.tasks.push_back(r);
   }
   pending_ += static_cast<int>(ready.size());
   if (--remaining_ == 0) {

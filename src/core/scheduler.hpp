@@ -22,14 +22,15 @@
 // flow's solve contract already guarantees this); a node that does throw
 // terminates via noexcept propagation rather than deadlocking the pool.
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "src/util/mutex.hpp"
+#include "src/util/thread_annotations.hpp"
 
 namespace cpla::core {
 
@@ -80,18 +81,21 @@ class Scheduler {
   /// until the last node has finished. Not reentrant: one run() at a time
   /// per Scheduler (the flow calls it from its single orchestration
   /// thread).
-  void run(TaskGraph* graph);
+  void run(TaskGraph* graph) CPLA_EXCLUDES(mu_);
 
  private:
   struct WorkerQueue {
-    std::mutex mu;
-    std::deque<int> tasks;  // node ids; owner: back, thieves: front
+    Mutex mu;
+    std::deque<int> tasks CPLA_GUARDED_BY(mu);  // node ids; owner: back, thieves: front
   };
 
-  void worker_loop(int worker);
-  void participate(int worker);
-  bool try_pop(int worker, int* node);
-  void execute(int node, int worker);
+  void worker_loop(int worker) CPLA_EXCLUDES(mu_);
+  // Workers receive the graph as a parameter (read from graph_ under mu_
+  // when a generation starts) instead of touching the guarded member from
+  // execute() — that unlocked read was benign by protocol but unprovable.
+  void participate(int worker, TaskGraph* graph) CPLA_EXCLUDES(mu_);
+  bool try_pop(int worker, int* node) CPLA_EXCLUDES(mu_);
+  void execute(TaskGraph* graph, int node, int worker) CPLA_EXCLUDES(mu_);
   void run_inline(TaskGraph* graph);
 
   const int threads_;
@@ -102,13 +106,13 @@ class Scheduler {
   // wakes the pool; workers drain until `remaining_` hits zero, then park
   // waiting for the next generation. All shared counters sit behind mu_
   // (the per-queue mutexes only guard their deques).
-  std::mutex mu_;
-  std::condition_variable work_cv_;  // new generation, new tasks, or run done
-  TaskGraph* graph_ = nullptr;
-  long generation_ = 0;
-  int remaining_ = 0;  // nodes not yet finished in the current run
-  int pending_ = 0;    // nodes queued but not yet claimed by a worker
-  bool shutdown_ = false;
+  Mutex mu_;
+  CondVar work_cv_;  // new generation, new tasks, or run done
+  TaskGraph* graph_ CPLA_GUARDED_BY(mu_) = nullptr;
+  long generation_ CPLA_GUARDED_BY(mu_) = 0;
+  int remaining_ CPLA_GUARDED_BY(mu_) = 0;  // nodes not yet finished in the current run
+  int pending_ CPLA_GUARDED_BY(mu_) = 0;    // nodes queued but not yet claimed by a worker
+  bool shutdown_ CPLA_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace cpla::core

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <map>
 #include <unordered_map>
 
 #include "src/assign/net_dp.hpp"
@@ -99,8 +100,10 @@ EngineResult solve_partition_net_dp(const PartitionProblem& p,
   if (p.vars.empty()) return result;
 
   // Vars and pairs grouped per net (pairs always couple segments of one
-  // net — they are tree edges).
-  std::unordered_map<int, std::vector<int>> net_vars;
+  // net — they are tree edges). Ordered map: per-net DP results are
+  // disjoint, but solving in net-id order keeps the fallback's fault/log
+  // sequence deterministic.
+  std::map<int, std::vector<int>> net_vars;
   for (std::size_t i = 0; i < p.vars.size(); ++i) net_vars[p.vars[i].net].push_back(static_cast<int>(i));
   std::unordered_map<long long, int> pair_of;  // (parent var, child var) -> pair index
   for (std::size_t q = 0; q < p.pairs.size(); ++q) {

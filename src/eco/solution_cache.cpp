@@ -31,7 +31,7 @@ bool PartitionSolutionCache::lookup(const CacheKey& key, core::GuardedSolve* out
     obs::metrics().counter("eco.cache.lookup_failures").add();
     return false;
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = map_.find(key);
   if (it == map_.end()) {
     misses_.fetch_add(1, std::memory_order_relaxed);
@@ -46,7 +46,7 @@ bool PartitionSolutionCache::lookup(const CacheKey& key, core::GuardedSolve* out
 }
 
 void PartitionSolutionCache::insert(const CacheKey& key, const core::GuardedSolve& solve) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = map_.find(key);
   if (it != map_.end()) {
     lru_.splice(lru_.begin(), lru_, it->second);
@@ -67,14 +67,14 @@ void PartitionSolutionCache::insert(const CacheKey& key, const core::GuardedSolv
 }
 
 void PartitionSolutionCache::clear() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   lru_.clear();
   map_.clear();
   obs::metrics().gauge("eco.cache.entries").set(0.0);
 }
 
 std::size_t PartitionSolutionCache::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return map_.size();
 }
 

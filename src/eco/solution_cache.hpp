@@ -21,12 +21,13 @@
 #include <atomic>
 #include <cstdint>
 #include <list>
-#include <mutex>
 #include <unordered_map>
 #include <utility>
 #include <vector>
 
 #include "src/core/solve_guard.hpp"
+#include "src/util/mutex.hpp"
+#include "src/util/thread_annotations.hpp"
 
 namespace cpla::eco {
 
@@ -76,9 +77,9 @@ class PartitionSolutionCache {
   using LruList = std::list<std::pair<CacheKey, core::GuardedSolve>>;
 
   const std::size_t capacity_;
-  mutable std::mutex mu_;
-  LruList lru_;  // front = most recently used
-  std::unordered_map<CacheKey, LruList::iterator, CacheKeyHash> map_;
+  mutable Mutex mu_;
+  LruList lru_ CPLA_GUARDED_BY(mu_);  // front = most recently used
+  std::unordered_map<CacheKey, LruList::iterator, CacheKeyHash> map_ CPLA_GUARDED_BY(mu_);
   std::atomic<bool> poisoned_{false};
   std::atomic<long> hits_{0};
   std::atomic<long> misses_{0};

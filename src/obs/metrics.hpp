@@ -23,10 +23,11 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 
+#include "src/util/mutex.hpp"
+#include "src/util/thread_annotations.hpp"
 #include "src/util/timer.hpp"
 
 namespace cpla::obs {
@@ -108,10 +109,12 @@ class MetricsRegistry {
   std::string to_json() const;
 
  private:
-  mutable std::mutex mu_;
-  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
-  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+  mutable Mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_
+      CPLA_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_ CPLA_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_
+      CPLA_GUARDED_BY(mu_);
 };
 
 /// The process-global registry every subsystem reports into.

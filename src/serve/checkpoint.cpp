@@ -11,6 +11,7 @@
 
 #include "src/serve/codec.hpp"
 #include "src/util/fault_inject.hpp"
+#include "src/util/str.hpp"
 
 namespace cpla::serve {
 
@@ -45,7 +46,7 @@ Status write_checkpoint(const std::string& path, const Checkpoint& ckpt) {
     const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
     if (fd < 0) {
       return Status(StatusCode::kInternal,
-                    "serve: cannot open checkpoint tmp " + tmp + ": " + std::strerror(errno));
+                    "serve: cannot open checkpoint tmp " + tmp + ": " + errno_str(errno));
     }
     const std::string& bytes = file.data();
     std::size_t off = 0;
@@ -54,7 +55,7 @@ Status write_checkpoint(const std::string& path, const Checkpoint& ckpt) {
       if (n < 0) {
         if (errno == EINTR) continue;
         const Status st(StatusCode::kInternal,
-                        std::string("serve: checkpoint write failed: ") + std::strerror(errno));
+                        std::string("serve: checkpoint write failed: ") + errno_str(errno));
         ::close(fd);
         return st;
       }
@@ -62,7 +63,7 @@ Status write_checkpoint(const std::string& path, const Checkpoint& ckpt) {
     }
     if (::fsync(fd) != 0) {
       const Status st(StatusCode::kInternal,
-                      std::string("serve: checkpoint fsync failed: ") + std::strerror(errno));
+                      std::string("serve: checkpoint fsync failed: ") + errno_str(errno));
       ::close(fd);
       return st;
     }
@@ -70,7 +71,7 @@ Status write_checkpoint(const std::string& path, const Checkpoint& ckpt) {
   }
   if (std::rename(tmp.c_str(), path.c_str()) != 0) {
     return Status(StatusCode::kInternal,
-                  "serve: cannot rename checkpoint into place: " + std::string(std::strerror(errno)));
+                  "serve: cannot rename checkpoint into place: " + errno_str(errno));
   }
   return Status::ok();
 }

@@ -10,6 +10,7 @@
 
 #include "src/serve/codec.hpp"
 #include "src/util/fault_inject.hpp"
+#include "src/util/str.hpp"
 #include "src/util/logging.hpp"
 
 namespace cpla::serve {
@@ -27,7 +28,7 @@ Status write_all(int fd, const char* data, std::size_t size) {
     if (n < 0) {
       if (errno == EINTR) continue;
       return Status(StatusCode::kInternal,
-                    std::string("serve: journal write failed: ") + std::strerror(errno));
+                    std::string("serve: journal write failed: ") + errno_str(errno));
     }
     off += static_cast<std::size_t>(n);
   }
@@ -71,7 +72,7 @@ Status Journal::open(const std::string& path) {
   fd_ = ::open(path.c_str(), O_WRONLY | O_APPEND | O_CREAT | O_CLOEXEC, 0644);
   if (fd_ < 0) {
     return Status(StatusCode::kInternal,
-                  "serve: cannot open journal " + path + ": " + std::strerror(errno));
+                  "serve: cannot open journal " + path + ": " + errno_str(errno));
   }
   return Status::ok();
 }
@@ -102,7 +103,7 @@ Status Journal::sync() {
   }
   if (::fsync(fd_) != 0) {
     return Status(StatusCode::kInternal,
-                  std::string("serve: journal fsync failed: ") + std::strerror(errno));
+                  std::string("serve: journal fsync failed: ") + errno_str(errno));
   }
   return Status::ok();
 }
@@ -152,7 +153,7 @@ Status Journal::repair(const std::string& path) {
            static_cast<unsigned long long>(scanned.value().valid_bytes));
   if (::truncate(path.c_str(), static_cast<off_t>(scanned.value().valid_bytes)) != 0) {
     return Status(StatusCode::kInternal,
-                  "serve: cannot truncate journal " + path + ": " + std::strerror(errno));
+                  "serve: cannot truncate journal " + path + ": " + errno_str(errno));
   }
   return Status::ok();
 }

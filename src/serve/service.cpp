@@ -107,7 +107,7 @@ Status EcoService::start() {
   publish_snapshot(hash_state(*state_, session_->critical()));
 
   {
-    std::lock_guard<std::mutex> lk(queue_mu_);
+    MutexLock lk(queue_mu_);
     stop_requested_ = false;
   }
   running_.store(true, std::memory_order_release);
@@ -118,7 +118,7 @@ Status EcoService::start() {
 void EcoService::stop() {
   running_.store(false, std::memory_order_release);  // reject new work first
   {
-    std::lock_guard<std::mutex> lk(queue_mu_);
+    MutexLock lk(queue_mu_);
     stop_requested_ = true;
     paused_ = false;
   }
@@ -238,7 +238,7 @@ Status EcoService::recover() {
 
 Result<int> EcoService::open_session() {
   CPLA_CHECK(running(), Status(StatusCode::kUnavailable, "serve: not running"));
-  std::lock_guard<std::mutex> lk(queue_mu_);
+  MutexLock lk(queue_mu_);
   CPLA_CHECK(static_cast<int>(sessions_.size()) < options_.max_sessions,
              Status(StatusCode::kUnavailable, "serve: session limit reached"));
   const int id = next_session_++;
@@ -249,7 +249,7 @@ Result<int> EcoService::open_session() {
 }
 
 void EcoService::close_session(int session) {
-  std::lock_guard<std::mutex> lk(queue_mu_);
+  MutexLock lk(queue_mu_);
   if (sessions_.erase(session) > 0) {
     obs::metrics().counter("serve.sessions.closed").add();
     obs::metrics().gauge("serve.sessions.active").set(static_cast<double>(sessions_.size()));
@@ -277,7 +277,7 @@ Result<std::uint64_t> EcoService::enqueue_edit(int session, Cmd cmd) {
              Status(StatusCode::kUnavailable, "serve: read-only after a journal failure"));
   std::uint64_t seq = 0;
   {
-    std::lock_guard<std::mutex> lk(queue_mu_);
+    MutexLock lk(queue_mu_);
     auto it = sessions_.find(session);
     CPLA_CHECK(it != sessions_.end(),
                Status(StatusCode::kBadInput, "serve: unknown session"));
@@ -316,7 +316,7 @@ ResolveOutcome EcoService::resolve(int session, double deadline_ms) {
   }
   auto waiter = std::make_shared<Waiter>();
   {
-    std::lock_guard<std::mutex> lk(queue_mu_);
+    MutexLock lk(queue_mu_);
     if (sessions_.find(session) == sessions_.end()) {
       out.status = Status(StatusCode::kBadInput, "serve: unknown session");
       return out;
@@ -332,8 +332,8 @@ ResolveOutcome EcoService::resolve(int session, double deadline_ms) {
   obs::metrics().counter("serve.resolve.requests").add();
   queue_cv_.notify_one();
   obs::ScopedPhase wait_phase("serve.resolve.wait");
-  std::unique_lock<std::mutex> lk(waiter->mu);
-  waiter->cv.wait(lk, [&] { return waiter->done; });
+  MutexLock lk(waiter->mu);
+  while (!waiter->done) waiter->cv.wait(waiter->mu);
   return waiter->outcome;
 }
 
@@ -341,7 +341,7 @@ Status EcoService::sync(int session) {
   CPLA_CHECK(running(), Status(StatusCode::kUnavailable, "serve: not running"));
   auto waiter = std::make_shared<Waiter>();
   {
-    std::lock_guard<std::mutex> lk(queue_mu_);
+    MutexLock lk(queue_mu_);
     CPLA_CHECK(sessions_.find(session) != sessions_.end(),
                Status(StatusCode::kBadInput, "serve: unknown session"));
     Cmd cmd;
@@ -352,13 +352,13 @@ Status EcoService::sync(int session) {
     queue_.push_back(std::move(cmd));
   }
   queue_cv_.notify_one();
-  std::unique_lock<std::mutex> lk(waiter->mu);
-  waiter->cv.wait(lk, [&] { return waiter->done; });
+  MutexLock lk(waiter->mu);
+  while (!waiter->done) waiter->cv.wait(waiter->mu);
   return waiter->outcome.status;
 }
 
 std::shared_ptr<const StateSnapshot> EcoService::snapshot() const {
-  std::lock_guard<std::mutex> lk(snapshot_mu_);
+  MutexLock lk(snapshot_mu_);
   return snapshot_;
 }
 
@@ -373,10 +373,10 @@ ServeStats EcoService::stats() const {
   s.cancelled = cancelled_.load(std::memory_order_relaxed);
   s.checkpoints = checkpoints_.load(std::memory_order_relaxed);
   s.read_only = read_only();
-  std::lock_guard<std::mutex> lk(queue_mu_);
+  MutexLock lk(queue_mu_);
   s.sessions = static_cast<int>(sessions_.size());
   s.per_session = sessions_;
-  std::lock_guard<std::mutex> sk(snapshot_mu_);
+  MutexLock sk(snapshot_mu_);
   if (snapshot_) s.resolves = snapshot_->resolves;
   s.journal_records = record_count_.load(std::memory_order_relaxed);
   return s;
@@ -389,7 +389,7 @@ eco::EcoSession& EcoService::engine() {
 
 void EcoService::pause_worker(bool paused) {
   {
-    std::lock_guard<std::mutex> lk(queue_mu_);
+    MutexLock lk(queue_mu_);
     paused_ = paused;
   }
   queue_cv_.notify_all();
@@ -397,7 +397,7 @@ void EcoService::pause_worker(bool paused) {
 
 void EcoService::fulfill(const std::shared_ptr<Waiter>& waiter, ResolveOutcome outcome) {
   if (!waiter) return;
-  std::lock_guard<std::mutex> lk(waiter->mu);
+  MutexLock lk(waiter->mu);
   if (waiter->done) return;
   waiter->outcome = std::move(outcome);
   waiter->done = true;
@@ -425,8 +425,8 @@ void EcoService::worker_loop() {
   while (true) {
     std::vector<Cmd> batch;
     {
-      std::unique_lock<std::mutex> lk(queue_mu_);
-      queue_cv_.wait(lk, [&] { return stop_requested_ || (!paused_ && !queue_.empty()); });
+      MutexLock lk(queue_mu_);
+      while (!(stop_requested_ || (!paused_ && !queue_.empty()))) queue_cv_.wait(queue_mu_);
       if (queue_.empty() && stop_requested_) break;
       if (paused_ && !stop_requested_) continue;
       batch.swap(queue_);
@@ -557,7 +557,7 @@ void EcoService::process_batch(std::vector<Cmd> batch) {
       // fresher state (new resolve requests join this batch's waiters).
       std::vector<Cmd> more;
       {
-        std::lock_guard<std::mutex> lk(queue_mu_);
+        MutexLock lk(queue_mu_);
         more.swap(queue_);
         queued_edits_ = 0;
         obs::metrics().gauge("serve.queue.depth").set(0.0);
@@ -599,7 +599,7 @@ void EcoService::process_batch(std::vector<Cmd> batch) {
     reply.seq = applied_seq_;
     reply.hash = hash;
     {
-      std::lock_guard<std::mutex> lk(snapshot_mu_);
+      MutexLock lk(snapshot_mu_);
       reply.metrics = snapshot_->metrics;
     }
     for (Cmd& c : resolves) fulfill(c.waiter, reply);
@@ -740,7 +740,7 @@ void EcoService::publish_snapshot(std::uint64_t state_hash) {
 
   std::shared_ptr<const StateSnapshot> prev;
   {
-    std::lock_guard<std::mutex> lk(snapshot_mu_);
+    MutexLock lk(snapshot_mu_);
     prev = snapshot_;
   }
   next->layers.resize(static_cast<std::size_t>(state_->num_nets()));
@@ -753,7 +753,7 @@ void EcoService::publish_snapshot(std::uint64_t state_hash) {
       next->layers[idx] = std::make_shared<const std::vector<int>>(state_->layers(net));
     }
   }
-  std::lock_guard<std::mutex> lk(snapshot_mu_);
+  MutexLock lk(snapshot_mu_);
   snapshot_ = std::move(next);
 }
 

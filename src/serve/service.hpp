@@ -31,14 +31,15 @@
 //     aborted (replay skips it), and re-run on the fresher state.
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
+
+#include "src/util/mutex.hpp"
+#include "src/util/thread_annotations.hpp"
 
 #include "src/core/flow.hpp"
 #include "src/eco/eco_session.hpp"
@@ -164,10 +165,10 @@ class EcoService {
  private:
   enum class CmdKind { kDelta, kResolve, kSync };
   struct Waiter {
-    std::mutex mu;
-    std::condition_variable cv;
-    bool done = false;
-    ResolveOutcome outcome;
+    Mutex mu;
+    CondVar cv;
+    bool done CPLA_GUARDED_BY(mu) = false;
+    ResolveOutcome outcome CPLA_GUARDED_BY(mu);
   };
   struct Cmd {
     CmdKind kind = CmdKind::kDelta;
@@ -208,15 +209,16 @@ class EcoService {
   std::uint64_t applied_seq_ = 0;    // last delta seq folded into the state
   std::uint64_t resolves_total_ = 0;
 
-  mutable std::mutex queue_mu_;
-  std::condition_variable queue_cv_;
-  std::vector<Cmd> queue_;
-  std::size_t queued_edits_ = 0;
-  std::uint64_t last_seq_ = 0;  // last seq handed to a submit
-  bool stop_requested_ = false;
-  bool paused_ = false;
-  int next_session_ = 0;
-  std::map<int, SessionStats> sessions_;
+  mutable Mutex queue_mu_;
+  CondVar queue_cv_;
+  std::vector<Cmd> queue_ CPLA_GUARDED_BY(queue_mu_);
+  std::size_t queued_edits_ CPLA_GUARDED_BY(queue_mu_) = 0;
+  // last seq handed to a submit
+  std::uint64_t last_seq_ CPLA_GUARDED_BY(queue_mu_) = 0;
+  bool stop_requested_ CPLA_GUARDED_BY(queue_mu_) = false;
+  bool paused_ CPLA_GUARDED_BY(queue_mu_) = false;
+  int next_session_ CPLA_GUARDED_BY(queue_mu_) = 0;
+  std::map<int, SessionStats> sessions_ CPLA_GUARDED_BY(queue_mu_);
 
   std::thread worker_;
   std::atomic<bool> running_{false};
@@ -225,8 +227,8 @@ class EcoService {
   std::atomic<bool> cancel_{false};
   std::atomic<int> edits_behind_{0};
 
-  mutable std::mutex snapshot_mu_;
-  std::shared_ptr<const StateSnapshot> snapshot_;
+  mutable Mutex snapshot_mu_;
+  std::shared_ptr<const StateSnapshot> snapshot_ CPLA_GUARDED_BY(snapshot_mu_);
 
   // Aggregate counters (mirrored into cpla::obs under serve.*).
   std::atomic<std::uint64_t> submitted_{0}, applied_{0}, rejected_{0}, coalesced_{0},

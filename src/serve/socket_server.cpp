@@ -140,7 +140,7 @@ Status SocketServer::start() {
       ::listen(fd, 64) != 0) {
     const Status st(StatusCode::kInternal,
                     str_format("serve: cannot listen on %s: %s", path_.c_str(),
-                               std::strerror(errno)));
+                               errno_str(errno).c_str()));
     ::close(fd);
     return st;
   }
@@ -162,7 +162,7 @@ void SocketServer::stop() {
   }
   std::vector<std::shared_ptr<Conn>> conns;
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    MutexLock lk(mu_);
     conns = conns_;
     for (const auto& conn : conns) {
       if (conn->fd >= 0) ::shutdown(conn->fd, SHUT_RDWR);
@@ -171,7 +171,7 @@ void SocketServer::stop() {
   for (const auto& conn : conns) {
     if (conn->thread.joinable()) conn->thread.join();
   }
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   conns_.clear();
 }
 
@@ -184,15 +184,20 @@ void SocketServer::accept_loop() {
     }
     obs::metrics().counter("serve.socket.connections").add();
     auto conn = std::make_shared<Conn>();
+    MutexLock lk(mu_);
     conn->fd = fd;
-    std::lock_guard<std::mutex> lk(mu_);
     conns_.push_back(conn);
     conn->thread = std::thread([this, conn] { serve_connection(conn.get()); });
   }
 }
 
 void SocketServer::serve_connection(Conn* conn) {
-  const int fd = conn->fd;
+  int fd = -1;
+  {
+    // fd is published under mu_ by the acceptor before this thread starts.
+    MutexLock lk(mu_);
+    fd = conn->fd;
+  }
   const Result<int> session = service_->open_session();
   if (!session.is_ok()) {
     send_all(fd, fail_reply(session.status()) + "\n");
@@ -224,7 +229,7 @@ void SocketServer::serve_connection(Conn* conn) {
     service_->close_session(session.value());
   }
   // close under mu_ so stop() never shutdown()s a recycled descriptor
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   ::close(fd);
   conn->fd = -1;
 }

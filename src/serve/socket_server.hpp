@@ -13,14 +13,15 @@
 
 #include <atomic>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <thread>
 #include <vector>
 
 #include "src/serve/service.hpp"
+#include "src/util/mutex.hpp"
 #include "src/util/status.hpp"
+#include "src/util/thread_annotations.hpp"
 
 namespace cpla::serve {
 
@@ -52,21 +53,27 @@ class SocketServer {
   const std::string& path() const { return path_; }
 
  private:
+  // Conn::fd moves under mu_ (set at accept, read at connection-thread
+  // entry, -1'd at close) so stop() never shutdown()s a recycled
+  // descriptor; TSA cannot name the enclosing server's mu_ from a nested
+  // struct, so the discipline is documented here and the accesses take
+  // MutexLock(mu_) by hand. `thread` is written once under mu_ at accept
+  // and joined by stop() strictly after the acceptor has quit.
   struct Conn {
     int fd = -1;
     std::thread thread;
   };
 
   void accept_loop();
-  void serve_connection(Conn* conn);
+  void serve_connection(Conn* conn) CPLA_EXCLUDES(mu_);
 
   EcoService* service_;
   std::string path_;
   int listen_fd_ = -1;
   std::thread acceptor_;
   std::atomic<bool> stopping_{false};
-  std::mutex mu_;
-  std::vector<std::shared_ptr<Conn>> conns_;
+  Mutex mu_;
+  std::vector<std::shared_ptr<Conn>> conns_ CPLA_GUARDED_BY(mu_);
 };
 
 }  // namespace cpla::serve

@@ -8,38 +8,38 @@ FaultInjector& FaultInjector::instance() {
 }
 
 void FaultInjector::arm(const std::string& site, long first, long count) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   sites_[site] = Site{0, first, count, false};
   active_.store(true, std::memory_order_release);
 }
 
 void FaultInjector::arm_always(const std::string& site) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   sites_[site] = Site{0, 0, 0, true};
   active_.store(true, std::memory_order_release);
 }
 
 void FaultInjector::disarm(const std::string& site) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   sites_.erase(site);
   if (sites_.empty()) active_.store(false, std::memory_order_release);
 }
 
 void FaultInjector::reset() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   sites_.clear();
   active_.store(false, std::memory_order_release);
 }
 
 long FaultInjector::hits(const std::string& site) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   auto it = sites_.find(site);
   return it == sites_.end() ? 0 : it->second.hits;
 }
 
 bool FaultInjector::should_fail(const char* site) {
   if (!active_.load(std::memory_order_acquire)) return false;
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   auto it = sites_.find(site);
   if (it == sites_.end()) return false;
   const long occurrence = it->second.hits++;

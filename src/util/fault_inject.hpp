@@ -9,9 +9,11 @@
 // production builds and the tested binary is the shipped binary.
 
 #include <atomic>
-#include <mutex>
 #include <string>
 #include <unordered_map>
+
+#include "src/util/mutex.hpp"
+#include "src/util/thread_annotations.hpp"
 
 namespace cpla {
 
@@ -48,8 +50,8 @@ class FaultInjector {
   };
 
   std::atomic<bool> active_{false};
-  std::mutex mutex_;
-  std::unordered_map<std::string, Site> sites_;
+  Mutex mutex_;
+  std::unordered_map<std::string, Site> sites_ CPLA_GUARDED_BY(mutex_);
 };
 
 }  // namespace cpla

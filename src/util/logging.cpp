@@ -3,13 +3,16 @@
 #include <atomic>
 #include <chrono>
 #include <cstdio>
-#include <mutex>
+
+#include "src/util/mutex.hpp"
 
 namespace cpla {
 namespace {
 
 std::atomic<int> g_level{static_cast<int>(LogLevel::kInfo)};
-std::mutex g_mutex;
+// Serializes the fprintf sequence so concurrent log lines never interleave;
+// guards the stderr stream, not any in-process state.
+Mutex g_mutex;
 
 const char* tag(LogLevel level) {
   switch (level) {
@@ -35,7 +38,7 @@ LogLevel log_level() { return static_cast<LogLevel>(g_level.load()); }
 
 void log_msg(LogLevel level, const char* fmt, ...) {
   if (static_cast<int>(level) < g_level.load()) return;
-  std::lock_guard<std::mutex> lock(g_mutex);
+  MutexLock lock(g_mutex);
   std::fprintf(stderr, "[%s %8.2fs] ", tag(level), elapsed_seconds());
   va_list args;
   va_start(args, fmt);

@@ -1,0 +1,16 @@
+#include "src/util/mutex.hpp"
+
+namespace cpla {
+
+// Out of line so the adopt/release dance against the underlying std::mutex
+// stays in one TU; the analysis sees only the CPLA_REQUIRES contract on the
+// declaration. std::condition_variable needs a std::unique_lock, so adopt
+// the already-held mutex and release the unique_lock before it destructs —
+// the caller's MutexLock keeps ownership throughout.
+void CondVar::wait(Mutex& mu) {
+  std::unique_lock<std::mutex> ul(mu.mu_, std::adopt_lock);
+  cv_.wait(ul);
+  ul.release();
+}
+
+}  // namespace cpla

@@ -1,0 +1,89 @@
+#pragma once
+
+// Capability-annotated synchronization primitives. std::mutex carries no
+// Clang Thread Safety attributes, so code locking one is invisible to
+// -Wthread-safety; these thin wrappers make the lock discipline provable at
+// compile time (see src/util/thread_annotations.hpp for the policy). Every
+// mutex member in src/ must be a cpla::Mutex — tools/cpla_lint.py
+// (mutex-guard-coverage) rejects raw std::mutex / std::condition_variable
+// members outside this header.
+//
+// The wrappers add no state and every lock operation inlines to the
+// std::mutex call, so they are free at runtime.
+
+#include <condition_variable>
+#include <mutex>
+
+#include "src/util/thread_annotations.hpp"
+
+namespace cpla {
+
+class CondVar;
+
+/// Annotated std::mutex. Prefer MutexLock for scoped acquisition; the raw
+/// lock()/unlock() exist for the RAII types and for adopting patterns.
+class CPLA_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() CPLA_ACQUIRE() { mu_.lock(); }
+  void unlock() CPLA_RELEASE() { mu_.unlock(); }
+  bool try_lock() CPLA_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  friend class CondVar;
+  std::mutex mu_;
+};
+
+/// Scoped lock (the clang-docs MutexLocker pattern). Constructor acquires,
+/// destructor releases; the manual unlock()/lock() pair supports dropping
+/// the lock around a blocking call without leaving the scope.
+class CPLA_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) CPLA_ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  ~MutexLock() CPLA_RELEASE() {
+    if (held_) mu_.unlock();
+  }
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+  void unlock() CPLA_RELEASE() {
+    mu_.unlock();
+    held_ = false;
+  }
+  void lock() CPLA_ACQUIRE() {
+    mu_.lock();
+    held_ = true;
+  }
+
+ private:
+  Mutex& mu_;
+  bool held_ = true;
+};
+
+/// Condition variable bound to cpla::Mutex. wait() names the mutex instead
+/// of a lock object so the CPLA_REQUIRES contract is visible to the
+/// analysis; write wait loops explicitly at the call site
+/// (`while (!ready_) cv_.wait(mu_);`) rather than passing a predicate
+/// lambda — lambda bodies are analyzed without the caller's lock set and
+/// would trip guarded_by on every field they touch.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Atomically releases `mu`, blocks, and reacquires `mu` before
+  /// returning. Caller must hold `mu` (enforced at compile time).
+  void wait(Mutex& mu) CPLA_REQUIRES(mu);
+
+  void notify_one() { cv_.notify_one(); }
+  void notify_all() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace cpla

@@ -1,9 +1,25 @@
 #include "src/util/str.hpp"
 
+#include <string.h>  // strerror_r (both the XSI and GNU signature live here)
+
 #include <cstdarg>
 #include <cstdio>
 
 namespace cpla {
+
+namespace {
+
+// strerror_r has two incompatible signatures (XSI returns int, GNU returns
+// char*); overload resolution on the actual return type picks the right
+// adapter without any feature-test-macro guessing.
+inline std::string strerror_result(int rc, const char* buf) {
+  return rc == 0 ? std::string(buf) : std::string("unknown error");
+}
+inline std::string strerror_result(const char* msg, const char* /*buf*/) {
+  return msg != nullptr ? std::string(msg) : std::string("unknown error");
+}
+
+}  // namespace
 
 std::vector<std::string> split_ws(std::string_view text, std::string_view delims) {
   std::vector<std::string> out;
@@ -43,6 +59,11 @@ std::string str_format(const char* fmt, ...) {
   if (n > 0) std::vsnprintf(out.data(), out.size() + 1, fmt, args);
   va_end(args);
   return out;
+}
+
+std::string errno_str(int err) {
+  char buf[256] = {};
+  return strerror_result(strerror_r(err, buf, sizeof(buf)), buf);
 }
 
 }  // namespace cpla

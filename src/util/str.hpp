@@ -18,4 +18,9 @@ bool starts_with(std::string_view text, std::string_view prefix);
 /// printf-style std::string formatting.
 std::string str_format(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
 
+/// Thread-safe strerror: renders `err` (an errno value) via strerror_r into
+/// an owned string. std::strerror returns a shared static buffer and is
+/// flagged by clang-tidy concurrency-mt-unsafe; use this everywhere.
+std::string errno_str(int err);
+
 }  // namespace cpla

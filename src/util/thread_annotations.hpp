@@ -1,0 +1,82 @@
+#pragma once
+
+// Clang Thread Safety Analysis attribute wrappers. Annotating a mutex-owning
+// class with these macros turns its lock discipline into a compile-time
+// contract: the clang build (and the `thread-safety` CI job) promotes
+// -Wthread-safety -Wthread-safety-beta to errors, so an unguarded access to
+// a CPLA_GUARDED_BY field, a forgotten unlock, or a call that violates a
+// CPLA_REQUIRES precondition fails the build instead of waiting for TSan to
+// catch the interleaving at runtime. GCC and other compilers expand every
+// macro to nothing, so annotated headers stay portable.
+//
+// Policy (DESIGN.md § Compile-time contracts): every mutex member in src/
+// must be a cpla::Mutex (src/util/mutex.hpp) — std::mutex itself carries no
+// capability attribute, so the analysis cannot see it. Every field a mutex
+// guards gets CPLA_GUARDED_BY(mu_). CPLA_NO_THREAD_SAFETY_ANALYSIS is
+// function-level only and must carry a written rationale at the use site;
+// blanket suppressions are banned (enforced by tools/cpla_lint.py,
+// mutex-guard-coverage).
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(capability)
+#define CPLA_THREAD_ANNOTATION(x) __attribute__((x))
+#endif
+#endif
+#ifndef CPLA_THREAD_ANNOTATION
+#define CPLA_THREAD_ANNOTATION(x)  // not clang (or too old): annotations vanish
+#endif
+
+// --- type attributes -------------------------------------------------------
+
+// Marks a class as a lockable capability ("mutex" names the capability kind
+// in diagnostics).
+#define CPLA_CAPABILITY(x) CPLA_THREAD_ANNOTATION(capability(x))
+
+// Marks an RAII class whose constructor acquires and destructor releases a
+// capability (e.g. cpla::MutexLock).
+#define CPLA_SCOPED_CAPABILITY CPLA_THREAD_ANNOTATION(scoped_lockable)
+
+// --- data-member attributes ------------------------------------------------
+
+// Field may only be read/written while holding `x`.
+#define CPLA_GUARDED_BY(x) CPLA_THREAD_ANNOTATION(guarded_by(x))
+
+// Pointer field: the *pointee* may only be accessed while holding `x`.
+#define CPLA_PT_GUARDED_BY(x) CPLA_THREAD_ANNOTATION(pt_guarded_by(x))
+
+// Lock-ordering declarations (deadlock prevention, checked under -beta).
+#define CPLA_ACQUIRED_BEFORE(...) CPLA_THREAD_ANNOTATION(acquired_before(__VA_ARGS__))
+#define CPLA_ACQUIRED_AFTER(...) CPLA_THREAD_ANNOTATION(acquired_after(__VA_ARGS__))
+
+// --- function attributes ---------------------------------------------------
+
+// Caller must hold the capability (exclusively / shared) on entry; the
+// function neither acquires nor releases it.
+#define CPLA_REQUIRES(...) CPLA_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+#define CPLA_REQUIRES_SHARED(...) \
+  CPLA_THREAD_ANNOTATION(requires_shared_capability(__VA_ARGS__))
+
+// Function acquires/releases the capability and holds/releases it on exit.
+#define CPLA_ACQUIRE(...) CPLA_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define CPLA_ACQUIRE_SHARED(...) \
+  CPLA_THREAD_ANNOTATION(acquire_shared_capability(__VA_ARGS__))
+#define CPLA_RELEASE(...) CPLA_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define CPLA_RELEASE_SHARED(...) \
+  CPLA_THREAD_ANNOTATION(release_shared_capability(__VA_ARGS__))
+
+// Function acquires the capability iff it returns `result`.
+#define CPLA_TRY_ACQUIRE(...) CPLA_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+
+// Caller must NOT hold the capability (guards against recursive locking).
+#define CPLA_EXCLUDES(...) CPLA_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+// Runtime assertion that the capability is held; tells the analysis to
+// assume it from here on (escape hatch for code reached only under lock).
+#define CPLA_ASSERT_CAPABILITY(x) CPLA_THREAD_ANNOTATION(assert_capability(x))
+
+// Function returns a reference to the given capability.
+#define CPLA_RETURN_CAPABILITY(x) CPLA_THREAD_ANNOTATION(lock_returned(x))
+
+// Function-level opt-out. Use ONLY with a written rationale on the same or
+// preceding line — the lint suppression-budget check inventories these.
+#define CPLA_NO_THREAD_SAFETY_ANALYSIS CPLA_THREAD_ANNOTATION(no_thread_safety_analysis)

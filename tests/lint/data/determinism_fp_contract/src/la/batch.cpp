@@ -1,0 +1,9 @@
+namespace cpla::la {
+
+double batched_dot(const double* a, const double* b, int n) {
+  double acc = 0.0;
+  for (int i = 0; i < n; ++i) acc += a[i] * b[i];
+  return acc;
+}
+
+}  // namespace cpla::la

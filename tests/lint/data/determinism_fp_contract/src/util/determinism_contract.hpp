@@ -1,0 +1,13 @@
+#pragma once
+
+namespace cpla::contract {
+
+inline constexpr const char* kBitIdentityTUs[] = {
+    "src/la/batch.cpp",
+};
+
+inline constexpr const char* kOrderSensitiveDirs[] = {
+    "src/core",
+};
+
+}  // namespace cpla::contract

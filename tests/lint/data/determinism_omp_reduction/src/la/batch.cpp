@@ -1,0 +1,12 @@
+namespace cpla::la {
+
+double batched_sum(const double* a, int n) {
+  double acc = 0.0;
+// The seeded violation: an OpenMP reduction reassociates the sum, so the
+// result depends on the thread count.
+#pragma omp parallel for reduction(+ : acc)
+  for (int i = 0; i < n; ++i) acc += a[i];
+  return acc;
+}
+
+}  // namespace cpla::la

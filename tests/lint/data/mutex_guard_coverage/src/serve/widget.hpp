@@ -1,0 +1,22 @@
+#pragma once
+
+#define CPLA_GUARDED_BY(x)
+
+namespace cpla::serve {
+
+class Mutex {};
+
+class Widget {
+ public:
+  int value() const;
+
+ private:
+  // Seeded violation 1: a raw std:: primitive invisible to Clang TSA.
+  std::mutex raw_mu_;
+  // Seeded violation 2: an annotated-wrapper Mutex guarding nothing.
+  Mutex orphan_mu_;
+  Mutex mu_;
+  int value_ CPLA_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace cpla::serve

@@ -1,0 +1,9 @@
+namespace cpla::eco {
+
+void report(int n) {
+  // The allow() below suppresses no-direct-stdout but carries no rationale,
+  // so only suppression-rationale fires on this fixture.
+  printf("n=%d\n", n);  // cpla-lint: allow(no-direct-stdout)
+}
+
+}  // namespace cpla::eco

@@ -1,0 +1,17 @@
+#include <unordered_map>
+#include <vector>
+
+namespace cpla::core {
+
+std::vector<int> emit_rows(const std::vector<int>& members) {
+  std::unordered_map<int, int> usage;
+  for (std::size_t i = 0; i < members.size(); ++i) usage[members[i]] += 1;
+  std::vector<int> rows;
+  // The seeded violation: row emission order inherits hash-bucket order.
+  for (const auto& [key, count] : usage) {
+    if (count > 1) rows.push_back(key);
+  }
+  return rows;
+}
+
+}  // namespace cpla::core

@@ -1,0 +1,11 @@
+#pragma once
+
+namespace cpla::contract {
+
+inline constexpr const char* kBitIdentityTUs[] = {};
+
+inline constexpr const char* kOrderSensitiveDirs[] = {
+    "src/core",
+};
+
+}  // namespace cpla::contract

@@ -101,7 +101,8 @@ class Suppression(unittest.TestCase):
             shutil.copytree(DATA / "solver_nondeterminism", root)
             src = root / "src" / "sdp" / "perturb.cpp"
             patched = [
-                line.rstrip("\n") + "  // cpla-lint: allow(solver-nondeterminism)"
+                line.rstrip("\n")
+                + "  // cpla-lint: allow(solver-nondeterminism) -- seeded by the self-test"
                 if "rand()" in line or "random_device rd" in line
                 else line.rstrip("\n")
                 for line in src.read_text().splitlines()
@@ -110,6 +111,113 @@ class Suppression(unittest.TestCase):
             rc, doc = run_lint("--root", str(root))
             self.assertEqual(doc["findings"], [])
             self.assertEqual(rc, 0)
+
+    def test_standalone_allow_line_covers_the_line_below(self) -> None:
+        with tempfile.TemporaryDirectory() as tmp:
+            root = Path(tmp) / "fixture"
+            shutil.copytree(DATA / "no_direct_stdout", root)
+            src = next((root / "src").rglob("*.cpp"))
+            patched = []
+            for line in src.read_text().splitlines():
+                if "std::cout" in line:
+                    patched.append("  // cpla-lint: allow(no-direct-stdout) -- self-test seed")
+                patched.append(line)
+            src.write_text("\n".join(patched) + "\n")
+            _, doc = run_lint("--root", str(root))
+            fired = [f for f in doc["findings"] if f["check"] == "no-direct-stdout"]
+            self.assertEqual(len(fired), 2, "only the std::cout line is covered")
+
+    def test_rationale_less_allow_fires_and_cannot_self_suppress(self) -> None:
+        with tempfile.TemporaryDirectory() as tmp:
+            root = Path(tmp) / "fixture"
+            shutil.copytree(DATA / "suppression_rationale", root)
+            src = root / "src" / "eco" / "noisy.cpp"
+            # Escalate the seed: try to suppress the policing check itself,
+            # still without a rationale. It must fire anyway.
+            src.write_text(
+                src.read_text().replace(
+                    "allow(no-direct-stdout)",
+                    "allow(no-direct-stdout, suppression-rationale)",
+                )
+            )
+            rc, doc = run_lint("--root", str(root))
+            self.assertEqual(rc, 1)
+            self.assertEqual(
+                {f["check"] for f in doc["findings"]}, {"suppression-rationale"}
+            )
+
+    def test_list_suppressions_inventory(self) -> None:
+        rc, doc = run_lint("--root", str(DATA / "suppression_rationale"), "--list-suppressions")
+        self.assertEqual(rc, 0)
+        self.assertEqual(len(doc["suppressions"]), 1)
+        entry = doc["suppressions"][0]
+        self.assertEqual(entry["checks"], ["no-direct-stdout"])
+        self.assertIsNone(entry["rationale"])
+        self.assertTrue(entry["file"].endswith("noisy.cpp"))
+
+
+class DeterminismAcceptance(unittest.TestCase):
+    """The contract the registry header promises: removing -ffp-contract=off
+    from a registered TU's CMake lists, or adding an OpenMP reduction to the
+    TU, turns the real repository's lint red. Exercised on a copy of the
+    real src/la build files so the test proves the production CMake idiom
+    (${var} indirection through set + list(APPEND)) is parsed, not a toy.
+    """
+
+    def make_mini_repo(self, tmp: str) -> Path:
+        root = Path(tmp) / "repo"
+        for rel in (
+            "src/util/determinism_contract.hpp",
+            "src/la/batch.cpp",
+            "src/la/CMakeLists.txt",
+        ):
+            dst = root / rel
+            dst.parent.mkdir(parents=True, exist_ok=True)
+            shutil.copy(REPO_ROOT / rel, dst)
+        return root
+
+    def test_copied_production_files_are_clean(self) -> None:
+        with tempfile.TemporaryDirectory() as tmp:
+            rc, doc = run_lint("--root", str(self.make_mini_repo(tmp)))
+            self.assertEqual(doc["findings"], [])
+            self.assertEqual(rc, 0)
+
+    def test_dropping_fp_contract_flag_fails_the_lint(self) -> None:
+        with tempfile.TemporaryDirectory() as tmp:
+            root = self.make_mini_repo(tmp)
+            cml = root / "src" / "la" / "CMakeLists.txt"
+            text = cml.read_text()
+            self.assertIn("-ffp-contract=off", text)
+            cml.write_text(text.replace("-ffp-contract=off", ""))
+            rc, doc = run_lint("--root", str(root))
+            self.assertEqual(rc, 1)
+            self.assertEqual(
+                {f["check"] for f in doc["findings"]}, {"determinism-fp-contract"}
+            )
+
+    def test_adding_an_omp_reduction_fails_the_lint(self) -> None:
+        with tempfile.TemporaryDirectory() as tmp:
+            root = self.make_mini_repo(tmp)
+            tu = root / "src" / "la" / "batch.cpp"
+            lines = tu.read_text().splitlines()
+            # Inject after the include block, inside the TU proper.
+            lines.insert(30, "#pragma omp parallel for reduction(+ : acc)")
+            tu.write_text("\n".join(lines) + "\n")
+            rc, doc = run_lint("--root", str(root))
+            self.assertEqual(rc, 1)
+            self.assertEqual(
+                {f["check"] for f in doc["findings"]}, {"determinism-omp-reduction"}
+            )
+
+    def test_registry_pointing_at_a_deleted_tu_fails_the_lint(self) -> None:
+        with tempfile.TemporaryDirectory() as tmp:
+            root = self.make_mini_repo(tmp)
+            (root / "src" / "la" / "batch.cpp").unlink()
+            rc, doc = run_lint("--root", str(root))
+            self.assertEqual(rc, 1)
+            self.assertEqual(
+                {f["check"] for f in doc["findings"]}, {"determinism-fp-contract"}
+            )
 
 
 class FixMode(unittest.TestCase):

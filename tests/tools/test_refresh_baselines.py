@@ -1,0 +1,208 @@
+#!/usr/bin/env python3
+"""Tests for tools/refresh_baselines.py (runnable under unittest or pytest).
+
+The tool's job is narrow but load-bearing: it is the only sanctioned path
+for regenerating the CI bench gates, so a bug here silently rewrites what
+"no regression" means. The suite drives main() end-to-end against stub
+bench executables (shell scripts that honour --metrics-out and emit a
+cpla-bench-v1 artifact), so argument plumbing, the schema-diff safety net,
+and --install all run for real — only the C++ binaries are faked.
+
+Also pins the SPECS <-> CI contract: every artifact refresh_baselines knows
+about must be gated in .github/workflows/ci.yml and have a checked-in
+baseline, and vice versa. The two lists drifting apart is exactly the kind
+of rot nothing else would catch.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import stat
+import sys
+import tempfile
+import unittest
+from pathlib import Path
+from typing import Any
+from unittest import mock
+
+REPO_ROOT = Path(__file__).resolve().parent.parent.parent
+
+sys.path.insert(0, str(REPO_ROOT / "tools"))
+
+import refresh_baselines  # noqa: E402
+
+FAKE_SPEC = ("BENCH_fake.json", "fake_bench", ["--quick"])
+
+
+def artifact(drop_counter: bool = False) -> dict[str, Any]:
+    doc: dict[str, Any] = {
+        "schema": "cpla-bench-v1",
+        "bench": "fake_bench",
+        "threads": 1,
+        "phases": {"solve.total": {"wall_ms": 10.0}},
+        "values": {"final.avg_tcp": 123.0},
+        "metrics": {"counters": {"solver.iterations": 42}},
+    }
+    if drop_counter:
+        del doc["metrics"]["counters"]["solver.iterations"]
+    return doc
+
+
+def write_stub_bench(build_dir: Path, name: str, doc: dict[str, Any]) -> Path:
+    """A bench binary stand-in: a shell script that scans its arguments for
+    --metrics-out and writes the given artifact there.
+    """
+    exe = build_dir / "bench" / name
+    exe.parent.mkdir(parents=True, exist_ok=True)
+    payload = json.dumps(doc).replace("'", "'\\''")
+    exe.write_text(
+        "#!/bin/sh\n"
+        "out=\n"
+        'while [ $# -gt 0 ]; do\n'
+        '  if [ "$1" = "--metrics-out" ]; then out="$2"; fi\n'
+        "  shift\n"
+        "done\n"
+        f"printf '%s' '{payload}' > \"$out\"\n"
+    )
+    exe.chmod(exe.stat().st_mode | stat.S_IXUSR)
+    return exe
+
+
+class RefreshFlow(unittest.TestCase):
+    def setUp(self) -> None:
+        self._tmp = tempfile.TemporaryDirectory()
+        self.root = Path(self._tmp.name)
+        self.build = self.root / "build"
+        self.baselines = self.root / "baselines"
+        self.out = self.root / "candidate"
+        self.baselines.mkdir()
+        patcher = mock.patch.object(refresh_baselines, "SPECS", [FAKE_SPEC])
+        patcher.start()
+        self.addCleanup(patcher.stop)
+        self.addCleanup(self._tmp.cleanup)
+
+    def run_main(self, *extra: str) -> int:
+        return refresh_baselines.main(
+            [
+                "--build-dir", str(self.build),
+                "--baselines", str(self.baselines),
+                "--out", str(self.out),
+                *extra,
+            ]
+        )
+
+    def test_happy_path_writes_candidate_and_diffs_clean(self) -> None:
+        write_stub_bench(self.build, "fake_bench", artifact())
+        (self.baselines / "BENCH_fake.json").write_text(json.dumps(artifact()))
+        self.assertEqual(self.run_main(), 0)
+        candidate = json.loads((self.out / "BENCH_fake.json").read_text())
+        self.assertEqual(candidate["schema"], "cpla-bench-v1")
+        # Default mode must not touch the checked-in baselines.
+        self.assertEqual(
+            json.loads((self.baselines / "BENCH_fake.json").read_text()), artifact()
+        )
+
+    def test_candidate_dropping_a_counter_fails_the_refresh(self) -> None:
+        write_stub_bench(self.build, "fake_bench", artifact(drop_counter=True))
+        (self.baselines / "BENCH_fake.json").write_text(json.dumps(artifact()))
+        self.assertEqual(self.run_main(), 1)
+
+    def test_missing_binary_fails(self) -> None:
+        (self.baselines / "BENCH_fake.json").write_text(json.dumps(artifact()))
+        self.assertEqual(self.run_main(), 1)
+
+    def test_new_bench_without_baseline_passes_and_install_creates_it(self) -> None:
+        write_stub_bench(self.build, "fake_bench", artifact())
+        self.assertEqual(self.run_main("--install"), 0)
+        installed = json.loads((self.baselines / "BENCH_fake.json").read_text())
+        self.assertEqual(installed, artifact())
+
+    def test_check_mode_skips_bench_runs(self) -> None:
+        # No stub binary: --check must still succeed off an existing candidate.
+        self.out.mkdir()
+        (self.out / "BENCH_fake.json").write_text(json.dumps(artifact()))
+        (self.baselines / "BENCH_fake.json").write_text(json.dumps(artifact()))
+        self.assertEqual(self.run_main("--check"), 0)
+
+    def test_only_filter_unknown_name_is_a_usage_error(self) -> None:
+        with self.assertRaises(SystemExit) as ctx:
+            self.run_main("--only", "no_such_bench")
+        self.assertEqual(ctx.exception.code, 2)
+
+    def test_bench_nonzero_exit_fails(self) -> None:
+        exe = write_stub_bench(self.build, "fake_bench", artifact())
+        exe.write_text("#!/bin/sh\nexit 3\n")
+        (self.baselines / "BENCH_fake.json").write_text(json.dumps(artifact()))
+        self.assertEqual(self.run_main(), 1)
+
+    def test_omp_threads_pinned_for_bench_runs(self) -> None:
+        # The stub records its environment; CI comparability depends on the
+        # single-thread pin.
+        exe = write_stub_bench(self.build, "fake_bench", artifact())
+        marker = self.root / "omp.txt"
+        exe.write_text(
+            "#!/bin/sh\n"
+            "out=\n"
+            'while [ $# -gt 0 ]; do\n'
+            '  if [ "$1" = "--metrics-out" ]; then out="$2"; fi\n'
+            "  shift\n"
+            "done\n"
+            f'echo "$OMP_NUM_THREADS" > "{marker}"\n'
+            f"printf '%s' '{json.dumps(artifact())}' > \"$out\"\n"
+        )
+        (self.baselines / "BENCH_fake.json").write_text(json.dumps(artifact()))
+        self.assertEqual(self.run_main(), 0)
+        self.assertEqual(marker.read_text().strip(), "1")
+
+
+class SpecsContract(unittest.TestCase):
+    """SPECS, the bench-smoke CI job, and ci/baselines/ must agree."""
+
+    def test_every_spec_has_a_checked_in_baseline(self) -> None:
+        for name, _binary, _args in refresh_baselines.SPECS:
+            self.assertTrue(
+                (REPO_ROOT / "ci" / "baselines" / name).is_file(),
+                f"SPECS lists {name} but ci/baselines/{name} is not checked in",
+            )
+
+    def test_every_checked_in_baseline_is_in_specs(self) -> None:
+        spec_names = {name for name, _, _ in refresh_baselines.SPECS}
+        on_disk = {p.name for p in (REPO_ROOT / "ci" / "baselines").glob("BENCH_*.json")}
+        self.assertEqual(
+            on_disk - spec_names,
+            set(),
+            "baseline files exist that refresh_baselines.py cannot regenerate",
+        )
+
+    def test_ci_workflow_gates_every_spec(self) -> None:
+        workflow = (REPO_ROOT / ".github" / "workflows" / "ci.yml").read_text()
+        for name, binary, _args in refresh_baselines.SPECS:
+            self.assertIn(
+                name, workflow, f"{name} is not referenced by .github/workflows/ci.yml"
+            )
+            self.assertIn(
+                binary, workflow, f"bench binary {binary} is not run by the CI workflow"
+            )
+
+    def test_artifacts_parse_as_bench_schema(self) -> None:
+        for name, _binary, _args in refresh_baselines.SPECS:
+            doc = json.loads((REPO_ROOT / "ci" / "baselines" / name).read_text())
+            self.assertEqual(doc.get("schema"), "cpla-bench-v1", name)
+
+
+class EntryPoint(unittest.TestCase):
+    def test_main_accepts_argv_none(self) -> None:
+        # Argv plumbing: parse_args(None) must read sys.argv, not crash.
+        with mock.patch.object(sys, "argv", ["refresh_baselines.py", "--only", "zzz"]):
+            with self.assertRaises(SystemExit):
+                refresh_baselines.main()
+
+    def test_os_environ_not_mutated_by_run_bench(self) -> None:
+        before = dict(os.environ)
+        refresh_baselines.run_bench("/nonexistent", "/tmp", "x.json", "nope", [])
+        self.assertEqual(dict(os.environ), before)
+
+
+if __name__ == "__main__":
+    unittest.main(verbosity=2)

@@ -86,7 +86,7 @@ def schema_diff(baseline_dir: str, out_dir: str, name: str) -> bool:
     return res.returncode == 0
 
 
-def main() -> None:
+def main(argv: list[str] | None = None) -> int:
     ap = argparse.ArgumentParser(description=__doc__,
                                  formatter_class=argparse.RawDescriptionHelpFormatter)
     ap.add_argument("--build-dir", default="build", help="CMake build dir (default: build)")
@@ -100,7 +100,7 @@ def main() -> None:
                     help="skip bench runs; schema-diff existing candidates in --out")
     ap.add_argument("--install", action="store_true",
                     help="copy candidates over the baseline dir after a clean diff")
-    args = ap.parse_args()
+    args = ap.parse_args(argv)
 
     specs = [s for s in SPECS if not args.only or s[1] in args.only]
     if not specs:
@@ -116,7 +116,7 @@ def main() -> None:
             failures += 1
     if failures:
         print(f"refresh_baselines: {failures} bench(es) failed", file=sys.stderr)
-        sys.exit(1)
+        return 1
 
     if args.install:
         os.makedirs(args.baselines, exist_ok=True)
@@ -126,7 +126,8 @@ def main() -> None:
     else:
         print(f"refresh_baselines: candidates in {args.out} "
               "(review, then re-run with --install or copy manually)")
+    return 0
 
 
 if __name__ == "__main__":
-    main()
+    sys.exit(main())
