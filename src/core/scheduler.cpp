@@ -60,7 +60,7 @@ void Scheduler::run(TaskGraph* graph) {
   }
   work_cv_.notify_all();
 
-  participate(0, graph);
+  participate(0);
 
   MutexLock lock(mu_);
   graph_ = nullptr;
@@ -94,19 +94,17 @@ void Scheduler::worker_loop(int worker) {
     while (!shutdown_ && generation_ == seen) work_cv_.wait(mu_);
     if (shutdown_) return;
     seen = generation_;
-    // Snapshot the graph for this generation under mu_; workers never read
-    // the guarded member again until they re-park.
-    TaskGraph* graph = graph_;
     lock.unlock();
-    participate(worker, graph);
+    participate(worker);
     lock.lock();
   }
 }
 
-void Scheduler::participate(int worker, TaskGraph* graph) {
+void Scheduler::participate(int worker) {
   while (true) {
     int node = -1;
-    if (try_pop(worker, &node)) {
+    TaskGraph* graph = nullptr;
+    if (try_pop(worker, &node, &graph)) {
       execute(graph, node, worker);
       continue;
     }
@@ -122,7 +120,7 @@ void Scheduler::participate(int worker, TaskGraph* graph) {
   }
 }
 
-bool Scheduler::try_pop(int worker, int* node) {
+bool Scheduler::try_pop(int worker, int* node, TaskGraph** graph) {
   // Own queue first (back = most recently pushed, cache-hot), then steal
   // from the front of the others in ring order.
   for (int k = 0; k < threads_; ++k) {
@@ -141,6 +139,14 @@ bool Scheduler::try_pop(int worker, int* node) {
     }
     MutexLock lock(mu_);
     --pending_;
+    // Claim-time graph read: a queued-but-unclaimed task pins remaining_
+    // above zero, which pins graph_ to the run that seeded the task (run()
+    // only clears it after remaining_ hits zero). A straggler from a
+    // previous generation that claims a task here therefore always
+    // executes it against the run that task belongs to, never a stale —
+    // possibly destroyed — graph.
+    *graph = graph_;
+    CPLA_ASSERT(*graph != nullptr);
     return true;
   }
   return false;

@@ -90,11 +90,14 @@ class Scheduler {
   };
 
   void worker_loop(int worker) CPLA_EXCLUDES(mu_);
-  // Workers receive the graph as a parameter (read from graph_ under mu_
-  // when a generation starts) instead of touching the guarded member from
-  // execute() — that unlocked read was benign by protocol but unprovable.
-  void participate(int worker, TaskGraph* graph) CPLA_EXCLUDES(mu_);
-  bool try_pop(int worker, int* node) CPLA_EXCLUDES(mu_);
+  // The graph pointer travels from try_pop (which reads graph_ under mu_
+  // at task-claim time) into execute as a parameter. Claim-time reading
+  // matters: run() returns without waiting for pool workers to leave
+  // participate(), so a straggler may claim a task seeded by the *next*
+  // run — it must execute that task against the graph that seeded it, not
+  // a per-generation snapshot of a graph the caller may have destroyed.
+  void participate(int worker) CPLA_EXCLUDES(mu_);
+  bool try_pop(int worker, int* node, TaskGraph** graph) CPLA_EXCLUDES(mu_);
   void execute(TaskGraph* graph, int node, int worker) CPLA_EXCLUDES(mu_);
   void run_inline(TaskGraph* graph);
 

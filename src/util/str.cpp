@@ -11,12 +11,16 @@ namespace {
 
 // strerror_r has two incompatible signatures (XSI returns int, GNU returns
 // char*); overload resolution on the actual return type picks the right
-// adapter without any feature-test-macro guessing.
-inline std::string strerror_result(int rc, const char* buf) {
-  return rc == 0 ? std::string(buf) : std::string("unknown error");
+// adapter without any feature-test-macro guessing. The fallback keeps the
+// numeric errno so an unrenderable value still yields a diagnosable log.
+inline std::string strerror_fallback(int err) {
+  return "unknown error " + std::to_string(err);
 }
-inline std::string strerror_result(const char* msg, const char* /*buf*/) {
-  return msg != nullptr ? std::string(msg) : std::string("unknown error");
+inline std::string strerror_result(int err, int rc, const char* buf) {
+  return rc == 0 ? std::string(buf) : strerror_fallback(err);
+}
+inline std::string strerror_result(int err, const char* msg, const char* /*buf*/) {
+  return msg != nullptr ? std::string(msg) : strerror_fallback(err);
 }
 
 }  // namespace
@@ -63,7 +67,7 @@ std::string str_format(const char* fmt, ...) {
 
 std::string errno_str(int err) {
   char buf[256] = {};
-  return strerror_result(strerror_r(err, buf, sizeof(buf)), buf);
+  return strerror_result(err, strerror_r(err, buf, sizeof(buf)), buf);
 }
 
 }  // namespace cpla

@@ -19,4 +19,13 @@ class Widget {
   int value_ CPLA_GUARDED_BY(mu_) = 0;
 };
 
+// Seeded violation 3: a second class reusing the name mu_ — Widget's
+// CPLA_GUARDED_BY(mu_) must not vouch for it — declared with a brace
+// initializer, which the member pattern must still match.
+class Gadget {
+ private:
+  Mutex mu_{};
+  int value_ = 0;
+};
+
 }  // namespace cpla::serve

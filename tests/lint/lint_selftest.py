@@ -209,6 +209,77 @@ class DeterminismAcceptance(unittest.TestCase):
                 {f["check"] for f in doc["findings"]}, {"determinism-omp-reduction"}
             )
 
+    def drop_flag(self, root: Path) -> Path:
+        """Strips -ffp-contract=off from the mini repo's CMakeLists and
+        returns the file, so each case can re-add the flag in one shape."""
+        cml = root / "src" / "la" / "CMakeLists.txt"
+        text = cml.read_text()
+        self.assertIn("-ffp-contract=off", text)
+        cml.write_text(text.replace("-ffp-contract=off", ""))
+        return cml
+
+    def test_blanket_flag_after_the_target_does_not_count(self) -> None:
+        # add_compile_options only reaches targets defined after it.
+        with tempfile.TemporaryDirectory() as tmp:
+            root = self.make_mini_repo(tmp)
+            cml = self.drop_flag(root)
+            cml.write_text(cml.read_text() + '\nadd_compile_options("-ffp-contract=off")\n')
+            rc, doc = run_lint("--root", str(root))
+            self.assertEqual(rc, 1)
+            self.assertEqual(
+                {f["check"] for f in doc["findings"]}, {"determinism-fp-contract"}
+            )
+
+    def test_blanket_flag_before_the_target_counts(self) -> None:
+        with tempfile.TemporaryDirectory() as tmp:
+            root = self.make_mini_repo(tmp)
+            cml = self.drop_flag(root)
+            cml.write_text('add_compile_options("-ffp-contract=off")\n' + cml.read_text())
+            rc, doc = run_lint("--root", str(root))
+            self.assertEqual(doc["findings"], [])
+            self.assertEqual(rc, 0)
+
+    def test_blanket_flag_inside_an_if_branch_does_not_count(self) -> None:
+        with tempfile.TemporaryDirectory() as tmp:
+            root = self.make_mini_repo(tmp)
+            cml = self.drop_flag(root)
+            cml.write_text(
+                "if(CPLA_NEVER_SET_OPTION)\n"
+                '  add_compile_options("-ffp-contract=off")\n'
+                "endif()\n" + cml.read_text()
+            )
+            rc, doc = run_lint("--root", str(root))
+            self.assertEqual(rc, 1)
+            self.assertEqual(
+                {f["check"] for f in doc["findings"]}, {"determinism-fp-contract"}
+            )
+
+    def test_flag_on_an_unrelated_target_does_not_count(self) -> None:
+        with tempfile.TemporaryDirectory() as tmp:
+            root = self.make_mini_repo(tmp)
+            cml = self.drop_flag(root)
+            cml.write_text(
+                cml.read_text() + "\nadd_library(cpla_other other.cpp)\n"
+                'target_compile_options(cpla_other PRIVATE "-ffp-contract=off")\n'
+            )
+            rc, doc = run_lint("--root", str(root))
+            self.assertEqual(rc, 1)
+            self.assertEqual(
+                {f["check"] for f in doc["findings"]}, {"determinism-fp-contract"}
+            )
+
+    def test_flag_on_the_owning_target_counts(self) -> None:
+        with tempfile.TemporaryDirectory() as tmp:
+            root = self.make_mini_repo(tmp)
+            cml = self.drop_flag(root)
+            cml.write_text(
+                cml.read_text()
+                + '\ntarget_compile_options(cpla_la PRIVATE "-ffp-contract=off")\n'
+            )
+            rc, doc = run_lint("--root", str(root))
+            self.assertEqual(doc["findings"], [])
+            self.assertEqual(rc, 0)
+
     def test_registry_pointing_at_a_deleted_tu_fails_the_lint(self) -> None:
         with tempfile.TemporaryDirectory() as tmp:
             root = self.make_mini_repo(tmp)

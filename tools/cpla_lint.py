@@ -146,7 +146,9 @@ RAW_SYNC_RE = re.compile(
     r"\bstd\s*::\s*(mutex|timed_mutex|recursive_mutex|recursive_timed_mutex|"
     r"shared_mutex|shared_timed_mutex|condition_variable(?:_any)?)\s+\w+\s*[;={]"
 )
-MUTEX_MEMBER_RE = re.compile(r"\bMutex\s+(\w+)\s*;")
+# Terminator set covers `Mutex m;`, `Mutex m{};`, and `Mutex m = ...;`
+# (MutexLock locals don't match: `Mutex` is bounded by \b\s+).
+MUTEX_MEMBER_RE = re.compile(r"\bMutex\s+(\w+)\s*[;={]")
 GUARDED_BY_RE = re.compile(r"\bCPLA_(?:PT_)?GUARDED_BY\s*\(\s*(\w+)\s*\)")
 CMAKE_ARRAY_RES = {
     "tus": re.compile(r"kBitIdentityTUs\s*\[\s*\]\s*=\s*\{([^}]*)\}"),
@@ -635,20 +637,44 @@ class Linter:
         basename = tu_path.name
         mention_line = 1
         commands = cmake_expanded_commands(cml.raw)
-        for _name, tokens, line in commands:
+        # Conditional nesting depth per command: add_compile_options inside
+        # an if() branch proves nothing (the branch may never be taken), so
+        # directory-wide acceptance requires depth 0.
+        depth = 0
+        depths: list[int] = []
+        for name, _tokens, _line in commands:
+            if name == "endif":
+                depth = max(0, depth - 1)
+            depths.append(depth)
+            if name == "if":
+                depth += 1
+        target = None  # name of the add_library/add_executable owning the TU
+        target_line: int | None = None
+        for name, tokens, line in commands:
             if basename not in tokens:
                 continue
             mention_line = line
+            if name in ("add_library", "add_executable") and target is None and tokens:
+                target, target_line = tokens[0], line
             # Per-TU flags (set_source_files_properties ... COMPILE_OPTIONS)
             # or any other command that names both the TU and the flag.
             if FP_CONTRACT_FLAG in tokens:
                 return
-        for name, tokens, _line in commands:
-            # Directory- or target-wide flags cover every TU in the list.
+        for idx, (name, tokens, line) in enumerate(commands):
+            if FP_CONTRACT_FLAG not in tokens:
+                continue
+            # Directory-wide flags only reach targets defined *after* the
+            # add_compile_options call, and only unconditionally when the
+            # call sits outside every if() branch.
             if (
-                name in ("add_compile_options", "target_compile_options")
-                and FP_CONTRACT_FLAG in tokens
+                name == "add_compile_options"
+                and depths[idx] == 0
+                and (target_line is None or line < target_line)
             ):
+                return
+            # Target-wide flags must name the target that compiles the TU;
+            # a flag on an unrelated target proves nothing.
+            if name == "target_compile_options" and tokens and tokens[0] == target:
                 return
         self.report(
             "determinism-fp-contract",
@@ -720,18 +746,24 @@ class Linter:
                 )
             if f.path.suffix not in HEADER_SUFFIXES:
                 continue
-            guarded = {g.group(1) for g in GUARDED_BY_RE.finditer(f.code)}
+            spans = class_body_spans(f.code)
             for m in MUTEX_MEMBER_RE.finditer(f.code):
                 name = m.group(1)
+                # Scope the guarded-name search to the innermost enclosing
+                # class/struct body: two classes in one header each owning a
+                # `Mutex mu;` must each annotate their own guarded data.
+                span = innermost_span(spans, m.start())
+                region = f.code[span[0] : span[1]] if span else f.code
+                guarded = {g.group(1) for g in GUARDED_BY_RE.finditer(region)}
                 if name in guarded:
                     continue
                 self.report(
                     "mutex-guard-coverage",
                     f,
                     line_of(f.code, m.start()),
-                    f'Mutex member "{name}" has no CPLA_GUARDED_BY({name}) in this '
-                    "header: annotate the data it protects (or it protects nothing "
-                    "and should be removed)",
+                    f'Mutex member "{name}" has no CPLA_GUARDED_BY({name}) in its '
+                    "enclosing class: annotate the data it protects (or it protects "
+                    "nothing and should be removed)",
                 )
 
     def relpath(self, f: SourceFile) -> str:
@@ -788,6 +820,36 @@ class Linter:
 def constant_name(site: str) -> str:
     parts = re.split(r"[._-]", site)
     return "k" + "".join(p.capitalize() for p in parts if p)
+
+
+def class_body_spans(code: str) -> list[tuple[int, int]]:
+    """Brace-matched `{...}` extents of every class/struct/union body in the
+    (comment-stripped) code, including nested ones. Forward declarations and
+    function definitions never match (the head may not contain `;`, braces,
+    or parens between the keyword and the opening brace).
+    """
+    spans: list[tuple[int, int]] = []
+    for m in re.finditer(r"\b(?:class|struct|union)\b[^;{}()]*\{", code):
+        open_brace = m.end() - 1
+        depth = 0
+        for i in range(open_brace, len(code)):
+            if code[i] == "{":
+                depth += 1
+            elif code[i] == "}":
+                depth -= 1
+                if depth == 0:
+                    spans.append((open_brace, i + 1))
+                    break
+    return spans
+
+
+def innermost_span(spans: list[tuple[int, int]], pos: int) -> tuple[int, int] | None:
+    """The tightest span containing `pos`, or None if none does."""
+    best: tuple[int, int] | None = None
+    for span in spans:
+        if span[0] <= pos < span[1] and (best is None or span[0] > best[0]):
+            best = span
+    return best
 
 
 def unordered_decl_names(code: str) -> dict[str, int]:
