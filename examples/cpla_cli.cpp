@@ -13,6 +13,13 @@
 //     --max-segs <n>      partition cap (default 10)
 //     --batch             batched SDP backend (bit-identical, faster)
 //     --eco <script>      ECO mode: apply an edit script incrementally
+//     --sta               live STA: rounds re-select the released set from
+//                         worst-over-corners slack (re-timing only in --eco)
+//     --corners <path>    corner table (see sta::parse_corners); default is
+//                         the single unscaled typical corner
+//     --topk <k>          report the K most critical paths per corner
+//     --required-time <t> release every net above the budget (slack-based
+//                         selection) instead of the top --ratio fraction
 //     --write-gr <path>   dump the (generated) benchmark in ISPD'08 syntax
 //     --write-routes <p>  dump the routed solution (contest output format)
 //     --validate          audit the solution with the independent checker
@@ -47,6 +54,8 @@
 #include "src/eco/eco_session.hpp"
 #include "src/parser/ispd08.hpp"
 #include "src/serve/protocol.hpp"
+#include "src/sta/corner.hpp"
+#include "src/sta/timing_graph.hpp"
 
 namespace {
 
@@ -100,7 +109,8 @@ int main(int argc, char** argv) {
     std::printf(
         "usage: cpla_cli [--bench NAME | --file PATH] [--ratio R]\n"
         "                [--engine sdp|ilp|tila] [--rounds N] [--max-segs N]\n"
-        "                [--batch] [--eco SCRIPT] [--write-gr PATH] [--quiet]\n");
+        "                [--batch] [--eco SCRIPT] [--sta] [--corners PATH]\n"
+        "                [--topk K] [--required-time T] [--write-gr PATH] [--quiet]\n");
     return 0;
   }
   if (has_flag(argc, argv, "--quiet")) set_log_level(LogLevel::kWarn);
@@ -148,6 +158,33 @@ int main(int argc, char** argv) {
   // default per-partition loop; only the throughput changes.
   if (has_flag(argc, argv, "--batch")) cpla_opt.batch.enabled = true;
 
+  // Live STA: build the multi-corner graph once up front; with --sta the
+  // flow re-times it incrementally every round and re-selects the released
+  // set from live slack. --topk/--corners alone still buy the report.
+  const bool sta_mode = has_flag(argc, argv, "--sta");
+  const char* corners_file = arg_value(argc, argv, "--corners");
+  const int topk =
+      arg_value(argc, argv, "--topk") ? std::atoi(arg_value(argc, argv, "--topk")) : 0;
+  std::optional<sta::CornerSet> corner_set;
+  sta::TimingGraph sta_graph;
+  if (sta_mode || topk > 0 || corners_file != nullptr) {
+    std::vector<sta::RcCorner> corners;
+    if (corners_file != nullptr) {
+      Result<std::vector<sta::RcCorner>> parsed = sta::parse_corners_file(corners_file);
+      if (!parsed.is_ok()) {
+        std::fprintf(stderr, "error: %s\n", parsed.status().to_string().c_str());
+        return 1;
+      }
+      corners = parsed.take();
+    }
+    corner_set = corners.empty() ? sta::CornerSet::single(*prep.rc)
+                                 : sta::CornerSet(*prep.rc, std::move(corners));
+    sta_graph.build(*prep.state, *corner_set);
+    // In ECO mode the session owns rediscovery policy; the graph rides
+    // along for re-timing + reporting only (attached below).
+    if (sta_mode && eco_script == nullptr) cpla_opt.sta_graph = &sta_graph;
+  }
+
   examples::MetricTable table;
   bool virtual_nets = false;  // ECO-added nets are absent from the netlist
 
@@ -162,6 +199,7 @@ int main(int argc, char** argv) {
     opt.flow = cpla_opt;
     opt.critical_ratio = ratio;
     eco::EcoSession session(prep.design.get(), prep.state.get(), prep.rc.get(), opt);
+    if (corner_set) session.attach_sta(&sta_graph);
     table.add("initial", core::compute_metrics(*prep.state, *prep.rc, session.critical()), 0.0);
 
     WallTimer entry_timer;
@@ -193,7 +231,18 @@ int main(int argc, char** argv) {
         s.dirty_partitions, s.clean_partitions);
     virtual_nets = prep.state->num_nets() != static_cast<int>(prep.design->nets.size());
   } else {
-    const core::CriticalSet critical = core::select_critical(*prep.state, *prep.rc, ratio);
+    // Entry selection: slack budget (--required-time) beats live-STA slack
+    // ranking (--sta) beats the paper's Elmore-delay top fraction.
+    core::CriticalSet critical;
+    if (const char* required = arg_value(argc, argv, "--required-time")) {
+      critical = core::select_by_budget(*prep.state, *prep.rc, std::atof(required));
+      std::printf("budget: released %zu nets above required time %s\n", critical.nets.size(),
+                  required);
+    } else if (corner_set) {
+      critical = core::select_critical(*prep.state, sta_graph, ratio);
+    } else {
+      critical = core::select_critical(*prep.state, *prep.rc, ratio);
+    }
     table.add("initial", core::compute_metrics(*prep.state, *prep.rc, critical), 0.0);
 
     WallTimer timer;
@@ -204,6 +253,31 @@ int main(int argc, char** argv) {
     }
     table.add(engine, core::compute_metrics(*prep.state, *prep.rc, critical), timer.seconds());
     table.print();
+  }
+
+  if (corner_set) {
+    sta_graph.update(*prep.state);  // sync with the landed state
+    std::printf("sta: %d corner%s, %d nodes, %d edges, %d levels, worst slack %.4f\n",
+                corner_set->size(), corner_set->size() == 1 ? "" : "s", sta_graph.num_nodes(),
+                sta_graph.num_edges(), sta_graph.num_levels(), sta_graph.worst_slack());
+    for (int c = 0; c < corner_set->size() && topk > 0; ++c) {
+      std::printf("sta: corner %s (required %.4f), top-%d paths:\n",
+                  corner_set->corner(c).name.c_str(), sta_graph.corner_required(c), topk);
+      const std::vector<sta::TimingPath> paths = sta_graph.report_top_k_paths(c, topk);
+      for (std::size_t i = 0; i < paths.size(); ++i) {
+        const sta::TimingPath& p = paths[i];
+        std::string stages;
+        for (const int v : p.nodes) {
+          if (sta_graph.kind(v) != sta::NodeKind::kDriver) continue;
+          if (!stages.empty()) stages += " -> ";
+          stages += "net" + std::to_string(sta_graph.node_net(v));
+        }
+        const int last = p.nodes.back();
+        std::printf("  #%zu slack %.4f delay %.4f  %s (sink %d of net %d)\n", i + 1, p.slack,
+                    p.delay, stages.c_str(), sta_graph.node_sink(last),
+                    sta_graph.node_net(last));
+      }
+    }
   }
 
   if (virtual_nets &&

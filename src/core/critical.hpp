@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "src/assign/state.hpp"
+#include "src/sta/timing_graph.hpp"
 #include "src/timing/elmore.hpp"
 
 namespace cpla::core {
@@ -27,5 +28,17 @@ CriticalSet select_critical(const assign::AssignState& state, const timing::RcTa
 /// fixed release ratio.
 CriticalSet select_by_budget(const assign::AssignState& state, const timing::RcTable& rc,
                              double required_time);
+
+/// TimingGraph-backed selection: releases the ceil(ratio * #nets) nets
+/// with the worst (smallest) slack in the graph — the worst-over-corners
+/// merge, so a net critical at any corner competes for release. Nets
+/// without segments, or absent from the graph, are never selected. Ties
+/// break toward the smaller net id.
+CriticalSet select_critical(const assign::AssignState& state, const sta::TimingGraph& graph,
+                            double ratio);
+
+/// TimingGraph-backed budget selection: releases every net with negative
+/// worst slack (a live STA violation at some corner), worst first.
+CriticalSet select_by_budget(const assign::AssignState& state, const sta::TimingGraph& graph);
 
 }  // namespace cpla::core

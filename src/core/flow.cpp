@@ -117,6 +117,11 @@ CplaResult run_cpla(assign::AssignState* state, const timing::RcTable& rc,
   std::map<int, std::vector<int>> best_state;
   for (int net : critical.nets) best_state.emplace(net, state->layers(net));
 
+  // Live-STA rediscovery: with a timing graph attached, rounds work on a
+  // freshly re-selected set (`active`); without one, on the entry set.
+  CriticalSet rediscovered;
+  const CriticalSet* active = &critical;
+
   // One full partition-solve-commit sweep under the given model options;
   // returns false if there was nothing to do.
   auto run_round = [&](const ModelOptions& model_options) {
@@ -128,7 +133,7 @@ CplaResult run_cpla(assign::AssignState* state, const timing::RcTable& rc,
     std::unordered_map<int, timing::NetTiming> timings;
     {
       obs::ScopedPhase phase("core.flow.timing_snapshot");
-      for (int net : critical.nets) {
+      for (int net : active->nets) {
         if (options.timing_cache) {
           timings.emplace(
               net, options.timing_cache->get(net, state->tree(net), state->layers(net), rc));
@@ -141,7 +146,7 @@ CplaResult run_cpla(assign::AssignState* state, const timing::RcTable& rc,
 
     // All released segments with midpoints.
     std::vector<SegRef> refs;
-    for (int net : critical.nets) {
+    for (int net : active->nets) {
       const route::SegTree& tree = state->tree(net);
       for (const route::Segment& seg : tree.segs) {
         SegRef ref;
@@ -332,15 +337,25 @@ CplaResult run_cpla(assign::AssignState* state, const timing::RcTable& rc,
     }
     result.rounds = round + 1;
 
+    // Re-time incrementally and re-select the working set from live slack
+    // (worst-over-corners merge) before the round rips anything up.
+    if (options.sta_graph != nullptr) {
+      obs::ScopedPhase sta_phase("core.flow.sta");
+      options.sta_graph->update(*state);
+      rediscovered = select_critical(*state, *options.sta_graph, options.critical_ratio);
+      active = &rediscovered;
+      obs::metrics().counter("core.flow.sta_reselects").add();
+    }
+
     if (options.displace_victims) {
       obs::ScopedPhase phase("core.flow.displace");
-      make_headroom(state, rc, critical, options.displace);
+      make_headroom(state, rc, *active, options.displace);
     }
 
     // Snapshot the released nets so a regressing round can be rolled back
     // (the chaotic Gauss-Seidel sweep is not monotone).
     std::map<int, std::vector<int>> snapshot;
-    for (int net : critical.nets) snapshot.emplace(net, state->layers(net));
+    for (int net : active->nets) snapshot.emplace(net, state->layers(net));
 
     if (!run_round(options.model)) break;
 
@@ -391,6 +406,9 @@ CplaResult run_cpla(assign::AssignState* state, const timing::RcTable& rc,
 
   // Land on the best state seen.
   for (auto& [net, layers] : best_state) state->set_layers(net, std::move(layers));
+
+  // Leave the attached graph in sync with the landed state.
+  if (options.sta_graph != nullptr) options.sta_graph->update(*state);
 
   result.metrics = compute_metrics(*state, rc, critical);
   // Per-partition fallback statistics (counts per escalation tier).

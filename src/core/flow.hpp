@@ -110,6 +110,15 @@ struct CplaOptions {
   // uses guarded_solve_batch() when neither hook is set.
   PartitionBatchSolveFn partition_batch_solver;
   timing::TimingCache* timing_cache = nullptr;
+  // Live-STA critical-set rediscovery (src/sta). When set (not owned, must
+  // be built against this state), every round re-times the graph
+  // incrementally and re-selects the working set at `critical_ratio` from
+  // worst-over-corners slack, so rip-up rounds chase the design's *live*
+  // critical paths instead of the entry snapshot. Scoring, convergence,
+  // and best-state tracking stay on the entry critical set — the fixed
+  // yardstick the never-worse contract is judged against. The graph is
+  // re-timed once more on exit so it reflects the landed state.
+  sta::TimingGraph* sta_graph = nullptr;
   // Cooperative cancellation (src/serve): when set and it becomes true, the
   // flow stops at the next round/batch boundary and returns with
   // CplaResult::cancelled set. A cancelled run still lands on the tracked

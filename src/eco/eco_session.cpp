@@ -44,6 +44,9 @@ Result<int> EcoSession::apply(const Delta& delta) {
       tree_version_[net] = next_version_++;
       timing_cache_.invalidate(net);
     }
+    // A tree changed shape (or the net set changed): the attached STA
+    // graph's node/edge structure is stale, not just its delays.
+    if (sta_graph_ != nullptr) sta_graph_->invalidate_topology();
   }
   return applied;
 }
@@ -140,6 +143,7 @@ Result<std::vector<int>> EcoSession::apply_batch(const std::vector<Delta>& batch
     tree_version_[net] = next_version_++;
     timing_cache_.invalidate(net);
   }
+  if (!retree_nets.empty() && sta_graph_ != nullptr) sta_graph_->invalidate_topology();
   for (const Rect& r : regions) pending_.push_back(r);
   deltas_applied_ += static_cast<long>(batch.size());
   obs::metrics().counter("eco.deltas.applied").add(static_cast<long>(batch.size()));
@@ -178,6 +182,7 @@ core::OptimizeResult EcoSession::resolve(const ResolveOptions& request) {
     // The caller owns the decision to keep or roll back a partial run;
     // pending regions stay queued so the next resolve re-covers them.
     obs::metrics().counter("eco.resolve.cancelled").add();
+    retime_sta();
     return out;
   }
   if (degraded_.load(std::memory_order_relaxed) || cache_.poisoned()) {
@@ -196,6 +201,7 @@ core::OptimizeResult EcoSession::resolve(const ResolveOptions& request) {
     return full_resolve();
   }
   pending_.clear();
+  retime_sta();
   return out;
 }
 
@@ -204,7 +210,14 @@ core::OptimizeResult EcoSession::full_resolve() {
   obs::metrics().counter("eco.resolve.full").add();
   core::OptimizeResult out = core::optimize(state_, *rc_, critical_, options_.flow);
   pending_.clear();
+  retime_sta();
   return out;
+}
+
+void EcoSession::retime_sta() {
+  if (sta_graph_ == nullptr || !sta_graph_->built()) return;
+  sta_graph_->update(*state_);
+  obs::metrics().counter("sta.eco.retimes").add();
 }
 
 void EcoSession::restore_critical(core::CriticalSet critical) {
@@ -217,6 +230,9 @@ void EcoSession::restore_critical(core::CriticalSet critical) {
   pending_.clear();
   timing_cache_.clear();
   cache_.clear();
+  // The design/state were swapped out from under the session: any attached
+  // graph is structurally stale; it rebuilds on its next update().
+  if (sta_graph_ != nullptr) sta_graph_->invalidate_topology();
 }
 
 EcoStats EcoSession::stats() const {

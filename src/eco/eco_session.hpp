@@ -33,6 +33,7 @@
 #include "src/eco/delta.hpp"
 #include "src/eco/solution_cache.hpp"
 #include "src/grid/design.hpp"
+#include "src/sta/timing_graph.hpp"
 #include "src/timing/incremental.hpp"
 #include "src/timing/rc_table.hpp"
 #include "src/util/status.hpp"
@@ -119,6 +120,15 @@ class EcoSession {
   /// and freshly bumped, the dirty-region list and both caches are cleared.
   void restore_critical(core::CriticalSet critical);
 
+  /// Attaches a live STA graph (borrowed, already built on this session's
+  /// state). Tree-shape deltas mark its topology stale, and every resolve
+  /// — incremental, full, degraded, or cancelled — re-times it against the
+  /// state it lands on. Re-timing only: the attached graph never steers
+  /// the flow's critical-set selection, so resolve() stays bit-identical
+  /// to a session without one. Pass nullptr to detach.
+  void attach_sta(sta::TimingGraph* graph) { sta_graph_ = graph; }
+  sta::TimingGraph* sta_graph() const { return sta_graph_; }
+
   EcoStats stats() const;
   PartitionSolutionCache& cache() { return cache_; }
   timing::TimingCache& timing_cache() { return timing_cache_; }
@@ -139,6 +149,7 @@ class EcoSession {
   CacheKey build_key(const core::PartitionProblem& problem,
                      const assign::AssignState& state) const;
   bool is_dirty(const core::PartitionProblem& problem) const;
+  void retime_sta();
 
   grid::Design* design_;
   assign::AssignState* state_;
@@ -152,6 +163,7 @@ class EcoSession {
   std::vector<std::uint64_t> tree_version_;
   std::uint64_t next_version_ = 1;
 
+  sta::TimingGraph* sta_graph_ = nullptr;  // borrowed; see attach_sta
   timing::TimingCache timing_cache_;
   PartitionSolutionCache cache_;
   std::atomic<bool> degraded_{false};

@@ -104,6 +104,14 @@ Status EcoService::start() {
   CPLA_CHECK(!running(), Status(StatusCode::kInternal, "serve: already running"));
   session_ = std::make_unique<eco::EcoSession>(design_, state_, rc_, options_.eco);
   CPLA_CHECK_OK(recover());
+  if (options_.sta) {
+    // Built against the *recovered* state; the session invalidates it on
+    // tree deltas and re-times it after every resolve.
+    corner_set_ = options_.corners.empty() ? sta::CornerSet::single(*rc_)
+                                           : sta::CornerSet(*rc_, options_.corners);
+    sta_graph_.build(*state_, corner_set_, options_.sta_graph);
+    session_->attach_sta(&sta_graph_);
+  }
   publish_snapshot(hash_state(*state_, session_->critical()));
 
   {
@@ -737,6 +745,14 @@ void EcoService::publish_snapshot(std::uint64_t state_hash) {
   next->resolves = resolves_total_;
   next->hash = state_hash;
   next->metrics = core::compute_metrics(*state_, *rc_, session_->critical());
+  if (options_.sta && sta_graph_.built()) {
+    // Worker-confined like the session: bring the graph in sync with the
+    // state being published (cheap when the resolve path already did).
+    sta_graph_.update(*state_);
+    next->sta = true;
+    next->sta_worst_slack = sta_graph_.worst_slack();
+    obs::metrics().counter("sta.serve.retimes").add();
+  }
 
   std::shared_ptr<const StateSnapshot> prev;
   {

@@ -46,6 +46,8 @@
 #include "src/grid/design.hpp"
 #include "src/serve/journal.hpp"
 #include "src/serve/protocol.hpp"
+#include "src/sta/corner.hpp"
+#include "src/sta/timing_graph.hpp"
 #include "src/timing/rc_table.hpp"
 #include "src/util/status.hpp"
 
@@ -63,6 +65,13 @@ struct ServeOptions {
   // it (it re-runs on the fresher state). 0 disables supersede.
   int supersede_after = 0;
   bool coalesce = true;  // drop superseded same-key edits within a batch
+  // Live STA (src/sta): the service owns a multi-corner TimingGraph over
+  // the state, re-times it incrementally after every resolve and before
+  // every snapshot publish, and reports worst slack in StateSnapshot.
+  // `corners` empty = the single unscaled typical corner.
+  bool sta = false;
+  std::vector<sta::RcCorner> corners;
+  sta::TimingGraph::Options sta_graph;
 };
 
 /// Immutable published view for snapshot-isolated reads. `layers` shares
@@ -72,6 +81,10 @@ struct StateSnapshot {
   std::uint64_t resolves = 0;  // completed resolves folded in
   std::uint64_t hash = 0;      // hash_state() at publish time
   core::LaMetrics metrics;
+  // Live-STA view (ServeOptions::sta): worst slack over every endpoint and
+  // corner at publish time. `sta` false = STA off, slack not meaningful.
+  bool sta = false;
+  double sta_worst_slack = 0.0;
   std::vector<std::shared_ptr<const std::vector<int>>> layers;  // per net
 };
 
@@ -200,6 +213,11 @@ class EcoService {
   const timing::RcTable* rc_;
   ServeOptions options_;
   std::unique_ptr<eco::EcoSession> session_;  // worker-confined after start()
+  // Live STA (ServeOptions::sta): owned here, attached to the session so
+  // tree deltas invalidate it; worker-confined after start() like the
+  // session itself.
+  sta::CornerSet corner_set_;
+  sta::TimingGraph sta_graph_;
 
   Journal journal_;
   std::uint64_t base_hash_ = 0;  // genesis payload of the open journal

@@ -1,0 +1,61 @@
+#pragma once
+
+// RC corners for multi-scenario STA. A corner is a named scaling of the
+// base RC extraction (the `CellLib x TimingMode` idiom of the Galois
+// TimingEngine, collapsed to what this repo models: wire/via resistance,
+// wire/pin capacitance, and driver strength) plus an optional endpoint
+// required time. CornerSet materializes one RcTable per corner up front so
+// the timing graph's inner loops never re-scale.
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "src/timing/rc_table.hpp"
+#include "src/util/status.hpp"
+
+namespace cpla::sta {
+
+struct RcCorner {
+  std::string name = "typ";
+  double res_scale = 1.0;        // wire + via resistance multiplier
+  double cap_scale = 1.0;        // wire + sink pin capacitance multiplier
+  double driver_scale = 1.0;     // driver resistance multiplier
+  // Endpoint budget for this corner. Negative = derived: the corner's
+  // worst endpoint arrival becomes the required time, so the most critical
+  // endpoint sits at exactly zero slack and everything else is ranked
+  // relative to it.
+  double required_time = -1.0;
+};
+
+/// The materialized corner table: one scaled RcTable per RcCorner.
+class CornerSet {
+ public:
+  CornerSet() = default;
+  CornerSet(const timing::RcTable& base, std::vector<RcCorner> corners);
+
+  /// The trivial one-corner set (unscaled base extraction, derived budget).
+  static CornerSet single(const timing::RcTable& base);
+
+  int size() const { return static_cast<int>(corners_.size()); }
+  const RcCorner& corner(int c) const { return corners_[static_cast<std::size_t>(c)]; }
+  const timing::RcTable& rc(int c) const { return tables_[static_cast<std::size_t>(c)]; }
+
+ private:
+  std::vector<RcCorner> corners_;
+  std::vector<timing::RcTable> tables_;
+};
+
+/// Parses a corner table. One corner per line, '#' comments and blank
+/// lines ignored:
+///
+///   corner <name> <res_scale> <cap_scale> [driver_scale [required_time]]
+///
+/// Returns kBadInput (with the 1-based line number) on a malformed line,
+/// a duplicate corner name, or an empty table.
+Result<std::vector<RcCorner>> parse_corners(std::istream& in);
+
+/// parse_corners over a file; kBadInput when the file cannot be opened.
+Result<std::vector<RcCorner>> parse_corners_file(const std::string& path);
+
+}  // namespace cpla::sta

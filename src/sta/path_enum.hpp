@@ -1,0 +1,21 @@
+#pragma once
+
+// TimingPath: one source-to-endpoint path through the timing graph, as
+// returned by TimingGraph::report_top_k_paths. Lives in its own header so
+// the graph header can declare the report API without pulling in the
+// enumeration machinery (which stays in path_enum.cpp, a registered
+// bit-identity TU).
+
+#include <vector>
+
+namespace cpla::sta {
+
+struct TimingPath {
+  // Node ids along the path, primary input first, endpoint last.
+  std::vector<int> nodes;
+  double delay = 0.0;     // sum of edge delays along the path
+  double required = 0.0;  // the endpoint's required time at the corner
+  double slack = 0.0;     // required - delay; paths report in ascending slack
+};
+
+}  // namespace cpla::sta

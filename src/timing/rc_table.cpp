@@ -21,6 +21,10 @@ void RcTable::scale_resistance(double factor) {
   for (double& r : via_res_) r *= factor;
 }
 
+void RcTable::scale_capacitance(double factor) {
+  for (double& c : cap_) c *= factor;
+}
+
 double RcTable::via_stack_res(int from, int to) const {
   const int lo = std::min(from, to);
   const int hi = std::max(from, to);

@@ -32,6 +32,10 @@ class RcTable {
   /// Scales every wire and via resistance (testing and what-if analysis).
   void scale_resistance(double factor);
 
+  /// Scales every wire capacitance (RC-corner derivation; the sink pin cap
+  /// is a separate knob — see set_sink_cap).
+  void scale_capacitance(double factor);
+
   double sink_cap() const { return sink_cap_; }
   double driver_res() const { return driver_res_; }
   void set_sink_cap(double c) { sink_cap_ = c; }

@@ -32,6 +32,11 @@ namespace cpla::contract {
 // a pinned order (ascending k — see DESIGN.md § Batched SDP backend).
 inline constexpr const char* kBitIdentityTUs[] = {
     "src/la/batch.cpp",
+    // Incremental STA: an incremental TimingGraph::update() must be
+    // bit-identical to a from-scratch build() on the same state, and the
+    // top-K path report is replayed by tests against a brute-force oracle.
+    "src/sta/timing_graph.cpp",
+    "src/sta/path_enum.cpp",
 };
 
 // Directories where container iteration order can reach solver inputs
@@ -41,6 +46,7 @@ inline constexpr const char* kOrderSensitiveDirs[] = {
     "src/core",
     "src/la",
     "src/sdp",
+    "src/sta",
 };
 
 }  // namespace cpla::contract

@@ -2,6 +2,8 @@
 
 #include "src/core/flow.hpp"
 
+#include <cmath>
+
 #include <gtest/gtest.h>
 
 #include "src/core/pipeline.hpp"
@@ -83,6 +85,79 @@ TEST(SelectByBudget, FeedsCplaFlow) {
   opt.max_rounds = 2;
   const CplaResult r = run_cpla(run.state.get(), *run.rc, cs, opt);
   EXPECT_LE(r.metrics.max_tcp, delays[0] * 1.0001);  // never regresses the worst
+}
+
+sta::TimingGraph build_graph(const Prepared& run, const sta::CornerSet& set) {
+  sta::TimingGraph graph;
+  graph.build(*run.state, set, sta::TimingGraph::Options{});
+  return graph;
+}
+
+TEST(SelectCriticalSta, ReleasesTheWorstSlackNetsWorstFirst) {
+  Prepared run = bench();
+  const sta::CornerSet set = sta::CornerSet::single(*run.rc);
+  const sta::TimingGraph graph = build_graph(run, set);
+
+  const double ratio = 0.05;
+  const CriticalSet cs = select_critical(*run.state, graph, ratio);
+  const std::size_t want =
+      static_cast<std::size_t>(std::ceil(ratio * run.state->num_nets()));
+  ASSERT_EQ(cs.nets.size(), want);
+
+  // Worst slack first, and every unreleased routable net is no more
+  // critical than the released tail.
+  for (std::size_t i = 1; i < cs.nets.size(); ++i) {
+    EXPECT_LE(graph.net_slack(cs.nets[i - 1]), graph.net_slack(cs.nets[i]));
+  }
+  const double tail = graph.net_slack(cs.nets.back());
+  for (int n = 0; n < run.state->num_nets(); ++n) {
+    if (run.state->tree(n).segs.empty() || cs.released[n]) continue;
+    EXPECT_GE(graph.net_slack(n), tail) << n;
+  }
+}
+
+TEST(SelectByBudgetSta, ReleasesExactlyTheNegativeSlackNets) {
+  Prepared run = bench();
+  // A fixed-budget corner tight enough that some nets violate: required at
+  // half the worst endpoint arrival of the derived corner.
+  const sta::CornerSet probe_set = sta::CornerSet::single(*run.rc);
+  sta::TimingGraph probe;
+  probe.build(*run.state, probe_set, sta::TimingGraph::Options{});
+  const double budget = probe.corner_required(0) * 0.5;
+
+  const sta::CornerSet set(*run.rc, {sta::RcCorner{"tight", 1.0, 1.0, 1.0, budget}});
+  const sta::TimingGraph graph = build_graph(run, set);
+
+  const CriticalSet cs = select_by_budget(*run.state, graph);
+  ASSERT_FALSE(cs.nets.empty());
+  for (const int n : cs.nets) EXPECT_LT(graph.net_slack(n), 0.0) << n;
+  for (int n = 0; n < run.state->num_nets(); ++n) {
+    if (run.state->tree(n).segs.empty() || !graph.has_net(n)) continue;
+    EXPECT_EQ(static_cast<bool>(cs.released[n]), graph.net_slack(n) < 0.0) << n;
+  }
+}
+
+TEST(SelectCriticalSta, FlowRediscoversThroughAnAttachedGraph) {
+  Prepared run = bench();
+  const sta::CornerSet set = sta::CornerSet::single(*run.rc);
+  sta::TimingGraph graph;
+  graph.build(*run.state, set, sta::TimingGraph::Options{});
+
+  const CriticalSet entry = select_critical(*run.state, graph, 0.02);
+  CplaOptions opt;
+  opt.max_rounds = 2;
+  opt.sta_graph = &graph;
+  const CplaResult r = run_cpla(run.state.get(), *run.rc, entry, opt);
+  EXPECT_GE(r.rounds, 1);
+
+  // The flow's exit contract: the attached graph is current for the state
+  // it landed on — bit-identical to a from-scratch build.
+  sta::TimingGraph fresh;
+  fresh.build(*run.state, set, sta::TimingGraph::Options{});
+  ASSERT_EQ(fresh.num_nodes(), graph.num_nodes());
+  for (int v = 0; v < fresh.num_nodes(); ++v) {
+    EXPECT_EQ(graph.worst_slack(v), fresh.worst_slack(v)) << v;
+  }
 }
 
 }  // namespace

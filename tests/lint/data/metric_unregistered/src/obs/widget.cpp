@@ -5,4 +5,5 @@ void instrument() {
   obs::metrics().counter("sdp.solve.stalls").add();
   obs::metrics().counter("serve.deltas.applied").add();
   obs::metrics().counter("batch.solve.lanes").add();
+  obs::metrics().counter("sta.update.incremental").add();
 }

@@ -5,10 +5,12 @@ void check_counters() {
   auto s = obs::metrics().counter("sdp.solve.stalled").value();  // tense drift
   auto d = obs::metrics().counter("serve.deltas.appled").value();  // dropped letter
   auto b = obs::metrics().counter("batch.solve.lane").value();  // missing trailing s
+  auto i = obs::metrics().counter("sta.update.incrementals").value();  // spurious plural
   (void)v;
   (void)h;
   (void)f;
   (void)s;
   (void)d;
   (void)b;
+  (void)i;
 }

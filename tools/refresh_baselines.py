@@ -47,6 +47,7 @@ SPECS: list[tuple[str, str, list[str]]] = [
     ("BENCH_micro_batch.json", "micro_batch", ["--quick", "--gate", "1.15"]),
     ("BENCH_eco_incremental.json", "eco_incremental", ["--quick"]),
     ("BENCH_eco_serve.json", "eco_serve", ["--quick"]),
+    ("BENCH_sta_incremental.json", "sta_incremental", ["--quick"]),
 ]
 
 
