@@ -8,7 +8,11 @@
 //     --bench <name>      suite benchmark to generate (default adaptec1)
 //     --file <path>       parse an ISPD'08 .gr file instead of generating
 //     --ratio <r>         critical-net ratio (default 0.005)
-//     --engine <sdp|ilp|tila>  optimizer (default sdp)
+//     --engine <sdp|ilp|lagr|tila>  optimizer (default sdp)
+//     --backend <sdp|lagr|hybrid>   cross-backend arbiter mode (default sdp:
+//                         --engine rules everywhere; hybrid routes large or
+//                         deadline-pressured partitions to the Lagrangian
+//                         engine per partition)
 //     --rounds <n>        max CPLA rounds (default 8)
 //     --max-segs <n>      partition cap (default 10)
 //     --batch             batched SDP backend (bit-identical, faster)
@@ -108,7 +112,8 @@ int main(int argc, char** argv) {
   if (has_flag(argc, argv, "--help") || has_flag(argc, argv, "-h")) {
     std::printf(
         "usage: cpla_cli [--bench NAME | --file PATH] [--ratio R]\n"
-        "                [--engine sdp|ilp|tila] [--rounds N] [--max-segs N]\n"
+        "                [--engine sdp|ilp|lagr|tila] [--backend sdp|lagr|hybrid]\n"
+        "                [--rounds N] [--max-segs N]\n"
         "                [--batch] [--eco SCRIPT] [--sta] [--corners PATH]\n"
         "                [--topk K] [--required-time T] [--write-gr PATH] [--quiet]\n");
     return 0;
@@ -146,7 +151,24 @@ int main(int argc, char** argv) {
 
   core::Prepared prep = core::prepare(std::move(*design));
   core::CplaOptions cpla_opt;
-  cpla_opt.engine = (engine == "ilp") ? core::Engine::kIlp : core::Engine::kSdp;
+  cpla_opt.engine = (engine == "ilp")    ? core::Engine::kIlp
+                    : (engine == "lagr") ? core::Engine::kLagr
+                                         : core::Engine::kSdp;
+  // Cross-backend arbiter: --backend lagr forces the Lagrangian engine on
+  // every partition; --backend hybrid routes per partition (size/deadline
+  // policy, see src/core/backend_arbiter.hpp). Default keeps --engine in
+  // charge everywhere.
+  if (const char* backend = arg_value(argc, argv, "--backend")) {
+    const std::string mode = backend;
+    if (mode == "lagr") {
+      cpla_opt.backend.mode = core::BackendMode::kLagr;
+    } else if (mode == "hybrid") {
+      cpla_opt.backend.mode = core::BackendMode::kHybrid;
+    } else if (mode != "sdp") {
+      std::fprintf(stderr, "error: unknown --backend %s (sdp|lagr|hybrid)\n", backend);
+      return 1;
+    }
+  }
   if (const char* rounds = arg_value(argc, argv, "--rounds")) {
     cpla_opt.max_rounds = std::atoi(rounds);
   }

@@ -81,14 +81,26 @@ CplaResult run_cpla(assign::AssignState* state, const timing::RcTable& rc,
   // down, so the flow-level flag also gates the SDP solver's inner OpenMP.
   sdp::SdpOptions sdp_opts = options.sdp;
   sdp_opts.parallel = sdp_opts.parallel && options.parallel;
+
+  // Cross-backend arbiter: per-partition SDP-vs-Lagrangian choice. Its
+  // choose() is consulted concurrently from the solve phase but reads only
+  // history frozen at the last commit boundary; record() runs in the
+  // serial commit section below, so every solve in one batch sees the same
+  // history and the decision sequence is reproducible. With the default
+  // mode (kSdp) choose() returns options.engine untouched — the stock
+  // flow. An installed partition_solver hook owns backend choice instead.
+  BackendArbiter arbiter(options.backend);
+  const bool arbiter_active =
+      options.backend.mode != BackendMode::kSdp && !options.partition_solver;
   const PartitionSolveFn solve_one =
       options.partition_solver
           ? options.partition_solver
-          : PartitionSolveFn([&options, sdp_opts](const PartitionProblem& p,
-                                                  const assign::AssignState& s,
-                                                  GuardStats* stats) {
-              return guarded_solve(p, s, options.engine, sdp_opts, options.ilp,
-                                   options.guard, stats);
+          : PartitionSolveFn([&options, &arbiter, sdp_opts](const PartitionProblem& p,
+                                                            const assign::AssignState& s,
+                                                            GuardStats* stats) {
+              const Engine engine = arbiter.choose(p, options.guard, options.engine);
+              return guarded_solve(p, s, engine, sdp_opts, options.ilp, options.guard,
+                                   stats);
             });
 
   // Batched solve phase: applies only to the SDP engine without a per-solve
@@ -218,7 +230,14 @@ CplaResult run_cpla(assign::AssignState* state, const timing::RcTable& rc,
           for (const VarGroup& var : problems[static_cast<std::size_t>(i)].vars) {
             total_options += static_cast<int>(var.layers.size());
           }
-          if (1 + total_options <= options.batch.limits.max_dense_dim) {
+          // Arbiter-routed Lagrangian partitions take the scalar node path
+          // (the slab batch is an SDP tier-0 pass); solve_one re-derives
+          // the same choice from the same frozen history.
+          const bool lagr_routed =
+              arbiter_active && arbiter.choose(problems[static_cast<std::size_t>(i)],
+                                               options.guard,
+                                               options.engine) == Engine::kLagr;
+          if (!lagr_routed && 1 + total_options <= options.batch.limits.max_dense_dim) {
             small.push_back(i);
             continue;
           }
@@ -260,6 +279,22 @@ CplaResult run_cpla(assign::AssignState* state, const timing::RcTable& rc,
       }
       solve_phase.stop();
       for (const GuardStats& s : local_stats) result.guard_stats.merge(s);
+
+      // Arbiter accounting, in the serial section: decisions are
+      // recomputed against the same pre-batch history the parallel phase
+      // consulted (record() has not run since), then recorded in partition
+      // order so the history advances deterministically between batches.
+      if (arbiter_active) {
+        std::vector<Engine> chosen(static_cast<std::size_t>(count));
+        for (int i = 0; i < count; ++i) {
+          chosen[static_cast<std::size_t>(i)] = arbiter.choose(
+              problems[static_cast<std::size_t>(i)], options.guard, options.engine);
+        }
+        for (int i = 0; i < count; ++i) {
+          arbiter.record(chosen[static_cast<std::size_t>(i)],
+                         solutions[static_cast<std::size_t>(i)]);
+        }
+      }
       obs::ScopedPhase commit_phase("core.flow.commit");
 
       // Commit each partition as a transaction: apply its picks, re-check
@@ -411,8 +446,15 @@ CplaResult run_cpla(assign::AssignState* state, const timing::RcTable& rc,
   if (options.sta_graph != nullptr) options.sta_graph->update(*state);
 
   result.metrics = compute_metrics(*state, rc, critical);
+  result.arbiter_stats = arbiter.stats();
   // Per-partition fallback statistics (counts per escalation tier).
   if (result.guard_stats.solves > 0) result.guard_stats.log_summary("cpla");
+  if (arbiter_active) {
+    LOG_INFO("cpla arbiter (%s): sdp=%ld lagr=%ld escalations sdp=%ld lagr=%ld",
+             to_string(options.backend.mode), result.arbiter_stats.sdp_chosen,
+             result.arbiter_stats.lagr_chosen, result.arbiter_stats.sdp_escalations,
+             result.arbiter_stats.lagr_escalations);
+  }
   return result;
 }
 

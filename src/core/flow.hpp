@@ -10,6 +10,7 @@
 #include <unordered_map>
 
 #include "src/assign/state.hpp"
+#include "src/core/backend_arbiter.hpp"
 #include "src/core/critical.hpp"
 #include "src/core/displace.hpp"
 #include "src/core/model.hpp"
@@ -72,6 +73,16 @@ struct CplaOptions {
   DisplaceOptions displace;
   sdp::SdpOptions sdp{.max_iterations = 60, .tol = 1e-5, .step_fraction = 0.98};
   ilp::MipOptions ilp;
+  // Cross-backend arbiter (src/core/backend_arbiter): per-partition choice
+  // between the SDP and Lagrangian engines. The default mode (kSdp) leaves
+  // `engine` in charge everywhere — the stock flow, bit-identical to the
+  // arbiter-free path. kHybrid routes large / deadline-pressured
+  // partitions to Engine::kLagr; choices are recorded (and the adaptive
+  // history advanced) only at serial commit boundaries, so runs stay
+  // deterministic. Ignored when a `partition_solver` hook is installed —
+  // the hook owns backend choice (src/eco runs its own history-free
+  // arbiter so cached solves replay bit-identically).
+  ArbiterOptions backend;
   // Graceful degradation: every partition solve runs through the guarded
   // escalation chain and commits transactionally (see solve_guard.hpp).
   GuardOptions guard;
@@ -136,6 +147,7 @@ struct CplaResult {
   int max_partition_depth = 0;
   bool cancelled = false;  // CplaOptions::cancel fired mid-run
   GuardStats guard_stats;  // per-tier escalation counts across all solves
+  ArbiterStats arbiter_stats;  // per-backend decision counts (hybrid/lagr modes)
 };
 
 /// Runs CPLA on a pre-selected critical set (share the set with a TILA run

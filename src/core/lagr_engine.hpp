@@ -1,0 +1,48 @@
+#pragma once
+
+// Lagrangian sub-gradient engine over the partition model — the second
+// full-chip backend next to the SDP relaxation. The capacity rows (4c) are
+// dualized with one multiplier each; pricing is a coordinate sweep in var
+// order against the linear costs, the dualized row prices, and the pair
+// costs linearized at the neighbors' current picks (the TILA approximation,
+// here confined to a tier whose output is validated by the solve guard).
+// Every sweep's integral pick is scored on the *true* model objective and
+// the best capacity-feasible pick seen is returned; when no sweep beats the
+// incumbent, the incumbent comes back unchanged — the result always passes
+// the guard's pick_acceptable validation, preserving the never-worse
+// contract without any PSD numerics or wall-clock risk.
+//
+// Deterministic by construction: serial sweeps in var order, multiplier
+// updates in row order (partition-level parallelism lives in the flow's
+// loop over partitions). This TU is registered in the bit-identity
+// contract (-ffp-contract=off; src/util/determinism_contract.hpp).
+
+#include "src/core/critical.hpp"
+#include "src/core/model.hpp"
+#include "src/core/sdp_engine.hpp"
+#include "src/lagr/net_engine.hpp"
+
+namespace cpla::core {
+
+struct LagrPartitionOptions {
+  int iterations = 40;   // sub-gradient sweeps
+  double step = 0.5;     // initial multiplier step, x the per-var cost scale
+  double decay = 0.15;   // diminishing step: step / (1 + decay * k)
+};
+
+/// Solves one partition with the dualized-capacity sub-gradient method.
+/// Never throws; the pick always satisfies the guard's validation (best
+/// feasible sweep result, or the incumbent). Fault site "lagr.solve"
+/// simulates a failed solve (incumbent pick, kNumericalFailure) so tests
+/// can drive the cross-backend escalation chain.
+EngineResult solve_partition_lagr(const PartitionProblem& problem,
+                                  const assign::AssignState& state,
+                                  const LagrPartitionOptions& options = {});
+
+/// Convenience mirror of run_tila: the net-level parallel engine
+/// (src/lagr/net_engine) driven by a critical set.
+lagr::NetLagrResult run_lagr(assign::AssignState* state, const timing::RcTable& rc,
+                             const CriticalSet& critical,
+                             const lagr::NetLagrOptions& options = {});
+
+}  // namespace cpla::core

@@ -201,8 +201,12 @@ static GuardedSolve guarded_solve_impl(const PartitionProblem& p,
 
   auto primary_result = [&](const sdp::SdpOptions& opts) {
     if (injected_primary != nullptr) return std::move(*injected_primary);
-    return (engine == Engine::kSdp) ? solve_partition_sdp(p, state, opts)
-                                    : solve_partition_ilp(p, state, ilp_options);
+    switch (engine) {
+      case Engine::kSdp: return solve_partition_sdp(p, state, opts);
+      case Engine::kLagr: return solve_partition_lagr(p, state, guard.lagr);
+      case Engine::kIlp: break;
+    }
+    return solve_partition_ilp(p, state, ilp_options);
   };
 
   if (!guard.enabled) {
@@ -261,17 +265,23 @@ static GuardedSolve guarded_solve_impl(const PartitionProblem& p,
 
   // Tier 1: SDP retry with relaxed tolerance and a tighter iteration cap —
   // rescues ill-conditioned instances where chasing the last digits of the
-  // gap is what breaks the Schur factorization.
+  // gap is what breaks the Schur factorization. Under the Lagrangian
+  // primary the retry is a *full* SDP solve instead: a cross-backend
+  // rescue, since the two engines' failure modes are disjoint.
   if (engine == Engine::kSdp && !deadline_expired()) {
     sdp::SdpOptions relaxed = sdp_budget(sdp_options);
     relaxed.tol = sdp_options.tol * guard.retry_tol_scale;
     relaxed.max_iterations = std::min(sdp_options.max_iterations, guard.retry_max_iterations);
     if (attempt(GuardTier::kRetry, solve_partition_sdp(p, state, relaxed))) return out;
+  } else if (engine == Engine::kLagr && !deadline_expired()) {
+    if (attempt(GuardTier::kRetry, solve_partition_sdp(p, state, sdp_budget(sdp_options)))) {
+      return out;
+    }
   }
 
   // Tier 2: exact ILP for small partitions (GAP-LA-style engine switch:
   // below this size the exact search is cheap and has no PSD numerics).
-  if (engine == Engine::kSdp && !deadline_expired() &&
+  if (engine != Engine::kIlp && !deadline_expired() &&
       static_cast<int>(p.vars.size()) <= guard.ilp_fallback_max_vars) {
     ilp::MipOptions mip = ilp_options;
     mip.time_limit_s = guard.ilp_fallback_time_s;

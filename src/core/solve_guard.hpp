@@ -13,10 +13,17 @@
 // the capacity rows, no model-objective regression vs the incumbent) before
 // it is accepted; a tier that fails validation escalates to the next. The
 // final tier cannot fail: it returns the incumbent pick, i.e. no change.
+//
+// With Engine::kLagr the primary tier is the Lagrangian sub-gradient
+// engine (src/core/lagr_engine) and the kRetry tier becomes a full SDP
+// solve — a *cross-backend* rescue: the two engines fail in disjoint ways
+// (sub-gradient stalls vs PSD numerics), so each backs the other up before
+// the chain falls through to the DP/keep-current tiers.
 
 #include <vector>
 
 #include "src/assign/state.hpp"
+#include "src/core/lagr_engine.hpp"
 #include "src/core/model.hpp"
 #include "src/core/sdp_engine.hpp"
 #include "src/ilp/branch_bound.hpp"
@@ -26,11 +33,11 @@
 
 namespace cpla::core {
 
-enum class Engine { kSdp, kIlp };
+enum class Engine { kSdp, kIlp, kLagr };
 
 enum class GuardTier : int {
   kPrimary = 0,   // configured engine, full settings
-  kRetry,         // SDP with relaxed tolerance + reduced iteration cap
+  kRetry,         // SDP retry (relaxed tolerance; full SDP under kLagr)
   kIlp,           // exact ILP, small partitions only
   kNetDp,         // per-net tree DP on the partition model
   kKeepCurrent,   // incumbent assignment — always valid
@@ -48,6 +55,10 @@ struct GuardOptions {
   int retry_max_iterations = 30;
   int ilp_fallback_max_vars = 10;      // ILP tier only below this size
   double ilp_fallback_time_s = 2.0;    // ILP tier time budget
+  // Primary-tier settings for Engine::kLagr (the other engines carry their
+  // options through the guarded_solve signature; adding a fourth parameter
+  // for every caller would churn the whole call graph for one engine).
+  LagrPartitionOptions lagr;
   // Per-partition transactional commits in the flow: re-validate capacity
   // and timing after mapping a partition and roll it back on regression.
   bool transactional_commit = true;

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cstdlib>
+#include <map>
+#include <utility>
 
 #include "src/timing/elmore.hpp"
 #include "src/util/logging.hpp"
@@ -39,11 +41,14 @@ TilaResult run_tila(assign::AssignState* state, const timing::RcTable& rc,
   }
 
   // Delay scale for the subgradient step: mean segment delay over the
-  // released nets at the current assignment.
+  // released nets at the current assignment. The same sweep prices the
+  // entry assignment, which seeds the best-iterate tracking below.
   double scale = 0.0;
   long scale_n = 0;
+  double entry_obj = 0.0;
   for (int net : critical.nets) {
     const auto t = timing::compute_timing(state->tree(net), state->layers(net), rc);
+    entry_obj += t.max_sink_delay;
     for (std::size_t s = 0; s < state->tree(net).segs.size(); ++s) {
       const int l = state->layers(net)[s];
       scale += rc.res(l) * state->tree(net).segs[s].length() *
@@ -54,6 +59,16 @@ TilaResult run_tila(assign::AssignState* state, const timing::RcTable& rc,
   scale = (scale_n > 0) ? scale / static_cast<double>(scale_n) : 1.0;
   const double lambda_step = options.lambda_step * scale;
   const double mu_step = options.mu_step * scale;
+
+  // Sub-gradient iterates are not monotone: the iterate in the state when
+  // the convergence test trips (or the budget runs out) can be worse than
+  // an earlier one — or than the entry assignment. Track the best-seen
+  // primal assignment over the released nets and restore it on exit.
+  double best_obj = entry_obj;
+  std::vector<std::vector<int>> best_layers;
+  best_layers.reserve(critical.nets.size());
+  for (int net : critical.nets) best_layers.push_back(state->layers(net));
+  result.weighted_delay = entry_obj;
 
   double prev_obj = 1e300;
   for (int iter = 0; iter < options.iterations; ++iter) {
@@ -69,9 +84,14 @@ TilaResult run_tila(assign::AssignState* state, const timing::RcTable& rc,
     for (int net : critical.nets) {
       const route::SegTree& tree = state->tree(net);
       if (tree.segs.empty()) continue;
-      const timing::NetTiming t = timing::compute_timing(tree, state->layers(net), rc);
+      timing::NetTiming t = timing::compute_timing(tree, state->layers(net), rc);
       const std::vector<int> w = downstream_sinks(tree);
       std::vector<int> layers = state->layers(net);
+      // Usage deltas from segments of *this* net already re-priced in this
+      // pass but not yet committed to the state: without them, two segments
+      // sharing an edge each discount only their own pre-pass usage and can
+      // jointly overfill it.
+      std::map<std::pair<int, int>, int> pass_delta;  // (layer, edge) -> +-tracks
 
       for (const route::Segment& seg : tree.segs) {
         const int s = seg.id;
@@ -90,7 +110,12 @@ TilaResult run_tila(assign::AssignState* state, const timing::RcTable& rc,
           state->for_each_edge(net, s, [&](int e) {
             cost += lambda[l][e];
             const int self = (layers[s] == l) ? 1 : 0;
-            if (state->wire_usage(l, e) - self + 1 > state->wire_cap(l, e)) over = true;
+            int delta = 0;
+            const auto it = pass_delta.find({l, e});
+            if (it != pass_delta.end()) delta = it->second;
+            if (state->wire_usage(l, e) + delta - self + 1 > state->wire_cap(l, e)) {
+              over = true;
+            }
           });
           if (over && l != layers[s]) continue;
 
@@ -125,7 +150,16 @@ TilaResult run_tila(assign::AssignState* state, const timing::RcTable& rc,
             best_layer = l;
           }
         }
-        layers[s] = best_layer;
+        if (best_layer != layers[s]) {
+          state->for_each_edge(net, s, [&](int e) {
+            pass_delta[{layers[s], e}] -= 1;
+            pass_delta[{best_layer, e}] += 1;
+          });
+          layers[s] = best_layer;
+          // Downstream caps shift with the move; keep the timing the later
+          // segments price against current instead of pass-entry stale.
+          t = timing::compute_timing(tree, layers, rc);
+        }
       }
       state->set_layers(net, std::move(layers));
       obj += timing::compute_timing(tree, state->layers(net), rc).max_sink_delay;
@@ -143,9 +177,23 @@ TilaResult run_tila(assign::AssignState* state, const timing::RcTable& rc,
       }
     }
 
-    result.weighted_delay = obj;
+    if (obj < best_obj) {
+      best_obj = obj;
+      for (std::size_t i = 0; i < critical.nets.size(); ++i) {
+        best_layers[i] = state->layers(critical.nets[i]);
+      }
+    }
+    result.weighted_delay = best_obj;
     if (obj > prev_obj * 0.999) break;  // converged / oscillating
     prev_obj = obj;
+  }
+
+  // Restore the best-seen iterate (possibly the entry assignment).
+  for (std::size_t i = 0; i < critical.nets.size(); ++i) {
+    const int net = critical.nets[i];
+    if (state->layers(net) != best_layers[i]) {
+      state->set_layers(net, std::vector<int>(best_layers[i]));
+    }
   }
 
   LOG_DEBUG("tila: %d iterations, objective %.1f", result.iterations_run,

@@ -10,12 +10,24 @@
 
 namespace cpla::eco {
 
+namespace {
+
+// Replay-safe arbiter configuration: the adaptive history would make a
+// choice depend on how many solves ran before it, which a cache hit skips.
+core::ArbiterOptions history_free(core::ArbiterOptions backend) {
+  backend.use_history = false;
+  return backend;
+}
+
+}  // namespace
+
 EcoSession::EcoSession(grid::Design* design, assign::AssignState* state,
                        const timing::RcTable* rc, EcoOptions options)
     : design_(design),
       state_(state),
       rc_(rc),
       options_(std::move(options)),
+      arbiter_(history_free(options_.flow.backend)),
       cache_(options_.cache_capacity) {
   CPLA_ASSERT(design_ != nullptr && state_ != nullptr && rc_ != nullptr);
   CPLA_ASSERT_MSG(&state_->design() == design_, "state must be built on this design");
@@ -208,7 +220,12 @@ core::OptimizeResult EcoSession::resolve(const ResolveOptions& request) {
 core::OptimizeResult EcoSession::full_resolve() {
   ++full_resolves_;
   obs::metrics().counter("eco.resolve.full").add();
-  core::OptimizeResult out = core::optimize(state_, *rc_, critical_, options_.flow);
+  // Same history-free arbiter config the cached path uses: the flow's
+  // adaptive history would let backend choices depend on solve *order*,
+  // and resolve() must stay bit-identical to this baseline.
+  core::CplaOptions opts = options_.flow;
+  opts.backend = history_free(opts.backend);
+  core::OptimizeResult out = core::optimize(state_, *rc_, critical_, opts);
   pending_.clear();
   retime_sta();
   return out;
@@ -275,12 +292,17 @@ bool replay_valid(const core::PartitionProblem& problem, const core::GuardedSolv
 
 }  // namespace
 
+core::Engine EcoSession::chosen_engine(const core::PartitionProblem& problem) const {
+  return arbiter_.choose(problem, options_.flow.guard, options_.flow.engine);
+}
+
 core::GuardedSolve EcoSession::solve_partition(const core::PartitionProblem& problem,
                                                const assign::AssignState& state,
                                                core::GuardStats* stats) {
   const core::CplaOptions& f = options_.flow;
   auto solve_fresh = [&]() {
-    return core::guarded_solve(problem, state, f.engine, f.sdp, f.ilp, f.guard, stats);
+    return core::guarded_solve(problem, state, chosen_engine(problem), f.sdp, f.ilp, f.guard,
+                               stats);
   };
 
   if (CPLA_FAULT_POINT("eco.resolve.partition")) {
@@ -383,8 +405,32 @@ std::vector<core::GuardedSolve> EcoSession::solve_partition_batch(
   if (!misses.empty()) {
     // Keys were built pre-solve, but the solve phase never mutates the
     // state, so they equal the keys the sequential path would compute.
-    std::vector<core::GuardedSolve> solved = core::guarded_solve_batch(
-        misses, state, f.engine, f.sdp, f.ilp, f.guard, f.batch.limits, stats);
+    // The arbiter may route individual misses to the Lagrangian engine; a
+    // batch call carries one engine, so lagr-chosen misses solve through
+    // the scalar guarded path and only the base-engine misses are batched.
+    // (chosen_engine is history-free, so the split is a pure function of
+    // the problems — identical under replay and across batch shapes.)
+    std::vector<core::GuardedSolve> solved(misses.size());
+    std::vector<const core::PartitionProblem*> batched;
+    std::vector<std::size_t> batched_owner;
+    batched.reserve(misses.size());
+    batched_owner.reserve(misses.size());
+    for (std::size_t m = 0; m < misses.size(); ++m) {
+      const core::Engine eng = chosen_engine(*misses[m]);
+      if (eng == f.engine) {
+        batched.push_back(misses[m]);
+        batched_owner.push_back(m);
+      } else {
+        solved[m] = core::guarded_solve(*misses[m], state, eng, f.sdp, f.ilp, f.guard, stats);
+      }
+    }
+    if (!batched.empty()) {
+      std::vector<core::GuardedSolve> batch_solved = core::guarded_solve_batch(
+          batched, state, f.engine, f.sdp, f.ilp, f.guard, f.batch.limits, stats);
+      for (std::size_t b = 0; b < batched.size(); ++b) {
+        solved[batched_owner[b]] = std::move(batch_solved[b]);
+      }
+    }
     for (std::size_t m = 0; m < misses.size(); ++m) {
       const std::size_t i = miss_owner[m];
       if (insertable[i] != 0) cache_.insert(keys[i], solved[m]);
@@ -400,8 +446,12 @@ CacheKey EcoSession::build_key(const core::PartitionProblem& problem,
   const auto& g = state.design().grid;
 
   // Session salt: solver selection and grid shape. (Solver *options* are
-  // fixed for the session's lifetime, so they need no words here.)
+  // fixed for the session's lifetime, so they need no words here.) The
+  // arbiter's per-problem choice is part of the key: a pick produced by one
+  // engine must never replay for a config that would route elsewhere.
   key.push_int(static_cast<int>(options_.flow.engine));
+  key.push_int(static_cast<int>(options_.flow.backend.mode));
+  key.push_int(static_cast<int>(chosen_engine(problem)));
   key.push_int(g.num_layers());
   key.push_int(state.nv());
 

@@ -150,11 +150,18 @@ class EcoSession {
                      const assign::AssignState& state) const;
   bool is_dirty(const core::PartitionProblem& problem) const;
   void retime_sta();
+  core::Engine chosen_engine(const core::PartitionProblem& problem) const;
 
   grid::Design* design_;
   assign::AssignState* state_;
   const timing::RcTable* rc_;
   EcoOptions options_;
+  // History-free copy of options_.flow.backend (use_history forced off):
+  // with no adaptive state, choose() is a pure function of the problem, so
+  // a cached GuardedSolve replays bit-identically no matter how many
+  // solves preceded it. record() is never called — the adaptive-history
+  // feature is flow-only by design.
+  core::BackendArbiter arbiter_;
   core::CriticalSet critical_;
 
   std::vector<Rect> pending_;  // delta regions since the last clean resolve

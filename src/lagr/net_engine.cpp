@@ -1,0 +1,275 @@
+#include "src/lagr/net_engine.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <utility>
+
+#include "src/obs/metrics.hpp"
+#include "src/timing/elmore.hpp"
+#include "src/util/logging.hpp"
+
+#ifdef _OPENMP
+#include <omp.h>
+#endif
+
+namespace cpla::lagr {
+
+namespace {
+
+/// Per-net pricing context, shared between the parallel proposal phase and
+/// the serial commit validation.
+struct Multipliers {
+  std::vector<std::vector<double>> lambda;  // [layer][edge]
+  std::vector<std::vector<double>> mu;      // [layer][cell]
+};
+
+/// Greedy within-net sweep: price every segment against the multipliers and
+/// the criticality-weighted Elmore costs, Gauss-Seidel in segment order with
+/// live intra-net usage deltas (two segments of one net can share an edge)
+/// and a timing refresh after every accepted move. Reads the state's
+/// committed usage only — safe to run concurrently across nets.
+std::vector<int> price_net(const assign::AssignState& state, const timing::RcTable& rc,
+                           const Multipliers& m, int net, const NetLagrOptions& options) {
+  const route::SegTree& tree = state.tree(net);
+  const auto& g = state.design().grid;
+  std::vector<int> layers = state.layers(net);
+  if (tree.segs.empty()) return layers;
+
+  timing::NetTiming t = timing::compute_timing(tree, layers, rc);
+  std::map<std::pair<int, int>, int> pass_delta;  // (layer, edge) -> +-tracks
+
+  auto weight = [&](int s) {
+    return std::max(options.criticality_floor, t.criticality[static_cast<std::size_t>(s)]);
+  };
+
+  for (const route::Segment& seg : tree.segs) {
+    const int s = seg.id;
+    const std::vector<int>& allowed = state.allowed_layers(seg.horizontal);
+    double best_cost = 1e300;
+    int best_layer = layers[s];
+    for (int l : allowed) {
+      const double len = seg.length();
+      double cost =
+          weight(s) * rc.res(l) * len * (rc.cap(l) * len / 2.0 + t.downstream_cap[s]);
+
+      // Wire congestion: multiplier prices plus the hard edge-capacity
+      // check — a full edge is not a legal destination (staying put always
+      // is). Usage deltas of this net's earlier segments are included.
+      bool over = false;
+      state.for_each_edge(net, s, [&](int e) {
+        cost += m.lambda[l][e];
+        const int self = (layers[s] == l) ? 1 : 0;
+        int delta = 0;
+        const auto it = pass_delta.find({l, e});
+        if (it != pass_delta.end()) delta = it->second;
+        if (state.wire_usage(l, e) + delta - self + 1 > state.wire_cap(l, e)) over = true;
+      });
+      if (over && l != layers[s]) continue;
+
+      // Via terms linearized against the neighbors' current layers, with
+      // the neighbor's own criticality weighting its stack.
+      auto via_term = [&](int cell_x, int cell_y, int other_layer, double load, double w) {
+        double c = w * rc.via_stack_res(other_layer, l) * load;
+        const int cell = g.cell_id(cell_x, cell_y);
+        for (int ll = std::min(other_layer, l) + 1; ll < std::max(other_layer, l); ++ll) {
+          c += m.mu[ll][cell];
+        }
+        return c;
+      };
+      if (seg.parent < 0) {
+        const double subtree = rc.cap(l) * len + t.downstream_cap[s];
+        cost += via_term(seg.a.x, seg.a.y, tree.root_pin_layer, subtree, weight(s));
+      } else {
+        const double load = std::min(t.downstream_cap[s], t.downstream_cap[seg.parent]);
+        cost += via_term(seg.a.x, seg.a.y, layers[seg.parent], load, weight(s));
+      }
+      for (int c : seg.children) {
+        const double load = std::min(t.downstream_cap[s], t.downstream_cap[c]);
+        cost += via_term(tree.segs[c].a.x, tree.segs[c].a.y, layers[c], load, weight(c));
+      }
+      for (const route::SinkAttach& sink : tree.sinks) {
+        if (sink.seg_id != s) continue;
+        cost += via_term(seg.b.x, seg.b.y, sink.pin_layer, rc.sink_cap(), 1.0);
+      }
+
+      if (cost < best_cost) {
+        best_cost = cost;
+        best_layer = l;
+      }
+    }
+    if (best_layer != layers[s]) {
+      state.for_each_edge(net, s, [&](int e) {
+        pass_delta[{layers[s], e}] -= 1;
+        pass_delta[{best_layer, e}] += 1;
+      });
+      layers[s] = best_layer;
+      t = timing::compute_timing(tree, layers, rc);
+    }
+  }
+  return layers;
+}
+
+/// Serial commit-time validation against the *live* usage: proposals were
+/// priced Jacobi-style against the iteration-entry state, so two nets can
+/// both claim an edge's last track. Accepts the proposal iff every moved
+/// segment's destination edges stay within capacity (with this net's own
+/// move deltas applied); a conflicted net keeps its current assignment
+/// until the next iteration re-prices it against updated multipliers.
+bool proposal_fits(const assign::AssignState& state, int net, const std::vector<int>& current,
+                   const std::vector<int>& proposal) {
+  std::map<std::pair<int, int>, int> delta;
+  for (std::size_t s = 0; s < proposal.size(); ++s) {
+    if (proposal[s] == current[s]) continue;
+    state.for_each_edge(net, static_cast<int>(s), [&](int e) {
+      delta[{current[s], e}] -= 1;
+      delta[{proposal[s], e}] += 1;
+    });
+  }
+  for (const auto& [key, d] : delta) {
+    if (d <= 0) continue;
+    const auto [l, e] = key;
+    if (state.wire_usage(l, e) + d > state.wire_cap(l, e)) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+NetLagrResult optimize_nets(assign::AssignState* state, const timing::RcTable& rc,
+                            const std::vector<int>& nets, const NetLagrOptions& options) {
+  static obs::Counter& iterations_metric = obs::metrics().counter("lagr.net.iterations");
+  static obs::Counter& committed_metric = obs::metrics().counter("lagr.net.moves_committed");
+  static obs::Counter& rejected_metric = obs::metrics().counter("lagr.net.moves_rejected");
+
+  const auto& g = state->design().grid;
+  NetLagrResult result;
+  const int n = static_cast<int>(nets.size());
+
+  Multipliers m;
+  m.lambda.resize(static_cast<std::size_t>(g.num_layers()));
+  m.mu.resize(static_cast<std::size_t>(g.num_layers()));
+  for (int l = 0; l < g.num_layers(); ++l) {
+    m.lambda[l].assign(static_cast<std::size_t>(g.num_edges_on_layer(l)), 0.0);
+    m.mu[l].assign(static_cast<std::size_t>(g.num_cells()), 0.0);
+  }
+
+  // Step scale (mean segment delay at entry) and the entry objective, in
+  // one ordered sweep. The entry assignment seeds best-iterate tracking.
+  double scale = 0.0;
+  long scale_n = 0;
+  double entry_obj = 0.0;
+  for (int net : nets) {
+    const auto t = timing::compute_timing(state->tree(net), state->layers(net), rc);
+    entry_obj += t.max_sink_delay;
+    for (std::size_t s = 0; s < state->tree(net).segs.size(); ++s) {
+      const int l = state->layers(net)[s];
+      scale += rc.res(l) * state->tree(net).segs[s].length() *
+               (rc.cap(l) * state->tree(net).segs[s].length() / 2.0 + t.downstream_cap[s]);
+      ++scale_n;
+    }
+  }
+  scale = (scale_n > 0) ? scale / static_cast<double>(scale_n) : 1.0;
+
+  result.entry_objective = entry_obj;
+  double best_obj = entry_obj;
+  std::vector<std::vector<int>> best_layers;
+  best_layers.reserve(nets.size());
+  for (int net : nets) best_layers.push_back(state->layers(net));
+  result.best_objective = entry_obj;
+
+  std::vector<std::vector<int>> proposals(nets.size());
+  std::vector<double> delays(nets.size(), 0.0);
+  double prev_obj = 1e300;
+
+  for (int iter = 0; iter < options.iterations; ++iter) {
+    result.iterations_run = iter + 1;
+    iterations_metric.add();
+
+    // Phase 1 — parallel pricing. Each net's proposal depends only on the
+    // iteration-entry state and the multipliers, so the proposals are
+    // independent of the thread count and of each other.
+    {
+      obs::ScopedPhase phase("lagr.net.price");
+#ifdef _OPENMP
+#pragma omp parallel for schedule(dynamic) if (options.parallel && n > 1)
+#endif
+      for (int i = 0; i < n; ++i) {
+        proposals[static_cast<std::size_t>(i)] = price_net(*state, rc, m, nets[i], options);
+      }
+    }
+
+    // Phase 2 — serial commit in net order under the live capacity check.
+    {
+      obs::ScopedPhase phase("lagr.net.commit");
+      for (int i = 0; i < n; ++i) {
+        const int net = nets[i];
+        const std::vector<int>& current = state->layers(net);
+        std::vector<int>& proposal = proposals[static_cast<std::size_t>(i)];
+        if (proposal == current) continue;
+        if (!proposal_fits(*state, net, current, proposal)) {
+          ++result.moves_rejected;
+          continue;
+        }
+        long moved = 0;
+        for (std::size_t s = 0; s < proposal.size(); ++s) {
+          if (proposal[s] != current[s]) ++moved;
+        }
+        result.moves_committed += moved;
+        state->set_layers(net, std::move(proposal));
+      }
+    }
+
+    // Phase 3 — objective: per-net delays in parallel (the state is stable
+    // now), summed serially in net order. No OMP reduction: the ordered sum
+    // is part of the bit-identity contract.
+#ifdef _OPENMP
+#pragma omp parallel for schedule(dynamic) if (options.parallel && n > 1)
+#endif
+    for (int i = 0; i < n; ++i) {
+      delays[static_cast<std::size_t>(i)] =
+          timing::critical_delay(state->tree(nets[i]), state->layers(nets[i]), rc);
+    }
+    double obj = 0.0;
+    for (int i = 0; i < n; ++i) obj += delays[static_cast<std::size_t>(i)];
+
+    // Phase 4 — projected sub-gradient update on capacity violations.
+    const double lambda_step = options.lambda_step * scale;
+    const double mu_step = options.mu_step * scale;
+    for (int l = 0; l < g.num_layers(); ++l) {
+      for (int e = 0; e < g.num_edges_on_layer(l); ++e) {
+        const int over = state->wire_usage(l, e) - state->wire_cap(l, e);
+        m.lambda[l][e] = std::max(0.0, m.lambda[l][e] + lambda_step * over);
+      }
+      for (int c = 0; c < g.num_cells(); ++c) {
+        const int over = state->via_load(l, c) - state->via_cap(l, c);
+        m.mu[l][c] = std::max(0.0, m.mu[l][c] + mu_step * over);
+      }
+    }
+
+    if (obj < best_obj) {
+      best_obj = obj;
+      for (std::size_t i = 0; i < nets.size(); ++i) best_layers[i] = state->layers(nets[i]);
+    }
+    result.best_objective = best_obj;
+    if (obj > prev_obj * 0.999) break;  // converged / oscillating
+    prev_obj = obj;
+  }
+
+  // Restore the best-seen iterate (possibly the entry assignment).
+  for (std::size_t i = 0; i < nets.size(); ++i) {
+    const int net = nets[i];
+    if (state->layers(net) != best_layers[i]) {
+      state->set_layers(net, std::vector<int>(best_layers[i]));
+    }
+  }
+
+  committed_metric.add(result.moves_committed);
+  rejected_metric.add(result.moves_rejected);
+  LOG_DEBUG("lagr: %d iterations, objective %.1f (entry %.1f), moves %ld (+%ld rejected)",
+            result.iterations_run, result.best_objective, result.entry_objective,
+            result.moves_committed, result.moves_rejected);
+  return result;
+}
+
+}  // namespace cpla::lagr

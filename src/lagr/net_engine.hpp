@@ -1,0 +1,59 @@
+#pragma once
+
+// Parallel Lagrangian sub-gradient layer assignment over whole nets — the
+// TILA lineage (ICCAD'15) promoted to a first-class engine. Two things
+// distinguish it from the weighted-sum baseline in src/core/tila.cpp:
+//
+//   * Critical-path objective. Segment prices carry the Elmore
+//     *criticality* weights (worst sink delay reachable through the
+//     segment's subtree / the net's Tcp), i.e. the sub-gradient of the
+//     max-sink-delay objective Problem 1 actually minimizes — not the
+//     downstream-sink-count proxy of the weighted-sum formulation.
+//
+//   * Deterministic parallelism. Each iteration prices all nets in
+//     parallel (Jacobi across nets against the iteration-entry state;
+//     Gauss-Seidel within a net with live intra-net usage deltas), then
+//     commits serially in net-id order under a live hard-capacity check,
+//     and accumulates the objective as an ordered serial sum. Results are
+//     bitwise identical across thread counts and repeated runs; this TU is
+//     registered in the bit-identity contract (-ffp-contract=off, no OMP
+//     reductions — see src/util/determinism_contract.hpp).
+//
+// Sub-gradient iterates are not monotone, so the engine tracks the
+// best-seen primal assignment (entry included) and restores it on exit:
+// optimize_nets() never leaves the state worse than it found it, on the
+// objective or on overflow.
+
+#include <vector>
+
+#include "src/assign/state.hpp"
+#include "src/timing/rc_table.hpp"
+
+namespace cpla::lagr {
+
+struct NetLagrOptions {
+  int iterations = 8;
+  double lambda_step = 0.25;  // wire-capacity multiplier step, x mean segment delay
+  double mu_step = 0.10;      // via-capacity multiplier step
+  // Weight floor for segments far off every critical sink path; keeps
+  // cold branches movable when congestion multipliers push on them.
+  double criticality_floor = 0.05;
+  bool parallel = true;  // OpenMP across nets in the pricing phase
+};
+
+struct NetLagrResult {
+  int iterations_run = 0;
+  double entry_objective = 0.0;  // sum of max-sink delays over `nets` at entry
+  double best_objective = 0.0;   // objective of the assignment left in the state
+  long moves_committed = 0;      // segment layer changes landed
+  long moves_rejected = 0;       // net proposals dropped by the serial capacity check
+};
+
+/// Runs the sub-gradient iteration over `nets` (net ids; every other net's
+/// assignment is read-only context). Deterministic in (state, rc, nets,
+/// options) regardless of thread count.
+NetLagrResult optimize_nets(assign::AssignState* state, const timing::RcTable& rc,
+                            const std::vector<int>& nets,
+                            const NetLagrOptions& options = {});
+
+}  // namespace cpla::lagr

@@ -34,6 +34,11 @@ inline constexpr char kBatchSolveStep[] = "batch.solve.step";
 // core: solve-guard escalation triggers.
 inline constexpr char kSolveGuardDeadline[] = "solve_guard.deadline";
 
+// lagr: a failed Lagrangian partition solve (incumbent pick comes back
+// with kNumericalFailure; the guard escalates to the cross-backend SDP
+// retry tier).
+inline constexpr char kLagrSolve[] = "lagr.solve";
+
 // eco: incremental-resolve degradation triggers (EcoSession falls back to
 // full_resolve() when either fires).
 inline constexpr char kEcoCacheLookup[] = "eco.cache.lookup";
@@ -55,6 +60,7 @@ inline constexpr const char* kAll[] = {
     kBatchPack,
     kBatchSolveStep,
     kSolveGuardDeadline,
+    kLagrSolve,
     kEcoCacheLookup,
     kEcoResolvePartition,
     kServeJournalAppend,

@@ -154,6 +154,44 @@ TEST_F(FaultInjectFlowTest, IntermittentCholeskyFailureStaysNeverWorse) {
   expect_never_worse(bench, critical, before);
 }
 
+TEST_F(FaultInjectFlowTest, LagrSolveFailureEscalatesToSdpRescue) {
+  // Every Lagrangian partition solve fails: the guard's cross-backend
+  // retry tier (a full SDP solve under the kLagr primary) must carry the
+  // run, and the contract must hold end to end.
+  Prepared bench = small_bench(89);
+  const CriticalSet critical = select_critical(*bench.state, *bench.rc, 0.03);
+  const Entry before = entry_state(bench, critical);
+
+  CplaOptions opt;
+  opt.engine = Engine::kLagr;
+  FaultInjector::instance().arm_always("lagr.solve");
+  const OptimizeResult out = optimize(bench.state.get(), *bench.rc, critical, opt);
+  FaultInjector::instance().reset();
+
+  EXPECT_GT(out.result.guard_stats.solves, 0);
+  EXPECT_EQ(out.result.guard_stats.tier_used[static_cast<int>(GuardTier::kPrimary)], 0)
+      << "an armed lagr.solve passed the primary tier";
+  EXPECT_GT(out.result.guard_stats.tier_used[static_cast<int>(GuardTier::kRetry)], 0)
+      << "cross-backend SDP rescue never engaged";
+  EXPECT_GT(out.result.guard_stats.numerical_failures, 0);
+  expect_never_worse(bench, critical, before);
+}
+
+TEST_F(FaultInjectFlowTest, IntermittentLagrFailureStaysNeverWorse) {
+  Prepared bench = small_bench(90);
+  const CriticalSet critical = select_critical(*bench.state, *bench.rc, 0.03);
+  const Entry before = entry_state(bench, critical);
+
+  CplaOptions opt;
+  opt.engine = Engine::kLagr;
+  FaultInjector::instance().arm("lagr.solve", 3, 20);
+  const OptimizeResult out = optimize(bench.state.get(), *bench.rc, critical, opt);
+  FaultInjector::instance().reset();
+
+  EXPECT_GT(out.result.guard_stats.solves, 0);
+  expect_never_worse(bench, critical, before);
+}
+
 TEST_F(FaultInjectFlowTest, EmptyCriticalSetIsANoOp) {
   Prepared bench = small_bench(87);
   CriticalSet empty;

@@ -2,9 +2,13 @@
 
 #include <gtest/gtest.h>
 
+#include "src/assign/state.hpp"
 #include "src/core/flow.hpp"
 #include "src/core/pipeline.hpp"
 #include "src/gen/synth.hpp"
+#include "src/grid/layer_stack.hpp"
+#include "src/route/seg_tree.hpp"
+#include "src/timing/rc_table.hpp"
 
 namespace cpla::core {
 namespace {
@@ -73,6 +77,88 @@ TEST(Tila, MoreIterationsNeverWorseThanOne) {
   const double avg_one = compute_metrics(*a.state, *a.rc, cs).avg_tcp;
   const double avg_many = compute_metrics(*b.state, *b.rc, cs).avg_tcp;
   EXPECT_LE(avg_many, avg_one * 1.02);  // small tolerance: LR can oscillate
+}
+
+// Regression: sub-gradient methods must keep the *best* primal iterate.
+// On a congested instance the multiplier updates make the iterates
+// oscillate; the convergence test then trips on a worse iterate, which must
+// not be the one left in the state. Iteration 1 of the long run is
+// identical to the one-iteration run (multipliers start at zero), so
+// best-iterate tracking can never end worse than either run's iteration 1
+// or the entry assignment.
+TEST(Tila, OscillationKeepsBestIterate) {
+  gen::SynthSpec spec;
+  spec.xsize = spec.ysize = 24;
+  spec.num_nets = 420;
+  spec.num_layers = 6;
+  spec.tracks_per_layer = 2;  // congested: capacity multipliers engage
+  spec.seed = 106;
+  Prepared one = prepare(gen::generate(spec));
+  Prepared many = prepare(gen::generate(spec));
+  const CriticalSet cs = select_critical(*one.state, *one.rc, 0.10);
+  const double avg_entry = compute_metrics(*one.state, *one.rc, cs).avg_tcp;
+  TilaOptions aggressive;
+  aggressive.lambda_step = 8.0;
+  aggressive.mu_step = 4.0;
+  TilaOptions first = aggressive;
+  first.iterations = 1;
+  run_tila(one.state.get(), *one.rc, cs, first);
+  aggressive.iterations = 12;
+  const TilaResult r = run_tila(many.state.get(), *many.rc, cs, aggressive);
+  const double avg_one = compute_metrics(*one.state, *one.rc, cs).avg_tcp;
+  const double avg_many = compute_metrics(*many.state, *many.rc, cs).avg_tcp;
+  EXPECT_LE(avg_many, avg_one * (1.0 + 1e-9))
+      << "oscillation kept a worse iterate (ran " << r.iterations_run << " iterations)";
+  EXPECT_LE(avg_many, avg_entry * (1.0 + 1e-9)) << "worse than the entry assignment";
+}
+
+// Regression: two segments of one net priced in the same pass each discount
+// only their own *pre-pass* usage, so they can jointly overfill an edge with
+// one free track. The net is a hand-built out-and-back pair of horizontal
+// segments covering the same edges; layer 2 is faster but has capacity 1.
+TEST(Tila, IntraPassMovesCannotJointlyOverfillAnEdge) {
+  grid::GridGraph g(16, 16, grid::make_layer_stack(4), grid::default_geom());
+  for (int l = 0; l < 4; ++l) g.fill_layer_capacity(l, 4);
+  g.fill_layer_capacity(2, 1);
+  grid::Design design("overfill", std::move(g));
+
+  route::SegTree tree;
+  tree.net_id = 0;
+  tree.root = {1, 1};
+  tree.root_pin_layer = 0;
+  route::Segment s0;
+  s0.id = 0;
+  s0.a = {1, 1};
+  s0.b = {14, 1};
+  s0.horizontal = true;
+  s0.parent = -1;
+  s0.children = {1};
+  route::Segment s1;
+  s1.id = 1;
+  s1.a = {14, 1};
+  s1.b = {1, 1};
+  s1.horizontal = true;
+  s1.parent = 0;
+  tree.segs = {s0, s1};
+  route::SinkAttach sink;
+  sink.pin_index = 1;
+  sink.seg_id = 1;
+  sink.pin_layer = 0;
+  tree.sinks = {sink};
+
+  assign::AssignState state(&design, {tree});
+  state.set_layers(0, {0, 0});
+  ASSERT_EQ(state.wire_overflow(), 0);
+
+  const timing::RcTable rc(design.grid);
+  CriticalSet cs;
+  cs.nets = {0};
+  cs.released.assign(1, 1);
+  TilaOptions one;
+  one.iterations = 1;
+  run_tila(&state, rc, cs, one);
+  EXPECT_EQ(state.wire_overflow(), 0)
+      << "one pass jointly overfilled a capacity-1 edge";
 }
 
 TEST(Flow, CplaDeterministic) {

@@ -6,4 +6,5 @@ void instrument() {
   obs::metrics().counter("serve.deltas.applied").add();
   obs::metrics().counter("batch.solve.lanes").add();
   obs::metrics().counter("sta.update.incremental").add();
+  obs::metrics().counter("lagr.arbiter.lagr_chosen").add();
 }

@@ -6,6 +6,7 @@ void check_counters() {
   auto d = obs::metrics().counter("serve.deltas.appled").value();  // dropped letter
   auto b = obs::metrics().counter("batch.solve.lane").value();  // missing trailing s
   auto i = obs::metrics().counter("sta.update.incrementals").value();  // spurious plural
+  auto g = obs::metrics().counter("lagr.arbiter.lagr_chose").value();  // dropped letter
   (void)v;
   (void)h;
   (void)f;
@@ -13,4 +14,5 @@ void check_counters() {
   (void)d;
   (void)b;
   (void)i;
+  (void)g;
 }

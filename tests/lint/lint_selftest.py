@@ -175,10 +175,26 @@ class DeterminismAcceptance(unittest.TestCase):
             "src/sta/timing_graph.cpp",
             "src/sta/path_enum.cpp",
             "src/sta/CMakeLists.txt",
+            "src/lagr/net_engine.cpp",
+            "src/lagr/CMakeLists.txt",
+            "src/core/lagr_engine.cpp",
+            "src/core/CMakeLists.txt",
         ):
             dst = root / rel
             dst.parent.mkdir(parents=True, exist_ok=True)
             shutil.copy(REPO_ROOT / rel, dst)
+        # lagr_engine.cpp carries the "lagr.solve" fault point; declare
+        # exactly the sites the mini repo uses (copying the real registry
+        # would trip fault-site-unused for every site whose TU isn't here).
+        sites = root / "src" / "util" / "fault_sites.hpp"
+        sites.parent.mkdir(parents=True, exist_ok=True)
+        sites.write_text(
+            "#pragma once\n"
+            "namespace cpla::fault_sites {\n"
+            'inline constexpr char kLagrSolve[] = "lagr.solve";\n'
+            "inline constexpr const char* kAll[] = {kLagrSolve};\n"
+            "}  // namespace cpla::fault_sites\n"
+        )
         return root
 
     def test_copied_production_files_are_clean(self) -> None:

@@ -48,6 +48,7 @@ SPECS: list[tuple[str, str, list[str]]] = [
     ("BENCH_eco_incremental.json", "eco_incremental", ["--quick"]),
     ("BENCH_eco_serve.json", "eco_serve", ["--quick"]),
     ("BENCH_sta_incremental.json", "sta_incremental", ["--quick"]),
+    ("BENCH_backend_arbiter.json", "backend_arbiter", ["--quick", "--gate", "1.0"]),
 ]
 
 
